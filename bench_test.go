@@ -1,0 +1,233 @@
+// Benchmarks regenerating the paper's evaluation artifacts.
+//
+// Two kinds live here:
+//
+//   - Benchmark<ExperimentID> runs the corresponding table/figure
+//     reproduction end-to-end (internal/experiments) and fails if a shape
+//     check regresses; ns/op is the cost of regenerating the artifact.
+//   - BenchmarkOverhead* measures the paper's computation-overhead table
+//     (TBL-O1): per-packet enqueue+dequeue cost versus the number of
+//     classes, for both Section-V eligible-list structures and for deep
+//     hierarchies. The paper's claim is O(log n) growth.
+//
+// Run: go test -bench=. -benchmem
+package hfsc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/experiments"
+	"github.com/netsched/hfsc/internal/pfq"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/sced"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	fn := experiments.Registry[id]
+	if fn == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep := fn()
+		if failed := rep.Failed(); len(failed) > 0 {
+			b.Fatalf("shape checks failed: %v", failed)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B)           { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkExp1(b *testing.B)           { benchExperiment(b, "exp1") }
+func BenchmarkExp2(b *testing.B)           { benchExperiment(b, "exp2") }
+func BenchmarkExp3(b *testing.B)           { benchExperiment(b, "exp3") }
+func BenchmarkExp4(b *testing.B)           { benchExperiment(b, "exp4") }
+func BenchmarkExp5(b *testing.B)           { benchExperiment(b, "exp5") }
+func BenchmarkExp6(b *testing.B)           { benchExperiment(b, "exp6") }
+func BenchmarkExp7(b *testing.B)           { benchExperiment(b, "exp7") }
+func BenchmarkTblA1(b *testing.B)          { benchExperiment(b, "tbla1") }
+func BenchmarkAblationVT(b *testing.B)     { benchExperiment(b, "abl2") }
+func BenchmarkAblationUlimit(b *testing.B) { benchExperiment(b, "abl3") }
+
+// buildFlat creates n real-time+link-sharing leaves under the root.
+func buildFlat(b *testing.B, n int, el core.EligibleStructure) (*core.Scheduler, []int) {
+	b.Helper()
+	s := core.New(core.Options{Eligible: el})
+	rate := uint64(1_250_000_000) / uint64(n)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		cl, err := s.AddClass(nil, fmt.Sprintf("c%d", i),
+			curve.SC{M1: 2 * rate, D: 10_000_000, M2: rate}, curve.Linear(rate), curve.SC{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = cl.ID()
+	}
+	return s, ids
+}
+
+// buildDeep spreads n leaves across a hierarchy of the given depth.
+func buildDeep(b *testing.B, n, depth int) (*core.Scheduler, []int) {
+	b.Helper()
+	s := core.New(core.Options{})
+	rate := uint64(1_250_000_000)
+	parents := []*core.Class{nil}
+	for lvl := 0; lvl < depth-1; lvl++ {
+		var next []*core.Class
+		for i, p := range parents {
+			for j := 0; j < 4 && len(next) < (n+3)/4; j++ {
+				cl, err := s.AddClass(p, fmt.Sprintf("i%d.%d.%d", lvl, i, j),
+					curve.SC{}, curve.Linear(rate/uint64(len(parents)*4)), curve.SC{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				next = append(next, cl)
+			}
+		}
+		parents = next
+	}
+	leafRate := rate / uint64(n)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		cl, err := s.AddClass(parents[i%len(parents)], fmt.Sprintf("leaf%d", i),
+			curve.SC{M1: 2 * leafRate, D: 10_000_000, M2: leafRate}, curve.Linear(leafRate), curve.SC{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = cl.ID()
+	}
+	return s, ids
+}
+
+// pump measures one enqueue plus one dequeue per iteration in steady
+// state, reporting ns per packet.
+func pump(b *testing.B, s *core.Scheduler, ids []int) {
+	b.Helper()
+	now := int64(0)
+	for i, id := range ids {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 800
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: ids[i%len(ids)], Seq: uint64(i)}, now)
+		if p := s.Dequeue(now); p == nil {
+			b.Fatal("scheduler idled")
+		}
+	}
+}
+
+// BenchmarkOverheadFlat is TBL-O1's main series: per-packet cost vs class
+// count with the augmented-tree eligible list.
+func BenchmarkOverheadFlat(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("classes=%d", n), func(b *testing.B) {
+			s, ids := buildFlat(b, n, core.ElAugmentedTree)
+			pump(b, s, ids)
+		})
+	}
+}
+
+// BenchmarkOverheadDeep repeats the series on a depth-4 hierarchy: the
+// link-sharing cascade adds a per-level constant.
+func BenchmarkOverheadDeep(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("classes=%d", n), func(b *testing.B) {
+			s, ids := buildDeep(b, n, 4)
+			pump(b, s, ids)
+		})
+	}
+}
+
+// BenchmarkEligibleStructures is ABL-1: the augmented red-black tree
+// versus the calendar-queue + deadline-heap eligible list (the two
+// implementations Section V proposes).
+func BenchmarkEligibleStructures(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		el   core.EligibleStructure
+	}{{"rbtree", core.ElAugmentedTree}, {"calendar", core.ElCalendar}} {
+		for _, n := range []int{64, 1024} {
+			b.Run(fmt.Sprintf("%s/classes=%d", cfg.name, n), func(b *testing.B) {
+				s, ids := buildFlat(b, n, cfg.el)
+				pump(b, s, ids)
+			})
+		}
+	}
+}
+
+// Baseline scheduler micro-benchmarks for context.
+func BenchmarkBaselineWF2Q(b *testing.B) {
+	h := pfq.New(pfq.WF2Q, 0)
+	var ids []int
+	for i := 0; i < 256; i++ {
+		n, err := h.AddNode(nil, fmt.Sprintf("c%d", i), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, n.ID())
+	}
+	now := int64(0)
+	for i, id := range ids {
+		h.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 800
+		h.Enqueue(&pktq.Packet{Len: 1000, Class: ids[i%len(ids)], Seq: uint64(i)}, now)
+		if h.Dequeue(now) == nil {
+			b.Fatal("idled")
+		}
+	}
+}
+
+func BenchmarkBaselineSCED(b *testing.B) {
+	s := sced.New(0)
+	var ids []int
+	for i := 0; i < 256; i++ {
+		ses, err := s.AddSession(fmt.Sprintf("c%d", i), curve.SC{M1: 1_000_000, D: 10_000_000, M2: 500_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, ses.ID())
+	}
+	now := int64(0)
+	for i, id := range ids {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 800
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: ids[i%len(ids)], Seq: uint64(i)}, now)
+		if s.Dequeue(now) == nil {
+			b.Fatal("idled")
+		}
+	}
+}
+
+func BenchmarkBaselineDRR(b *testing.B) {
+	d := pfq.NewDRR(0)
+	var ids []int
+	for i := 0; i < 256; i++ {
+		id, err := d.AddFlow(1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	now := int64(0)
+	for i, id := range ids {
+		d.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 800
+		d.Enqueue(&pktq.Packet{Len: 1000, Class: ids[i%len(ids)], Seq: uint64(i)}, now)
+		if d.Dequeue(now) == nil {
+			b.Fatal("idled")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command hfsc-admit validates a hierarchy specification: it checks the
+// SCED admissibility condition (the sum of leaf real-time curves must fit
+// under the link curve, Section II) and prints the per-leaf worst-case
+// delay bounds implied by Theorems 1 and 2.
+//
+// Usage:
+//
+//	hfsc-admit [-lmax bytes] spec-file    (or - for stdin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/hierarchy"
+	"github.com/netsched/hfsc/internal/stats"
+	"github.com/netsched/hfsc/internal/tcconf"
+)
+
+func main() {
+	lmax := flag.Int64("lmax", 1500, "maximum packet size in bytes (for the Theorem-2 slack)")
+	tcMode := flag.Bool("tc", false, "parse the input as Linux tc(8) HFSC commands instead of the native spec")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hfsc-admit [-lmax bytes] <spec-file|->")
+		os.Exit(2)
+	}
+
+	var in io.Reader
+	if flag.Arg(0) == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hfsc-admit: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var spec *hierarchy.Spec
+	var err error
+	if *tcMode {
+		spec, err = tcconf.Parse(in)
+	} else {
+		spec, err = hierarchy.Parse(in)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hfsc-admit: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Admissibility: Σ leaf rsc ≤ link curve.
+	interior := map[string]bool{}
+	for _, c := range spec.Classes {
+		interior[c.Parent] = true
+	}
+	sum := curve.Curve{}
+	nRT := 0
+	for _, c := range spec.Classes {
+		if !interior[c.Name] && !c.RT.IsZero() {
+			sum = sum.Add(curve.FromSC(c.RT))
+			nRT++
+		}
+	}
+	linkCurve := curve.LinearCurve(spec.LinkRate)
+	ok := sum.LE(linkCurve)
+	fmt.Printf("link: %s, %d real-time leaves\n", stats.FmtRate(float64(spec.LinkRate)), nRT)
+	if ok {
+		fmt.Println("admissible: yes (sum of real-time curves fits under the link curve)")
+	} else {
+		fmt.Println("admissible: NO — real-time guarantees cannot all be met")
+	}
+
+	slack := curve.FromSC(curve.Linear(spec.LinkRate)).Inverse(*lmax)
+	tbl := &stats.Table{Header: []string{"leaf", "rt curve", "burst", "delay bound"}}
+	for _, c := range spec.Classes {
+		if interior[c.Name] || c.RT.IsZero() {
+			continue
+		}
+		// Delay bound for a burst of the curve's natural unit: the first
+		// inflection's worth for concave curves, else one lmax packet.
+		burst := int64(*lmax)
+		if c.RT.IsConcave() {
+			burst = c.RT.Eval(c.RT.D)
+		}
+		t := curve.FromSC(c.RT).Inverse(burst)
+		tbl.AddRow(c.Name, c.RT.String(), fmt.Sprintf("%dB", burst),
+			stats.FmtDur(float64(t+slack)))
+	}
+	if err := tbl.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

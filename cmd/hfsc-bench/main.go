@@ -1,0 +1,119 @@
+// Command hfsc-bench measures the scheduler's per-packet computation
+// overhead — the paper's Section VII measurement experiment ("determine
+// the computation overhead") — as enqueue and dequeue cost versus the
+// number of classes, for flat and deep hierarchies and for both
+// eligible-list structures of Section V.
+//
+// Absolute numbers reflect this machine; the paper's claim is the shape:
+// per-packet cost grows slowly (O(log n)) with the number of classes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/stats"
+)
+
+func main() {
+	var (
+		ops   = flag.Int("ops", 200_000, "packets per measurement")
+		depth = flag.Int("depth", 3, "hierarchy depth for the deep variant")
+	)
+	flag.Parse()
+
+	sizes := []int{16, 64, 256, 1024, 4096}
+	tbl := &stats.Table{Header: []string{"classes", "flat rbtree", "flat calendar", fmt.Sprintf("depth-%d tree", *depth)}}
+	for _, n := range sizes {
+		flatRB := measure(buildFlat(n, core.ElAugmentedTree), n, *ops)
+		flatCal := measure(buildFlat(n, core.ElCalendar), n, *ops)
+		deep := measure(buildDeep(n, *depth), n, *ops)
+		tbl.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f ns/pkt", flatRB),
+			fmt.Sprintf("%.0f ns/pkt", flatCal),
+			fmt.Sprintf("%.0f ns/pkt", deep))
+	}
+	fmt.Println("TBL-O1: per-packet overhead (one enqueue + one dequeue)")
+	fmt.Println()
+	if err := tbl.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// buildFlat creates n leaf classes under the root, each with concave rt
+// and linear ls curves.
+func buildFlat(n int, el core.EligibleStructure) *core.Scheduler {
+	s := core.New(core.Options{Eligible: el})
+	rate := uint64(1_250_000_000) / uint64(n) // split a 10 Gb/s link
+	for i := 0; i < n; i++ {
+		_, err := s.AddClass(nil, fmt.Sprintf("c%d", i),
+			curve.SC{M1: 2 * rate, D: 10_000_000, M2: rate}, curve.Linear(rate), curve.SC{})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// buildDeep spreads n leaves under a hierarchy of the given depth with
+// fan-out chosen to fit.
+func buildDeep(n, depth int) *core.Scheduler {
+	s := core.New(core.Options{})
+	rate := uint64(1_250_000_000)
+	parents := []*core.Class{nil}
+	for lvl := 0; lvl < depth-1; lvl++ {
+		var next []*core.Class
+		for i, p := range parents {
+			for j := 0; j < 4 && len(next) < n/4+1; j++ {
+				cl, err := s.AddClass(p, fmt.Sprintf("i%d.%d.%d", lvl, i, j),
+					curve.SC{}, curve.Linear(rate/uint64(len(parents)*4)), curve.SC{})
+				if err != nil {
+					panic(err)
+				}
+				next = append(next, cl)
+			}
+		}
+		parents = next
+	}
+	leafRate := rate / uint64(n)
+	for i := 0; i < n; i++ {
+		p := parents[i%len(parents)]
+		_, err := s.AddClass(p, fmt.Sprintf("leaf%d", i),
+			curve.SC{M1: 2 * leafRate, D: 10_000_000, M2: leafRate}, curve.Linear(leafRate), curve.SC{})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// measure runs a steady-state enqueue/dequeue loop over all leaves and
+// returns nanoseconds per packet (one enqueue plus one dequeue).
+func measure(s *core.Scheduler, nLeaves, ops int) float64 {
+	var leaves []int
+	for _, c := range s.Classes() {
+		if c.IsLeaf() && c != s.Root() {
+			leaves = append(leaves, c.ID())
+		}
+	}
+	now := int64(0)
+	// Prefill so dequeues always find work.
+	for i, id := range leaves {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		now += 800 // ~1000 B at 10 Gb/s
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: leaves[i%len(leaves)], Seq: uint64(i)}, now)
+		if p := s.Dequeue(now); p == nil {
+			panic("scheduler idled unexpectedly")
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}

@@ -1,0 +1,63 @@
+// Command hfsc-sim runs the paper-reproduction experiments and prints
+// their tables and shape checks.
+//
+// Usage:
+//
+//	hfsc-sim -list
+//	hfsc-sim -exp exp1
+//	hfsc-sim -exp all
+//
+// The exit status is nonzero if any executed experiment fails one of its
+// shape checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/netsched/hfsc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id to run, or \"all\"")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			if experiments.Registry[id] == nil {
+				fmt.Fprintf(os.Stderr, "hfsc-sim: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		rep := experiments.Registry[id]()
+		if err := rep.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hfsc-sim: %v\n", err)
+			os.Exit(1)
+		}
+		failed += len(rep.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "hfsc-sim: %d shape check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

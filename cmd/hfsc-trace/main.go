@@ -1,0 +1,77 @@
+// Command hfsc-trace generates synthetic packet traces in the text format
+// of internal/trace, for use with hfsc-replay.
+//
+// Usage:
+//
+//	hfsc-trace -kind cbr    -class voice -len 160 -rate 64Kbit -dur 2s
+//	hfsc-trace -kind poisson -class data -len 1000 -pps 500 -dur 2s -seed 7
+//	hfsc-trace -kind onoff  -class burst -len 1000 -rate 2Mbit -on 10ms -off 20ms -dur 2s
+//	hfsc-trace -kind video  -class video -frame 15000 -mtu 1500 -fps 25 -dur 2s
+//
+// Concatenate several invocations to build multi-class workloads; replay
+// sorts by time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/netsched/hfsc/internal/hierarchy"
+	"github.com/netsched/hfsc/internal/sim"
+	"github.com/netsched/hfsc/internal/source"
+	"github.com/netsched/hfsc/internal/trace"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "cbr", "cbr | poisson | onoff | video | audiospurt")
+		class   = flag.String("class", "c0", "class name for the records")
+		flow    = flag.Int("flow", 0, "flow id for the records")
+		pktLen  = flag.Int("len", 1000, "packet length (cbr/poisson/onoff/audiospurt)")
+		rateStr = flag.String("rate", "1Mbit", "average or peak rate (cbr/onoff)")
+		pps     = flag.Float64("pps", 100, "packets per second (poisson)")
+		on      = flag.Duration("on", 10*time.Millisecond, "mean burst duration (onoff/audiospurt)")
+		off     = flag.Duration("off", 20*time.Millisecond, "mean idle duration (onoff/audiospurt)")
+		frame   = flag.Int("frame", 15000, "mean frame bytes (video)")
+		mtu     = flag.Int("mtu", 1500, "fragment size (video)")
+		fps     = flag.Int("fps", 25, "frames per second (video)")
+		dur     = flag.Duration("dur", time.Second, "trace duration")
+		seed    = flag.Uint64("seed", 1, "PRNG seed")
+	)
+	flag.Parse()
+
+	rate, err := hierarchy.ParseRate(*rateStr)
+	if err != nil {
+		fatal(err)
+	}
+	end := dur.Nanoseconds()
+	rng := source.NewRand(*seed)
+
+	var arr []sim.Arrival
+	switch *kind {
+	case "cbr":
+		arr = source.CBRRate(0, *flow, *pktLen, rate, 0, end)
+	case "poisson":
+		arr = source.Poisson(rng, 0, *flow, *pktLen, *pps, 0, end)
+	case "onoff":
+		arr = source.OnOff(rng, 0, *flow, *pktLen, rate, float64(on.Nanoseconds()), float64(off.Nanoseconds()), 0, end)
+	case "video":
+		arr = source.VideoVBR(rng, 0, *flow, *frame, *mtu, int64(time.Second.Nanoseconds())/int64(*fps), 0, end)
+	case "audiospurt":
+		arr = source.AudioSpurt(rng, 0, *flow, *pktLen, 20_000_000, float64(on.Nanoseconds()), float64(off.Nanoseconds()), 0, end)
+	default:
+		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+
+	recs := trace.FromArrivals(arr, func(int) string { return *class })
+	if err := trace.Write(os.Stdout, recs); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hfsc-trace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package hfsc_test
+
+import (
+	"fmt"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+// Build a hierarchy with a guaranteed-delay voice class and drain one
+// packet of each class at line rate.
+func Example() {
+	s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+
+	voiceRT, _ := hfsc.ForRealTime(160, 5*time.Millisecond, 64*hfsc.Kbps)
+	voice, _ := s.AddClass(nil, "voice", hfsc.ClassConfig{
+		RealTime:  voiceRT,
+		LinkShare: hfsc.Linear(64 * hfsc.Kbps),
+	})
+	bulk, _ := s.AddClass(nil, "bulk", hfsc.ClassConfig{
+		LinkShare: hfsc.Linear(9 * hfsc.Mbps),
+	})
+
+	now := int64(0)
+	s.Enqueue(&hfsc.Packet{Len: 1500, Class: bulk.ID()}, now)
+	s.Enqueue(&hfsc.Packet{Len: 160, Class: voice.ID()}, now)
+
+	for s.Backlog() > 0 {
+		p := s.Dequeue(now)
+		fmt.Printf("%s %dB via %s\n", s.Classes()[p.Class].Name(), p.Len, p.Crit)
+		now += int64(p.Len) * 1e9 / int64(10*hfsc.Mbps)
+	}
+	// Output:
+	// voice 160B via rt
+	// bulk 1500B via ls
+}
+
+// ForRealTime maps application requirements (burst size, deadline, rate)
+// to a service curve; DelayBound returns the worst-case delay Theorems 1
+// and 2 guarantee for it.
+func ExampleScheduler_DelayBound() {
+	s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+	rt, _ := hfsc.ForRealTime(160, 5*time.Millisecond, 64*hfsc.Kbps)
+	bound, _ := s.DelayBound(rt, 160, 1500)
+	fmt.Println(bound)
+	// Output:
+	// 6.2ms
+}
+
+// Admissible implements the SCED schedulability condition: the sum of all
+// leaf real-time curves must fit under the link's capacity curve.
+func ExampleScheduler_Admissible() {
+	s := hfsc.New(hfsc.Config{LinkRate: 1 * hfsc.Mbps})
+	s.AddClass(nil, "a", hfsc.ClassConfig{RealTime: hfsc.Linear(600 * hfsc.Kbps), LinkShare: hfsc.Linear(1)})
+	fmt.Println(s.Admissible())
+	s.AddClass(nil, "b", hfsc.ClassConfig{RealTime: hfsc.Linear(600 * hfsc.Kbps), LinkShare: hfsc.Linear(1)})
+	fmt.Println(s.Admissible() != nil)
+	// Output:
+	// <nil>
+	// true
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a small H-FSC hierarchy, enqueue packets, and watch
+// the dequeue order respect real-time guarantees and link-sharing weights.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+func main() {
+	// A 10 Mb/s link shared by three classes.
+	s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+
+	// Voice: tiny bandwidth, but every 160-byte packet must leave within
+	// 5 ms — a concave real-time curve decouples that delay from the rate.
+	voiceRT, err := hfsc.ForRealTime(160, 5*time.Millisecond, 64*hfsc.Kbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	voice, err := s.AddClass(nil, "voice", hfsc.ClassConfig{
+		RealTime:  voiceRT,
+		LinkShare: hfsc.Linear(64 * hfsc.Kbps),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Web and bulk split the remaining bandwidth 3:1 via link-sharing.
+	web, _ := s.AddClass(nil, "web", hfsc.ClassConfig{LinkShare: hfsc.Linear(7 * hfsc.Mbps)})
+	bulk, _ := s.AddClass(nil, "bulk", hfsc.ClassConfig{
+		LinkShare:  hfsc.Linear(3 * hfsc.Mbps),
+		UpperLimit: hfsc.Linear(4 * hfsc.Mbps), // never above 4 Mb/s
+	})
+
+	if err := s.Admissible(); err != nil {
+		log.Fatal(err)
+	}
+	if bound, err := s.DelayBound(voiceRT, 160, 1500); err == nil {
+		fmt.Printf("voice worst-case delay bound: %v\n\n", bound)
+	}
+
+	// Drive the link by hand: enqueue a burst, then transmit at line rate.
+	now := int64(0)
+	for i := 0; i < 4; i++ {
+		s.Enqueue(&hfsc.Packet{Len: 1500, Class: web.ID()}, now)
+		s.Enqueue(&hfsc.Packet{Len: 1500, Class: bulk.ID()}, now)
+	}
+	s.Enqueue(&hfsc.Packet{Len: 160, Class: voice.ID()}, now)
+
+	fmt.Println("dequeue order at 10 Mb/s:")
+	for s.Backlog() > 0 {
+		p := s.Dequeue(now)
+		if p == nil {
+			// Upper limit in effect: ask when to retry.
+			t, ok := s.NextReady(now)
+			if !ok {
+				break
+			}
+			now = t
+			continue
+		}
+		name := map[int]string{voice.ID(): "voice", web.ID(): "web", bulk.ID(): "bulk"}[p.Class]
+		txNs := int64(p.Len) * 1e9 / int64(10*hfsc.Mbps)
+		now += txNs
+		fmt.Printf("  t=%-8v %-5s %4dB  (served by %s criterion)\n",
+			time.Duration(now), name, p.Len, p.Crit)
+	}
+
+	fmt.Println("\nper-class counters:")
+	for _, c := range []*hfsc.Class{voice, web, bulk} {
+		st := c.Stats()
+		fmt.Printf("  %-5s sent=%d bytes=%d rt=%dB ls=%dB\n",
+			c.Name(), st.SentPackets, st.TotalBytes, st.RealTimeBytes, st.LinkShareBytes)
+	}
+}

@@ -1,0 +1,96 @@
+// Realtime demonstrates decoupled delay and bandwidth — the paper's
+// headline capability. A 64 Kb/s voice stream requiring a 5 ms delay bound
+// shares a 10 Mb/s link with greedy bulk traffic. With a concave real-time
+// curve the voice delay stays under the bound; with a plain linear
+// reservation of the same 64 Kb/s the only guarantee is the coupled
+// L/r = 20 ms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+const (
+	ms  = int64(1_000_000)
+	sec = int64(1_000_000_000)
+)
+
+func run(concave bool) (maxDelay, maxDeadline time.Duration) {
+	link := 10 * hfsc.Mbps
+	s := hfsc.New(hfsc.Config{LinkRate: link, DefaultQueueLimit: 100})
+
+	var voiceRT hfsc.SC
+	if concave {
+		var err error
+		voiceRT, err = hfsc.ForRealTime(160, 5*time.Millisecond, 64*hfsc.Kbps)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		voiceRT = hfsc.Linear(64 * hfsc.Kbps)
+	}
+	voice, err := s.AddClass(nil, "voice", hfsc.ClassConfig{
+		RealTime:  voiceRT,
+		LinkShare: hfsc.Linear(64 * hfsc.Kbps),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Bulk holds a real-time reservation too, so the real-time criterion
+	// is contended (EDF really has to arbitrate).
+	bulk, _ := s.AddClass(nil, "bulk", hfsc.ClassConfig{
+		RealTime:  hfsc.Linear(8 * hfsc.Mbps),
+		LinkShare: hfsc.Linear(8 * hfsc.Mbps),
+	})
+	if err := s.Admissible(); err != nil {
+		log.Fatal(err)
+	}
+
+	txTime := func(n int) int64 { return int64(n) * sec / int64(link) }
+	now := int64(0)
+	nextVoice := int64(0)
+	var seq uint64
+	for now < 2*sec {
+		for nextVoice <= now {
+			s.Enqueue(&hfsc.Packet{Len: 160, Class: voice.ID(), Arrival: nextVoice, Seq: seq}, nextVoice)
+			seq++
+			nextVoice += 20 * ms
+		}
+		for bulk.Stats().QueuedPackets < 30 { // keep bulk backlogged
+			s.Enqueue(&hfsc.Packet{Len: 1500, Class: bulk.ID(), Arrival: now, Seq: seq}, now)
+			seq++
+		}
+		p := s.Dequeue(now)
+		if p == nil {
+			now = nextVoice
+			continue
+		}
+		now += txTime(p.Len)
+		if p.Class == voice.ID() {
+			if d := time.Duration(now - p.Arrival); d > maxDelay {
+				maxDelay = d
+			}
+			if p.Deadline > 0 {
+				if d := time.Duration(p.Deadline - p.Arrival); d > maxDeadline {
+					maxDeadline = d
+				}
+			}
+		}
+	}
+	return maxDelay, maxDeadline
+}
+
+func main() {
+	fmt.Println("voice: 64 Kb/s, 160 B packets, target delay 5 ms, against greedy bulk")
+	fmt.Println()
+	d1, g1 := run(true)
+	fmt.Printf("concave rt curve:  worst delay %8v   guaranteed deadline %8v\n", d1, g1)
+	d2, g2 := run(false)
+	fmt.Printf("linear 64 Kb/s rt: worst delay %8v   guaranteed deadline %8v\n", d2, g2)
+	fmt.Println()
+	fmt.Println("same bandwidth, ~10x different guarantee: delay and rate are decoupled.")
+}

@@ -1,0 +1,154 @@
+// Udpshaper is the real-datapath example: a userspace UDP forwarder whose
+// egress is paced by the H-FSC scheduler, the role the paper's NetBSD
+// kernel module plays for a network interface.
+//
+// Packets arriving on the listen sockets are classified by listen port and
+// enqueued; a single scheduler goroutine dequeues at the configured line
+// rate and forwards to the destination. Try it with three terminals:
+//
+//	go run ./examples/udpshaper -rate 1Mbit \
+//	    -class voice:9001:rt(160,5ms,64Kbit):64Kbit \
+//	    -class bulk:9002::900Kbit \
+//	    -to 127.0.0.1:9999
+//	nc -u -l 9999                     # sink
+//	yes | nc -u 127.0.0.1 9002        # bulk load; then speak on 9001
+//
+// The voice port stays responsive regardless of bulk load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+	"github.com/netsched/hfsc/internal/hierarchy"
+)
+
+type classFlag struct{ specs []string }
+
+func (c *classFlag) String() string     { return strings.Join(c.specs, " ") }
+func (c *classFlag) Set(s string) error { c.specs = append(c.specs, s); return nil }
+
+func main() {
+	var classes classFlag
+	rateStr := flag.String("rate", "1Mbit", "egress line rate")
+	to := flag.String("to", "127.0.0.1:9999", "destination address")
+	flag.Var(&classes, "class", "name:port:rtCurve:lsCurve (curves in hierarchy syntax; rt may be empty)")
+	flag.Parse()
+	if len(classes.specs) == 0 {
+		classes.specs = []string{"voice:9001:rt(160,5ms,64Kbit):64Kbit", "bulk:9002::900Kbit"}
+	}
+
+	rate, err := hierarchy.ParseRate(*rateStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := net.ResolveUDPAddr("udp", *to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+
+	s := hfsc.New(hfsc.Config{LinkRate: rate, DefaultQueueLimit: 200})
+	in := make(chan *hfsc.Packet, 256)
+
+	for _, spec := range classes.specs {
+		parts := strings.SplitN(spec, ":", 4)
+		if len(parts) != 4 {
+			log.Fatalf("bad -class %q (want name:port:rt:ls)", spec)
+		}
+		name, port := parts[0], parts[1]
+		var cfg hfsc.ClassConfig
+		if parts[2] != "" {
+			if cfg.RealTime, err = hierarchy.ParseCurve(parts[2]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if cfg.LinkShare, err = hierarchy.ParseCurve(parts[3]); err != nil {
+			log.Fatal(err)
+		}
+		cl, err := s.AddClass(nil, name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := net.ListenPacket("udp", ":"+port)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Printf("class %-8s on :%s  rt=%v ls=%v\n", name, port, cfg.RealTime, cfg.LinkShare)
+
+		go func(cl *hfsc.Class, conn net.PacketConn) {
+			buf := make([]byte, 64<<10)
+			for {
+				n, _, err := conn.ReadFrom(buf)
+				if err != nil {
+					return
+				}
+				payload := make([]byte, n)
+				copy(payload, buf[:n])
+				in <- &hfsc.Packet{Len: n, Class: cl.ID(), Payload: payload}
+			}
+		}(cl, conn)
+	}
+	if err := s.Admissible(); err != nil {
+		fmt.Fprintln(os.Stderr, "warning:", err)
+	}
+
+	// The scheduler loop: single goroutine owns the scheduler, paces the
+	// egress at the line rate, and sleeps while idle or rate-limited.
+	fmt.Printf("shaping to %s at %s\n", *to, *rateStr)
+	timer := time.NewTimer(time.Hour)
+	linkFree := time.Now()
+	for {
+		now := time.Now()
+		if now.Before(linkFree) {
+			time.Sleep(linkFree.Sub(now))
+			continue
+		}
+		p := s.Dequeue(now.UnixNano())
+		if p == nil {
+			var wait time.Duration = time.Hour
+			if t, ok := s.NextReady(now.UnixNano()); ok {
+				wait = time.Duration(t - now.UnixNano())
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case pkt := <-in:
+				s.Enqueue(pkt, time.Now().UnixNano())
+			case <-timer.C:
+			}
+			continue
+		}
+		if _, err := out.Write(p.Payload); err != nil {
+			log.Printf("forward: %v", err)
+		}
+		tx := time.Duration(int64(p.Len) * int64(time.Second) / int64(rate))
+		linkFree = now.Add(tx)
+		// Opportunistically drain arrivals that came in meanwhile.
+		for {
+			select {
+			case pkt := <-in:
+				s.Enqueue(pkt, time.Now().UnixNano())
+				continue
+			default:
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/netsched/hfsc
+
+go 1.22

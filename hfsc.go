@@ -1,0 +1,297 @@
+// Package hfsc is a Go implementation of the Hierarchical Fair Service
+// Curve (H-FSC) link-sharing scheduler of Stoica, Zhang and Ng
+// (SIGCOMM '97; IEEE/ACM ToN 8(2), 2000).
+//
+// H-FSC manages one link with a class hierarchy. Every class carries up to
+// three two-piece linear service curves:
+//
+//   - a real-time curve (leaves only), guaranteed unconditionally via
+//     per-packet eligible times and deadlines — this is what provides
+//     guaranteed, *decoupled* delay and bandwidth (priority service);
+//   - a link-sharing curve, which drives hierarchical fair distribution of
+//     the remaining capacity via virtual times; and
+//   - an optional upper-limit curve capping a class's total service.
+//
+// Basic usage:
+//
+//	s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+//	video, _ := s.AddClass(nil, "video", hfsc.ClassConfig{
+//		RealTime:  hfsc.ForRealTime(1500, 10*time.Millisecond, 2*hfsc.Mbps),
+//		LinkShare: hfsc.Linear(2 * hfsc.Mbps),
+//	})
+//	s.Enqueue(&hfsc.Packet{Len: 1500, Class: video.ID()}, now)
+//	p := s.Dequeue(now)
+//
+// The scheduler is single-goroutine by design, like a qdisc: callers
+// serialize access (see examples/udpshaper for a channel-based wrapper).
+package hfsc
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// Rate units in bytes per second (curve slopes take bytes/s).
+const (
+	Bps  uint64 = 1           // 8 bits per second
+	Kbps        = 125 * Bps   // 1 kilobit per second
+	Mbps        = 1000 * Kbps // 1 megabit per second
+	Gbps        = 1000 * Mbps // 1 gigabit per second
+)
+
+// Packet is the unit of scheduling. Set Len, Class (a leaf class ID) and
+// Arrival before enqueueing; the scheduler fills Deadline and Crit on
+// dequeue.
+type Packet = pktq.Packet
+
+// SC is a two-piece linear service curve: slope M1 (bytes/s) for the first
+// D nanoseconds of a backlogged period, slope M2 afterwards.
+type SC = curve.SC
+
+// VTPolicy selects the system-virtual-time policy (see core.VTPolicy); the
+// default VTMean is the paper's (vmin+vmax)/2 choice.
+type VTPolicy = core.VTPolicy
+
+// Virtual-time policies, re-exported for configuration.
+const (
+	VTMean = core.VTMean
+	VTMin  = core.VTMin
+	VTMax  = core.VTMax
+)
+
+// Linear returns the one-piece curve with the given rate.
+func Linear(rate uint64) SC { return curve.Linear(rate) }
+
+// Curve returns the two-piece curve with first-segment slope m1 for d,
+// then m2.
+func Curve(m1 uint64, d time.Duration, m2 uint64) SC {
+	return SC{M1: m1, D: d.Nanoseconds(), M2: m2}
+}
+
+// ForRealTime maps application-level requirements — the largest unit of
+// work umax (bytes) that must be delivered within dmax, plus the session's
+// average rate — onto a service curve per the paper's Fig. 7. Use the
+// result as a class's RealTime curve to get a delay bound decoupled from
+// the rate.
+func ForRealTime(umax int, dmax time.Duration, rate uint64) (SC, error) {
+	return curve.FromUMaxDmaxRate(int64(umax), dmax.Nanoseconds(), rate)
+}
+
+// ClassConfig bundles the curves of one class. Zero curves are "absent":
+// interior classes need LinkShare; leaves need RealTime and/or LinkShare.
+type ClassConfig struct {
+	RealTime   SC
+	LinkShare  SC
+	UpperLimit SC
+	// QueueLimit bounds this leaf's queue in packets; 0 uses the
+	// scheduler default.
+	QueueLimit int
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// LinkRate is the link capacity in bytes/s. It is used by admission
+	// control and delay-bound computation; the link itself is driven by
+	// whoever calls Dequeue.
+	LinkRate uint64
+	// DefaultQueueLimit bounds each leaf queue in packets (0 = unbounded).
+	DefaultQueueLimit int
+	// VTPolicy selects the system virtual time policy (default VTMean).
+	VTPolicy VTPolicy
+}
+
+// Class is a node in the link-sharing hierarchy.
+type Class struct {
+	c     *core.Class
+	sched *Scheduler
+}
+
+// ID returns the identifier to place in Packet.Class for leaf classes.
+func (c *Class) ID() int { return c.c.ID() }
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.c.Name() }
+
+// Parent returns the parent class, or nil at the root.
+func (c *Class) Parent() *Class { return c.sched.wrap(c.c.Parent()) }
+
+// Children returns the class's children.
+func (c *Class) Children() []*Class {
+	kids := c.c.Children()
+	out := make([]*Class, len(kids))
+	for i, k := range kids {
+		out[i] = c.sched.wrap(k)
+	}
+	return out
+}
+
+// IsLeaf reports whether the class has no children.
+func (c *Class) IsLeaf() bool { return c.c.IsLeaf() }
+
+// Stats reports the class's service counters.
+func (c *Class) Stats() ClassStats {
+	return ClassStats{
+		TotalBytes:     c.c.Total(),
+		RealTimeBytes:  c.c.RealTimeWork(),
+		LinkShareBytes: c.c.LinkShareWork(),
+		SentPackets:    c.c.SentPackets(),
+		QueuedPackets:  c.c.QueueLen(),
+		QueuedBytes:    c.c.QueueBytes(),
+		Dropped:        c.c.Dropped(),
+	}
+}
+
+// ClassStats is a snapshot of one class's counters.
+type ClassStats struct {
+	TotalBytes     int64
+	RealTimeBytes  int64
+	LinkShareBytes int64
+	SentPackets    uint64
+	QueuedPackets  int
+	QueuedBytes    int64
+	Dropped        uint64
+}
+
+// Scheduler is an H-FSC scheduler for one link.
+type Scheduler struct {
+	cfg     Config
+	core    *core.Scheduler
+	byName  map[string]*Class
+	wrapped map[*core.Class]*Class
+}
+
+// New creates a scheduler.
+func New(cfg Config) *Scheduler {
+	s := &Scheduler{
+		cfg: cfg,
+		core: core.New(core.Options{
+			VTPolicy:          cfg.VTPolicy,
+			DefaultQueueLimit: cfg.DefaultQueueLimit,
+		}),
+		byName:  map[string]*Class{},
+		wrapped: map[*core.Class]*Class{},
+	}
+	return s
+}
+
+func (s *Scheduler) wrap(c *core.Class) *Class {
+	if c == nil {
+		return nil
+	}
+	if w, ok := s.wrapped[c]; ok {
+		return w
+	}
+	w := &Class{c: c, sched: s}
+	s.wrapped[c] = w
+	return w
+}
+
+// Root returns the implicit root class.
+func (s *Scheduler) Root() *Class { return s.wrap(s.core.Root()) }
+
+// Class returns the class with the given name, or nil.
+func (s *Scheduler) Class(name string) *Class { return s.byName[name] }
+
+// Classes returns every class in creation order, root first.
+func (s *Scheduler) Classes() []*Class {
+	cs := s.core.Classes()
+	out := make([]*Class, len(cs))
+	for i, c := range cs {
+		out[i] = s.wrap(c)
+	}
+	return out
+}
+
+// AddClass creates a class under parent (nil = root). Names must be
+// unique.
+func (s *Scheduler) AddClass(parent *Class, name string, cfg ClassConfig) (*Class, error) {
+	if _, dup := s.byName[name]; dup {
+		return nil, fmt.Errorf("hfsc: duplicate class name %q", name)
+	}
+	var pc *core.Class
+	if parent != nil {
+		pc = parent.c
+	}
+	c, err := s.core.AddClass(pc, name, cfg.RealTime, cfg.LinkShare, cfg.UpperLimit)
+	if err != nil {
+		return nil, err
+	}
+	w := s.wrap(c)
+	s.byName[name] = w
+	return w, nil
+}
+
+// RemoveClass deletes a passive leaf class (dynamic reconfiguration, like
+// tc class del). A parent left childless becomes a leaf again.
+func (s *Scheduler) RemoveClass(cl *Class) error {
+	if cl == nil {
+		return fmt.Errorf("hfsc: nil class")
+	}
+	if err := s.core.RemoveClass(cl.c); err != nil {
+		return err
+	}
+	delete(s.byName, cl.c.Name())
+	delete(s.wrapped, cl.c)
+	return nil
+}
+
+// SetCurves replaces a passive class's curves at the given clock (ns).
+func (s *Scheduler) SetCurves(cl *Class, cfg ClassConfig, now int64) error {
+	if cl == nil {
+		return fmt.Errorf("hfsc: nil class")
+	}
+	return s.core.SetCurves(cl.c, cfg.RealTime, cfg.LinkShare, cfg.UpperLimit, now)
+}
+
+// Enqueue offers a packet at the given clock (ns); false means dropped.
+func (s *Scheduler) Enqueue(p *Packet, now int64) bool { return s.core.Enqueue(p, now) }
+
+// Dequeue returns the next packet to send at the given clock, or nil.
+func (s *Scheduler) Dequeue(now int64) *Packet { return s.core.Dequeue(now) }
+
+// NextReady reports when Dequeue may next succeed after returning nil with
+// a backlog (e.g. under upper limits).
+func (s *Scheduler) NextReady(now int64) (int64, bool) { return s.core.NextReady(now) }
+
+// Backlog returns the number of queued packets.
+func (s *Scheduler) Backlog() int { return s.core.Backlog() }
+
+// Admissible verifies the SCED schedulability condition (Section II): the
+// sum of all leaf real-time curves must lie below the link's curve;
+// otherwise real-time guarantees cannot all hold. It returns nil when the
+// configuration is admissible.
+func (s *Scheduler) Admissible() error {
+	if s.cfg.LinkRate == 0 {
+		return fmt.Errorf("hfsc: Config.LinkRate not set; cannot check admissibility")
+	}
+	sum := curve.Curve{}
+	for _, c := range s.core.Classes() {
+		if c.IsLeaf() && !c.RSC().IsZero() {
+			sum = sum.Add(curve.FromSC(c.RSC()))
+		}
+	}
+	if !sum.LE(curve.LinearCurve(s.cfg.LinkRate)) {
+		return fmt.Errorf("hfsc: real-time curves exceed the link capacity (%d B/s)", s.cfg.LinkRate)
+	}
+	return nil
+}
+
+// DelayBound returns the worst-case queueing delay for a conforming burst
+// of u bytes on a leaf with real-time curve rsc, per Theorems 1 and 2: the
+// time for rsc to supply u bytes, plus the transmission time of one
+// maximum-length packet (lmax bytes) at the link rate.
+func (s *Scheduler) DelayBound(rsc SC, u int, lmax int) (time.Duration, error) {
+	if s.cfg.LinkRate == 0 {
+		return 0, fmt.Errorf("hfsc: Config.LinkRate not set")
+	}
+	t := curve.FromSC(rsc).Inverse(int64(u))
+	if t == curve.Inf {
+		return 0, fmt.Errorf("hfsc: curve never delivers %d bytes", u)
+	}
+	slack := curve.FromSC(Linear(s.cfg.LinkRate)).Inverse(int64(lmax))
+	return time.Duration(t + slack), nil
+}

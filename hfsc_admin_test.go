@@ -1,0 +1,47 @@
+package hfsc_test
+
+import (
+	"testing"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+func TestPublicRemoveClass(t *testing.T) {
+	s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+	a, _ := s.AddClass(nil, "a", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	if err := s.RemoveClass(nil); err == nil {
+		t.Error("removed nil class")
+	}
+	if err := s.RemoveClass(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.Class("a") != nil {
+		t.Error("name still resolves after removal")
+	}
+	// The name can be reused.
+	if _, err := s.AddClass(nil, "a", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)}); err != nil {
+		t.Fatalf("name reuse: %v", err)
+	}
+}
+
+func TestPublicSetCurves(t *testing.T) {
+	s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+	a, _ := s.AddClass(nil, "a", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	rt, _ := hfsc.ForRealTime(160, 5*time.Millisecond, 64*hfsc.Kbps)
+	if err := s.SetCurves(a, hfsc.ClassConfig{RealTime: rt, LinkShare: hfsc.Linear(2 * hfsc.Mbps)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetCurves(nil, hfsc.ClassConfig{}, 0); err == nil {
+		t.Error("set curves on nil class")
+	}
+	// The admission check sees the new real-time curve.
+	if err := s.Admissible(); err != nil {
+		t.Fatalf("admissible after change: %v", err)
+	}
+	b, _ := s.AddClass(nil, "b", hfsc.ClassConfig{RealTime: hfsc.Linear(10 * hfsc.Mbps), LinkShare: hfsc.Linear(1)})
+	if err := s.Admissible(); err == nil {
+		t.Error("overcommitted configuration accepted")
+	}
+	_ = b
+}

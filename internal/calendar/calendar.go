@@ -1,0 +1,138 @@
+// Package calendar implements a calendar queue keyed by time.
+//
+// It is the alternative eligible-list structure named in the paper's
+// Section V ("a calendar queue [4] for keeping track of the eligible times
+// in conjunction with a heap for maintaining the requests' deadlines"):
+// future eligible times live in time buckets; as the clock advances, the
+// scheduler sweeps due entries out (into a deadline heap) with amortized
+// O(1) work per entry.
+package calendar
+
+// Entry is the handle returned by Insert; it stays valid until the entry is
+// removed or swept.
+type Entry[T any] struct {
+	Value  T
+	key    int64
+	bucket int // index into q.buckets, -1 when not queued
+	pos    int // position within the bucket slice
+}
+
+// Key returns the entry's key (eligible time, ns).
+func (e *Entry[T]) Key() int64 { return e.key }
+
+// Queue is a calendar queue with fixed bucket width and a fixed power-of-two
+// number of buckets. Entries whose keys collide modulo the calendar span
+// ("different days") are filtered during sweeps, so correctness never
+// depends on the sizing — only the constant factor does.
+type Queue[T any] struct {
+	width   int64 // bucket width, ns
+	buckets [][]*Entry[T]
+	mask    int64
+	cur     int64 // absolute index of the earliest bucket that may hold due entries
+	size    int
+}
+
+// New returns a calendar queue with the given bucket width (ns) and bucket
+// count, which is rounded up to a power of two. A typical configuration for
+// packet scheduling is width = 1ms, 256 buckets.
+func New[T any](width int64, nbuckets int) *Queue[T] {
+	if width <= 0 {
+		panic("calendar: width must be positive")
+	}
+	n := 1
+	for n < nbuckets {
+		n <<= 1
+	}
+	return &Queue[T]{
+		width:   width,
+		buckets: make([][]*Entry[T], n),
+		mask:    int64(n - 1),
+	}
+}
+
+// Len returns the number of queued entries.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Insert adds value keyed by the given time and returns its handle.
+func (q *Queue[T]) Insert(key int64, value T) *Entry[T] {
+	abs := key / q.width
+	if q.size == 0 || abs < q.cur {
+		q.cur = abs
+	}
+	bi := int(abs & q.mask)
+	e := &Entry[T]{Value: value, key: key, bucket: bi}
+	e.pos = len(q.buckets[bi])
+	q.buckets[bi] = append(q.buckets[bi], e)
+	q.size++
+	return e
+}
+
+// Remove removes the entry. The handle becomes invalid.
+func (q *Queue[T]) Remove(e *Entry[T]) {
+	if e.bucket < 0 {
+		panic("calendar: Remove of entry not in queue")
+	}
+	b := q.buckets[e.bucket]
+	last := len(b) - 1
+	if b[e.pos] != e {
+		panic("calendar: corrupted entry position")
+	}
+	b[e.pos] = b[last]
+	b[e.pos].pos = e.pos
+	b[last] = nil
+	q.buckets[e.bucket] = b[:last]
+	e.bucket = -1
+	q.size--
+}
+
+// SweepUpTo removes every entry with key <= now and calls fn on it, in
+// arbitrary order. It is the "advance the calendar" operation: amortized
+// O(1) per returned entry plus O(elapsed/width) for empty buckets.
+func (q *Queue[T]) SweepUpTo(now int64, fn func(e *Entry[T])) {
+	if q.size == 0 {
+		q.cur = now / q.width
+		return
+	}
+	target := now / q.width
+	for abs := q.cur; abs <= target; abs++ {
+		bi := int(abs & q.mask)
+		b := q.buckets[bi]
+		for i := 0; i < len(b); {
+			e := b[i]
+			// Same bucket can hold other "days" (key/width ≠ abs) and,
+			// in the final bucket, keys later than now.
+			if e.key/q.width != abs || e.key > now {
+				i++
+				continue
+			}
+			q.Remove(e)
+			fn(e)
+			b = q.buckets[bi] // Remove compacted the slice in place
+		}
+		if q.size == 0 {
+			break
+		}
+	}
+	q.cur = target
+}
+
+// Min returns the smallest key currently queued, scanning forward from the
+// current position. It costs O(buckets) in the worst case and is intended
+// for idle-time queries ("when does the next entry become eligible?"), not
+// per-packet work.
+func (q *Queue[T]) Min() (int64, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	best := int64(1<<63 - 1)
+	// A full rotation examines every bucket once; day filtering is not
+	// needed because we take the global minimum of everything found.
+	for _, b := range q.buckets {
+		for _, e := range b {
+			if e.key < best {
+				best = e.key
+			}
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,154 @@
+package calendar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSweepReturnsExactlyDueEntries(t *testing.T) {
+	q := New[int](1000, 16) // 1µs buckets
+	rng := rand.New(rand.NewSource(1))
+	type rec struct {
+		key int64
+		id  int
+	}
+	var all []rec
+	for i := 0; i < 2000; i++ {
+		k := rng.Int63n(1_000_000)
+		all = append(all, rec{k, i})
+		q.Insert(k, i)
+	}
+	now := int64(400_000)
+	got := map[int]int64{}
+	q.SweepUpTo(now, func(e *Entry[int]) { got[e.Value] = e.Key() })
+	for _, r := range all {
+		_, swept := got[r.id]
+		if (r.key <= now) != swept {
+			t.Fatalf("id %d key %d now %d: swept=%v", r.id, r.key, now, swept)
+		}
+	}
+	if q.Len() != len(all)-len(got) {
+		t.Fatalf("len %d", q.Len())
+	}
+	// Sweep the rest.
+	rest := 0
+	q.SweepUpTo(1_000_000, func(e *Entry[int]) { rest++ })
+	if rest != len(all)-len(got) || q.Len() != 0 {
+		t.Fatalf("second sweep got %d, len %d", rest, q.Len())
+	}
+}
+
+func TestInsertBehindCursor(t *testing.T) {
+	q := New[string](1000, 8)
+	q.Insert(50_000, "late")
+	q.SweepUpTo(40_000, func(e *Entry[string]) { t.Fatal("nothing due yet") })
+	// Insert an already-due entry behind the swept cursor.
+	q.Insert(10_000, "early")
+	var got []string
+	q.SweepUpTo(40_000, func(e *Entry[string]) { got = append(got, e.Value) })
+	if len(got) != 1 || got[0] != "early" {
+		t.Fatalf("got %v", got)
+	}
+	q.SweepUpTo(60_000, func(e *Entry[string]) { got = append(got, e.Value) })
+	if len(got) != 2 || got[1] != "late" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New[int](1000, 8)
+	a := q.Insert(1500, 1)
+	b := q.Insert(1600, 2) // same bucket as a
+	c := q.Insert(9999, 3)
+	q.Remove(b)
+	var got []int
+	q.SweepUpTo(10_000, func(e *Entry[int]) { got = append(got, e.Value) })
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	_ = a
+	_ = c
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double remove should panic")
+		}
+	}()
+	q.Remove(b)
+}
+
+func TestDayCollisions(t *testing.T) {
+	// 4 buckets of width 10: keys 5, 45, 85 all land in bucket 0.
+	q := New[int](10, 4)
+	q.Insert(5, 5)
+	q.Insert(45, 45)
+	q.Insert(85, 85)
+	var got []int
+	q.SweepUpTo(9, func(e *Entry[int]) { got = append(got, e.Value) })
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("day filtering broken: %v", got)
+	}
+	q.SweepUpTo(50, func(e *Entry[int]) { got = append(got, e.Value) })
+	if len(got) != 2 || got[1] != 45 {
+		t.Fatalf("second day: %v", got)
+	}
+	q.SweepUpTo(90, func(e *Entry[int]) { got = append(got, e.Value) })
+	if len(got) != 3 || got[2] != 85 {
+		t.Fatalf("third day: %v", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	q := New[int](1000, 8)
+	if _, ok := q.Min(); ok {
+		t.Fatal("empty Min should report false")
+	}
+	q.Insert(7777, 1)
+	q.Insert(3333, 2)
+	q.Insert(9999, 3)
+	if k, ok := q.Min(); !ok || k != 3333 {
+		t.Fatalf("Min=%d ok=%v", k, ok)
+	}
+}
+
+// Model-based randomized test against a reference map.
+func TestModelRandom(t *testing.T) {
+	q := New[int](500, 32)
+	rng := rand.New(rand.NewSource(9))
+	live := map[*Entry[int]]int64{}
+	now := int64(0)
+	id := 0
+	for op := 0; op < 20000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			k := now + rng.Int63n(100_000) - 10_000 // sometimes already due
+			if k < 0 {
+				k = 0
+			}
+			live[q.Insert(k, id)] = k
+			id++
+		case r < 8 && len(live) > 0:
+			for e := range live {
+				q.Remove(e)
+				delete(live, e)
+				break
+			}
+		default:
+			now += rng.Int63n(20_000)
+			swept := map[*Entry[int]]bool{}
+			q.SweepUpTo(now, func(e *Entry[int]) { swept[e] = true })
+			for e, k := range live {
+				if (k <= now) != swept[e] {
+					t.Fatalf("op %d now %d key %d: swept=%v", op, now, k, swept[e])
+				}
+				if swept[e] {
+					delete(live, e)
+				}
+			}
+		}
+		if q.Len() != len(live) {
+			t.Fatalf("op %d: len %d want %d", op, q.Len(), len(live))
+		}
+	}
+}

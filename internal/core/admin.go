@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/curve"
+)
+
+// RemoveClass deletes a passive leaf class from the hierarchy, mirroring
+// the dynamic reconfiguration the production implementations of this
+// algorithm support (tc class del). The class must have no children and an
+// empty queue. Its identifier is retired (ClassByID returns nil). A parent
+// left childless becomes a leaf and may carry traffic again if it has the
+// curves to do so.
+func (s *Scheduler) RemoveClass(cl *Class) error {
+	if cl == nil || cl == s.root {
+		return fmt.Errorf("core: cannot remove the root class")
+	}
+	if !cl.IsLeaf() {
+		return fmt.Errorf("core: class %q still has children", cl.name)
+	}
+	if cl.queue.Len() > 0 {
+		return fmt.Errorf("core: class %q still has queued packets", cl.name)
+	}
+	if cl.vtnode != nil || cl.cfnode != nil || cl.elHandle.node != nil ||
+		cl.elHandle.cal != nil || cl.elHandle.hp != nil {
+		return fmt.Errorf("core: class %q is still active", cl.name)
+	}
+	p := cl.parent
+	for i, c := range p.child {
+		if c == cl {
+			p.child = append(p.child[:i], p.child[i+1:]...)
+			break
+		}
+	}
+	s.classes[cl.id] = nil
+	cl.parent = nil
+	return nil
+}
+
+// SetCurves replaces a passive class's service curves, re-anchoring the
+// runtime curves at the present time and the class's accumulated service
+// (the behaviour of the reference implementations' class-change path).
+// Constraints are as in AddClass: interior classes keep a link-sharing
+// curve; leaves keep a real-time and/or link-sharing curve.
+func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) error {
+	if cl == nil || cl == s.root {
+		return fmt.Errorf("core: cannot set curves on the root class")
+	}
+	if cl.Active() {
+		return fmt.Errorf("core: class %q is active; curves can only change while passive", cl.name)
+	}
+	for _, sc := range []curve.SC{rsc, fsc, usc} {
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	}
+	if cl.IsLeaf() {
+		if rsc.IsZero() && fsc.IsZero() {
+			return fmt.Errorf("core: class %q needs a real-time or link-sharing curve", cl.name)
+		}
+	} else {
+		if fsc.IsZero() {
+			return fmt.Errorf("core: interior class %q needs a link-sharing curve", cl.name)
+		}
+		if !rsc.IsZero() {
+			return fmt.Errorf("core: interior class %q cannot take a real-time curve", cl.name)
+		}
+	}
+	cl.rsc, cl.fsc, cl.usc = rsc, fsc, usc
+	cl.hasRSC, cl.hasFSC, cl.hasUSC = !rsc.IsZero(), !fsc.IsZero(), !usc.IsZero()
+	if cl.hasRSC {
+		cl.deadline.Init(rsc, now, cl.cumul)
+		cl.eligible = cl.deadline
+		if rsc.M1 <= rsc.M2 {
+			cl.eligible.Dx = 0
+			cl.eligible.Dy = 0
+		}
+	}
+	if cl.hasFSC {
+		cl.virtual.Init(fsc, cl.vt, cl.total)
+	}
+	if cl.hasUSC {
+		cl.ulimit.Init(usc, now, cl.total)
+	}
+	return nil
+}
+
+// CheckInvariants walks the scheduler's internal state and reports the
+// first inconsistency found; it returns nil when everything holds. It is
+// exported for the randomized soak tests, which interleave it with
+// traffic: catching structural corruption at the step that introduces it
+// rather than at some later symptom.
+func (s *Scheduler) CheckInvariants() error {
+	backlog := 0
+	var walk func(c *Class) (activeLeaves int, err error)
+	walk = func(c *Class) (int, error) {
+		if c.IsLeaf() {
+			backlog += c.queue.Len()
+			active := 0
+			if c.queue.Len() > 0 {
+				active = 1
+			}
+			// A backlogged leaf with an rsc must be in the eligible list;
+			// an idle one must not.
+			inEl := c.elHandle.node != nil || c.elHandle.cal != nil || c.elHandle.hp != nil
+			if c.hasRSC && c != s.root {
+				if active == 1 && !inEl {
+					return 0, fmt.Errorf("backlogged rt leaf %q not in eligible list", c.name)
+				}
+				if active == 0 && inEl {
+					return 0, fmt.Errorf("idle leaf %q still in eligible list", c.name)
+				}
+			}
+			if c.hasFSC && c != s.root {
+				inVT := c.vtnode != nil
+				if (active == 1) != inVT {
+					return 0, fmt.Errorf("leaf %q active=%v but vttree membership=%v", c.name, active == 1, inVT)
+				}
+			}
+			return active, nil
+		}
+		activeChildren := 0
+		totalActiveLeaves := 0
+		var childTotals int64
+		for _, ch := range c.child {
+			n, err := walk(ch)
+			if err != nil {
+				return 0, err
+			}
+			totalActiveLeaves += n
+			childTotals += ch.total
+			isActive := false
+			if ch.IsLeaf() {
+				isActive = ch.queue.Len() > 0
+			} else {
+				isActive = ch.nactive > 0
+			}
+			if isActive {
+				activeChildren++
+			}
+			if (ch.vtnode != nil) != isActive && (ch.hasFSC || !ch.IsLeaf()) {
+				return 0, fmt.Errorf("class %q active=%v but vttree membership=%v", ch.name, isActive, ch.vtnode != nil)
+			}
+			if (ch.vtnode != nil) != (ch.cfnode != nil) {
+				return 0, fmt.Errorf("class %q vttree/cftree membership disagree", ch.name)
+			}
+		}
+		if c.nactive != activeChildren {
+			return 0, fmt.Errorf("class %q nactive=%d but %d active children", c.name, c.nactive, activeChildren)
+		}
+		if c.vttree.Len() != activeChildren || c.cftree.Len() != activeChildren {
+			return 0, fmt.Errorf("class %q tree sizes %d/%d vs %d active children",
+				c.name, c.vttree.Len(), c.cftree.Len(), activeChildren)
+		}
+		// An interior class's total equals the sum of its children's
+		// totals (service is only ever charged through leaves).
+		if c != s.root && c.total != childTotals {
+			return 0, fmt.Errorf("class %q total %d != children sum %d", c.name, c.total, childTotals)
+		}
+		// cfmin consistency.
+		wantCfmin := int64(0)
+		if n := c.cftree.Min(); n != nil {
+			wantCfmin = n.Item.f
+		}
+		if c.cfmin != wantCfmin {
+			return 0, fmt.Errorf("class %q cfmin %d != tree min %d", c.name, c.cfmin, wantCfmin)
+		}
+		return totalActiveLeaves, nil
+	}
+	if _, err := walk(s.root); err != nil {
+		return err
+	}
+	if backlog != s.backlog {
+		return fmt.Errorf("backlog counter %d != queued packets %d", s.backlog, backlog)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+// Package core implements the hierarchical fair service curve (H-FSC)
+// scheduler of Stoica, Zhang and Ng (SIGCOMM '97): the paper's primary
+// contribution.
+//
+// Each class in the hierarchy carries up to three two-piece linear service
+// curves:
+//
+//   - rsc, the real-time service curve (leaf classes only) — guaranteed by
+//     the real-time criterion via per-packet eligible times and deadlines;
+//   - fsc, the link-sharing (fair service) curve — drives the hierarchical
+//     distribution of service via virtual times;
+//   - usc, an optional upper-limit curve capping the total service a class
+//     may receive (the extension present in the reference BSD/Linux
+//     implementations of this algorithm), making the scheduler
+//     non-work-conserving for capped classes.
+//
+// Scheduling follows the paper's two criteria: whenever some leaf has an
+// eligible packet (current time ≥ its eligible time), the eligible packet
+// with the smallest deadline is sent (real-time criterion, protecting all
+// leaf guarantees); otherwise a top-down smallest-virtual-time walk over
+// active classes picks the leaf to serve (link-sharing criterion).
+package core
+
+import (
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/rbtree"
+)
+
+// Class is one node of the link-sharing hierarchy. Create classes with
+// Scheduler.AddClass; all fields are managed by the scheduler.
+type Class struct {
+	id     int
+	name   string
+	parent *Class
+	child  []*Class
+
+	rsc, fsc, usc          curve.SC
+	hasRSC, hasFSC, hasUSC bool
+
+	queue pktq.FIFO // leaf classes only
+
+	// Real-time state (leaf classes with rsc).
+	eligible curve.RTSC // E: bounds service claimable via the RT criterion
+	deadline curve.RTSC // D: service the guarantees require over time
+	e, d     int64      // eligible time and deadline of the head packet
+	cumul    int64      // bytes served under the real-time criterion
+	elHandle elhandle   // position in the scheduler's eligible list
+
+	// Link-sharing state (classes with fsc).
+	total        int64      // bytes served under both criteria
+	virtual      curve.RTSC // V: maps virtual time to total service
+	vt           int64      // virtual time (virtual start of head packet)
+	vtadj        int64      // monotonicity adjustment (see updateVF)
+	parentPeriod uint64     // parent's period seen at last fresh activation
+	vtnode       *rbtree.Node[*Class]
+
+	// State as a parent of active children.
+	vttree  *rbtree.Tree[*Class] // active children ordered by vt
+	nactive int                  // number of active children (for a leaf: 0/1)
+	cvtmin  int64                // watermark: largest vt selected this period
+	cvtoff  int64                // vt offset for the next backlog period
+	period  uint64               // backlog-period sequence number
+
+	// Upper-limit state.
+	ulimit curve.RTSC
+	myf    int64 // own fit time from the upper-limit curve
+	f      int64 // effective fit time: max(myf, cfmin)
+	cfmin  int64 // min f among active children (parents)
+	cfnode *rbtree.Node[*Class]
+	cftree *rbtree.Tree[*Class] // active children ordered by f
+
+	// Statistics.
+	rtWork  int64 // bytes served by the real-time criterion
+	lsWork  int64 // bytes served by the link-sharing criterion
+	sentPkt uint64
+}
+
+// ID returns the class's scheduler-assigned identifier, used as
+// Packet.Class for leaves.
+func (c *Class) ID() int { return c.id }
+
+// Name returns the class's configured name.
+func (c *Class) Name() string { return c.name }
+
+// Parent returns the parent class, or nil for the root.
+func (c *Class) Parent() *Class { return c.parent }
+
+// Children returns the class's children. The returned slice must not be
+// modified.
+func (c *Class) Children() []*Class { return c.child }
+
+// IsLeaf reports whether the class has no children.
+func (c *Class) IsLeaf() bool { return len(c.child) == 0 }
+
+// RSC returns the class's real-time service curve specification (zero if
+// none).
+func (c *Class) RSC() curve.SC { return c.rsc }
+
+// FSC returns the class's link-sharing service curve specification.
+func (c *Class) FSC() curve.SC { return c.fsc }
+
+// USC returns the class's upper-limit service curve specification.
+func (c *Class) USC() curve.SC { return c.usc }
+
+// Total returns the bytes this class (subtree) has been served in total.
+func (c *Class) Total() int64 { return c.total }
+
+// RealTimeWork returns the bytes served to this leaf under the real-time
+// criterion.
+func (c *Class) RealTimeWork() int64 { return c.rtWork }
+
+// LinkShareWork returns the bytes served to this leaf under the
+// link-sharing criterion.
+func (c *Class) LinkShareWork() int64 { return c.lsWork }
+
+// VirtualTime returns the class's current virtual time (diagnostic; only
+// meaningful relative to active siblings).
+func (c *Class) VirtualTime() int64 { return c.vt }
+
+// SentPackets returns the number of packets this leaf has transmitted.
+func (c *Class) SentPackets() uint64 { return c.sentPkt }
+
+// QueueLen returns the number of packets queued at this leaf.
+func (c *Class) QueueLen() int { return c.queue.Len() }
+
+// QueueBytes returns the bytes queued at this leaf.
+func (c *Class) QueueBytes() int64 { return c.queue.Bytes() }
+
+// Dropped returns the number of packets this leaf's queue has rejected.
+func (c *Class) Dropped() uint64 { return c.queue.Dropped() }
+
+// Active reports whether the class is active (has a backlogged leaf in its
+// subtree).
+func (c *Class) Active() bool {
+	if c.IsLeaf() {
+		return c.queue.Len() > 0
+	}
+	return c.nactive > 0
+}
+
+// vtLess orders active siblings by virtual time, breaking ties by id so
+// the order is deterministic.
+func vtLess(a, b *Class) bool {
+	if a.vt != b.vt {
+		return a.vt < b.vt
+	}
+	return a.id < b.id
+}
+
+// cfLess orders active siblings by fit time.
+func cfLess(a, b *Class) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.id < b.id
+}
+
+// elLess orders leaves by eligible time in the eligible tree.
+func elLess(a, b *Class) bool {
+	if a.e != b.e {
+		return a.e < b.e
+	}
+	return a.id < b.id
+}
+
+// midpoint returns the midpoint of a and b without overflow.
+func midpoint(a, b int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return a + (b-a)/2
+}

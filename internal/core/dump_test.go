@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+func TestDumpTree(t *testing.T) {
+	s := core.New(core.Options{})
+	org := mustAdd(t, s, nil, "org", curve.SC{}, lin(2*mbps), curve.SC{})
+	leaf := mustAdd(t, s, org, "leaf", lin(mbps), lin(mbps), lin(2*mbps))
+	s.Enqueue(&pktq.Packet{Len: 500, Class: leaf.ID()}, 0)
+	s.Dequeue(0)
+	s.Enqueue(&pktq.Packet{Len: 700, Class: leaf.ID()}, 1000)
+
+	var b strings.Builder
+	if err := s.DumpTree(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"root", "org", "leaf", "[active]", "sent=1", "queued=1/700B", "rt=", "ls=", "ul="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

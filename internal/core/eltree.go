@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+
+	"github.com/netsched/hfsc/internal/calendar"
+	"github.com/netsched/hfsc/internal/heap"
+	"github.com/netsched/hfsc/internal/rbtree"
+)
+
+// eligibleList holds the backlogged leaf classes with real-time curves and
+// answers the real-time criterion's query: among classes whose eligible
+// time has passed, which has the smallest deadline?
+//
+// The paper's Section V names two suitable structures and this package
+// implements both (they are compared by an ablation benchmark):
+//
+//   - an augmented balanced tree keyed by eligible time whose nodes carry
+//     the minimum deadline of their subtree (O(log n) per query), and
+//   - a calendar queue of future eligible times feeding a deadline heap of
+//     currently eligible classes (amortized O(log n), often faster).
+type eligibleList interface {
+	// insert adds a class (not currently in the list).
+	insert(cl *Class, now int64)
+	// remove takes the class out of the list.
+	remove(cl *Class)
+	// update repositions the class after its e and/or d changed.
+	update(cl *Class, now int64)
+	// minDeadline returns the eligible (e <= now) class with the smallest
+	// deadline, or nil.
+	minDeadline(now int64) *Class
+	// minE returns the smallest eligible time in the list.
+	minE() (int64, bool)
+}
+
+// elhandle stores a class's position in whichever eligibleList
+// implementation is active.
+type elhandle struct {
+	node *rbtree.Node[*Class]    // augmented-tree node
+	cal  *calendar.Entry[*Class] // calendar entry (future e)
+	hp   *heap.Item[*Class]      // deadline-heap item (already eligible)
+}
+
+func (h *elhandle) clear() { h.node, h.cal, h.hp = nil, nil, nil }
+
+// elAugTree is the augmented red-black tree eligible list. Keys are
+// eligible times; the augmentation is the minimum deadline in the subtree.
+type elAugTree struct {
+	tree *rbtree.Tree[*Class]
+}
+
+func newElAugTree() *elAugTree {
+	return &elAugTree{tree: rbtree.New(elLess, func(n *rbtree.Node[*Class]) {
+		m := n.Item.d
+		if l := n.Left(); l != nil && l.Aug < m {
+			m = l.Aug
+		}
+		if r := n.Right(); r != nil && r.Aug < m {
+			m = r.Aug
+		}
+		n.Aug = m
+	})}
+}
+
+func (t *elAugTree) insert(cl *Class, _ int64) { cl.elHandle.node = t.tree.Insert(cl) }
+
+func (t *elAugTree) remove(cl *Class) {
+	t.tree.Delete(cl.elHandle.node)
+	cl.elHandle.clear()
+}
+
+func (t *elAugTree) update(cl *Class, _ int64) {
+	// e is the tree key, so reposition; Insert refreshes the min-deadline
+	// augmentation along both paths.
+	t.tree.Delete(cl.elHandle.node)
+	cl.elHandle.node = t.tree.Insert(cl)
+}
+
+func (t *elAugTree) minDeadline(now int64) *Class {
+	var (
+		bestD    int64 = math.MaxInt64
+		bestNode *Class
+		bestSub  *rbtree.Node[*Class]
+	)
+	// Descend along the boundary e <= now. Every node on the qualifying
+	// side contributes itself and its entire left subtree.
+	for n := t.tree.Root(); n != nil; {
+		if n.Item.e <= now {
+			if l := n.Left(); l != nil && l.Aug < bestD {
+				bestD = l.Aug
+				bestSub = l
+				bestNode = nil
+			}
+			if n.Item.d < bestD {
+				bestD = n.Item.d
+				bestNode = n.Item
+				bestSub = nil
+			}
+			n = n.Right()
+		} else {
+			n = n.Left()
+		}
+	}
+	if bestNode != nil {
+		return bestNode
+	}
+	if bestSub == nil {
+		return nil
+	}
+	// Descend the winning subtree to the node achieving its Aug. All of it
+	// qualifies (e <= now), so no boundary checks are needed.
+	n := bestSub
+	for {
+		if n.Item.d == n.Aug {
+			return n.Item
+		}
+		if l := n.Left(); l != nil && l.Aug == n.Aug {
+			n = l
+			continue
+		}
+		n = n.Right()
+	}
+}
+
+func (t *elAugTree) minE() (int64, bool) {
+	n := t.tree.Min()
+	if n == nil {
+		return 0, false
+	}
+	return n.Item.e, true
+}
+
+// elCalendar is the calendar-queue + deadline-heap eligible list.
+type elCalendar struct {
+	cal *calendar.Queue[*Class] // classes with e in the future
+	hp  heap.Heap[*Class]       // classes already eligible, keyed by d
+}
+
+func newElCalendar(width int64, buckets int) *elCalendar {
+	return &elCalendar{cal: calendar.New[*Class](width, buckets)}
+}
+
+func (c *elCalendar) insert(cl *Class, now int64) {
+	if cl.e <= now {
+		cl.elHandle.hp = c.hp.Push(cl.d, cl)
+	} else {
+		cl.elHandle.cal = c.cal.Insert(cl.e, cl)
+	}
+}
+
+func (c *elCalendar) remove(cl *Class) {
+	if cl.elHandle.hp != nil {
+		c.hp.Remove(cl.elHandle.hp)
+	} else if cl.elHandle.cal != nil {
+		c.cal.Remove(cl.elHandle.cal)
+	}
+	cl.elHandle.clear()
+}
+
+func (c *elCalendar) update(cl *Class, now int64) {
+	c.remove(cl)
+	c.insert(cl, now)
+}
+
+// sweep moves classes whose eligible time has arrived into the deadline
+// heap.
+func (c *elCalendar) sweep(now int64) {
+	c.cal.SweepUpTo(now, func(e *calendar.Entry[*Class]) {
+		cl := e.Value
+		cl.elHandle.cal = nil
+		cl.elHandle.hp = c.hp.Push(cl.d, cl)
+	})
+}
+
+func (c *elCalendar) minDeadline(now int64) *Class {
+	c.sweep(now)
+	if it := c.hp.Min(); it != nil {
+		return it.Value
+	}
+	return nil
+}
+
+func (c *elCalendar) minE() (int64, bool) {
+	if c.hp.Len() > 0 {
+		// Something is already eligible; its e has passed.
+		return c.hp.Min().Value.e, true
+	}
+	return c.cal.Min()
+}

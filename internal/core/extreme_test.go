@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/sim"
+)
+
+// 100 Gb/s-class rates and jumbo frames must not overflow the fixed-point
+// curve math.
+func TestExtremeHighRates(t *testing.T) {
+	gbps := uint64(125_000_000)
+	s := core.New(core.Options{})
+	a := mustAdd(t, s, nil, "a",
+		curve.SC{M1: 80 * gbps, D: ms, M2: 40 * gbps}, lin(40*gbps), curve.SC{})
+	b := mustAdd(t, s, nil, "b", curve.SC{}, lin(60*gbps), curve.SC{})
+	trace := merged(
+		greedy(a.ID(), 9000, 200*gbps, 0, 5*ms),
+		greedy(b.ID(), 9000, 200*gbps, 0, 5*ms),
+	)
+	res := sim.RunTrace(s, 100*gbps, trace, 50*ms)
+	if len(res.Departed) == 0 {
+		t.Fatal("nothing served at 100 Gb/s")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 2 at 100 Gb/s: lateness within one 9000 B jumbo frame.
+	var worst int64
+	for _, p := range res.Departed {
+		if p.Crit == pktq.ByRealTime && p.Deadline > 0 {
+			if l := p.Depart - p.Deadline; l > worst {
+				worst = l
+			}
+		}
+	}
+	if bound := sim.TxTime(9000, 100*gbps); worst > bound {
+		t.Fatalf("lateness %d > bound %d at 100 Gb/s", worst, bound)
+	}
+}
+
+// Very low rates (a 1 Kb/s telemetry class) against a fast link: long
+// horizons, huge virtual-time quanta — no overflow, shares still honoured.
+func TestExtremeLowRateClass(t *testing.T) {
+	s := core.New(core.Options{DefaultQueueLimit: 5})
+	slow := mustAdd(t, s, nil, "slow", lin(kbps), lin(kbps), curve.SC{}) // 1 Kb/s = 125 B/s
+	fast := mustAdd(t, s, nil, "fast", curve.SC{}, lin(10*mbps), curve.SC{})
+	trace := merged(
+		cbr(slow.ID(), 125, sec, 0, 20*sec), // one 125 B packet per second
+		greedy(fast.ID(), 1500, 10*mbps, 0, 20*sec),
+	)
+	res := sim.RunTrace(s, 10*mbps, trace, 21*sec)
+	var slowPkts int
+	for _, p := range res.Departed {
+		if p.Class == slow.ID() {
+			slowPkts++
+			// Each packet has a 1-second service-curve horizon; it must
+			// clear well inside that.
+			if d := p.Depart - p.Arrival; d > sec {
+				t.Fatalf("slow packet delayed %d ns", d)
+			}
+		}
+	}
+	if slowPkts < 19 {
+		t.Fatalf("slow class starved: %d packets", slowPkts)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A long-horizon run (simulated hours) must keep virtual times and curve
+// anchors well away from saturation.
+func TestLongHorizonNoSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	s := core.New(core.Options{DefaultQueueLimit: 4})
+	a := mustAdd(t, s, nil, "a", lin(mbps), lin(mbps), curve.SC{})
+	b := mustAdd(t, s, nil, "b", curve.SC{}, lin(mbps), curve.SC{})
+	now := int64(0)
+	var seq uint64
+	const hour = 3600 * sec
+	step := 10 * ms
+	for now < 2*hour {
+		s.Enqueue(&pktq.Packet{Len: 1250, Class: a.ID(), Seq: seq}, now)
+		seq++
+		s.Enqueue(&pktq.Packet{Len: 1250, Class: b.ID(), Seq: seq}, now)
+		seq++
+		for s.Backlog() > 0 {
+			if s.Dequeue(now) == nil {
+				break
+			}
+		}
+		now += step
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.VirtualTime() >= curve.Inf/2 || b.VirtualTime() >= curve.Inf/2 {
+		t.Fatal("virtual time near saturation after 2 simulated hours")
+	}
+}

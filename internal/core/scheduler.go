@@ -1,0 +1,524 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/rbtree"
+)
+
+// VTPolicy selects how the system virtual time handed to a freshly
+// activated class is derived from its active siblings. The paper argues for
+// the mean of the minimum and maximum virtual start times (Section IV-C):
+// anchoring at either extreme alone makes the discrepancy between sibling
+// virtual times grow with the number of siblings. VTMin and VTMax exist for
+// the ablation experiment that demonstrates this.
+type VTPolicy uint8
+
+const (
+	// VTMean sets a fresh class's virtual time to (vmin+vmax)/2 — the
+	// paper's choice.
+	VTMean VTPolicy = iota
+	// VTMin anchors at the minimum sibling virtual time.
+	VTMin
+	// VTMax anchors at the maximum sibling virtual time.
+	VTMax
+)
+
+// EligibleStructure selects the data structure backing the eligible list.
+type EligibleStructure uint8
+
+const (
+	// ElAugmentedTree uses the augmented red-black tree (default).
+	ElAugmentedTree EligibleStructure = iota
+	// ElCalendar uses a calendar queue plus a deadline heap.
+	ElCalendar
+)
+
+// Options configures a Scheduler. The zero value is a sensible default.
+type Options struct {
+	// VTPolicy is the system-virtual-time policy (default VTMean).
+	VTPolicy VTPolicy
+	// Eligible selects the eligible-list structure (default augmented
+	// tree).
+	Eligible EligibleStructure
+	// CalendarWidth is the bucket width (ns) when Eligible == ElCalendar;
+	// 0 means 1 ms.
+	CalendarWidth int64
+	// CalendarBuckets is the bucket count for ElCalendar; 0 means 256.
+	CalendarBuckets int
+	// DefaultQueueLimit bounds each leaf queue in packets; 0 = unbounded.
+	DefaultQueueLimit int
+	// Tracer, if set, observes scheduler events synchronously.
+	Tracer Tracer
+}
+
+// Scheduler is the H-FSC packet scheduler over one link.
+type Scheduler struct {
+	opts    Options
+	root    *Class
+	classes []*Class
+	el      eligibleList
+	backlog int
+}
+
+// New creates a scheduler with an implicit root class.
+func New(opts Options) *Scheduler {
+	s := &Scheduler{opts: opts}
+	switch opts.Eligible {
+	case ElCalendar:
+		w := opts.CalendarWidth
+		if w <= 0 {
+			w = 1_000_000 // 1 ms
+		}
+		b := opts.CalendarBuckets
+		if b <= 0 {
+			b = 256
+		}
+		s.el = newElCalendar(w, b)
+	default:
+		s.el = newElAugTree()
+	}
+	s.root = &Class{id: 0, name: "root"}
+	s.initParentTrees(s.root)
+	s.classes = []*Class{s.root}
+	return s
+}
+
+func (s *Scheduler) initParentTrees(c *Class) {
+	c.vttree = rbtree.New[*Class](vtLess, nil)
+	c.cftree = rbtree.New[*Class](cfLess, nil)
+}
+
+// Root returns the implicit root class.
+func (s *Scheduler) Root() *Class { return s.root }
+
+// Classes returns all live classes in creation order (root first);
+// removed classes are excluded.
+func (s *Scheduler) Classes() []*Class {
+	out := make([]*Class, 0, len(s.classes))
+	for _, c := range s.classes {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ClassByID returns the class with the given id, or nil.
+func (s *Scheduler) ClassByID(id int) *Class {
+	if id < 0 || id >= len(s.classes) {
+		return nil
+	}
+	return s.classes[id]
+}
+
+// AddClass creates a class under parent (nil means the root). Interior
+// classes must carry a link-sharing curve; leaf classes need a real-time
+// and/or a link-sharing curve. rsc on an interior class is rejected: the
+// real-time criterion guarantees leaf curves only (the paper's fundamental
+// architecture decision).
+//
+// The hierarchy must be fully built before packets are enqueued: a class
+// that has carried traffic cannot gain children.
+func (s *Scheduler) AddClass(parent *Class, name string, rsc, fsc, usc curve.SC) (*Class, error) {
+	if parent == nil {
+		parent = s.root
+	}
+	if parent != s.root {
+		if !parent.hasFSC {
+			return nil, fmt.Errorf("core: parent %q has no link-sharing curve", parent.name)
+		}
+		if parent.hasRSC {
+			return nil, fmt.Errorf("core: class %q has a real-time curve and so must stay a leaf", parent.name)
+		}
+	}
+	// A leaf that already carried traffic cannot become an interior class
+	// (its queue and runtime-curve state would be orphaned); adding more
+	// children to the root or to an existing interior is fine at any time.
+	if parent != s.root && parent.IsLeaf() && (parent.queue.Len() > 0 || parent.total > 0) {
+		return nil, fmt.Errorf("core: cannot add children to class %q after it carried traffic", parent.name)
+	}
+	for _, sc := range []curve.SC{rsc, fsc, usc} {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if rsc.IsZero() && fsc.IsZero() {
+		return nil, fmt.Errorf("core: class %q needs a real-time or link-sharing curve", name)
+	}
+	cl := &Class{
+		id:     len(s.classes),
+		name:   name,
+		parent: parent,
+		rsc:    rsc, fsc: fsc, usc: usc,
+		hasRSC: !rsc.IsZero(), hasFSC: !fsc.IsZero(), hasUSC: !usc.IsZero(),
+	}
+	cl.queue.PktLimit = s.opts.DefaultQueueLimit
+	// Seed the runtime curves from the specifications at the origin; every
+	// later activation refines them with the Fig. 8 min-update, which
+	// assumes slopes were established here.
+	if cl.hasRSC {
+		cl.deadline.Init(rsc, 0, 0)
+		cl.eligible = cl.deadline
+	}
+	if cl.hasFSC {
+		cl.virtual.Init(fsc, 0, 0)
+	}
+	if cl.hasUSC {
+		cl.ulimit.Init(usc, 0, 0)
+	}
+	s.initParentTrees(cl)
+	parent.child = append(parent.child, cl)
+	s.classes = append(s.classes, cl)
+	return cl, nil
+}
+
+// Backlog returns the number of packets queued across all classes.
+func (s *Scheduler) Backlog() int { return s.backlog }
+
+// Enqueue implements sched.Scheduler.
+func (s *Scheduler) Enqueue(p *pktq.Packet, now int64) bool {
+	cl := s.ClassByID(p.Class)
+	if cl == nil || !cl.IsLeaf() || cl == s.root {
+		panic(fmt.Sprintf("core: enqueue to invalid class %d", p.Class))
+	}
+	if p.Len <= 0 {
+		panic(fmt.Sprintf("core: packet with non-positive length %d", p.Len))
+	}
+	first := cl.queue.Len() == 0
+	if !cl.queue.Push(p) {
+		s.trace(EvDrop, cl, p, now)
+		return false
+	}
+	s.trace(EvEnqueue, cl, p, now)
+	s.backlog++
+	if first {
+		if cl.hasRSC {
+			s.initED(cl, int64(p.Len), now)
+		}
+		if cl.hasFSC {
+			s.initVF(cl, now)
+		}
+	}
+	return true
+}
+
+// Dequeue implements sched.Scheduler: it applies the real-time criterion
+// if any packet is eligible, else the link-sharing criterion.
+func (s *Scheduler) Dequeue(now int64) *pktq.Packet {
+	if s.backlog == 0 {
+		return nil
+	}
+	realtime := false
+	cl := s.el.minDeadline(now)
+	if cl != nil {
+		realtime = true
+	} else {
+		cl = s.minVT(now)
+		if cl == nil {
+			return nil // nothing fits (upper limits) or only future-eligible RT traffic
+		}
+	}
+
+	p := cl.queue.Pop()
+	s.backlog--
+	length := int64(p.Len)
+	if realtime {
+		p.Crit = pktq.ByRealTime
+		p.Deadline = cl.d
+		cl.rtWork += length
+		s.trace(EvDequeueRT, cl, p, now)
+	} else {
+		p.Crit = pktq.ByLinkShare
+		cl.lsWork += length
+		s.trace(EvDequeueLS, cl, p, now)
+	}
+	cl.sentPkt++
+
+	s.updateVF(cl, length, now, cl.queue.Len() == 0)
+	if realtime {
+		cl.cumul += length
+	}
+
+	if cl.queue.Len() > 0 {
+		if cl.hasRSC {
+			next := int64(cl.queue.Front().Len)
+			if realtime {
+				s.updateED(cl, next, now)
+			} else {
+				s.updateD(cl, next, now)
+			}
+		}
+	} else if cl.hasRSC {
+		// The class went passive; the link-sharing side was detached by
+		// updateVF's cascade.
+		s.el.remove(cl)
+	}
+	return p
+}
+
+// NextReady implements sched.Scheduler. When Dequeue returned nil despite
+// backlog, the scheduler is waiting either for an eligible time (real-time
+// only classes) or for an upper-limit fit time; the earliest of those is
+// the retry time.
+func (s *Scheduler) NextReady(now int64) (int64, bool) {
+	if s.backlog == 0 {
+		return 0, false
+	}
+	next := int64(math.MaxInt64)
+	if e, ok := s.el.minE(); ok && e > now && e < next {
+		next = e
+	}
+	// Walk active classes for the earliest fit time beyond now. This is
+	// O(active classes) but runs only when the link idles on purpose.
+	var walk func(c *Class)
+	walk = func(c *Class) {
+		for n := c.vttree.Min(); n != nil; n = c.vttree.Next(n) {
+			ch := n.Item
+			if ch.f > now && ch.f < next {
+				next = ch.f
+			}
+			walk(ch)
+		}
+	}
+	walk(s.root)
+	if next == math.MaxInt64 {
+		return 0, false
+	}
+	return next, true
+}
+
+// initED establishes the eligible and deadline curves when a leaf becomes
+// active (the paper's Fig. 5(a) update_ed at activation).
+func (s *Scheduler) initED(cl *Class, nextLen, now int64) {
+	cl.deadline.Min(cl.rsc, now, cl.cumul)
+	// The eligible curve equals the deadline curve for concave curves;
+	// for convex (or linear) ones it is the slope-m2 line through the
+	// deadline curve's anchor (Section IV-B).
+	cl.eligible = cl.deadline
+	if cl.rsc.M1 <= cl.rsc.M2 {
+		cl.eligible.Dx = 0
+		cl.eligible.Dy = 0
+	}
+	cl.e = cl.eligible.Y2X(cl.cumul)
+	cl.d = cl.deadline.Y2X(cl.cumul + nextLen)
+	s.el.insert(cl, now)
+}
+
+// updateED recomputes the eligible time and deadline after real-time
+// service.
+func (s *Scheduler) updateED(cl *Class, nextLen, now int64) {
+	cl.e = cl.eligible.Y2X(cl.cumul)
+	cl.d = cl.deadline.Y2X(cl.cumul + nextLen)
+	s.el.update(cl, now)
+}
+
+// updateD recomputes only the deadline after link-sharing service: cumul
+// did not change (the nonpunishment half of fairness — link-sharing service
+// never pushes future deadlines out), but the new head packet may have a
+// different length (the paper's Fig. 5(b)).
+func (s *Scheduler) updateD(cl *Class, nextLen, now int64) {
+	cl.d = cl.deadline.Y2X(cl.cumul + nextLen)
+	s.el.update(cl, now)
+}
+
+// initVF runs the activation cascade up the hierarchy (the paper's Fig. 6
+// update_v on activation): each newly active class gets a virtual time
+// derived from its siblings per the configured policy, its virtual curve
+// min-updated at that point, and is inserted into its parent's trees.
+func (s *Scheduler) initVF(cl *Class, now int64) {
+	goActive := true
+	for ; cl.parent != nil; cl = cl.parent {
+		if cl.parent == s.root && goActive && cl.nactive == 0 {
+			// The chain will newly activate this top-level class; count it
+			// at the root too (diagnostics only — the root has no curves).
+			s.root.nactive++
+		}
+		if goActive {
+			wasActive := cl.nactive > 0
+			cl.nactive++
+			goActive = false
+			if !wasActive {
+				goActive = true // propagate activation to the parent
+				s.activate(cl, now)
+			}
+		}
+		// Propagate upper-limit fit times regardless of activation.
+		s.refreshF(cl)
+	}
+}
+
+// activate performs the per-class part of the activation cascade.
+func (s *Scheduler) activate(cl *Class, now int64) {
+	p := cl.parent
+	if maxN := p.vttree.Max(); maxN != nil {
+		// Siblings are active: derive the system virtual time.
+		var vt int64
+		switch s.opts.VTPolicy {
+		case VTMin:
+			vt = p.vttree.Min().Item.vt
+		case VTMax:
+			vt = maxN.Item.vt
+		default: // VTMean — the paper's (vmin+vmax)/2
+			vt = maxN.Item.vt
+			if p.cvtmin != 0 {
+				vt = midpoint(p.cvtmin, vt)
+			}
+		}
+		// Never move the class backwards within the same parent backlog
+		// period: that would let it reclaim service it already used.
+		if cl.parentPeriod != p.period || vt > cl.vt {
+			cl.vt = vt
+		}
+	} else {
+		// First child of a new parent backlog period: resume above every
+		// virtual time reached in previous periods so vt stays monotone.
+		cl.vt = p.cvtoff
+		p.cvtmin = 0
+		p.period++
+	}
+
+	cl.virtual.Min(cl.fsc, cl.vt, cl.total)
+	cl.vtadj = 0
+	cl.parentPeriod = p.period
+
+	if cl.hasUSC {
+		cl.ulimit.Min(cl.usc, now, cl.total)
+		cl.myf = cl.ulimit.Y2X(cl.total)
+	} else {
+		cl.myf = 0
+	}
+	// Children activated earlier in this cascade may already constrain us.
+	cl.f = cl.myf
+	if cl.cfmin > cl.f {
+		cl.f = cl.cfmin
+	}
+
+	cl.vtnode = p.vttree.Insert(cl)
+	cl.cfnode = p.cftree.Insert(cl)
+	updateCfmin(p)
+	s.trace(EvActivate, cl, nil, now)
+}
+
+// updateVF charges length bytes of service up the hierarchy after a
+// dequeue (the paper's Fig. 6 update_v on service): virtual times advance
+// along the virtual curves, tree positions are refreshed, and classes whose
+// subtrees drained go passive.
+func (s *Scheduler) updateVF(cl *Class, length, now int64, leafEmptied bool) {
+	goPassive := leafEmptied && cl.hasFSC
+	s.root.total += length
+	for ; cl.parent != nil; cl = cl.parent {
+		if cl.parent == s.root && goPassive && cl.nactive == 1 {
+			// This top-level class is about to detach from the root's
+			// trees; keep the root's diagnostic counter in step.
+			s.root.nactive--
+		}
+		cl.total += length
+		if !cl.hasFSC || cl.nactive == 0 {
+			continue
+		}
+		if goPassive {
+			cl.nactive--
+			goPassive = cl.nactive == 0
+		}
+		p := cl.parent
+
+		cl.vt = cl.virtual.Y2X(cl.total) + cl.vtadj
+		// A class served by the real-time criterion while not being the
+		// virtual-time minimum can fall behind the selection watermark;
+		// pull it forward so sibling order remains meaningful.
+		if cl.vt < p.cvtmin {
+			cl.vtadj += p.cvtmin - cl.vt
+			cl.vt = p.cvtmin
+		}
+
+		if goPassive {
+			// Going passive: remember how far this class got so the next
+			// backlog period resumes beyond it, then detach.
+			if cl.vt > p.cvtoff {
+				p.cvtoff = cl.vt
+			}
+			p.vttree.Delete(cl.vtnode)
+			cl.vtnode = nil
+			p.cftree.Delete(cl.cfnode)
+			cl.cfnode = nil
+			updateCfmin(p)
+			s.trace(EvPassive, cl, nil, now)
+			continue
+		}
+
+		// Reposition in the vt tree.
+		p.vttree.Delete(cl.vtnode)
+		cl.vtnode = p.vttree.Insert(cl)
+
+		if cl.hasUSC {
+			cl.myf = cl.ulimit.Y2X(cl.total)
+		}
+		s.refreshF(cl)
+	}
+}
+
+// refreshF recomputes a class's effective fit time from its own upper
+// limit and its children's, repositioning it in the parent's cftree when it
+// changed.
+func (s *Scheduler) refreshF(cl *Class) {
+	f := cl.myf
+	if cl.cfmin > f {
+		f = cl.cfmin
+	}
+	if f != cl.f {
+		cl.f = f
+		if cl.cfnode != nil {
+			p := cl.parent
+			p.cftree.Delete(cl.cfnode)
+			cl.cfnode = p.cftree.Insert(cl)
+			updateCfmin(p)
+		}
+	}
+}
+
+func updateCfmin(p *Class) {
+	if n := p.cftree.Min(); n != nil {
+		p.cfmin = n.Item.f
+	} else {
+		p.cfmin = 0
+	}
+}
+
+// minVT implements the link-sharing criterion: a top-down walk selecting at
+// each level the active child with the smallest virtual time whose fit time
+// has arrived.
+func (s *Scheduler) minVT(now int64) *Class {
+	cl := s.root
+	if cl.cfmin > now {
+		return nil
+	}
+	for !cl.IsLeaf() {
+		next := firstFit(cl, now)
+		if next == nil {
+			return nil
+		}
+		// Raise the selection watermark: newly activating siblings must
+		// not start behind classes already selected this period.
+		if next.vt > cl.cvtmin {
+			cl.cvtmin = next.vt
+		}
+		cl = next
+	}
+	return cl
+}
+
+// firstFit returns the active child with the smallest virtual time among
+// those whose fit time has arrived. Without upper-limit curves this is the
+// leftmost node.
+func firstFit(p *Class, now int64) *Class {
+	for n := p.vttree.Min(); n != nil; n = p.vttree.Next(n) {
+		if n.Item.f <= now {
+			return n.Item
+		}
+	}
+	return nil
+}

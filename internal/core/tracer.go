@@ -1,0 +1,54 @@
+package core
+
+import "github.com/netsched/hfsc/internal/pktq"
+
+// Event identifies a scheduler occurrence reported to a Tracer.
+type Event uint8
+
+const (
+	// EvEnqueue: a packet was accepted into a leaf queue.
+	EvEnqueue Event = iota
+	// EvDrop: a packet was rejected by a leaf queue limit.
+	EvDrop
+	// EvDequeueRT: a packet left under the real-time criterion.
+	EvDequeueRT
+	// EvDequeueLS: a packet left under the link-sharing criterion.
+	EvDequeueLS
+	// EvActivate: a class became active (entered its parent's trees).
+	EvActivate
+	// EvPassive: a class went passive.
+	EvPassive
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvEnqueue:
+		return "enqueue"
+	case EvDrop:
+		return "drop"
+	case EvDequeueRT:
+		return "dequeue-rt"
+	case EvDequeueLS:
+		return "dequeue-ls"
+	case EvActivate:
+		return "activate"
+	case EvPassive:
+		return "passive"
+	default:
+		return "unknown"
+	}
+}
+
+// Tracer observes scheduler events; see Options.Tracer. Packet is nil for
+// activation/passivation events. Tracers run synchronously on the
+// scheduling path: keep them cheap.
+type Tracer interface {
+	Trace(ev Event, cl *Class, p *pktq.Packet, now int64)
+}
+
+// trace emits an event if a tracer is configured.
+func (s *Scheduler) trace(ev Event, cl *Class, p *pktq.Packet, now int64) {
+	if s.opts.Tracer != nil {
+		s.opts.Tracer.Trace(ev, cl, p, now)
+	}
+}

@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+type recTracer struct {
+	events []core.Event
+	names  []string
+}
+
+func (r *recTracer) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now int64) {
+	r.events = append(r.events, ev)
+	r.names = append(r.names, cl.Name())
+}
+
+func TestTracerEventSequence(t *testing.T) {
+	tr := &recTracer{}
+	s := core.New(core.Options{Tracer: tr, DefaultQueueLimit: 1})
+	a := mustAdd(t, s, nil, "a", lin(mbps), lin(mbps), curve.SC{})
+
+	s.Enqueue(&pktq.Packet{Len: 100, Class: a.ID()}, 0) // enqueue + activate
+	s.Enqueue(&pktq.Packet{Len: 100, Class: a.ID()}, 0) // drop (limit 1)
+	if p := s.Dequeue(0); p == nil {                    // dequeue-rt + passive
+		t.Fatal("dequeue failed")
+	}
+
+	want := []core.Event{core.EvActivate, core.EvEnqueue, core.EvDrop, core.EvDequeueRT, core.EvPassive}
+	// Activation order relative to enqueue depends on internal sequencing;
+	// compare as multisets plus pairing checks instead of exact order.
+	count := map[core.Event]int{}
+	for _, e := range tr.events {
+		count[e]++
+	}
+	for _, e := range want {
+		if count[e] == 0 {
+			t.Fatalf("missing event %v in %v", e, tr.events)
+		}
+	}
+	if count[core.EvActivate] != count[core.EvPassive] {
+		t.Fatalf("activate/passive not paired: %v", tr.events)
+	}
+	// All events reference class "a".
+	for i, n := range tr.names {
+		if n != "a" {
+			t.Fatalf("event %d on class %q", i, n)
+		}
+	}
+	// Event stringer sanity.
+	if core.EvDequeueRT.String() != "dequeue-rt" || core.Event(99).String() != "unknown" {
+		t.Fatal("event strings")
+	}
+}
+
+// The criterion reported by the tracer must agree with the packet's Crit
+// field across a mixed run.
+func TestTracerCriterionAgreement(t *testing.T) {
+	type got struct {
+		ev core.Event
+		p  *pktq.Packet
+	}
+	var log []got
+	tr := traceFn(func(ev core.Event, cl *core.Class, p *pktq.Packet, now int64) {
+		if ev == core.EvDequeueRT || ev == core.EvDequeueLS {
+			log = append(log, got{ev, p})
+		}
+	})
+	s := core.New(core.Options{Tracer: tr})
+	a := mustAdd(t, s, nil, "a", lin(mbps), lin(mbps), curve.SC{})
+	b := mustAdd(t, s, nil, "b", curve.SC{}, lin(mbps), curve.SC{})
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		s.Enqueue(&pktq.Packet{Len: 500, Class: a.ID(), Seq: uint64(i)}, now)
+		s.Enqueue(&pktq.Packet{Len: 500, Class: b.ID(), Seq: uint64(i)}, now)
+		s.Dequeue(now)
+		s.Dequeue(now)
+		now += 4 * 1_000_000
+	}
+	if len(log) == 0 {
+		t.Fatal("no dequeue events")
+	}
+	sawRT, sawLS := false, false
+	for _, g := range log {
+		switch g.ev {
+		case core.EvDequeueRT:
+			sawRT = true
+			if g.p.Crit != pktq.ByRealTime {
+				t.Fatal("criterion mismatch (rt)")
+			}
+		case core.EvDequeueLS:
+			sawLS = true
+			if g.p.Crit != pktq.ByLinkShare {
+				t.Fatal("criterion mismatch (ls)")
+			}
+		}
+	}
+	if !sawRT || !sawLS {
+		t.Fatalf("expected both criteria in a mixed run (rt=%v ls=%v)", sawRT, sawLS)
+	}
+}
+
+// traceFn adapts a function to the Tracer interface.
+type traceFn func(core.Event, *core.Class, *pktq.Packet, int64)
+
+func (f traceFn) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now int64) {
+	f(ev, cl, p, now)
+}

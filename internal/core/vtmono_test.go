@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// Virtual times must never decrease while a class stays active (they are
+// normalized cumulative service), and on re-activation within the same
+// parent backlog period a class must not rewind below its previous virtual
+// time — the guard that stops an idle-and-return class from double-dipping.
+func TestVirtualTimeMonotoneWhileActive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	s := core.New(core.Options{DefaultQueueLimit: 20})
+	var leaves []*core.Class
+	for i := 0; i < 5; i++ {
+		rate := uint64(rng.Intn(int(mbps))) + 50*kbps
+		leaves = append(leaves, mustAdd(t, s, nil, "", curve.SC{}, lin(rate), curve.SC{}))
+	}
+	lastVT := map[int]int64{}
+	wasActive := map[int]bool{}
+	now := int64(0)
+	var seq uint64
+	for step := 0; step < 30000; step++ {
+		now += int64(rng.Intn(int(ms / 2)))
+		if rng.Intn(2) == 0 {
+			cl := leaves[rng.Intn(len(leaves))]
+			s.Enqueue(&pktq.Packet{Len: rng.Intn(1400) + 100, Class: cl.ID(), Seq: seq}, now)
+			seq++
+		} else {
+			s.Dequeue(now)
+		}
+		for _, cl := range leaves {
+			active := cl.Active()
+			if active && wasActive[cl.ID()] {
+				if vt := cl.VirtualTime(); vt < lastVT[cl.ID()] {
+					t.Fatalf("step %d: class %d vt decreased %d -> %d while active",
+						step, cl.ID(), lastVT[cl.ID()], vt)
+				}
+			}
+			if active {
+				lastVT[cl.ID()] = cl.VirtualTime()
+			}
+			wasActive[cl.ID()] = active
+		}
+	}
+}

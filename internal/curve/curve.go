@@ -1,0 +1,278 @@
+package curve
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netsched/hfsc/internal/fixpt"
+)
+
+// Curve is a general nondecreasing piecewise-linear curve through the
+// origin: a finite sequence of segments (duration, slope) followed by a
+// final slope that extends forever. Unlike the O(1) two-piece RTSC used on
+// the data path, Curve supports sums, minima and pointwise comparison of
+// arbitrarily many pieces; it backs admission control (the SCED
+// schedulability condition Σ Si ≤ Sserver of Section II) and the fluid
+// reference model.
+//
+// All operations are exact except Min, which may round a crossing point to
+// the enclosing nanosecond; the result can deviate from the true minimum by
+// less than one nanosecond's worth of slope near each crossing.
+type Curve struct {
+	segs   []seg
+	finalM uint64
+}
+
+type seg struct {
+	dur int64  // ns, > 0
+	m   uint64 // bytes/s
+}
+
+// FromSC converts a two-piece specification into a general curve.
+func FromSC(sc SC) Curve {
+	if sc.D <= 0 {
+		return Curve{finalM: sc.M2}
+	}
+	return Curve{segs: []seg{{dur: sc.D, m: sc.M1}}, finalM: sc.M2}
+}
+
+// LinearCurve returns the one-piece curve with slope m bytes/s.
+func LinearCurve(m uint64) Curve { return Curve{finalM: m} }
+
+// Eval returns the curve value (bytes) at time x (ns), saturating at Inf.
+// Negative x evaluates to 0.
+func (c Curve) Eval(x int64) int64 {
+	if x <= 0 {
+		return 0
+	}
+	var y int64
+	for _, s := range c.segs {
+		if x <= s.dur {
+			return fixpt.SatAdd(y, segX2Y(x, s.m))
+		}
+		y = fixpt.SatAdd(y, segX2Y(s.dur, s.m))
+		x -= s.dur
+	}
+	return fixpt.SatAdd(y, segX2Y(x, c.finalM))
+}
+
+// Inverse returns the smallest x (ns) with Eval(x) >= y, or Inf if the
+// curve never reaches y.
+func (c Curve) Inverse(y int64) int64 {
+	if y <= 0 {
+		return 0
+	}
+	var x, acc int64
+	for _, s := range c.segs {
+		rise := segX2Y(s.dur, s.m)
+		if y <= fixpt.SatAdd(acc, rise) {
+			dx := segY2X(y-acc, s.m)
+			if dx == Inf {
+				return Inf
+			}
+			return fixpt.SatAdd(x, dx)
+		}
+		acc = fixpt.SatAdd(acc, rise)
+		x = fixpt.SatAdd(x, s.dur)
+	}
+	dx := segY2X(y-acc, c.finalM)
+	if dx == Inf {
+		return Inf
+	}
+	return fixpt.SatAdd(x, dx)
+}
+
+// breakpoints returns the absolute x-coordinates of all segment boundaries.
+func (c Curve) breakpoints() []int64 {
+	bps := make([]int64, 0, len(c.segs))
+	var x int64
+	for _, s := range c.segs {
+		x = fixpt.SatAdd(x, s.dur)
+		bps = append(bps, x)
+	}
+	return bps
+}
+
+// slopeAt returns the slope in effect on the segment containing x (taking
+// the right-hand slope at a breakpoint).
+func (c Curve) slopeAt(x int64) uint64 {
+	var acc int64
+	for _, s := range c.segs {
+		acc = fixpt.SatAdd(acc, s.dur)
+		if x < acc {
+			return s.m
+		}
+	}
+	return c.finalM
+}
+
+// mergeBreakpoints returns the sorted union of both curves' breakpoints.
+func mergeBreakpoints(a, b Curve) []int64 {
+	ab, bb := a.breakpoints(), b.breakpoints()
+	out := make([]int64, 0, len(ab)+len(bb))
+	i, j := 0, 0
+	for i < len(ab) || j < len(bb) {
+		switch {
+		case j >= len(bb) || (i < len(ab) && ab[i] < bb[j]):
+			out = append(out, ab[i])
+			i++
+		case i >= len(ab) || bb[j] < ab[i]:
+			out = append(out, bb[j])
+			j++
+		default:
+			out = append(out, ab[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Add returns the pointwise sum of the two curves (exact).
+func (c Curve) Add(o Curve) Curve {
+	bps := mergeBreakpoints(c, o)
+	out := Curve{finalM: satAddU64(c.finalM, o.finalM)}
+	var prev int64
+	for _, x := range bps {
+		out.segs = append(out.segs, seg{dur: x - prev, m: satAddU64(c.slopeAt(prev), o.slopeAt(prev))})
+		prev = x
+	}
+	return out.normalize()
+}
+
+// SumSC returns the exact pointwise sum of a set of two-piece curves.
+func SumSC(scs ...SC) Curve {
+	sum := Curve{}
+	for _, sc := range scs {
+		sum = sum.Add(FromSC(sc))
+	}
+	return sum
+}
+
+// LE reports whether c(t) <= o(t) for all t >= 0 (exact). This is the
+// schedulability test: a set of service curves {Si} is guaranteeable by a
+// server with curve S iff SumSC(Si...).LE(FromSC(S)).
+func (c Curve) LE(o Curve) bool {
+	// The difference of two piecewise-linear curves is piecewise linear,
+	// so its sign on each segment is determined by its values at the
+	// segment endpoints; beyond the last breakpoint it is determined by
+	// the value there plus the final slopes.
+	for _, x := range mergeBreakpoints(c, o) {
+		if c.Eval(x) > o.Eval(x) {
+			return false
+		}
+	}
+	return c.finalM <= o.finalM
+}
+
+// Min returns the pointwise minimum of the two curves, inserting a
+// breakpoint at each (nanosecond-rounded) crossing.
+func (c Curve) Min(o Curve) Curve {
+	bps := mergeBreakpoints(c, o)
+	// Append a synthetic far point so the loop below examines the region
+	// beyond the last real breakpoint for a final crossing.
+	type piece struct {
+		x int64
+		m uint64
+	}
+	var pieces []piece
+	var prev int64
+	consider := func(from, to int64) {
+		// On [from, to) both curves are linear; pick the lower, splitting
+		// at a crossing if needed.
+		cy, oy := c.Eval(from), o.Eval(from)
+		cm, om := c.slopeAt(from), o.slopeAt(from)
+		lowerC := cy < oy || (cy == oy && cm <= om)
+		// Crossing time (if any) inside the open interval.
+		var cross int64 = -1
+		if cy != oy || cm != om {
+			var gap int64
+			var dm uint64
+			if cy < oy && cm > om {
+				gap, dm = oy-cy, cm-om
+			} else if oy < cy && om > cm {
+				gap, dm = cy-oy, om-cm
+			}
+			if dm > 0 {
+				dx := fixpt.MulDivCeilSat(uint64(gap), NsPerSec, dm)
+				t := fixpt.SatAdd(from, dx)
+				if t > from && t < Inf && (to == Inf || t < to) {
+					cross = t
+				}
+			}
+		}
+		m1, m2 := om, cm
+		if lowerC {
+			m1, m2 = cm, om
+		}
+		pieces = append(pieces, piece{x: from, m: m1})
+		if cross >= 0 {
+			pieces = append(pieces, piece{x: cross, m: m2})
+		}
+	}
+	for _, x := range bps {
+		consider(prev, x)
+		prev = x
+	}
+	consider(prev, Inf)
+
+	out := Curve{}
+	for i, p := range pieces {
+		if i+1 < len(pieces) {
+			if d := pieces[i+1].x - p.x; d > 0 {
+				out.segs = append(out.segs, seg{dur: d, m: p.m})
+			}
+		} else {
+			out.finalM = p.m
+		}
+	}
+	return out.normalize()
+}
+
+// normalize merges adjacent segments with equal slope and drops
+// zero-duration segments, including folding a trailing segment equal to the
+// final slope.
+func (c Curve) normalize() Curve {
+	out := Curve{finalM: c.finalM}
+	for _, s := range c.segs {
+		if s.dur <= 0 {
+			continue
+		}
+		if n := len(out.segs); n > 0 && out.segs[n-1].m == s.m {
+			out.segs[n-1].dur = fixpt.SatAdd(out.segs[n-1].dur, s.dur)
+			continue
+		}
+		out.segs = append(out.segs, seg{dur: s.dur, m: s.m})
+	}
+	for len(out.segs) > 0 && out.segs[len(out.segs)-1].m == out.finalM {
+		out.segs = out.segs[:len(out.segs)-1]
+	}
+	return out
+}
+
+// NumPieces returns the number of linear pieces, counting the final
+// unbounded piece.
+func (c Curve) NumPieces() int { return len(c.segs) + 1 }
+
+func (c Curve) String() string {
+	var b strings.Builder
+	b.WriteString("curve[")
+	for i, s := range c.segs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d B/s x %dus", s.m, s.dur/1000)
+	}
+	if len(c.segs) > 0 {
+		b.WriteString(", ")
+	}
+	fmt.Fprintf(&b, "%d B/s →]", c.finalM)
+	return b.String()
+}
+
+func satAddU64(a, b uint64) uint64 {
+	if a > ^uint64(0)-b {
+		return ^uint64(0)
+	}
+	return a + b
+}

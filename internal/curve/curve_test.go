@@ -1,0 +1,189 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCurveFromSCEvalMatchesSC(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		sc := randSC(rng)
+		c := FromSC(sc)
+		for p := 0; p < 50; p++ {
+			x := rng.Int63n(300 * ms)
+			if got, want := c.Eval(x), sc.Eval(x); got != want {
+				t.Fatalf("sc=%v x=%d: Curve.Eval=%d SC.Eval=%d", sc, x, got, want)
+			}
+		}
+	}
+}
+
+func TestCurveInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		sc := randSC(rng)
+		c := FromSC(sc)
+		for p := 0; p < 30; p++ {
+			y := rng.Int63n(1 << 24)
+			x := c.Inverse(y)
+			if x == Inf {
+				if c.Eval(300*ms*1000) >= y { // generous horizon
+					t.Fatalf("sc=%v y=%d: Inf but reachable", sc, y)
+				}
+				continue
+			}
+			if got := c.Eval(x); got < y {
+				t.Fatalf("sc=%v y=%d: Eval(Inverse)=%d < y", sc, y, got)
+			}
+			if x > 0 {
+				if got := c.Eval(x - 1); got >= y && y > 0 {
+					t.Fatalf("sc=%v y=%d: x=%d not minimal", sc, y, x)
+				}
+			}
+		}
+	}
+}
+
+func TestCurveAddExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randSC(rng), randSC(rng)
+		sum := FromSC(a).Add(FromSC(b))
+		// Piecewise evaluation floors once per traversed segment, so the
+		// sum may differ from the sum of the (singly-floored) SC
+		// evaluations by up to one byte per piece.
+		tol := int64(sum.NumPieces()) + 2
+		for p := 0; p < 50; p++ {
+			x := rng.Int63n(300 * ms)
+			want := a.Eval(x) + b.Eval(x)
+			got := sum.Eval(x)
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > tol {
+				t.Fatalf("a=%v b=%v x=%d: sum=%d want %d tol %d", a, b, x, got, want, tol)
+			}
+		}
+	}
+}
+
+func TestSumSCMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	scs := make([]SC, 8)
+	for i := range scs {
+		scs[i] = randSC(rng)
+	}
+	sum := SumSC(scs...)
+	tol := int64(sum.NumPieces()) + int64(len(scs)) + 2
+	for p := 0; p < 100; p++ {
+		x := rng.Int63n(500 * ms)
+		var want int64
+		for _, sc := range scs {
+			want += sc.Eval(x)
+		}
+		got := sum.Eval(x)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			t.Fatalf("x=%d: %d want %d tol %d", x, got, want, tol)
+		}
+	}
+	if sum.NumPieces() > 9 {
+		t.Errorf("sum of 8 two-piece curves has %d pieces (> 9)", sum.NumPieces())
+	}
+}
+
+func TestCurveLE(t *testing.T) {
+	link := LinearCurve(10 * mbps)
+	a := FromSC(SC{M1: 8 * mbps, D: 5 * ms, M2: 2 * mbps})
+	b := FromSC(SC{M1: 0, D: 5 * ms, M2: 3 * mbps})
+	if !a.LE(link) {
+		t.Error("a should fit the link")
+	}
+	if !a.Add(b).LE(link) {
+		t.Error("a+b should fit the link")
+	}
+	c := FromSC(SC{M1: 8 * mbps, D: 5 * ms, M2: 8 * mbps})
+	if a.Add(c).LE(link) {
+		t.Error("a+c exceeds the link's first segment (16 Mb/s for 5 ms)")
+	}
+	// Asymptotic violation only.
+	d := FromSC(SC{M1: mbps, D: 5 * ms, M2: 11 * mbps})
+	if d.LE(link) {
+		t.Error("d exceeds the link asymptotically")
+	}
+	// LE must agree with brute-force sampling.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		x1, x2 := FromSC(randSC(rng)), FromSC(randSC(rng))
+		got := x1.LE(x2)
+		viol := false
+		for p := 0; p < 400; p++ {
+			x := rng.Int63n(2000 * ms)
+			if x1.Eval(x) > x2.Eval(x) {
+				viol = true
+				break
+			}
+		}
+		// Check far in the future for slope violations too.
+		if x1.Eval(1e15) > x2.Eval(1e15) {
+			viol = true
+		}
+		if got && viol {
+			t.Fatalf("LE said true but violation found: %v vs %v", x1, x2)
+		}
+		// (!got && !viol) can happen when sampling misses the violation.
+	}
+}
+
+func TestCurveMinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randSC(rng), randSC(rng)
+		m := FromSC(a).Min(FromSC(b))
+		tol := int64(a.M1/NsPerSec) + int64(a.M2/NsPerSec) +
+			int64(b.M1/NsPerSec) + int64(b.M2/NsPerSec) + 2
+		for p := 0; p < 200; p++ {
+			x := rng.Int63n(500 * ms)
+			want := a.Eval(x)
+			if v := b.Eval(x); v < want {
+				want = v
+			}
+			got := m.Eval(x)
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > tol {
+				t.Fatalf("a=%v b=%v x=%d: min=%d want %d tol=%d", a, b, x, got, want, tol)
+			}
+		}
+	}
+}
+
+func TestCurveNormalizeMergesPieces(t *testing.T) {
+	c := FromSC(Linear(mbps)).Add(FromSC(Linear(mbps)))
+	if c.NumPieces() != 1 {
+		t.Errorf("sum of linears has %d pieces, want 1", c.NumPieces())
+	}
+	// Two identical two-piece curves sum to a two-piece curve.
+	sc := SC{M1: 2 * mbps, D: 10 * ms, M2: mbps}
+	s := FromSC(sc).Add(FromSC(sc))
+	if s.NumPieces() != 2 {
+		t.Errorf("sum has %d pieces, want 2", s.NumPieces())
+	}
+}
+
+func TestCurveEvalNegativeAndZero(t *testing.T) {
+	c := FromSC(SC{M1: mbps, D: ms, M2: 2 * mbps})
+	if c.Eval(-5) != 0 || c.Eval(0) != 0 {
+		t.Error("Eval at/below zero must be 0")
+	}
+	if c.Inverse(0) != 0 || c.Inverse(-3) != 0 {
+		t.Error("Inverse at/below zero must be 0")
+	}
+}

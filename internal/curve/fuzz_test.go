@@ -1,0 +1,55 @@
+package curve
+
+import "testing"
+
+// FuzzRTSCMin drives the runtime-curve min-update with arbitrary
+// parameters and asserts the structural safety properties: no panic, the
+// curve stays monotone, the first segment never exceeds the spec's, and
+// the inverse stays consistent.
+func FuzzRTSCMin(f *testing.F) {
+	f.Add(uint64(125000), int64(10_000_000), uint64(62500), int64(5_000_000), int64(1000), int64(9_000_000), int64(2000))
+	f.Add(uint64(0), int64(1_000_000), uint64(1), int64(0), int64(0), int64(1), int64(1))
+	f.Add(uint64(1<<40), int64(1), uint64(1), int64(1<<40), int64(1<<40), int64(1<<41), int64(1<<41))
+	f.Fuzz(func(t *testing.T, m1 uint64, d int64, m2 uint64, x1, y1, x2, y2 int64) {
+		m1 %= 1 << 34
+		m2 = m2%(1<<34) + 1
+		if d < 0 {
+			d = -d
+		}
+		d %= 1_000_000_000
+		norm := func(v int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			return v % (1 << 40)
+		}
+		x1, y1, x2, y2 = norm(x1), norm(y1), norm(x2), norm(y2)
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		sc := SC{M1: m1, D: d, M2: m2}
+		var r RTSC
+		r.Init(sc, x1, y1)
+		r.Min(sc, x2, y2)
+		if sc.D > 0 && r.Dx > sc.D {
+			t.Fatalf("Dx %d exceeds spec D %d", r.Dx, sc.D)
+		}
+		// Monotonicity probes.
+		prev := int64(-1)
+		for _, px := range []int64{0, x1, x2, x2 + d, x2 + 2*d + 1, 1 << 41} {
+			v := r.X2Y(px)
+			if v < prev {
+				t.Fatalf("X2Y not monotone at %d", px)
+			}
+			prev = v
+		}
+		// Inverse consistency for a reachable value.
+		y := r.Y + 1
+		if xx := r.Y2X(y); xx != Inf && r.X2Y(xx) < y {
+			t.Fatalf("inverse inconsistent: X2Y(Y2X(%d))=%d", y, r.X2Y(xx))
+		}
+	})
+}

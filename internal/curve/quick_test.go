@@ -1,0 +1,116 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// RTSC X2Y must be nondecreasing in x for any valid curve state reached
+// through Init and Min updates.
+func TestQuickRTSCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sc := randSC(r)
+		var c RTSC
+		c.Init(sc, r.Int63n(10*ms), r.Int63n(1<<20))
+		x, y := int64(0), int64(0)
+		for k := 0; k < 4; k++ {
+			x += r.Int63n(40*ms) + 1
+			y += r.Int63n(1 << 18)
+			c.Min(sc, x, y)
+		}
+		prevX := int64(-1)
+		var prevY int64
+		for p := 0; p < 64; p++ {
+			px := r.Int63n(400 * ms)
+			py := c.X2Y(px)
+			if prevX >= 0 && px >= prevX && py < prevY ||
+				prevX >= 0 && px <= prevX && py > prevY {
+				return false
+			}
+			prevX, prevY = px, py
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Y2X must return the minimal x reaching y: X2Y(Y2X(y)) >= y and
+// X2Y(Y2X(y)-1) < y whenever y is reachable and above the anchor.
+func TestQuickRTSCInverseMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sc := randSC(r)
+		var c RTSC
+		c.Init(sc, r.Int63n(10*ms), r.Int63n(1<<20))
+		for p := 0; p < 32; p++ {
+			y := c.Y + r.Int63n(1<<22) + 1
+			x := c.Y2X(y)
+			if x == Inf {
+				// Unreachable: the curve must genuinely never get there.
+				if c.X2Y(1<<40) >= y {
+					return false
+				}
+				continue
+			}
+			if c.X2Y(x) < y {
+				return false
+			}
+			if x > c.X && c.X2Y(x-1) >= y {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Curve.Min result must never exceed either operand by more than the
+// nanosecond-rounding slack, for random piecewise inputs built by sums.
+func TestQuickCurveMinUpperBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := FromSC(randSC(r)).Add(FromSC(randSC(r)))
+		b := FromSC(randSC(r))
+		m := a.Min(b)
+		tol := int64(8) // a few bytes of per-piece rounding
+		for _, sc := range []Curve{a, b} {
+			for p := 0; p < 40; p++ {
+				x := r.Int63n(400 * ms)
+				if m.Eval(x) > sc.Eval(x)+maxSlopeBytes(sc)+tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// maxSlopeBytes returns one nanosecond's worth of the steepest slope — the
+// rounding slack Min may introduce at a crossing.
+func maxSlopeBytes(c Curve) int64 {
+	var m uint64
+	for _, s := range c.segs {
+		if s.m > m {
+			m = s.m
+		}
+	}
+	if c.finalM > m {
+		m = c.finalM
+	}
+	return int64(m/NsPerSec) + 1
+}

@@ -1,0 +1,155 @@
+package curve
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/fixpt"
+)
+
+// RTSC is a runtime two-piece linear service curve anchored at the point
+// (X, Y): the curve value is Y for x <= X, rises at slope M1 for Dx
+// nanoseconds (gaining Dy bytes), then continues at slope M2.
+//
+// This is the representation of the paper's Section V (Fig. 8): deadline
+// curves, eligible curves and virtual curves are all RTSCs, and the key
+// observation is that two-piece linear curves are closed under the
+// activation-time min-update (7)/(11)/(12), so each update is O(1).
+//
+// The slopes M1 and M2 never change after initialization; only the anchor
+// and the first-segment extent do.
+type RTSC struct {
+	X  int64  // anchor x, nanoseconds (or virtual time for virtual curves)
+	Y  int64  // anchor y, bytes of service
+	M1 uint64 // first-segment slope, bytes/s
+	Dx int64  // first-segment x-extent from the anchor, ns
+	Dy int64  // first-segment y-rise from the anchor, bytes
+	M2 uint64 // second-segment slope, bytes/s
+}
+
+// Init sets the runtime curve to the service curve sc translated to the
+// anchor (x, y). This is the first-activation initialization of the
+// deadline/virtual curves ("D is initialized to the session's service
+// curve").
+func (r *RTSC) Init(sc SC, x, y int64) {
+	r.X = x
+	r.Y = y
+	r.M1 = sc.M1
+	r.Dx = sc.D
+	r.Dy = segX2Y(sc.D, sc.M1)
+	r.M2 = sc.M2
+}
+
+// X2Y evaluates the curve at absolute coordinate x, saturating at Inf.
+func (r *RTSC) X2Y(x int64) int64 {
+	switch {
+	case x <= r.X:
+		return r.Y
+	case x <= fixpt.SatAdd(r.X, r.Dx):
+		return fixpt.SatAdd(r.Y, segX2Y(x-r.X, r.M1))
+	default:
+		base := fixpt.SatAdd(r.Y, r.Dy)
+		if r.X > fixpt.MaxInt64-r.Dx { // first segment extends to Inf
+			return base
+		}
+		return fixpt.SatAdd(base, segX2Y(x-r.X-r.Dx, r.M2))
+	}
+}
+
+// Y2X returns the smallest absolute x such that X2Y(x) >= y — the paper's
+// D^{-1} used for deadlines, eligible times and virtual times. It returns
+// Inf when the curve never reaches y.
+func (r *RTSC) Y2X(y int64) int64 {
+	switch {
+	case y <= r.Y:
+		return r.X
+	case y <= fixpt.SatAdd(r.Y, r.Dy):
+		dx := segY2X(y-r.Y, r.M1)
+		if dx == Inf {
+			return Inf
+		}
+		return fixpt.SatAdd(r.X, dx)
+	default:
+		if r.Y > fixpt.MaxInt64-r.Dy {
+			return Inf
+		}
+		dx := segY2X(y-r.Y-r.Dy, r.M2)
+		if dx == Inf {
+			return Inf
+		}
+		return fixpt.SatAdd(fixpt.SatAdd(r.X, r.Dx), dx)
+	}
+}
+
+// Min updates the runtime curve in place to the pointwise minimum of itself
+// and the service curve sc translated to the anchor (x, y) — the
+// generalized update of the paper's Fig. 8 and equations (7)/(11)/(12).
+//
+// Both curves share the slopes (sc is the class's immutable specification,
+// and r was initialized from it), which is what keeps the result two-piece
+// linear. Three cases arise:
+//
+//  1. sc is convex/linear (M1 <= M2): the translated curve either lies
+//     entirely above the current one (no change) or entirely below it from
+//     x on (re-anchor, keeping the remaining first-segment extent).
+//  2. sc is concave and the current curve is already below the translated
+//     one everywhere: no change.
+//  3. they cross: the result follows the translated curve's first segment
+//     until the crossing, then the old curve's tail — still two-piece
+//     because the tails share slope M2.
+func (r *RTSC) Min(sc SC, x, y int64) {
+	if sc.M1 <= sc.M2 {
+		// Convex or linear service curve.
+		if r.X2Y(x) < y {
+			// The current runtime curve is smaller at x; with equal
+			// slopes it remains smaller ever after.
+			return
+		}
+		// Translated curve is smaller from x on: re-anchor. The
+		// first-segment extent of the spec is restored (for convex
+		// curves the flat segment restarts on re-activation).
+		r.X = x
+		r.Y = y
+		r.Dx = sc.D
+		r.Dy = segX2Y(sc.D, sc.M1)
+		return
+	}
+
+	// Concave service curve.
+	y1 := r.X2Y(x)
+	if y1 <= y {
+		// Current curve at or below the translated one at x; since the
+		// translated first segment is the steepest piece available, the
+		// current curve stays below. No change.
+		return
+	}
+	iscDy := segX2Y(sc.D, sc.M1)
+	y2 := r.X2Y(fixpt.SatAdd(x, sc.D))
+	if y2 >= fixpt.SatAdd(y, iscDy) {
+		// Current curve above the translated one beyond its inflection
+		// too: the translated curve is the minimum outright.
+		r.X = x
+		r.Y = y
+		r.Dx = sc.D
+		r.Dy = iscDy
+		return
+	}
+
+	// The curves cross while the translated one is still in its first
+	// (steeper) segment. Extend that segment until it catches up with the
+	// current curve: solve seg(dx, m1) == seg(dx, m2) + (y1 - y), i.e.
+	// dx = (y1 - y) / (m1 - m2).
+	dx := fixpt.MulDivSat(uint64(y1-y), NsPerSec, sc.M1-sc.M2)
+	// If (x, y1) still lies on the current curve's first segment the
+	// crossing is further out by the remaining first-segment extent.
+	if rest := fixpt.SatAdd(r.X, r.Dx) - x; rest > 0 {
+		dx = fixpt.SatAdd(dx, rest)
+	}
+	r.X = x
+	r.Y = y
+	r.Dx = dx
+	r.Dy = segX2Y(dx, sc.M1)
+}
+
+func (r *RTSC) String() string {
+	return fmt.Sprintf("rtsc(x=%d y=%d m1=%d dx=%d dy=%d m2=%d)", r.X, r.Y, r.M1, r.Dx, r.Dy, r.M2)
+}

@@ -1,0 +1,236 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRTSCInitEval(t *testing.T) {
+	var r RTSC
+	sc := SC{M1: 2 * mbps, D: 10 * ms, M2: mbps}
+	r.Init(sc, 100*ms, 5000)
+	if got := r.X2Y(50 * ms); got != 5000 {
+		t.Errorf("before anchor: %d want 5000", got)
+	}
+	if got := r.X2Y(100 * ms); got != 5000 {
+		t.Errorf("at anchor: %d want 5000", got)
+	}
+	if got := r.X2Y(105 * ms); got != 5000+1250 {
+		t.Errorf("first segment: %d want 6250", got)
+	}
+	if got := r.X2Y(120 * ms); got != 5000+2500+1250 {
+		t.Errorf("second segment: %d want 8750", got)
+	}
+}
+
+func TestRTSCY2XInverse(t *testing.T) {
+	var r RTSC
+	sc := SC{M1: 2 * mbps, D: 10 * ms, M2: mbps}
+	r.Init(sc, 100*ms, 5000)
+	// Inverse at or below the anchor value returns the anchor x.
+	if got := r.Y2X(5000); got != 100*ms {
+		t.Errorf("Y2X(anchor)=%d", got)
+	}
+	if got := r.Y2X(0); got != 100*ms {
+		t.Errorf("Y2X(0)=%d", got)
+	}
+	for _, y := range []int64{5001, 6000, 7500, 7501, 8750, 100000} {
+		x := r.Y2X(y)
+		if got := r.X2Y(x); got < y {
+			t.Errorf("y=%d: X2Y(Y2X(y))=%d < y", y, got)
+		}
+		if x > 0 {
+			if got := r.X2Y(x - 1); got >= y {
+				t.Errorf("y=%d: x=%d not minimal (X2Y(x-1)=%d)", y, x, got)
+			}
+		}
+	}
+}
+
+func TestRTSCConvexFlatSegmentInverse(t *testing.T) {
+	var r RTSC
+	sc := SC{M1: 0, D: 10 * ms, M2: mbps} // convex: flat then mbps
+	r.Init(sc, 0, 0)
+	// Dy is 0, so any positive y must be reached on the second segment.
+	x := r.Y2X(125) // 125 bytes at 1 Mb/s = 1 ms past the flat part
+	if x != 10*ms+ms {
+		t.Errorf("Y2X(125)=%d want %d", x, 10*ms+ms)
+	}
+}
+
+func TestRTSCZeroCurveInverseIsInf(t *testing.T) {
+	var r RTSC
+	r.Init(SC{}, 0, 0)
+	if got := r.Y2X(1); got != Inf {
+		t.Errorf("Y2X on zero curve = %d want Inf", got)
+	}
+}
+
+// randSC generates a random valid two-piece curve with slopes up to ~1 GB/s
+// and first segments up to ~100 ms.
+func randSC(rng *rand.Rand) SC {
+	m1 := rng.Uint64() % (1 << 30)
+	m2 := rng.Uint64()%(1<<30) + 1
+	d := rng.Int63n(100 * ms)
+	switch rng.Intn(4) {
+	case 0: // linear
+		return Linear(m2)
+	case 1: // concave
+		if m1 <= m2 {
+			m1 = m2 + rng.Uint64()%(1<<29) + 1
+		}
+		return SC{M1: m1, D: d + 1, M2: m2}
+	case 2: // convex with zero first slope (the Fig. 7 shape)
+		return SC{M1: 0, D: d + 1, M2: m2}
+	default: // general convex
+		if m1 >= m2 {
+			m1 = m2 / 2
+		}
+		return SC{M1: m1, D: d + 1, M2: m2}
+	}
+}
+
+// TestRTSCMinAgainstBruteForce is the package's core safety net. The
+// runtime curve's contract, forward of its most recent anchor, is:
+//
+//   - it never falls below the true pointwise minimum of all translated
+//     copies (no under-crediting: deadlines derived from it are never later
+//     than SCED's ideal, so real-time guarantees are preserved), and
+//   - it never exceeds the true minimum by more than the first-segment
+//     deficit (m2−m1)·D for convex curves — the documented approximation of
+//     Section IV-B ("we choose to trade complexity for accuracy, by
+//     overestimating"); for concave and linear curves it is exact.
+//
+// Values before the newest anchor are not meaningful: the scheduler only
+// ever queries at the current time or later.
+func TestRTSCMinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		sc := randSC(rng)
+		var r RTSC
+		type anchor struct{ x, y int64 }
+		x0 := rng.Int63n(10 * ms)
+		y0 := rng.Int63n(1 << 20)
+		r.Init(sc, x0, y0)
+		anchors := []anchor{{x0, y0}}
+
+		// Apply several updates with increasing anchors (activations are
+		// monotone in time, and service is monotone too).
+		x, y := x0, y0
+		for k := 0; k < 5; k++ {
+			x += rng.Int63n(50*ms) + 1
+			y += rng.Int63n(1 << 18)
+			r.Min(sc, x, y)
+			anchors = append(anchors, anchor{x, y})
+		}
+
+		// Rounding tolerance: each update can round a crossing point to a
+		// whole nanosecond and floor the segment rise, so errors of up to
+		// one byte plus one ns worth of slope accumulate per update.
+		tol := 6 * (int64(sc.M1/NsPerSec) + int64(sc.M2/NsPerSec) + 2)
+		// Convex over-crediting allowance.
+		var deficit int64
+		if sc.M1 < sc.M2 {
+			deficit = FromSC(Linear(sc.M2 - sc.M1)).Eval(sc.D)
+		}
+
+		for probe := 0; probe < 200; probe++ {
+			px := x + rng.Int63n(500*ms) // forward of the last anchor only
+			want := Inf
+			for _, a := range anchors {
+				if v := a.y + sc.Eval(px-a.x); v < want {
+					want = v
+				}
+			}
+			got := r.X2Y(px)
+			if got < want-tol {
+				t.Fatalf("trial %d sc=%v probe x=%d: under-credit %d < %d\nanchors=%v\nrtsc=%v",
+					trial, sc, px, got, want, anchors, &r)
+			}
+			if got > want+deficit+tol {
+				t.Fatalf("trial %d sc=%v probe x=%d: over-credit %d > %d+%d\nanchors=%v\nrtsc=%v",
+					trial, sc, px, got, want, deficit, anchors, &r)
+			}
+		}
+
+		// The first-segment extent never exceeds the specification's,
+		// which is what keeps the concave update exact (see analysis in
+		// the Min doc comment).
+		if r.Dx > sc.D && sc.D > 0 {
+			t.Fatalf("trial %d sc=%v: Dx=%d exceeds spec D=%d", trial, sc, r.Dx, sc.D)
+		}
+	}
+}
+
+// For concave and linear curves the updated runtime curve must be the
+// *exact* pointwise minimum forward of the last anchor (within nanosecond
+// crossing rounding).
+func TestRTSCMinExactForConcave(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		m2 := rng.Uint64()%(1<<30) + 1
+		sc := SC{M1: m2 + rng.Uint64()%(1<<29) + 1, D: rng.Int63n(50*ms) + 1, M2: m2}
+		if trial%5 == 0 {
+			sc = Linear(m2)
+		}
+		var r RTSC
+		r.Init(sc, 0, 0)
+		type anchor struct{ x, y int64 }
+		anchors := []anchor{{0, 0}}
+		x, y := int64(0), int64(0)
+		for k := 0; k < 6; k++ {
+			x += rng.Int63n(80*ms) + 1
+			y += rng.Int63n(1 << 19)
+			r.Min(sc, x, y)
+			anchors = append(anchors, anchor{x, y})
+		}
+		tol := 7 * (int64(sc.M1/NsPerSec) + int64(sc.M2/NsPerSec) + 2)
+		for probe := 0; probe < 200; probe++ {
+			px := x + rng.Int63n(500*ms)
+			want := Inf
+			for _, a := range anchors {
+				if v := a.y + sc.Eval(px-a.x); v < want {
+					want = v
+				}
+			}
+			got := r.X2Y(px)
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > tol {
+				t.Fatalf("trial %d sc=%v probe x=%d: got %d want %d tol %d\nanchors=%v\nrtsc=%v",
+					trial, sc, px, got, want, tol, anchors, &r)
+			}
+		}
+	}
+}
+
+// Values at or before the anchor are flat at the anchor's Y.
+func TestRTSCFlatBeforeAnchor(t *testing.T) {
+	var r RTSC
+	r.Init(SC{M1: 2 * mbps, D: 10 * ms, M2: mbps}, 50*ms, 1234)
+	for _, x := range []int64{0, 25 * ms, 50 * ms} {
+		if got := r.X2Y(x); got != 1234 {
+			t.Errorf("X2Y(%d)=%d want 1234", x, got)
+		}
+	}
+}
+
+// Min must be idempotent: applying the same update twice changes nothing.
+func TestRTSCMinIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		sc := randSC(rng)
+		var r RTSC
+		r.Init(sc, 0, 0)
+		x := rng.Int63n(50 * ms)
+		y := rng.Int63n(1 << 20)
+		r.Min(sc, x, y)
+		before := r
+		r.Min(sc, x, y)
+		if r != before {
+			t.Fatalf("trial %d: Min not idempotent: %v -> %v (sc=%v)", trial, &before, &r, sc)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package curve implements the service-curve mathematics at the heart of
+// H-FSC (Stoica, Zhang, Ng — SIGCOMM '97).
+//
+// Units are fixed across the whole repository: time is int64 nanoseconds,
+// service is int64 bytes, and slopes are uint64 bytes per second. All
+// arithmetic is exact integer math (see internal/fixpt), so every curve
+// operation is deterministic and property-testable.
+//
+// Two representations are provided:
+//
+//   - SC: a two-piece linear service-curve specification (m1, d, m2), the
+//     only shape the paper's scheduler supports (Section V). Concave curves
+//     (m1 > m2) buy low delay; convex curves (m1 < m2) defer service.
+//   - RTSC: a *runtime* curve anchored at a point (x, y), updated with the
+//     min-operation of the paper's Fig. 8 each time a session turns active.
+//     Deadline, eligible and virtual curves are all RTSCs.
+//
+// A generalized piecewise-linear Curve type (curve.go) supports sums, mins
+// and pointwise comparison for admission control and the fluid reference
+// model, where results are no longer two-piece.
+package curve
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/fixpt"
+)
+
+// NsPerSec is the number of nanoseconds per second; slopes are expressed in
+// bytes per second and times in nanoseconds throughout.
+const NsPerSec = 1_000_000_000
+
+// Inf is the saturation value used for times and service amounts that are
+// effectively infinite (e.g. the inverse of a zero-slope segment).
+const Inf = fixpt.MaxInt64
+
+// SC is a two-piece linear service-curve specification: slope M1 (bytes/s)
+// for the first D nanoseconds, slope M2 (bytes/s) afterwards. The zero SC
+// is the "no curve" value.
+type SC struct {
+	M1 uint64 // slope of the first segment, bytes per second
+	D  int64  // duration of the first segment, nanoseconds
+	M2 uint64 // slope of the second segment, bytes per second
+}
+
+// Linear returns the one-piece linear curve with slope m bytes/s.
+func Linear(m uint64) SC { return SC{M1: m, D: 0, M2: m} }
+
+// IsZero reports whether the curve is the all-zero curve (no guarantee).
+func (sc SC) IsZero() bool { return sc.M1 == 0 && sc.M2 == 0 }
+
+// IsLinear reports whether the curve is effectively a single line through
+// its origin.
+func (sc SC) IsLinear() bool { return sc.D == 0 || sc.M1 == sc.M2 }
+
+// IsConcave reports whether the curve is strictly concave (first segment
+// steeper): the shape that provides a lower delay than a linear curve of
+// the same asymptotic rate M2.
+func (sc SC) IsConcave() bool { return sc.D > 0 && sc.M1 > sc.M2 }
+
+// IsConvex reports whether the curve is strictly convex (first segment
+// shallower).
+func (sc SC) IsConvex() bool { return sc.D > 0 && sc.M1 < sc.M2 }
+
+// Validate checks the specification for representability.
+func (sc SC) Validate() error {
+	if sc.D < 0 {
+		return fmt.Errorf("curve: negative first-segment duration %d", sc.D)
+	}
+	return nil
+}
+
+// Eval returns the curve value (bytes) at relative time t (ns), saturating
+// at Inf. Negative t evaluates to 0, matching S(t)=0 for t<=0.
+func (sc SC) Eval(t int64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	if t <= sc.D {
+		return segX2Y(t, sc.M1)
+	}
+	return fixpt.SatAdd(segX2Y(sc.D, sc.M1), segX2Y(t-sc.D, sc.M2))
+}
+
+// Rate returns the asymptotic (long-term) rate of the curve in bytes/s.
+func (sc SC) Rate() uint64 { return sc.M2 }
+
+// String renders the curve in the conventional "m1 d m2" form with
+// human-readable units.
+func (sc SC) String() string {
+	if sc.IsLinear() {
+		return fmt.Sprintf("linear(%d B/s)", sc.M2)
+	}
+	return fmt.Sprintf("sc(m1=%d B/s, d=%dus, m2=%d B/s)", sc.M1, sc.D/1000, sc.M2)
+}
+
+// FromUMaxDmaxRate maps the per-session parameters of the paper's Fig. 7 —
+// the largest unit of work umax (bytes) requiring delay guarantee dmax (ns)
+// and the session's average rate (bytes/s) — onto a two-piece linear curve:
+//
+//   - if umax/dmax > rate the session needs priority, producing the concave
+//     curve with m1 = umax/dmax until d = dmax, then m2 = rate;
+//   - otherwise the convex curve with a zero first segment until
+//     d = dmax − umax/rate, then m2 = rate.
+func FromUMaxDmaxRate(umax int64, dmax int64, rate uint64) (SC, error) {
+	if umax <= 0 || dmax <= 0 || rate == 0 {
+		return SC{}, fmt.Errorf("curve: umax, dmax and rate must be positive (got %d, %d, %d)", umax, dmax, rate)
+	}
+	// umax/dmax > rate  ⇔  umax * NsPerSec > rate * dmax
+	m1 := fixpt.MulDivCeilSat(uint64(umax), NsPerSec, uint64(dmax))
+	if uint64(m1) > rate {
+		return SC{M1: uint64(m1), D: dmax, M2: rate}, nil
+	}
+	// time to send umax at rate: umax/rate seconds
+	tu := fixpt.MulDivCeilSat(uint64(umax), NsPerSec, rate)
+	if tu >= dmax {
+		// Degenerate: the rate alone meets the delay bound exactly;
+		// fall back to the linear curve.
+		return Linear(rate), nil
+	}
+	return SC{M1: 0, D: dmax - tu, M2: rate}, nil
+}
+
+// segX2Y converts a nanosecond span into bytes at slope m bytes/s,
+// rounding down and saturating.
+func segX2Y(dt int64, m uint64) int64 {
+	if dt <= 0 || m == 0 {
+		return 0
+	}
+	return fixpt.MulDivSat(uint64(dt), m, NsPerSec)
+}
+
+// segY2X returns the smallest nanosecond span dt such that
+// segX2Y(dt, m) >= dy, saturating at Inf (in particular when m == 0).
+func segY2X(dy int64, m uint64) int64 {
+	if dy <= 0 {
+		return 0
+	}
+	if m == 0 {
+		return Inf
+	}
+	return fixpt.MulDivCeilSat(uint64(dy), NsPerSec, m)
+}

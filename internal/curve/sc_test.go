@@ -1,0 +1,177 @@
+package curve
+
+import (
+	"testing"
+)
+
+const (
+	kbps = 125              // 1 Kb/s in bytes/s
+	mbps = 125_000          // 1 Mb/s in bytes/s
+	ms   = int64(1_000_000) // 1 ms in ns
+)
+
+func TestSCClassification(t *testing.T) {
+	cases := []struct {
+		name                    string
+		sc                      SC
+		linear, concave, convex bool
+	}{
+		{"zero", SC{}, true, false, false},
+		{"linear", Linear(10 * mbps), true, false, false},
+		{"concave", SC{M1: 20 * mbps, D: 5 * ms, M2: 10 * mbps}, false, true, false},
+		{"convex", SC{M1: 0, D: 5 * ms, M2: 10 * mbps}, false, false, true},
+		{"equal slopes with d", SC{M1: mbps, D: 5 * ms, M2: mbps}, true, false, false},
+		{"d zero", SC{M1: 20 * mbps, D: 0, M2: 10 * mbps}, true, false, false},
+	}
+	for _, c := range cases {
+		if got := c.sc.IsLinear(); got != c.linear {
+			t.Errorf("%s: IsLinear=%v want %v", c.name, got, c.linear)
+		}
+		if got := c.sc.IsConcave(); got != c.concave {
+			t.Errorf("%s: IsConcave=%v want %v", c.name, got, c.concave)
+		}
+		if got := c.sc.IsConvex(); got != c.convex {
+			t.Errorf("%s: IsConvex=%v want %v", c.name, got, c.convex)
+		}
+	}
+}
+
+func TestSCEval(t *testing.T) {
+	sc := SC{M1: 2 * mbps, D: 10 * ms, M2: mbps}
+	if got := sc.Eval(-1); got != 0 {
+		t.Errorf("Eval(-1)=%d", got)
+	}
+	if got := sc.Eval(0); got != 0 {
+		t.Errorf("Eval(0)=%d", got)
+	}
+	// 5ms at 2 Mb/s = 1250 bytes
+	if got := sc.Eval(5 * ms); got != 1250 {
+		t.Errorf("Eval(5ms)=%d want 1250", got)
+	}
+	// 10ms at 2 Mb/s = 2500 bytes (inflection)
+	if got := sc.Eval(10 * ms); got != 2500 {
+		t.Errorf("Eval(10ms)=%d want 2500", got)
+	}
+	// +10ms at 1 Mb/s = +1250
+	if got := sc.Eval(20 * ms); got != 3750 {
+		t.Errorf("Eval(20ms)=%d want 3750", got)
+	}
+}
+
+func TestSCValidate(t *testing.T) {
+	if err := (SC{M1: 1, D: -1, M2: 1}).Validate(); err == nil {
+		t.Error("negative D accepted")
+	}
+	if err := (SC{M1: 1, D: 1, M2: 1}).Validate(); err != nil {
+		t.Errorf("valid curve rejected: %v", err)
+	}
+}
+
+func TestFromUMaxDmaxRateConcave(t *testing.T) {
+	// Audio: 160-byte packets, 5 ms delay, 8 KB/s (64 Kb/s).
+	// umax/dmax = 160B/5ms = 32 KB/s > 8 KB/s ⇒ concave.
+	sc, err := FromUMaxDmaxRate(160, 5*ms, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.IsConcave() {
+		t.Fatalf("expected concave, got %v", sc)
+	}
+	if sc.M2 != 8000 || sc.D != 5*ms {
+		t.Errorf("sc=%v want m2=8000 d=5ms", sc)
+	}
+	// The curve must reach umax by dmax.
+	if got := sc.Eval(5 * ms); got < 160 {
+		t.Errorf("Eval(dmax)=%d < umax", got)
+	}
+}
+
+func TestFromUMaxDmaxRateConvex(t *testing.T) {
+	// Data: 1500-byte packets, 100 ms delay, 1 MB/s.
+	// umax/dmax = 15 KB/s < 1 MB/s ⇒ convex: flat for dmax−umax/rate.
+	sc, err := FromUMaxDmaxRate(1500, 100*ms, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.IsConvex() {
+		t.Fatalf("expected convex, got %v", sc)
+	}
+	if sc.M1 != 0 || sc.M2 != 1_000_000 {
+		t.Errorf("sc=%v", sc)
+	}
+	// Still reaches umax by dmax.
+	if got := sc.Eval(100 * ms); got < 1500 {
+		t.Errorf("Eval(dmax)=%d < umax", got)
+	}
+	// But not much earlier than the flat segment allows.
+	if got := sc.Eval(sc.D); got != 0 {
+		t.Errorf("Eval(D)=%d want 0", got)
+	}
+}
+
+func TestFromUMaxDmaxRateDegenerate(t *testing.T) {
+	// umax/rate == dmax exactly: the linear curve suffices.
+	sc, err := FromUMaxDmaxRate(1000, 1*ms, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.IsLinear() || sc.M2 != 1_000_000 {
+		t.Errorf("sc=%v want linear 1MB/s", sc)
+	}
+	if _, err := FromUMaxDmaxRate(0, ms, 1); err == nil {
+		t.Error("zero umax accepted")
+	}
+	if _, err := FromUMaxDmaxRate(1, 0, 1); err == nil {
+		t.Error("zero dmax accepted")
+	}
+	if _, err := FromUMaxDmaxRate(1, ms, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestFromUMaxDmaxRateMeetsDelayProperty(t *testing.T) {
+	// For any parameters, the resulting curve must deliver umax bytes
+	// within dmax and have asymptotic rate == rate.
+	params := []struct {
+		u    int64
+		d    int64
+		rate uint64
+	}{
+		{64, ms, 1000}, {1500, 10 * ms, mbps}, {9000, 100 * ms, 10 * mbps},
+		{160, 5 * ms, 8000}, {1, 1, 1}, {1 << 20, 500 * ms, 1 << 30},
+	}
+	for _, p := range params {
+		sc, err := FromUMaxDmaxRate(p.u, p.d, p.rate)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if got := sc.Eval(p.d); got < p.u {
+			t.Errorf("%+v: Eval(dmax)=%d < umax", p, got)
+		}
+		if sc.Rate() != p.rate {
+			t.Errorf("%+v: rate %d", p, sc.Rate())
+		}
+	}
+}
+
+func TestSegY2XInverseOfSegX2Y(t *testing.T) {
+	for _, m := range []uint64{1, 7, 1000, mbps, 10 * mbps, 1 << 40} {
+		for _, dy := range []int64{0, 1, 100, 1500, 1 << 30} {
+			x := segY2X(dy, m)
+			if x == Inf {
+				t.Fatalf("unexpected Inf for m=%d dy=%d", m, dy)
+			}
+			if got := segX2Y(x, m); got < dy {
+				t.Errorf("m=%d dy=%d: segX2Y(segY2X)=%d < dy", m, dy, got)
+			}
+			if x > 0 {
+				if got := segX2Y(x-1, m); got >= dy && dy > 0 {
+					t.Errorf("m=%d dy=%d: x not minimal", m, dy)
+				}
+			}
+		}
+	}
+	if segY2X(1, 0) != Inf {
+		t.Error("zero slope inverse should be Inf")
+	}
+}

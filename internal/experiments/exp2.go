@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/hierarchy"
+	"github.com/netsched/hfsc/internal/pfq"
+	"github.com/netsched/hfsc/internal/sim"
+	"github.com/netsched/hfsc/internal/source"
+	"github.com/netsched/hfsc/internal/stats"
+)
+
+const exp2Spec = `
+link 10Mbit
+class orgA root ls=5Mbit
+class orgB root ls=5Mbit
+class a1   orgA ls=3Mbit qlen=20
+class a2   orgA ls=2Mbit qlen=20
+class b1   orgB ls=3Mbit qlen=20
+class b2   orgB ls=2Mbit qlen=20
+`
+
+// exp2Trace drives four leaves through activity phases:
+//
+//	phase 1 (0–300ms):   all greedy
+//	phase 2 (300–600ms): a2 idle — its share must flow to a1, not org B
+//	phase 3 (600–900ms): a2 returns, b1+b2 idle — org B's share splits 3:2
+func exp2Trace(id func(string) int, link uint64) []sim.Arrival {
+	return source.Merge(
+		source.Greedy(id("a1"), 1, 1000, 2*link, 0, 900*ms),
+		source.Greedy(id("a2"), 2, 1000, 2*link, 0, 300*ms),
+		source.Greedy(id("a2"), 2, 1000, 2*link, 600*ms, 900*ms),
+		source.Greedy(id("b1"), 3, 1000, 2*link, 0, 600*ms),
+		source.Greedy(id("b2"), 4, 1000, 2*link, 0, 600*ms),
+	)
+}
+
+// Exp2 is the link-sharing evaluation: throughput of each class over 50 ms
+// windows under H-FSC and H-WF2Q+, compared against the ideal fluid FSC
+// distribution. The shape: all packetized algorithms track the ideal, and
+// the per-window discrepancy stays within a few packets.
+func Exp2() *Report {
+	r := &Report{ID: "EXP-2", Title: "Hierarchical link-sharing dynamics vs the ideal fluid model"}
+	const (
+		end = 900 * ms
+		win = 50 * ms
+	)
+	spec := hierarchy.MustParse(exp2Spec)
+	link := spec.LinkRate
+	leaves := []string{"a1", "a2", "b1", "b2"}
+
+	// Ideal fluid reference.
+	fl, fByName, err := spec.BuildFluid(win)
+	if err != nil {
+		panic(err)
+	}
+	// The fluid model needs the same offered load; feed it the trace bytes.
+	{
+		ids := map[string]int{}
+		sch, byName, err := spec.BuildHFSC(core.Options{})
+		_ = sch
+		if err != nil {
+			panic(err)
+		}
+		for _, n := range leaves {
+			ids[n] = byName[n].ID()
+		}
+		rev := map[int]string{}
+		for n, i := range ids {
+			rev[i] = n
+		}
+		for _, a := range exp2Trace(func(n string) int { return ids[n] }, link) {
+			fl.Arrive(fByName[rev[a.Class]], a.At, float64(a.Len))
+		}
+		fl.Run(link, end)
+	}
+	idealRate := func(name string, w int64) float64 {
+		// Rate over (w, w+win] from history snapshots.
+		hist := fl.History()
+		id := fByName[name].ID()
+		at := func(t int64) float64 {
+			best := 0.0
+			for _, h := range hist {
+				if h.At <= t {
+					best = h.Totals[id]
+				} else {
+					break
+				}
+			}
+			return best
+		}
+		return (at(w+win) - at(w)) / (float64(win) / 1e9)
+	}
+
+	type algRun struct {
+		name string
+		ser  *stats.Series
+		ids  map[string]int
+	}
+	var runs []algRun
+	{
+		sch, byName, err := spec.BuildHFSC(core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		ids := map[string]int{}
+		for _, n := range leaves {
+			ids[n] = byName[n].ID()
+		}
+		res := run(sch, link, exp2Trace(func(n string) int { return ids[n] }, link), end)
+		runs = append(runs, algRun{"H-FSC", series(res, win), ids})
+	}
+	{
+		h, byName, err := spec.BuildHPFQ(pfq.WF2Q, 20)
+		if err != nil {
+			panic(err)
+		}
+		ids := map[string]int{}
+		for _, n := range leaves {
+			ids[n] = byName[n].ID()
+		}
+		res := run(h, link, exp2Trace(func(n string) int { return ids[n] }, link), end)
+		runs = append(runs, algRun{"H-WF2Q+", series(res, win), ids})
+	}
+
+	tbl := &stats.Table{Header: []string{"window", "class", "ideal", "H-FSC", "H-WF2Q+"}}
+	maxDev := map[string]float64{}
+	for w := int64(0); w < end; w += win {
+		for _, n := range leaves {
+			ideal := idealRate(n, w)
+			row := []string{stats.FmtDur(float64(w)), n, stats.FmtRate(ideal)}
+			for _, ar := range runs {
+				got := ar.ser.Rate(ar.ids[n], int(w/win))
+				row = append(row, stats.FmtRate(got))
+				if w >= 100*ms { // skip the fill transient
+					if d := math.Abs(got-ideal) * (float64(win) / 1e9); d > maxDev[ar.name] {
+						maxDev[ar.name] = d
+					}
+				}
+			}
+			if w%(150*ms) == 0 { // keep the table readable
+				tbl.AddRow(row...)
+			}
+		}
+	}
+	r.Tables = append(r.Tables, tbl)
+	for _, ar := range runs {
+		r.notef("%s: max per-window deviation from ideal = %.0f bytes", ar.name, maxDev[ar.name])
+	}
+	// Within ~20 packets of ideal per 50 ms window.
+	slack := 20.0 * 1000
+	r.check("H-FSC tracks the fluid ideal", maxDev["H-FSC"] <= slack, "%.0f bytes", maxDev["H-FSC"])
+	r.check("H-WF2Q+ tracks the fluid ideal", maxDev["H-WF2Q+"] <= slack, "%.0f bytes", maxDev["H-WF2Q+"])
+	_ = sim.TxTime
+	return r
+}

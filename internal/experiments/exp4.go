@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pfq"
+	"github.com/netsched/hfsc/internal/sim"
+	"github.com/netsched/hfsc/internal/source"
+	"github.com/netsched/hfsc/internal/stats"
+)
+
+// Exp4 measures the worst audio delay as a function of the class's depth
+// in the hierarchy. In H-PFQ, packet selection composes per-node virtual
+// times top-down, so the delay bound of a leaf grows with its depth
+// (Section IV-A: "the delay bound provided to a leaf class increases with
+// the depth of the leaf"); H-FSC's real-time criterion considers leaves
+// only, so its bound is depth-independent. Each level adds greedy
+// cross-traffic competing with the chain that leads to the audio leaf.
+func Exp4() *Report {
+	r := &Report{ID: "EXP-4", Title: "Delay bound vs hierarchy depth (H-FSC flat, H-PFQ grows)"}
+	const (
+		link = 10 * mbit
+		end  = 3 * sec
+	)
+	depths := []int{1, 2, 4, 6}
+	tbl := &stats.Table{Header: []string{"depth", "H-FSC max", "H-WF2Q+ max"}}
+	var hfscWorst, wfqWorst []float64
+
+	for _, depth := range depths {
+		// H-FSC: chain of interiors, audio at the bottom, greedy data
+		// under each interior.
+		var hfscMax, wfqMax float64
+		{
+			s := core.New(core.Options{DefaultQueueLimit: 100})
+			parent := (*core.Class)(nil)
+			var traces [][]sim.Arrival
+			share := link
+			for lvl := 0; lvl < depth; lvl++ {
+				share /= 2
+				inner, err := s.AddClass(parent, fmt.Sprintf("agg%d", lvl), curve.SC{}, curve.Linear(share), curve.SC{})
+				if err != nil {
+					panic(err)
+				}
+				dataCl, err := s.AddClass(parent, fmt.Sprintf("x%d", lvl), curve.SC{}, curve.Linear(share), curve.SC{})
+				if err != nil {
+					panic(err)
+				}
+				traces = append(traces, source.Greedy(dataCl.ID(), flowData, 1500, link, 0, end))
+				parent = inner
+			}
+			audioSC, _ := curve.FromUMaxDmaxRate(160, 5*ms, 64*kbit)
+			audio, err := s.AddClass(parent, "audio", audioSC, curve.Linear(64*kbit), curve.SC{})
+			if err != nil {
+				panic(err)
+			}
+			sib, _ := s.AddClass(parent, "leafdata", curve.SC{}, curve.Linear(share), curve.SC{})
+			traces = append(traces,
+				source.CBR(audio.ID(), flowAudio, 160, 20*ms, 0, end),
+				source.Greedy(sib.ID(), flowData, 1500, link, 0, end))
+			res := run(s, link, source.Merge(traces...), end)
+			hfscMax = delayStats(res)[flowAudio].Max()
+		}
+		{
+			h := pfq.New(pfq.WF2Q, 100)
+			parent := (*pfq.Node)(nil)
+			var traces [][]sim.Arrival
+			share := link
+			for lvl := 0; lvl < depth; lvl++ {
+				share /= 2
+				inner, err := h.AddNode(parent, fmt.Sprintf("agg%d", lvl), share)
+				if err != nil {
+					panic(err)
+				}
+				dataN, err := h.AddNode(parent, fmt.Sprintf("x%d", lvl), share)
+				if err != nil {
+					panic(err)
+				}
+				traces = append(traces, source.Greedy(dataN.ID(), flowData, 1500, link, 0, end))
+				parent = inner
+			}
+			audio, err := h.AddNode(parent, "audio", 64*kbit)
+			if err != nil {
+				panic(err)
+			}
+			sib, _ := h.AddNode(parent, "leafdata", share)
+			traces = append(traces,
+				source.CBR(audio.ID(), flowAudio, 160, 20*ms, 0, end),
+				source.Greedy(sib.ID(), flowData, 1500, link, 0, end))
+			res := run(h, link, source.Merge(traces...), end)
+			wfqMax = delayStats(res)[flowAudio].Max()
+		}
+		hfscWorst = append(hfscWorst, hfscMax)
+		wfqWorst = append(wfqWorst, wfqMax)
+		tbl.AddRow(fmt.Sprintf("%d", depth), stats.FmtDur(hfscMax), stats.FmtDur(wfqMax))
+	}
+	r.Tables = append(r.Tables, tbl)
+
+	bound := 5e6 + float64(sim.TxTime(1500, link))
+	flat := true
+	for _, v := range hfscWorst {
+		if v > bound {
+			flat = false
+		}
+	}
+	r.check("H-FSC audio delay independent of depth (within Thm-2 bound)", flat,
+		"max across depths %s vs bound %s",
+		stats.FmtDur(maxOf(hfscWorst)), stats.FmtDur(bound))
+	r.check("H-WF2Q+ audio delay grows with depth",
+		wfqWorst[len(wfqWorst)-1] >= 1.5*wfqWorst[0],
+		"depth %d: %s vs depth %d: %s", depths[len(depths)-1],
+		stats.FmtDur(wfqWorst[len(wfqWorst)-1]), depths[0], stats.FmtDur(wfqWorst[0]))
+	return r
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

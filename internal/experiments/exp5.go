@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/sim"
+	"github.com/netsched/hfsc/internal/source"
+	"github.com/netsched/hfsc/internal/stats"
+)
+
+// Exp5 stress-tests Theorem 2 empirically: across randomized admissible
+// real-time curve sets and bursty arrivals, no deadline is missed by more
+// than the transmission time of one maximum-length packet. The reported
+// figure is the worst lateness observed, normalized by that bound — the
+// paper's claim is that the ratio never exceeds 1.
+func Exp5() *Report {
+	r := &Report{ID: "EXP-5", Title: "Theorem 2: worst deadline lateness <= Lmax/R across random admissible sets"}
+	const (
+		link   = 10 * mbit
+		trials = 20
+		maxPkt = 1500
+	)
+	bound := sim.TxTime(maxPkt, link)
+	rng := source.NewRand(2024)
+
+	tbl := &stats.Table{Header: []string{"trial", "sessions", "shapes", "worst lateness", "lateness/bound"}}
+	var worstRatio float64
+	ran := 0
+	for trial := 0; ran < trials; trial++ {
+		n := 2 + rng.Intn(6)
+		rates := make([]uint64, n)
+		var sum uint64
+		for i := range rates {
+			rates[i] = uint64(rng.Intn(int(2*mbit))) + 10*kbit
+			sum += rates[i]
+		}
+		var scs []curve.SC
+		shapes := ""
+		for i := range rates {
+			rate := rates[i] * (link * 8 / 10) / sum
+			var sc curve.SC
+			switch rng.Intn(3) {
+			case 0:
+				sc = curve.Linear(rate)
+				shapes += "l"
+			case 1:
+				sc = curve.SC{M1: 2 * rate, D: int64(rng.Intn(20)+1) * ms, M2: rate}
+				shapes += "c"
+			default:
+				sc = curve.SC{M1: 0, D: int64(rng.Intn(20)+1) * ms, M2: rate}
+				shapes += "v"
+			}
+			scs = append(scs, sc)
+		}
+		if !curve.SumSC(scs...).LE(curve.LinearCurve(link)) {
+			continue // inadmissible draw: Theorem 2's precondition fails
+		}
+		ran++
+
+		s := core.New(core.Options{})
+		var traces [][]sim.Arrival
+		for i, sc := range scs {
+			cl, err := s.AddClass(nil, fmt.Sprintf("s%d", i), sc, curve.Linear(sc.M2), curve.SC{})
+			if err != nil {
+				panic(err)
+			}
+			// Bursty on-off arrivals with random packet sizes.
+			at := int64(rng.Intn(int(5 * ms)))
+			for at < 250*ms {
+				if rng.Intn(8) == 0 {
+					at += int64(rng.Intn(int(40 * ms)))
+					continue
+				}
+				traces = append(traces, []sim.Arrival{{
+					At: at, Len: rng.Intn(maxPkt-64) + 64, Class: cl.ID(), Flow: i,
+				}})
+				at += int64(rng.Intn(int(2 * ms)))
+			}
+		}
+		res := run(s, link, source.Merge(traces...), 0)
+		late := worstLateness(res)
+		ratio := float64(late) / float64(bound)
+		if ratio > worstRatio {
+			worstRatio = ratio
+		}
+		tbl.AddRow(fmt.Sprintf("%d", ran), fmt.Sprintf("%d", n), shapes,
+			stats.FmtDur(float64(late)), fmt.Sprintf("%.3f", ratio))
+	}
+	r.Tables = append(r.Tables, tbl)
+	r.check("worst lateness within one max packet (Thm 2)", worstRatio <= 1.0,
+		"max ratio %.3f", worstRatio)
+	r.notef("bound Lmax/R = %s at 10 Mb/s with 1500 B packets", stats.FmtDur(float64(bound)))
+	return r
+}

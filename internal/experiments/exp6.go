@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/sced"
+	"github.com/netsched/hfsc/internal/sim"
+	"github.com/netsched/hfsc/internal/source"
+	"github.com/netsched/hfsc/internal/stats"
+)
+
+// Exp6 quantifies the fairness property of Section III-B on a recurring
+// pattern: session 2 periodically idles and returns while session 1 stays
+// greedy. For each return we measure how long session 2 needs to climb
+// back to 90% of its fair share, and symmetrically confirm that session 1
+// is never driven to zero while "paying back" excess. H-FSC resumes
+// immediately; SCED (virtual clock) penalizes whoever over-used.
+func Exp6() *Report {
+	r := &Report{ID: "EXP-6", Title: "Fairness: idle-and-return sessions resume their share immediately"}
+	const (
+		link   = 2 * mbit
+		period = 200 * ms
+		onFor  = 120 * ms
+		end    = 1600 * ms
+		win    = 10 * ms
+	)
+	mkTrace := func() []sim.Arrival {
+		var tr [][]sim.Arrival
+		tr = append(tr, source.Greedy(1, 1, 1000, 4*link, 0, end))
+		for cyc := int64(0); cyc*period < end; cyc++ {
+			start := cyc * period
+			tr = append(tr, source.Greedy(2, 2, 1000, 4*link, start, start+onFor))
+		}
+		return source.Merge(tr...)
+	}
+
+	type out struct {
+		name             string
+		recoveryWorst    int64 // worst time for s2 to reach 90% share after return
+		s1StarvedWindows int
+	}
+	measure := func(name string, res *sim.Result) out {
+		o := out{name: name}
+		fair := float64(link) / 2 * (float64(win) / 1e9) // fair bytes per window
+		for cyc := int64(1); cyc*period < end-period; cyc++ {
+			start := cyc * period
+			var rec int64 = onFor
+			for w := start; w < start+onFor-win; w += win {
+				if float64(classWindowBytes(res, w, w+win)[2]) >= 0.9*fair {
+					rec = w - start
+					break
+				}
+			}
+			if rec > o.recoveryWorst {
+				o.recoveryWorst = rec
+			}
+			// While both are active, session 1 must keep receiving.
+			for w := start + 2*win; w < start+onFor-win; w += win {
+				if classWindowBytes(res, w, w+win)[1] == 0 {
+					o.s1StarvedWindows++
+				}
+			}
+		}
+		return o
+	}
+
+	var outs []out
+	{
+		s := core.New(core.Options{DefaultQueueLimit: 30})
+		s.AddClass(nil, "s1", curve.SC{}, curve.Linear(link/2), curve.SC{})
+		s.AddClass(nil, "s2", curve.SC{}, curve.Linear(link/2), curve.SC{})
+		outs = append(outs, measure("H-FSC", run(s, link, mkTrace(), end)))
+	}
+	{
+		s := sced.New(30)
+		s.AddSession("pad", curve.Linear(1))
+		s.AddSession("s1", curve.Linear(link/2))
+		s.AddSession("s2", curve.Linear(link/2))
+		outs = append(outs, measure("SCED/VC", run(s, link, mkTrace(), end)))
+	}
+
+	tbl := &stats.Table{Header: []string{"scheduler", "worst s2 recovery to 90% share", "s1 starved windows"}}
+	for _, o := range outs {
+		tbl.AddRowf(o.name, stats.FmtDur(float64(o.recoveryWorst)), o.s1StarvedWindows)
+	}
+	r.Tables = append(r.Tables, tbl)
+	r.check("H-FSC: returning session reaches its share within ~2 windows",
+		outs[0].recoveryWorst <= 2*win, "%s", stats.FmtDur(float64(outs[0].recoveryWorst)))
+	r.check("H-FSC: greedy session never starved while sharing",
+		outs[0].s1StarvedWindows == 0, "%d windows", outs[0].s1StarvedWindows)
+	r.check("SCED punishes one side (starved windows or slow recovery)",
+		outs[1].s1StarvedWindows > 0 || outs[1].recoveryWorst > 4*win,
+		"recovery %s, starved %d", stats.FmtDur(float64(outs[1].recoveryWorst)), outs[1].s1StarvedWindows)
+	return r
+}

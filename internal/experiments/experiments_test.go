@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentShapes runs every registered experiment and requires
+// all of its shape checks — the qualitative results the paper reports — to
+// pass. This is the repository's continuous reproduction of the paper's
+// evaluation.
+func TestAllExperimentShapes(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep := Registry[id]()
+			if rep == nil {
+				t.Fatal("nil report")
+			}
+			if len(rep.Checks) == 0 {
+				t.Fatal("experiment defines no shape checks")
+			}
+			for _, f := range rep.Failed() {
+				t.Errorf("shape check failed: %s", f)
+			}
+			var b strings.Builder
+			if err := rep.Write(&b); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(b.String(), rep.ID) {
+				t.Error("report rendering lost the id")
+			}
+			if testing.Verbose() {
+				t.Log("\n" + b.String())
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "tbla1", "abl2", "abl3"}
+	for _, id := range want {
+		if Registry[id] == nil {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries want %d", len(IDs()), len(want))
+	}
+}

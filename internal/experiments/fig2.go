@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/sced"
+	"github.com/netsched/hfsc/internal/sim"
+	"github.com/netsched/hfsc/internal/source"
+	"github.com/netsched/hfsc/internal/stats"
+)
+
+// Fig2 reproduces the punishment example of the paper's Fig. 2: session 1
+// is active alone from t=0 and receives the whole link; session 2 becomes
+// active at t1 = 300 ms. Under SCED, session 1's deadline curve already
+// accounts for all the excess service it consumed, so it is locked out
+// until session 2 catches up; under H-FSC the link-sharing criterion's
+// virtual times restart the competition fairly and session 1 keeps
+// receiving its share immediately.
+//
+// The reported series is each session's throughput in 40 ms windows around
+// t1, plus the length of session 1's starvation interval — the paper's
+// (t1, t2] gap, which should be ~0 under H-FSC.
+func Fig2() *Report {
+	r := &Report{ID: "FIG-2", Title: "SCED punishes excess service; fair H-FSC does not"}
+	const (
+		link  = 2 * mbit
+		t1    = 300 * ms
+		end   = 600 * ms
+		pkt   = 1000
+		win   = 40 * ms
+		horiz = 560 * ms
+	)
+	trace := source.Merge(
+		source.Greedy(1, 1, pkt, 4*link, 0, end),
+		source.Greedy(2, 2, pkt, 4*link, t1, end),
+	)
+
+	type outcome struct {
+		name   string
+		res    *sim.Result
+		starve int64
+	}
+	var outs []outcome
+
+	// SCED with the same linear reservations (identically, virtual clock).
+	{
+		s := sced.New(0)
+		s.AddSession("pad", curve.Linear(1)) // session ids start at 1 like the classes
+		s.AddSession("s1", curve.Linear(link/2))
+		s.AddSession("s2", curve.Linear(link/2))
+		outs = append(outs, outcome{name: "SCED", res: run(s, link, cloneTrace(trace), horiz)})
+	}
+	// H-FSC with equal link-sharing curves.
+	{
+		s := core.New(core.Options{})
+		s.AddClass(nil, "s1", curve.SC{}, curve.Linear(link/2), curve.SC{})
+		s.AddClass(nil, "s2", curve.SC{}, curve.Linear(link/2), curve.SC{})
+		outs = append(outs, outcome{name: "H-FSC", res: run(s, link, cloneTrace(trace), horiz)})
+	}
+
+	tbl := &stats.Table{Header: []string{"window", "SCED s1", "SCED s2", "H-FSC s1", "H-FSC s2"}}
+	for w := t1 - 2*win; w < t1+4*win; w += win {
+		row := []string{stats.FmtDur(float64(w)) + "+"}
+		for _, o := range outs {
+			b := classWindowBytes(o.res, w, w+win)
+			row = append(row,
+				stats.FmtRate(float64(b[1])/(float64(win)/1e9)),
+				stats.FmtRate(float64(b[2])/(float64(win)/1e9)))
+		}
+		tbl.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, tbl)
+
+	// Starvation length: longest run of 10 ms slots after t1 in which
+	// session 1 receives nothing.
+	for i := range outs {
+		var cur, worst int64
+		for w := t1; w < horiz-10*ms; w += 10 * ms {
+			if classWindowBytes(outs[i].res, w, w+10*ms)[1] == 0 {
+				cur += 10 * ms
+				if cur > worst {
+					worst = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		outs[i].starve = worst
+	}
+	r.notef("session 1 starvation after t1: SCED %s, H-FSC %s",
+		stats.FmtDur(float64(outs[0].starve)), stats.FmtDur(float64(outs[1].starve)))
+	r.check("SCED starves session 1 (punishment)", outs[0].starve >= 100*ms,
+		"%s", stats.FmtDur(float64(outs[0].starve)))
+	r.check("H-FSC does not punish session 1", outs[1].starve <= 20*ms,
+		"%s", stats.FmtDur(float64(outs[1].starve)))
+	return r
+}
+
+// cloneTrace deep-copies a trace so each scheduler sees fresh packets.
+func cloneTrace(tr []sim.Arrival) []sim.Arrival {
+	out := make([]sim.Arrival, len(tr))
+	copy(out, tr)
+	return out
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/sched"
+	"github.com/netsched/hfsc/internal/sim"
+	"github.com/netsched/hfsc/internal/stats"
+)
+
+// Common units.
+const (
+	kbit = uint64(125)     // 1 Kb/s in bytes/s
+	mbit = uint64(125_000) // 1 Mb/s in bytes/s
+	ms   = int64(1_000_000)
+	sec  = int64(1_000_000_000)
+)
+
+// delayStats aggregates per-flow packet delays from a run.
+func delayStats(res *sim.Result) map[int]*stats.Sample {
+	out := map[int]*stats.Sample{}
+	for _, p := range res.Departed {
+		s := out[p.Flow]
+		if s == nil {
+			s = &stats.Sample{}
+			out[p.Flow] = s
+		}
+		s.Add(float64(p.Depart - p.Arrival))
+	}
+	return out
+}
+
+// classWindowBytes sums departed bytes per class over (from, to].
+func classWindowBytes(res *sim.Result, from, to int64) map[int]int64 {
+	out := map[int]int64{}
+	for _, p := range res.Departed {
+		if p.Depart > from && p.Depart <= to {
+			out[p.Class] += int64(p.Len)
+		}
+	}
+	return out
+}
+
+// series bins departed bytes per class.
+func series(res *sim.Result, binWidth int64) *stats.Series {
+	s := stats.NewSeries(binWidth)
+	for _, p := range res.Departed {
+		s.Add(p.Class, p.Depart, int64(p.Len))
+	}
+	return s
+}
+
+// worstLateness returns the maximum (depart − deadline) over packets served
+// by the real-time criterion, in ns (0 if none were late or none exist).
+func worstLateness(res *sim.Result) int64 {
+	var worst int64
+	for _, p := range res.Departed {
+		if p.Crit != pktq.ByRealTime || p.Deadline == 0 {
+			continue
+		}
+		if l := p.Depart - p.Deadline; l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// run is a thin alias for the simulator entry point, fixing the idiom used
+// throughout the experiments.
+func run(s sched.Scheduler, rate uint64, trace []sim.Arrival, horizon int64) *sim.Result {
+	return sim.RunTrace(s, rate, trace, horizon)
+}

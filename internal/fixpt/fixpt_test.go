@@ -1,0 +1,173 @@
+package fixpt
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refMulDiv(a, b, c uint64, ceil bool) (uint64, bool) {
+	bb := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+	q, r := new(big.Int).QuoRem(bb, new(big.Int).SetUint64(c), new(big.Int))
+	if ceil && r.Sign() != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	if !q.IsUint64() {
+		return 0, false
+	}
+	return q.Uint64(), true
+}
+
+func TestMulDivBasic(t *testing.T) {
+	cases := []struct {
+		a, b, c, want uint64
+	}{
+		{0, 12345, 7, 0},
+		{1, 1, 1, 1},
+		{10, 10, 3, 33},
+		{1e9, 1e9, 1e9, 1e9},
+		{math.MaxUint64, 1, 1, math.MaxUint64},
+		{math.MaxUint64, 2, 4, math.MaxUint64 / 2},
+		{1500, 125_000_000, 1_000_000_000, 187},          // 1500B at 1 Gb/s in ns→bytes style
+		{5_000_000, 8_000_000_000, 1_000_000_000, 4e7},   // 5ms at 64 Gb/s
+		{123456789, 987654321, 1_000_000_000, 121932631}, // floor
+	}
+	for _, c := range cases {
+		if got := MulDiv(c.a, c.b, c.c); got != c.want {
+			t.Errorf("MulDiv(%d,%d,%d)=%d want %d", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestMulDivCeilBasic(t *testing.T) {
+	if got := MulDivCeil(10, 10, 3); got != 34 {
+		t.Errorf("MulDivCeil(10,10,3)=%d want 34", got)
+	}
+	if got := MulDivCeil(9, 10, 3); got != 30 {
+		t.Errorf("MulDivCeil(9,10,3)=%d want 30 (exact)", got)
+	}
+}
+
+func TestMulDivMatchesBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		a := rng.Uint64() >> uint(rng.Intn(64))
+		b := rng.Uint64() >> uint(rng.Intn(64))
+		c := rng.Uint64()>>uint(rng.Intn(64)) + 1
+		want, ok := refMulDiv(a, b, c, false)
+		if !ok {
+			continue // would overflow; covered by panic tests
+		}
+		if got := MulDiv(a, b, c); got != want {
+			t.Fatalf("MulDiv(%d,%d,%d)=%d want %d", a, b, c, got, want)
+		}
+		wantC, _ := refMulDiv(a, b, c, true)
+		if wantC >= want { // ceil may overflow by itself only at MaxUint64
+			if got := MulDivCeil(a, b, c); got != wantC {
+				t.Fatalf("MulDivCeil(%d,%d,%d)=%d want %d", a, b, c, got, wantC)
+			}
+		}
+	}
+}
+
+func TestMulDivPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("div0", func() { MulDiv(1, 1, 0) })
+	mustPanic("ceil div0", func() { MulDivCeil(1, 1, 0) })
+	mustPanic("overflow", func() { MulDiv(math.MaxUint64, math.MaxUint64, 1) })
+	mustPanic("ceil overflow", func() { MulDivCeil(math.MaxUint64, math.MaxUint64, 1) })
+	mustPanic("sat div0", func() { MulDivSat(1, 1, 0) })
+	mustPanic("satadd neg", func() { SatAdd(-1, 1) })
+}
+
+func TestSaturatingVariants(t *testing.T) {
+	if got := MulDivSat(math.MaxUint64, math.MaxUint64, 1); got != MaxInt64 {
+		t.Errorf("MulDivSat overflow: got %d want MaxInt64", got)
+	}
+	if got := MulDivCeilSat(math.MaxUint64, math.MaxUint64, 1); got != MaxInt64 {
+		t.Errorf("MulDivCeilSat overflow: got %d want MaxInt64", got)
+	}
+	// Quotient fits uint64 but not int64: must saturate.
+	if got := MulDivSat(math.MaxUint64, 1, 1); got != MaxInt64 {
+		t.Errorf("MulDivSat int64-range: got %d want MaxInt64", got)
+	}
+	if got := MulDivSat(10, 10, 3); got != 33 {
+		t.Errorf("MulDivSat(10,10,3)=%d want 33", got)
+	}
+	if got := MulDivCeilSat(10, 10, 3); got != 34 {
+		t.Errorf("MulDivCeilSat(10,10,3)=%d want 34", got)
+	}
+}
+
+func TestSatAddSub(t *testing.T) {
+	if got := SatAdd(MaxInt64, 1); got != MaxInt64 {
+		t.Errorf("SatAdd saturation failed: %d", got)
+	}
+	if got := SatAdd(1, 2); got != 3 {
+		t.Errorf("SatAdd(1,2)=%d", got)
+	}
+	if got := SatSub(5, 9); got != 0 {
+		t.Errorf("SatSub clamp failed: %d", got)
+	}
+	if got := SatSub(9, 5); got != 4 {
+		t.Errorf("SatSub(9,5)=%d", got)
+	}
+}
+
+// Property: ceil >= floor, and they differ by at most 1.
+func TestQuickCeilFloorRelation(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		c = c%(1<<32) + 1
+		a %= 1 << 32
+		b %= 1 << 31 // product < 2^63 so ceil cannot overflow either
+		fl := MulDiv(a, b, c)
+		ce := MulDivCeil(a, b, c)
+		return ce >= fl && ce-fl <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MulDiv is monotone in a.
+func TestQuickMonotone(t *testing.T) {
+	f := func(a1, a2, b, c uint64) bool {
+		a1 %= 1 << 32
+		a2 %= 1 << 32
+		b %= 1 << 31
+		c = c%(1<<32) + 1
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		return MulDiv(a1, b, c) <= MulDiv(a2, b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round-trip y = MulDiv(x, m, d); x' = MulDivCeil(y, d, m) gives
+// MulDiv(x', m, d) >= y — i.e. the inverse-with-ceil always reaches y.
+func TestQuickInverseReaches(t *testing.T) {
+	f := func(x, m, d uint64) bool {
+		x %= 1 << 32
+		m = m%(1<<31) + 1
+		d = d%(1<<31) + 1
+		y := MulDiv(x, m, d)
+		xi := MulDivCeil(y, d, m)
+		return MulDiv(xi, m, d) >= y && xi <= x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,422 @@
+// Package fluid implements the idealized fair service curve (FSC)
+// link-sharing model of the paper's Section III as an event-driven fluid
+// simulator. It is the reference the packetized schedulers are measured
+// against: service is infinitely divisible, all active siblings' virtual
+// times advance in lockstep (perfect fairness), and each active class
+// receives instantaneous rate proportional to the slope of its virtual
+// curve at its current virtual time.
+//
+// Because the ideal model is unachievable in general (Section III-C), the
+// fluid simulator makes the same architectural choice as H-FSC when the
+// model over-commits: it simply follows the link-sharing distribution; the
+// discrepancy experiments quantify how far any realizable schedule must
+// deviate.
+//
+// The fluid engine uses float64 arithmetic: it is an analysis tool, not a
+// data path, and event horizons are short enough that precision loss is
+// negligible next to the packetization granularity being measured.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/netsched/hfsc/internal/curve"
+)
+
+// Class is one node of the fluid hierarchy.
+type Class struct {
+	id     int
+	name   string
+	parent *Class
+	child  []*Class
+
+	m1, m2 float64 // fsc slopes, bytes/s
+	d      float64 // fsc first-segment duration, ns
+
+	// Virtual curve state: anchored two-piece curve on the (virtual time,
+	// total service) plane, mirroring core's RTSC in float.
+	vx, vy   float64 // anchor
+	vdx, vdy float64 // first-segment extent from the anchor
+
+	vt      float64 // current virtual time
+	total   float64 // cumulative service, bytes
+	backlog float64 // leaf backlog, bytes
+	active  bool
+	rate    float64 // instantaneous service rate, bytes/s (while active)
+
+	nactive int
+	sysVT   float64 // parent bookkeeping: resume point for new periods
+	dvdt    float64 // parent bookkeeping: shared virtual-time speed (per ns)
+}
+
+// ID returns the class identifier.
+func (c *Class) ID() int { return c.id }
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// Total returns cumulative fluid service in bytes.
+func (c *Class) Total() float64 { return c.total }
+
+// Backlog returns the current leaf backlog in bytes.
+func (c *Class) Backlog() float64 { return c.backlog }
+
+// slopeAt returns the virtual-curve slope at virtual time v.
+func (c *Class) slopeAt(v float64) float64 {
+	if v < c.vx+c.vdx {
+		return c.m1
+	}
+	return c.m2
+}
+
+// vcEval evaluates the virtual curve at virtual time v >= vx.
+func (c *Class) vcEval(v float64) float64 {
+	if v <= c.vx {
+		return c.vy
+	}
+	if v <= c.vx+c.vdx {
+		return c.vy + (v-c.vx)*c.m1/1e9
+	}
+	return c.vy + c.vdy + (v-c.vx-c.vdx)*c.m2/1e9
+}
+
+// vcInverse returns the smallest v with vcEval(v) >= y.
+func (c *Class) vcInverse(y float64) float64 {
+	if y <= c.vy {
+		return c.vx
+	}
+	if y <= c.vy+c.vdy {
+		return c.vx + (y-c.vy)*1e9/c.m1
+	}
+	if c.m2 <= 0 {
+		return math.Inf(1)
+	}
+	return c.vx + c.vdx + (y-c.vy-c.vdy)*1e9/c.m2
+}
+
+// Snapshot is a sample of per-class cumulative service at a point in time.
+type Snapshot struct {
+	At     int64 // ns
+	Totals []float64
+}
+
+// Sim is the fluid simulator.
+type Sim struct {
+	root    *Class
+	classes []*Class
+	now     float64 // ns
+	arr     []arrival
+	ai      int
+	history []Snapshot
+	sample  float64 // sampling interval, ns (0 = events only)
+	nextS   float64
+}
+
+type arrival struct {
+	at    float64
+	class int
+	bytes float64
+}
+
+// New creates a fluid simulator with an implicit root.
+// sampleEvery sets the history sampling interval in ns (0 records event
+// points only).
+func New(sampleEvery int64) *Sim {
+	s := &Sim{sample: float64(sampleEvery)}
+	s.root = &Class{id: 0, name: "root", m1: 0, m2: 0}
+	s.classes = []*Class{s.root}
+	return s
+}
+
+// Root returns the root class.
+func (s *Sim) Root() *Class { return s.root }
+
+// Classes returns all classes in creation order.
+func (s *Sim) Classes() []*Class { return s.classes }
+
+// AddClass adds a class with the given fair service curve under parent
+// (nil = root).
+func (s *Sim) AddClass(parent *Class, name string, fsc curve.SC) (*Class, error) {
+	if parent == nil {
+		parent = s.root
+	}
+	if fsc.IsZero() {
+		return nil, fmt.Errorf("fluid: class %q needs a link-sharing curve", name)
+	}
+	c := &Class{
+		id: len(s.classes), name: name, parent: parent,
+		m1: float64(fsc.M1), m2: float64(fsc.M2), d: float64(fsc.D),
+	}
+	c.vdx = c.d
+	c.vdy = c.d * c.m1 / 1e9
+	parent.child = append(parent.child, c)
+	s.classes = append(s.classes, c)
+	return c, nil
+}
+
+// Arrive schedules bytes of work for a leaf at time at (ns). Arrivals must
+// be added before Run.
+func (s *Sim) Arrive(class *Class, at int64, bytes float64) {
+	s.arr = append(s.arr, arrival{at: float64(at), class: class.id, bytes: bytes})
+}
+
+// History returns the recorded snapshots (ascending time).
+func (s *Sim) History() []Snapshot { return s.history }
+
+// Run plays the fluid system at the given link rate (bytes/s) until the
+// horizon (ns).
+func (s *Sim) Run(linkRate uint64, horizon int64) {
+	sort.SliceStable(s.arr, func(i, j int) bool { return s.arr[i].at < s.arr[j].at })
+	s.root.rate = float64(linkRate)
+	s.nextS = 0
+	end := float64(horizon)
+	for s.now < end {
+		s.assignRates()
+		// Next event: arrival, leaf drain, slope breakpoint, sample tick.
+		next := end
+		if s.ai < len(s.arr) && s.arr[s.ai].at < next {
+			next = s.arr[s.ai].at
+		}
+		for _, c := range s.classes[1:] {
+			if !c.active {
+				continue
+			}
+			if len(c.child) == 0 && c.rate > 0 {
+				if t := s.now + c.backlog/c.rate*1e9; t < next {
+					next = t
+				}
+			}
+			// Virtual-time breakpoint: vt crosses the curve inflection,
+			// changing the class's slope and thus every sibling's rate.
+			if c.parent.dvdt > 0 && c.vt < c.vx+c.vdx {
+				dv := c.vx + c.vdx - c.vt
+				if t := s.now + dv/c.parent.dvdt; t < next {
+					next = t
+				}
+			}
+		}
+		if s.sample > 0 && s.nextS < next {
+			if s.nextS >= s.now {
+				next = s.nextS
+			}
+		}
+		if next < s.now {
+			next = s.now
+		}
+		s.advance(next - s.now)
+		s.now = next
+		if s.sample > 0 && s.now >= s.nextS {
+			s.record()
+			for s.nextS <= s.now {
+				s.nextS += s.sample
+			}
+		}
+		// Apply arrivals at this instant.
+		for s.ai < len(s.arr) && s.arr[s.ai].at <= s.now {
+			a := s.arr[s.ai]
+			s.ai++
+			c := s.classes[a.class]
+			if len(c.child) != 0 {
+				panic("fluid: arrival at interior class")
+			}
+			was := c.backlog > 0
+			c.backlog += a.bytes
+			if !was {
+				s.activate(c)
+			}
+		}
+		// Deactivate drained leaves.
+		for _, c := range s.classes[1:] {
+			if c.active && len(c.child) == 0 && c.backlog <= 1e-9 {
+				c.backlog = 0
+				s.deactivate(c)
+			}
+		}
+		if s.ai >= len(s.arr) && !s.anyActive() {
+			break
+		}
+	}
+	s.record()
+}
+
+func (s *Sim) anyActive() bool { return s.root.nactive > 0 }
+
+func (s *Sim) record() {
+	totals := make([]float64, len(s.classes))
+	for i, c := range s.classes {
+		totals[i] = c.total
+	}
+	s.history = append(s.history, Snapshot{At: int64(s.now), Totals: totals})
+}
+
+// activate cascades a leaf activation upward, mirroring H-FSC's init_vf in
+// the fluid limit: a fresh class joins at the parent's system virtual time.
+func (s *Sim) activate(c *Class) {
+	for ; c.parent != nil; c = c.parent {
+		if c.active {
+			return
+		}
+		c.active = true
+		p := c.parent
+		vs := p.sysVT
+		// Perfect fairness: join at the common virtual time of active
+		// siblings if any are running.
+		for _, sib := range p.child {
+			if sib != c && sib.active {
+				vs = sib.vt
+				break
+			}
+		}
+		if vs < c.vt {
+			vs = c.vt // never rewind within the ideal model either
+		}
+		c.vt = vs
+		c.vcMin(c.vt, c.total)
+		p.nactive++
+		if p.nactive > 1 {
+			return // parent was already active
+		}
+	}
+}
+
+// deactivate cascades a leaf going idle.
+func (s *Sim) deactivate(c *Class) {
+	for ; c.parent != nil; c = c.parent {
+		if !c.active {
+			return
+		}
+		if len(c.child) == 0 && c.backlog > 0 {
+			return
+		}
+		if len(c.child) > 0 && c.nactive > 0 {
+			return
+		}
+		c.active = false
+		c.rate = 0
+		p := c.parent
+		if c.vt > p.sysVT {
+			p.sysVT = c.vt
+		}
+		p.nactive--
+		if p.nactive > 0 {
+			return
+		}
+	}
+}
+
+// vcMin applies the activation min-update to the virtual curve in the
+// fluid domain, mirroring curve.RTSC.Min for the three shapes.
+func (c *Class) vcMin(vt, total float64) {
+	fresh := func() {
+		c.vx, c.vy = vt, total
+		c.vdx = c.d
+		c.vdy = c.d * c.m1 / 1e9
+	}
+	if c.m1 <= c.m2 { // convex or linear
+		if c.vcEval(vt) >= total {
+			fresh()
+		}
+		return
+	}
+	y1 := c.vcEval(vt)
+	if y1 <= total {
+		return
+	}
+	if c.vcEval(vt+c.d) >= total+c.d*c.m1/1e9 {
+		fresh()
+		return
+	}
+	// Crossing inside the first segment.
+	dx := (y1 - total) * 1e9 / (c.m1 - c.m2)
+	if rest := c.vx + c.vdx - vt; rest > 0 {
+		dx += rest
+	}
+	c.vx, c.vy = vt, total
+	c.vdx = dx
+	c.vdy = dx * c.m1 / 1e9
+}
+
+// assignRates distributes the link rate down the hierarchy in proportion to
+// the virtual-curve slopes of active children, and computes each parent's
+// shared virtual-time speed dv/dt. When every active child sits on a
+// zero-slope segment, their virtual times jump instantaneously to the next
+// inflection (the ideal model assigns them no service until a segment with
+// positive slope begins).
+func (s *Sim) assignRates() {
+	var walk func(p *Class)
+	walk = func(p *Class) {
+		// Resolve zero-slope deadlock by jumping vts to the next
+		// inflection point.
+		for {
+			var sum float64
+			for _, c := range p.child {
+				if c.active {
+					sum += c.slopeAt(c.vt)
+				}
+			}
+			if sum > 0 || p.nactive == 0 {
+				p.dvdt = 0
+				if sum > 0 {
+					// Slopes are bytes per virtual-second; the shared
+					// virtual clock advances rate/sum virtual-ns per ns.
+					p.dvdt = p.rate / sum
+				}
+				break
+			}
+			// All active children flat: jump to the nearest inflection.
+			jump := math.Inf(1)
+			for _, c := range p.child {
+				if c.active && c.vt < c.vx+c.vdx {
+					if d := c.vx + c.vdx - c.vt; d < jump {
+						jump = d
+					}
+				}
+			}
+			if math.IsInf(jump, 1) {
+				p.dvdt = 0 // truly zero curves; stalled by specification
+				break
+			}
+			for _, c := range p.child {
+				if c.active {
+					c.vt += jump
+				}
+			}
+		}
+		for _, c := range p.child {
+			if !c.active {
+				c.rate = 0
+				continue
+			}
+			c.rate = p.dvdt * c.slopeAt(c.vt)
+			if len(c.child) > 0 {
+				walk(c)
+			}
+		}
+	}
+	walk(s.root)
+}
+
+// advance moves every active class forward dt nanoseconds at current rates:
+// totals and backlogs by rate*dt, virtual times by the parent's shared
+// dv/dt (so zero-slope children keep pace with their siblings).
+func (s *Sim) advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for _, c := range s.classes[1:] {
+		if !c.active {
+			continue
+		}
+		served := c.rate * dt / 1e9
+		c.total += served
+		if len(c.child) == 0 {
+			c.backlog -= served
+			if c.backlog < 0 {
+				c.backlog = 0
+			}
+		}
+		c.vt += c.parent.dvdt * dt
+	}
+}

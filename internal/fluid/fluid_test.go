@@ -1,0 +1,154 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/curve"
+)
+
+const (
+	mbps = uint64(125_000)
+	ms   = int64(1_000_000)
+	sec  = int64(1_000_000_000)
+)
+
+func totalsAt(s *Sim, at int64) []float64 {
+	hist := s.History()
+	for i := len(hist) - 1; i >= 0; i-- {
+		if hist[i].At <= at {
+			return hist[i].Totals
+		}
+	}
+	return hist[0].Totals
+}
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %.1f want %.1f (tol %.1f)", msg, got, want, tol)
+	}
+}
+
+func TestFluidSingleLeafDrains(t *testing.T) {
+	s := New(ms)
+	a, err := s.AddClass(nil, "a", curve.Linear(mbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arrive(a, 0, 10_000)
+	s.Run(mbps, sec)
+	// 10 KB at 1 Mb/s link (125 KB/s) drains in 80 ms.
+	approx(t, a.Total(), 10_000, 1, "total")
+	if a.Backlog() != 0 {
+		t.Fatalf("backlog %f", a.Backlog())
+	}
+	at80 := totalsAt(s, 81*ms)[a.ID()]
+	approx(t, at80, 10_000, 200, "drained by 80ms")
+}
+
+func TestFluidProportionalShares(t *testing.T) {
+	s := New(ms)
+	a, _ := s.AddClass(nil, "a", curve.Linear(3*mbps))
+	b, _ := s.AddClass(nil, "b", curve.Linear(mbps))
+	s.Arrive(a, 0, 1e9) // effectively infinite
+	s.Arrive(b, 0, 1e9)
+	s.Run(4*mbps, 100*ms)
+	ta := totalsAt(s, 100*ms)[a.ID()]
+	tb := totalsAt(s, 100*ms)[b.ID()]
+	// 4 Mb/s * 100 ms = 50 KB total, split 3:1.
+	approx(t, ta, 37_500, 100, "a share")
+	approx(t, tb, 12_500, 100, "b share")
+}
+
+func TestFluidHierarchy(t *testing.T) {
+	s := New(ms)
+	oa, _ := s.AddClass(nil, "orgA", curve.Linear(mbps))
+	ob, _ := s.AddClass(nil, "orgB", curve.Linear(mbps))
+	a1, _ := s.AddClass(oa, "a1", curve.Linear(3*mbps))
+	a2, _ := s.AddClass(oa, "a2", curve.Linear(mbps))
+	b1, _ := s.AddClass(ob, "b1", curve.Linear(mbps))
+	s.Arrive(a1, 0, 1e9)
+	s.Arrive(a2, 0, 1e9)
+	s.Arrive(b1, 0, 1e9)
+	s.Run(8*mbps, 100*ms)
+	tot := totalsAt(s, 100*ms)
+	// Root: orgA/orgB 50/50 of 100 KB; inside A: 3:1.
+	approx(t, tot[oa.ID()], 50_000, 200, "orgA")
+	approx(t, tot[b1.ID()], 50_000, 200, "b1")
+	approx(t, tot[a1.ID()], 37_500, 200, "a1")
+	approx(t, tot[a2.ID()], 12_500, 200, "a2")
+}
+
+func TestFluidExcessRedistribution(t *testing.T) {
+	s := New(ms)
+	a, _ := s.AddClass(nil, "a", curve.Linear(mbps))
+	b, _ := s.AddClass(nil, "b", curve.Linear(mbps))
+	// b idles after draining 10 KB; a then takes the whole link.
+	s.Arrive(a, 0, 1e9)
+	s.Arrive(b, 0, 10_000)
+	s.Run(2*mbps, 200*ms)
+	// b drains at 1 Mb/s (its half of 2 Mb/s): 10 KB in 80 ms.
+	tb := totalsAt(s, 200*ms)[b.ID()]
+	approx(t, tb, 10_000, 50, "b total")
+	// a: 80 ms at 125 KB/s + 120 ms at 250 KB/s = 10 KB + 30 KB.
+	ta := totalsAt(s, 200*ms)[a.ID()]
+	approx(t, ta, 40_000, 500, "a total")
+}
+
+func TestFluidConcaveCurvePriorityPhase(t *testing.T) {
+	// a: concave (4 Mb/s for 10 ms then 1 Mb/s); b: linear 1 Mb/s.
+	// While a is in its steep first segment it receives 4x b's rate.
+	s := New(ms)
+	a, _ := s.AddClass(nil, "a", curve.SC{M1: 4 * mbps, D: 10 * ms, M2: mbps})
+	b, _ := s.AddClass(nil, "b", curve.Linear(mbps))
+	s.Arrive(a, 0, 1e9)
+	s.Arrive(b, 0, 1e9)
+	s.Run(5*mbps, 100*ms)
+	// Early window: shares 4:1 of 625 KB/s.
+	early := totalsAt(s, 5*ms)
+	if early[a.ID()] < 3.5*early[b.ID()] {
+		t.Fatalf("steep phase not prioritized: a=%.0f b=%.0f", early[a.ID()], early[b.ID()])
+	}
+	// Late (after inflection crossed): rates equalize to 1:1; compare
+	// increments over a late window.
+	t1, t2 := totalsAt(s, 60*ms), totalsAt(s, 90*ms)
+	da := t2[a.ID()] - t1[a.ID()]
+	db := t2[b.ID()] - t1[b.ID()]
+	if math.Abs(da-db) > 0.1*db {
+		t.Fatalf("post-inflection shares unequal: %.0f vs %.0f", da, db)
+	}
+}
+
+func TestFluidConvexFlatSegmentGetsNoService(t *testing.T) {
+	s := New(ms)
+	a, _ := s.AddClass(nil, "a", curve.SC{M1: 0, D: 10 * ms, M2: mbps}) // convex
+	b, _ := s.AddClass(nil, "b", curve.Linear(mbps))
+	s.Arrive(a, 0, 1e9)
+	s.Arrive(b, 0, 1e9)
+	s.Run(2*mbps, 100*ms)
+	// During a's flat segment b gets everything; a's vt still advances
+	// with the shared dv/dt, so a's flat phase ends and it then shares.
+	early := totalsAt(s, 3*ms)
+	if early[a.ID()] != 0 {
+		t.Fatalf("convex class served during flat segment: %.0f", early[a.ID()])
+	}
+	late1, late2 := totalsAt(s, 60*ms), totalsAt(s, 90*ms)
+	da := late2[a.ID()] - late1[a.ID()]
+	if da <= 0 {
+		t.Fatal("convex class never started receiving service")
+	}
+}
+
+func TestFluidWorkConservationAcrossHistory(t *testing.T) {
+	s := New(ms)
+	a, _ := s.AddClass(nil, "a", curve.Linear(mbps))
+	b, _ := s.AddClass(nil, "b", curve.Linear(3*mbps))
+	s.Arrive(a, 0, 1e9)
+	s.Arrive(b, 5*ms, 1e9)
+	s.Run(2*mbps, 200*ms)
+	tot := totalsAt(s, 200*ms)
+	sum := tot[a.ID()] + tot[b.ID()]
+	want := float64(2*mbps) * 0.2
+	approx(t, sum, want, want*0.01, "aggregate service")
+}

@@ -1,0 +1,122 @@
+// Package heap implements an indexed binary min-heap.
+//
+// Unlike container/heap it hands out stable handles so schedulers can
+// decrease/increase an element's key or remove it from the middle in
+// O(log n) without searching — the access pattern of the paper's
+// link-sharing request list and of the calendar-queue companion deadline
+// heap (Section V).
+package heap
+
+// Item is the handle returned by Push. It stays valid until the item is
+// removed from the heap.
+type Item[T any] struct {
+	Value T
+	key   int64
+	index int
+}
+
+// Key returns the item's current key.
+func (it *Item[T]) Key() int64 { return it.key }
+
+// Heap is an indexed binary min-heap ordered by int64 keys. Ties are broken
+// arbitrarily but deterministically. The zero Heap is ready to use.
+type Heap[T any] struct {
+	items []*Item[T]
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts value with the given key and returns its handle.
+func (h *Heap[T]) Push(key int64, value T) *Item[T] {
+	it := &Item[T]{Value: value, key: key, index: len(h.items)}
+	h.items = append(h.items, it)
+	h.up(it.index)
+	return it
+}
+
+// Min returns the item with the smallest key without removing it, or nil.
+func (h *Heap[T]) Min() *Item[T] {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// PopMin removes and returns the item with the smallest key, or nil.
+func (h *Heap[T]) PopMin() *Item[T] {
+	if len(h.items) == 0 {
+		return nil
+	}
+	it := h.items[0]
+	h.Remove(it)
+	return it
+}
+
+// Remove removes the item from the heap. The handle becomes invalid.
+func (h *Heap[T]) Remove(it *Item[T]) {
+	i := it.index
+	n := len(h.items) - 1
+	if i < 0 || i > n || h.items[i] != it {
+		panic("heap: Remove of item not in heap")
+	}
+	h.swap(i, n)
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	it.index = -1
+}
+
+// Fix re-establishes heap order after changing the item's key to key.
+func (h *Heap[T]) Fix(it *Item[T], key int64) {
+	i := it.index
+	if i < 0 || i >= len(h.items) || h.items[i] != it {
+		panic("heap: Fix of item not in heap")
+	}
+	it.key = key
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].key <= h.items[i].key {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return moved
+		}
+		small := l
+		if r := l + 1; r < n && h.items[r].key < h.items[l].key {
+			small = r
+		}
+		if h.items[i].key <= h.items[small].key {
+			return moved
+		}
+		h.swap(i, small)
+		i = small
+		moved = true
+	}
+}

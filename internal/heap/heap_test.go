@@ -1,0 +1,139 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopSorted(t *testing.T) {
+	var h Heap[int]
+	rng := rand.New(rand.NewSource(2))
+	var keys []int64
+	for i := 0; i < 5000; i++ {
+		k := rng.Int63n(1000) // many duplicates
+		keys = append(keys, k)
+		h.Push(k, i)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, want := range keys {
+		it := h.PopMin()
+		if it == nil {
+			t.Fatalf("ran out at %d", i)
+		}
+		if it.Key() != want {
+			t.Fatalf("at %d: key %d want %d", i, it.Key(), want)
+		}
+	}
+	if h.PopMin() != nil || h.Len() != 0 {
+		t.Fatal("heap not empty at end")
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	var h Heap[string]
+	a := h.Push(5, "a")
+	b := h.Push(3, "b")
+	c := h.Push(8, "c")
+	h.Remove(b)
+	if h.Len() != 2 {
+		t.Fatalf("len %d", h.Len())
+	}
+	if h.Min() != a {
+		t.Fatalf("min %v", h.Min().Value)
+	}
+	h.Remove(a)
+	if h.Min() != c {
+		t.Fatal("expected c")
+	}
+}
+
+func TestFixDecreaseIncrease(t *testing.T) {
+	var h Heap[int]
+	items := make([]*Item[int], 100)
+	for i := range items {
+		items[i] = h.Push(int64(i), i)
+	}
+	h.Fix(items[99], -1)
+	if h.Min() != items[99] {
+		t.Fatal("decrease-key did not float to top")
+	}
+	h.Fix(items[99], 1000)
+	if h.Min() != items[0] {
+		t.Fatal("increase-key did not sink")
+	}
+}
+
+func TestRemoveInvalidPanics(t *testing.T) {
+	var h Heap[int]
+	it := h.Push(1, 1)
+	h.Remove(it)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double remove")
+		}
+	}()
+	h.Remove(it)
+}
+
+// Model-based test: random push/pop/remove/fix against a reference slice.
+func TestModel(t *testing.T) {
+	var h Heap[int]
+	rng := rand.New(rand.NewSource(3))
+	live := map[*Item[int]]bool{}
+	for op := 0; op < 30000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(live) == 0:
+			live[h.Push(rng.Int63n(1e6), op)] = true
+		case r < 7:
+			// PopMin must return the global minimum.
+			want := int64(1 << 62)
+			for it := range live {
+				if it.Key() < want {
+					want = it.Key()
+				}
+			}
+			got := h.PopMin()
+			if got.Key() != want {
+				t.Fatalf("op %d: popped %d want %d", op, got.Key(), want)
+			}
+			delete(live, got)
+		case r < 9:
+			for it := range live {
+				h.Remove(it)
+				delete(live, it)
+				break
+			}
+		default:
+			for it := range live {
+				h.Fix(it, rng.Int63n(1e6))
+				break
+			}
+		}
+		if h.Len() != len(live) {
+			t.Fatalf("op %d: len %d want %d", op, h.Len(), len(live))
+		}
+	}
+}
+
+func TestQuickHeapProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		var h Heap[struct{}]
+		for _, k := range keys {
+			h.Push(k, struct{}{})
+		}
+		prev := int64(-1 << 63)
+		for h.Len() > 0 {
+			it := h.PopMin()
+			if it.Key() < prev {
+				return false
+			}
+			prev = it.Key()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

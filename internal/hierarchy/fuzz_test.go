@@ -1,0 +1,33 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+)
+
+// FuzzParse feeds arbitrary text through the spec parser and, when a spec
+// parses, through the scheduler builders: neither may panic, and built
+// schedulers must satisfy their structural invariants.
+func FuzzParse(f *testing.F) {
+	f.Add("link 1Mbit\nclass a root ls=1Mbit\n")
+	f.Add(figure1Spec)
+	f.Add("link 10Mbit\nclass x root ls=sc(2Mbit,5ms,1Mbit) rt=rt(160,5ms,64Kbit) ul=5Mbit qlen=9\n")
+	f.Add("# nothing\n\n\n")
+	f.Add("link 0\nclass a root ls=0")
+	f.Add("class link root class\nlink link")
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		sch, _, err := spec.BuildHFSC(core.Options{})
+		if err != nil {
+			return
+		}
+		if err := sch.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after build: %v", err)
+		}
+	})
+}

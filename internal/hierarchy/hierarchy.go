@@ -1,0 +1,266 @@
+// Package hierarchy defines a small text format for link-sharing
+// hierarchies and builds every scheduler in this repository from the same
+// spec — H-FSC, the H-PFQ baselines and the fluid reference — so
+// experiments compare algorithms on identical configurations.
+//
+// Format, one directive per line ('#' starts a comment):
+//
+//	link 45Mbit
+//	class cmu   root ls=25Mbit
+//	class video cmu  ls=10Mbit rt=sc(5Mbit,10ms,2Mbit)
+//	class data  cmu  ls=15Mbit ul=20Mbit qlen=100
+//
+// Rates accept B/s integers or Kbit/Mbit/Gbit suffixes (decimal, bits per
+// second). Curves are either a single rate (linear), sc(m1,d,m2), or
+// rt(umax,dmax,rate) for the paper's Fig. 7 mapping (rt form valid for rt=
+// only).
+package hierarchy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/fluid"
+	"github.com/netsched/hfsc/internal/pfq"
+)
+
+// ClassSpec describes one class.
+type ClassSpec struct {
+	Name   string
+	Parent string // "root" or another class name
+	RT     curve.SC
+	LS     curve.SC
+	UL     curve.SC
+	QLen   int // per-class queue limit in packets, 0 = scheduler default
+}
+
+// Spec is a parsed hierarchy.
+type Spec struct {
+	LinkRate uint64
+	Classes  []ClassSpec
+}
+
+// ParseRate parses "8000" (bytes/s) or "64Kbit"/"10Mbit"/"1.5Gbit"
+// (decimal bits/s).
+func ParseRate(s string) (uint64, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	mult := float64(0)
+	switch {
+	case strings.HasSuffix(low, "kbit"):
+		mult = 1e3 / 8
+		low = low[:len(low)-4]
+	case strings.HasSuffix(low, "mbit"):
+		mult = 1e6 / 8
+		low = low[:len(low)-4]
+	case strings.HasSuffix(low, "gbit"):
+		mult = 1e9 / 8
+		low = low[:len(low)-4]
+	}
+	if mult == 0 {
+		v, err := strconv.ParseUint(low, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("hierarchy: bad rate %q", s)
+		}
+		return v, nil
+	}
+	v, err := strconv.ParseFloat(low, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("hierarchy: bad rate %q", s)
+	}
+	return uint64(v * mult), nil
+}
+
+// ParseCurve parses a curve: "RATE", "sc(m1,d,m2)" or "rt(umax,dmax,rate)".
+func ParseCurve(s string) (curve.SC, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "sc(") && strings.HasSuffix(s, ")"):
+		parts := strings.Split(s[3:len(s)-1], ",")
+		if len(parts) != 3 {
+			return curve.SC{}, fmt.Errorf("hierarchy: sc() needs m1,d,m2: %q", s)
+		}
+		m1, err := ParseRate(parts[0])
+		if err != nil {
+			return curve.SC{}, err
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return curve.SC{}, fmt.Errorf("hierarchy: bad duration in %q: %v", s, err)
+		}
+		m2, err := ParseRate(parts[2])
+		if err != nil {
+			return curve.SC{}, err
+		}
+		return curve.SC{M1: m1, D: d.Nanoseconds(), M2: m2}, nil
+	case strings.HasPrefix(s, "rt(") && strings.HasSuffix(s, ")"):
+		parts := strings.Split(s[3:len(s)-1], ",")
+		if len(parts) != 3 {
+			return curve.SC{}, fmt.Errorf("hierarchy: rt() needs umax,dmax,rate: %q", s)
+		}
+		u, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil || u <= 0 {
+			return curve.SC{}, fmt.Errorf("hierarchy: bad umax in %q", s)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return curve.SC{}, fmt.Errorf("hierarchy: bad dmax in %q: %v", s, err)
+		}
+		r, err := ParseRate(parts[2])
+		if err != nil {
+			return curve.SC{}, err
+		}
+		return curve.FromUMaxDmaxRate(u, d.Nanoseconds(), r)
+	default:
+		r, err := ParseRate(s)
+		if err != nil {
+			return curve.SC{}, err
+		}
+		return curve.Linear(r), nil
+	}
+}
+
+// Parse reads a hierarchy spec.
+func Parse(r io.Reader) (*Spec, error) {
+	spec := &Spec{}
+	names := map[string]bool{"root": true}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "link":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("hierarchy:%d: link takes one rate", lineno)
+			}
+			rate, err := ParseRate(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("hierarchy:%d: %v", lineno, err)
+			}
+			spec.LinkRate = rate
+		case "class":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("hierarchy:%d: class needs name and parent", lineno)
+			}
+			cs := ClassSpec{Name: fields[1], Parent: fields[2]}
+			if names[cs.Name] {
+				return nil, fmt.Errorf("hierarchy:%d: duplicate class %q", lineno, cs.Name)
+			}
+			if !names[cs.Parent] {
+				return nil, fmt.Errorf("hierarchy:%d: unknown parent %q", lineno, cs.Parent)
+			}
+			for _, kv := range fields[3:] {
+				eq := strings.IndexByte(kv, '=')
+				if eq < 0 {
+					return nil, fmt.Errorf("hierarchy:%d: expected key=value, got %q", lineno, kv)
+				}
+				key, val := kv[:eq], kv[eq+1:]
+				var err error
+				switch key {
+				case "rt":
+					cs.RT, err = ParseCurve(val)
+				case "ls":
+					cs.LS, err = ParseCurve(val)
+				case "ul":
+					cs.UL, err = ParseCurve(val)
+				case "qlen":
+					cs.QLen, err = strconv.Atoi(val)
+				default:
+					err = fmt.Errorf("unknown key %q", key)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("hierarchy:%d: %v", lineno, err)
+				}
+			}
+			names[cs.Name] = true
+			spec.Classes = append(spec.Classes, cs)
+		default:
+			return nil, fmt.Errorf("hierarchy:%d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if spec.LinkRate == 0 {
+		return nil, fmt.Errorf("hierarchy: missing link rate")
+	}
+	return spec, nil
+}
+
+// MustParse parses a spec from a string, panicking on error (for tests and
+// fixed experiment definitions).
+func MustParse(s string) *Spec {
+	spec, err := Parse(strings.NewReader(s))
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// BuildHFSC instantiates the spec as an H-FSC scheduler. The returned map
+// resolves class names to classes.
+func (s *Spec) BuildHFSC(opts core.Options) (*core.Scheduler, map[string]*core.Class, error) {
+	sch := core.New(opts)
+	byName := map[string]*core.Class{"root": sch.Root()}
+	for _, cs := range s.Classes {
+		cl, err := sch.AddClass(byName[cs.Parent], cs.Name, cs.RT, cs.LS, cs.UL)
+		if err != nil {
+			return nil, nil, err
+		}
+		byName[cs.Name] = cl
+	}
+	return sch, byName, nil
+}
+
+// BuildHPFQ instantiates the spec as a hierarchical PFQ scheduler, taking
+// each class's weight from the asymptotic rate of its link-sharing curve
+// (PFQ cannot express the rest: that coupling is the point of the
+// comparison). Classes lacking an fsc use their rt curve's rate.
+func (s *Spec) BuildHPFQ(algo pfq.Algo, qlimit int) (*pfq.Hier, map[string]*pfq.Node, error) {
+	h := pfq.New(algo, qlimit)
+	byName := map[string]*pfq.Node{"root": h.Root()}
+	for _, cs := range s.Classes {
+		w := cs.LS.Rate()
+		if w == 0 {
+			w = cs.RT.Rate()
+		}
+		n, err := h.AddNode(byName[cs.Parent], cs.Name, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		byName[cs.Name] = n
+	}
+	return h, byName, nil
+}
+
+// BuildFluid instantiates the spec as the ideal fluid reference (using the
+// link-sharing curves).
+func (s *Spec) BuildFluid(sampleEvery int64) (*fluid.Sim, map[string]*fluid.Class, error) {
+	f := fluid.New(sampleEvery)
+	byName := map[string]*fluid.Class{"root": f.Root()}
+	for _, cs := range s.Classes {
+		ls := cs.LS
+		if ls.IsZero() {
+			ls = cs.RT
+		}
+		c, err := f.AddClass(byName[cs.Parent], cs.Name, ls)
+		if err != nil {
+			return nil, nil, err
+		}
+		byName[cs.Name] = c
+	}
+	return f, byName, nil
+}

@@ -1,0 +1,146 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/pfq"
+)
+
+func TestParseRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"8000", 8000, true},
+		{"64Kbit", 8000, true},
+		{"64kbit", 8000, true},
+		{"10Mbit", 1_250_000, true},
+		{"1.5Mbit", 187_500, true},
+		{"1Gbit", 125_000_000, true},
+		{"45Mbit", 5_625_000, true},
+		{"", 0, false},
+		{"fast", 0, false},
+		{"-5", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseRate(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseRate(%q) err=%v want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseRate(%q)=%d want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseCurve(t *testing.T) {
+	sc, err := ParseCurve("sc(5Mbit,10ms,2Mbit)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.M1 != 625_000 || sc.D != 10_000_000 || sc.M2 != 250_000 {
+		t.Fatalf("sc=%v", sc)
+	}
+	lin, err := ParseCurve("2Mbit")
+	if err != nil || !lin.IsLinear() || lin.M2 != 250_000 {
+		t.Fatalf("linear: %v %v", lin, err)
+	}
+	rt, err := ParseCurve("rt(160,5ms,64Kbit)")
+	if err != nil || !rt.IsConcave() {
+		t.Fatalf("rt: %v %v", rt, err)
+	}
+	for _, bad := range []string{"sc(1,2)", "sc(x,1ms,2)", "rt(0,1ms,5)", "rt(1,zz,5)", "sc(1Mbit,5ms,?)"} {
+		if _, err := ParseCurve(bad); err == nil {
+			t.Errorf("ParseCurve(%q) accepted", bad)
+		}
+	}
+}
+
+const figure1Spec = `
+# The paper's Fig. 1 hierarchy, 45 Mb/s link.
+link 45Mbit
+class cmu     root ls=25Mbit
+class pitt    root ls=20Mbit
+class cmu.vid cmu  ls=10Mbit rt=rt(8000,10ms,5Mbit)
+class cmu.aud cmu  ls=1Mbit  rt=rt(160,5ms,64Kbit)
+class cmu.dat cmu  ls=14Mbit qlen=50
+class pitt.av pitt ls=10Mbit
+class pitt.dt pitt ls=10Mbit
+`
+
+func TestParseSpecAndBuilders(t *testing.T) {
+	spec, err := Parse(strings.NewReader(figure1Spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.LinkRate != 5_625_000 {
+		t.Fatalf("link %d", spec.LinkRate)
+	}
+	if len(spec.Classes) != 7 {
+		t.Fatalf("classes %d", len(spec.Classes))
+	}
+	if spec.Classes[4].QLen != 50 {
+		t.Fatalf("qlen %d", spec.Classes[4].QLen)
+	}
+
+	sch, byName, err := spec.BuildHFSC(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName["cmu.vid"].Parent() != byName["cmu"] {
+		t.Fatal("hfsc hierarchy wiring")
+	}
+	if got := len(sch.Classes()); got != 8 { // + root
+		t.Fatalf("hfsc classes %d", got)
+	}
+
+	h, byN2, err := spec.BuildHPFQ(pfq.WF2Q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byN2["cmu"].Weight() != 3_125_000 {
+		t.Fatalf("weight %d", byN2["cmu"].Weight())
+	}
+	if len(h.Nodes()) != 8 {
+		t.Fatal("hpfq nodes")
+	}
+
+	f, byN3, err := spec.BuildFluid(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Classes()) != 8 || byN3["pitt.dt"] == nil {
+		t.Fatal("fluid classes")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"class a root ls=1Mbit",                            // no link
+		"link 1Mbit\nclass a nope ls=1",                    // unknown parent
+		"link 1Mbit\nclass a root xx=1",                    // unknown key
+		"link 1Mbit\nwhat is this",                         // unknown directive
+		"link 1Mbit\nclass a root ls=1\nclass a root ls=1", // duplicate
+		"link",                // malformed link
+		"link 1Mbit\nclass a", // short class
+	}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted: %q", s)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	spec, err := Parse(strings.NewReader("# hi\n\nlink 1Mbit # trailing\nclass a root ls=1Mbit\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Classes) != 1 {
+		t.Fatal("comment handling")
+	}
+}

@@ -1,0 +1,103 @@
+// Package netcalc provides light network-calculus analysis on the Cruz
+// service-curve foundations the paper builds on (Section II): empirical
+// arrival envelopes of measured traffic and the horizontal deviation
+// between an arrival envelope and a service curve, which upper-bounds the
+// queueing delay of a session served exactly at its curve.
+//
+// The experiments use it to sanity-check measured delays against
+// predicted bounds, and hfsc-admit can report whether a workload conforms
+// to its reservation.
+package netcalc
+
+import (
+	"sort"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/fixpt"
+	"github.com/netsched/hfsc/internal/sim"
+)
+
+// Envelope is an empirical arrival curve: for each probe interval length,
+// the maximum bytes that arrived in any window of that length.
+type Envelope struct {
+	// Intervals are the probed window lengths (ns), ascending.
+	Intervals []int64
+	// MaxBytes[i] is the largest byte count observed in any window of
+	// length Intervals[i].
+	MaxBytes []int64
+}
+
+// EnvelopeOf computes the empirical envelope of a trace at the given probe
+// interval lengths. The trace may be for one class/flow — filter first.
+// Complexity is O(len(trace) · len(intervals)) using a sliding window.
+func EnvelopeOf(trace []sim.Arrival, intervals []int64) *Envelope {
+	tr := append([]sim.Arrival(nil), trace...)
+	sim.SortArrivals(tr)
+	iv := append([]int64(nil), intervals...)
+	sort.Slice(iv, func(i, j int) bool { return iv[i] < iv[j] })
+
+	env := &Envelope{Intervals: iv, MaxBytes: make([]int64, len(iv))}
+	for k, win := range iv {
+		var best, cur int64
+		lo := 0
+		for hi := 0; hi < len(tr); hi++ {
+			cur += int64(tr[hi].Len)
+			// Shrink: keep arrivals within (tr[hi].At−win, tr[hi].At].
+			for tr[hi].At-tr[lo].At >= win {
+				cur -= int64(tr[lo].Len)
+				lo++
+			}
+			if cur > best {
+				best = cur
+			}
+		}
+		env.MaxBytes[k] = best
+	}
+	return env
+}
+
+// Conforms reports whether traffic with this envelope, served exactly at
+// the service curve, would see queueing delay at most tol: packets arrive
+// as instantaneous bursts, so the comparison is horizontal (how long the
+// curve needs to absorb each observed burst), not vertical. For a concave
+// curve built with FromUMaxDmaxRate, tol = the curve's D (its designed
+// delay) is the natural choice.
+func (e *Envelope) Conforms(sc curve.SC, tol int64) bool {
+	h := e.MaxHorizontalDeviation(sc)
+	return h != curve.Inf && h <= tol
+}
+
+// MaxHorizontalDeviation returns the largest horizontal distance (ns) from
+// the envelope to the service curve — the classic network-calculus delay
+// bound: how long the curve needs to catch up with the worst burst. It
+// returns curve.Inf if the curve can never serve some observed burst
+// volume (e.g. zero curve).
+func (e *Envelope) MaxHorizontalDeviation(sc curve.SC) int64 {
+	c := curve.FromSC(sc)
+	var worst int64
+	for i, win := range e.Intervals {
+		// The burst MaxBytes[i] arriving over `win` is fully served once
+		// the curve reaches that volume; the last byte waited
+		// inverse(bytes) − win at most (non-negative).
+		t := c.Inverse(e.MaxBytes[i])
+		if t == curve.Inf {
+			return curve.Inf
+		}
+		if d := t - win; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// DelayBound predicts the worst queueing delay (ns) for traffic with this
+// envelope served at curve sc over a link of rate linkRate with maximum
+// packet lmax: the horizontal deviation plus the Theorem-2 packetization
+// slack.
+func (e *Envelope) DelayBound(sc curve.SC, linkRate uint64, lmax int) int64 {
+	h := e.MaxHorizontalDeviation(sc)
+	if h == curve.Inf {
+		return curve.Inf
+	}
+	return fixpt.SatAdd(h, fixpt.MulDivCeilSat(uint64(lmax), 1_000_000_000, linkRate))
+}

@@ -1,0 +1,133 @@
+package netcalc_test
+
+import (
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/netcalc"
+	"github.com/netsched/hfsc/internal/sim"
+	"github.com/netsched/hfsc/internal/source"
+)
+
+const (
+	mbps = uint64(125_000)
+	ms   = int64(1_000_000)
+	sec  = int64(1_000_000_000)
+)
+
+func probes() []int64 {
+	return []int64{ms, 5 * ms, 10 * ms, 20 * ms, 50 * ms, 100 * ms, 500 * ms}
+}
+
+func TestEnvelopeOfCBR(t *testing.T) {
+	// 160 B every 20 ms: any 20 ms window holds at most 160 B (arrivals
+	// are instants), any 50 ms window at most 480 B.
+	tr := source.CBR(0, 0, 160, 20*ms, 0, 2*sec)
+	env := netcalc.EnvelopeOf(tr, probes())
+	get := func(win int64) int64 {
+		for i, w := range env.Intervals {
+			if w == win {
+				return env.MaxBytes[i]
+			}
+		}
+		t.Fatalf("probe %d missing", win)
+		return 0
+	}
+	if got := get(ms); got != 160 {
+		t.Errorf("1ms window: %d want 160", got)
+	}
+	if got := get(20 * ms); got != 160 {
+		t.Errorf("20ms window: %d want 160 (next packet is exactly 20ms later)", got)
+	}
+	if got := get(50 * ms); got != 480 {
+		t.Errorf("50ms window: %d want 480", got)
+	}
+}
+
+func TestConforms(t *testing.T) {
+	tr := source.CBR(0, 0, 160, 20*ms, 0, sec)
+	env := netcalc.EnvelopeOf(tr, probes())
+	// Concave audio curve: 160 B inside 5 ms, then 8 KB/s; the designed
+	// delay (the curve's D) is the conformance tolerance.
+	sc, _ := curve.FromUMaxDmaxRate(160, 5*ms, 8000)
+	if !env.Conforms(sc, sc.D) {
+		t.Error("conforming CBR flagged as nonconforming")
+	}
+	// Halving the rate breaks conformance over long windows.
+	sc2, _ := curve.FromUMaxDmaxRate(160, 5*ms, 4000)
+	if env.Conforms(sc2, sc2.D) {
+		t.Error("overloaded reservation declared conforming")
+	}
+	if (curve.SC{}).IsZero() && env.Conforms(curve.SC{}, sec) {
+		t.Error("zero curve declared conforming")
+	}
+}
+
+func TestHorizontalDeviation(t *testing.T) {
+	tr := source.CBR(0, 0, 160, 20*ms, 0, sec)
+	env := netcalc.EnvelopeOf(tr, probes())
+	sc, _ := curve.FromUMaxDmaxRate(160, 5*ms, 8000)
+	h := env.MaxHorizontalDeviation(sc)
+	if h > 5*ms || h < 0 {
+		t.Errorf("deviation %d want <= 5ms", h)
+	}
+	if d := env.MaxHorizontalDeviation(curve.SC{}); d != curve.Inf {
+		t.Errorf("zero curve deviation %d want Inf", d)
+	}
+}
+
+// The predicted bound must dominate the measured worst delay when the
+// source conforms and the scheduler guarantees the curve.
+func TestPredictedBoundDominatesMeasured(t *testing.T) {
+	link := 10 * mbps
+	s := core.New(core.Options{})
+	sc, _ := curve.FromUMaxDmaxRate(160, 5*ms, 8000)
+	audio, _ := s.AddClass(nil, "audio", sc, curve.Linear(8000), curve.SC{})
+	data, _ := s.AddClass(nil, "data", curve.SC{}, curve.Linear(9*mbps), curve.SC{})
+
+	audioTrace := source.CBR(audio.ID(), 1, 160, 20*ms, 0, 2*sec)
+	trace := source.Merge(
+		audioTrace,
+		source.Greedy(data.ID(), 2, 1500, link, 0, 2*sec),
+	)
+	res := sim.RunTrace(s, link, trace, 2*sec+sec)
+
+	env := netcalc.EnvelopeOf(audioTrace, probes())
+	bound := env.DelayBound(sc, link, 1500)
+
+	var worst int64
+	for _, p := range res.Departed {
+		if p.Flow != 1 {
+			continue
+		}
+		if d := p.Depart - p.Arrival; d > worst {
+			worst = d
+		}
+	}
+	if worst > bound {
+		t.Fatalf("measured %d exceeds predicted bound %d", worst, bound)
+	}
+	if bound > 10*ms {
+		t.Fatalf("bound implausibly loose: %d", bound)
+	}
+}
+
+func TestEnvelopeOfBurstySource(t *testing.T) {
+	rng := source.NewRand(7)
+	tr := source.OnOff(rng, 0, 0, 1000, 2*mbps, 20e6, 20e6, 0, 2*sec)
+	env := netcalc.EnvelopeOf(tr, probes())
+	// Envelope is nondecreasing in window length.
+	for i := 1; i < len(env.Intervals); i++ {
+		if env.MaxBytes[i] < env.MaxBytes[i-1] {
+			t.Fatalf("envelope not monotone at %d", i)
+		}
+	}
+	// Peak-rate bound: no window can exceed peak*win + one packet.
+	for i, win := range env.Intervals {
+		capB := int64(2*mbps)*win/sec + 1000
+		if env.MaxBytes[i] > capB {
+			t.Fatalf("window %d: %d exceeds peak bound %d", win, env.MaxBytes[i], capB)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package pfq
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// DRR is a flat deficit round robin scheduler (Shreedhar & Varghese), the
+// cheap O(1) baseline: weighted fairness without any delay guarantees.
+type DRR struct {
+	flows   []*drrFlow
+	active  []*drrFlow // round-robin list of backlogged flows
+	cursor  int
+	fresh   bool // current cursor position has not yet received its quantum
+	backlog int
+	qlimit  int
+}
+
+type drrFlow struct {
+	id      int
+	quantum int64
+	deficit int64
+	queue   pktq.FIFO
+	queued  bool
+}
+
+// NewDRR creates an empty DRR scheduler; qlimit bounds each flow queue in
+// packets (0 = unbounded).
+func NewDRR(qlimit int) *DRR { return &DRR{qlimit: qlimit, fresh: true} }
+
+// AddFlow registers a flow with the given quantum (bytes per round) and
+// returns its id.
+func (d *DRR) AddFlow(quantum int64) (int, error) {
+	if quantum <= 0 {
+		return 0, fmt.Errorf("pfq: DRR quantum must be positive")
+	}
+	f := &drrFlow{id: len(d.flows), quantum: quantum}
+	f.queue.PktLimit = d.qlimit
+	d.flows = append(d.flows, f)
+	return f.id, nil
+}
+
+// Backlog implements sched.Scheduler.
+func (d *DRR) Backlog() int { return d.backlog }
+
+// NextReady implements sched.Scheduler; DRR is work conserving.
+func (d *DRR) NextReady(now int64) (int64, bool) { return 0, false }
+
+// Enqueue implements sched.Scheduler.
+func (d *DRR) Enqueue(p *pktq.Packet, now int64) bool {
+	if p.Class < 0 || p.Class >= len(d.flows) {
+		panic(fmt.Sprintf("pfq: enqueue to invalid DRR flow %d", p.Class))
+	}
+	f := d.flows[p.Class]
+	if !f.queue.Push(p) {
+		return false
+	}
+	d.backlog++
+	if !f.queued {
+		f.queued = true
+		f.deficit = 0
+		d.active = append(d.active, f)
+	}
+	return true
+}
+
+// Dequeue implements sched.Scheduler.
+func (d *DRR) Dequeue(now int64) *pktq.Packet {
+	if d.backlog == 0 {
+		return nil
+	}
+	for {
+		if d.cursor >= len(d.active) {
+			d.cursor = 0
+		}
+		f := d.active[d.cursor]
+		if d.fresh {
+			f.deficit += f.quantum
+			d.fresh = false
+		}
+		head := f.queue.Front()
+		if head != nil && int64(head.Len) <= f.deficit {
+			p := f.queue.Pop()
+			d.backlog--
+			f.deficit -= int64(p.Len)
+			p.Crit = pktq.ByLinkShare
+			if f.queue.Len() == 0 {
+				// A drained flow forfeits its deficit and leaves the
+				// round; whatever now occupies this slot starts fresh.
+				f.queued = false
+				f.deficit = 0
+				d.active = append(d.active[:d.cursor], d.active[d.cursor+1:]...)
+				d.fresh = true
+			}
+			return p
+		}
+		// Head does not fit this round: bank the deficit, move on.
+		d.cursor++
+		d.fresh = true
+	}
+}

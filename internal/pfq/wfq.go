@@ -1,0 +1,188 @@
+package pfq
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/heap"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// WFQ is classic (flat) weighted fair queueing: packets are served in
+// increasing order of the virtual finish time they would have under the
+// reference GPS fluid server. Unlike the event-free WF2Q+ approximation,
+// WFQ tracks GPS virtual time exactly — dV/dt = 1/Σφ(active) between GPS
+// events — which requires knowing the link rate.
+//
+// WFQ is included for the lineage comparison: it can run up to one
+// busy-period ahead of GPS for high-weight sessions (the "burst ahead"
+// artifact WF2Q/WF2Q+ eliminate with the eligibility test), which is why
+// the paper's H-PFQ baseline builds on WF2Q+ rather than WFQ.
+type WFQ struct {
+	rate    uint64 // link rate, bytes/s (for the GPS reference)
+	flows   []*wfqFlow
+	ready   heap.Heap[*wfqFlow] // backlogged flows by head GPS finish time
+	backlog int
+	qlimit  int
+
+	// GPS reference state.
+	vtime   float64             // virtual time
+	lastT   int64               // wall clock of the last virtual-time update
+	sumAct  float64             // Σ weights of GPS-backlogged flows
+	gpsHeap heap.Heap[*wfqFlow] // flows by GPS-finish of their GPS-head packet
+}
+
+type wfqFlow struct {
+	id     int
+	weight float64
+	queue  pktq.FIFO
+	// Per-flow GPS state: finish virtual time of the last GPS-queued
+	// packet, and the queue of GPS finish times for packets not yet
+	// finished in GPS.
+	lastF    float64
+	gpsF     []float64 // finish vtimes of packets still in the GPS server
+	item     *heap.Item[*wfqFlow]
+	gpsItem  *heap.Item[*wfqFlow]
+	headF    float64 // GPS finish vtime of the WFQ head packet
+	headFseq []float64
+}
+
+// NewWFQ creates a WFQ scheduler for a link of the given rate (bytes/s).
+func NewWFQ(rate uint64, qlimit int) *WFQ {
+	if rate == 0 {
+		panic("pfq: WFQ needs the link rate")
+	}
+	return &WFQ{rate: rate, qlimit: qlimit}
+}
+
+// AddFlow registers a flow with the given weight and returns its id.
+func (w *WFQ) AddFlow(weight uint64) (int, error) {
+	if weight == 0 {
+		return 0, fmt.Errorf("pfq: WFQ weight must be positive")
+	}
+	f := &wfqFlow{id: len(w.flows), weight: float64(weight)}
+	f.queue.PktLimit = w.qlimit
+	w.flows = append(w.flows, f)
+	return f.id, nil
+}
+
+// advance integrates GPS virtual time up to wall-clock time now,
+// processing GPS departures as they occur.
+func (w *WFQ) advance(now int64) {
+	for {
+		dt := float64(now-w.lastT) / 1e9 // seconds
+		if dt <= 0 {
+			return
+		}
+		if w.sumAct <= 0 {
+			// GPS idle: virtual time frozen (any convention works as long
+			// as arrivals use max(V, lastF)).
+			w.lastT = now
+			return
+		}
+		rateV := float64(w.rate) / w.sumAct // dV/dt
+		// Next GPS departure?
+		min := w.gpsHeap.Min()
+		if min == nil {
+			w.vtime += dt * rateV
+			w.lastT = now
+			return
+		}
+		nextF := min.Value.gpsF[0]
+		dv := nextF - w.vtime
+		if dv < 0 {
+			dv = 0
+		}
+		tNeed := dv / rateV
+		if tNeed > dt {
+			w.vtime += dt * rateV
+			w.lastT = now
+			return
+		}
+		// A packet finishes in GPS before `now`.
+		w.vtime = nextF
+		w.lastT += int64(tNeed * 1e9)
+		f := min.Value
+		f.gpsF = f.gpsF[1:]
+		if len(f.gpsF) == 0 {
+			w.gpsHeap.Remove(f.gpsItem)
+			f.gpsItem = nil
+			w.sumAct -= f.weight
+			if w.sumAct < 1e-9 {
+				w.sumAct = 0
+			}
+		} else {
+			w.gpsHeap.Fix(f.gpsItem, int64(f.gpsF[0]*1e6))
+		}
+	}
+}
+
+// Backlog implements sched.Scheduler.
+func (w *WFQ) Backlog() int { return w.backlog }
+
+// NextReady implements sched.Scheduler; WFQ is work conserving.
+func (w *WFQ) NextReady(now int64) (int64, bool) { return 0, false }
+
+// Enqueue implements sched.Scheduler.
+func (w *WFQ) Enqueue(p *pktq.Packet, now int64) bool {
+	if p.Class < 0 || p.Class >= len(w.flows) {
+		panic(fmt.Sprintf("pfq: enqueue to invalid WFQ flow %d", p.Class))
+	}
+	if p.Len <= 0 {
+		panic("pfq: packet with non-positive length")
+	}
+	f := w.flows[p.Class]
+	if !f.queue.Push(p) {
+		return false
+	}
+	w.advance(now)
+	w.backlog++
+
+	// GPS: start time = max(V, last finish); finish = start + L/φ
+	// normalized so dV/dt=1/Σφ serves φ bytes per unit V per unit weight.
+	start := w.vtime
+	if f.lastF > start {
+		start = f.lastF
+	}
+	fin := start + float64(p.Len)/f.weight
+	f.lastF = fin
+	if f.gpsItem == nil {
+		w.sumAct += f.weight
+		f.gpsF = append(f.gpsF, fin)
+		f.gpsItem = w.gpsHeap.Push(int64(fin*1e6), f)
+	} else {
+		f.gpsF = append(f.gpsF, fin)
+	}
+
+	// WFQ ordering state: finish times of queued packets in order.
+	f.headFseq = append(f.headFseq, fin)
+	if f.queue.Len() == 1 {
+		f.headF = f.headFseq[0]
+		f.item = w.ready.Push(int64(f.headF*1e6), f)
+	}
+	return true
+}
+
+// Dequeue implements sched.Scheduler: smallest GPS finish time first.
+func (w *WFQ) Dequeue(now int64) *pktq.Packet {
+	w.advance(now)
+	it := w.ready.Min()
+	if it == nil {
+		return nil
+	}
+	f := it.Value
+	p := f.queue.Pop()
+	w.backlog--
+	f.headFseq = f.headFseq[1:]
+	p.Crit = pktq.ByLinkShare
+	if f.queue.Len() > 0 {
+		f.headF = f.headFseq[0]
+		w.ready.Fix(f.item, int64(f.headF*1e6))
+	} else {
+		w.ready.Remove(f.item)
+		f.item = nil
+	}
+	return p
+}
+
+// VirtualTime exposes the GPS virtual time for tests.
+func (w *WFQ) VirtualTime() float64 { return w.vtime }

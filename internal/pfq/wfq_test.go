@@ -1,0 +1,142 @@
+package pfq_test
+
+import (
+	"testing"
+
+	"github.com/netsched/hfsc/internal/pfq"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/sim"
+)
+
+func TestWFQProportionalShares(t *testing.T) {
+	w := pfq.NewWFQ(4*mbps, 0)
+	a, _ := w.AddFlow(uint64(3 * mbps))
+	b, _ := w.AddFlow(uint64(mbps))
+	trace := merged(
+		greedy(a, 1000, 8*mbps, 0, 400*ms),
+		greedy(b, 700, 8*mbps, 0, 400*ms),
+	)
+	res := sim.RunTrace(w, 4*mbps, trace, 400*ms)
+	got := classBytes(res, 50*ms, 400*ms)
+	ratio := float64(got[a]) / float64(got[b])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("WFQ ratio %.2f want ~3", ratio)
+	}
+}
+
+func TestWFQSingleFlowFIFO(t *testing.T) {
+	w := pfq.NewWFQ(mbps, 0)
+	a, _ := w.AddFlow(100)
+	now := int64(0)
+	for i := 0; i < 30; i++ {
+		w.Enqueue(&pktq.Packet{Len: 100 + i, Class: a, Seq: uint64(i)}, now)
+		now += 1000
+	}
+	for i := 0; i < 30; i++ {
+		p := w.Dequeue(now)
+		if p == nil || p.Seq != uint64(i) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestWFQDelayBoundForConformingFlow(t *testing.T) {
+	w := pfq.NewWFQ(10*mbps, 0)
+	voice, _ := w.AddFlow(8000)
+	data, _ := w.AddFlow(uint64(10*mbps) - 8000)
+	trace := merged(
+		cbr(voice, 160, 20*ms, 0, sec),
+		greedy(data, 1500, 12*mbps, 0, sec),
+	)
+	res := sim.RunTrace(w, 10*mbps, trace, 2*sec)
+	var worst int64
+	for _, p := range res.Departed {
+		if p.Class != voice {
+			continue
+		}
+		if d := p.Depart - p.Arrival; d > worst {
+			worst = d
+		}
+	}
+	// WFQ bound: L/r + Lmax/R ≈ 20ms + 1.2ms.
+	if worst > 22*ms {
+		t.Fatalf("voice worst %.2fms exceeds the WFQ bound", float64(worst)/1e6)
+	}
+}
+
+// The classic WFQ burst-ahead artifact: a high-weight flow's whole backlog
+// finishes early in GPS, so WFQ serves it back-to-back up to a busy period
+// ahead; WF2Q+'s eligibility test interleaves instead. This is why the
+// paper's H-PFQ baseline builds on WF2Q+ (and why H-FSC's link-sharing
+// criterion minimizes short-term discrepancy).
+func TestWFQBurstAheadVsWF2Q(t *testing.T) {
+	const (
+		heavyW = 10
+		lights = 10
+		pkts   = 10
+	)
+	maxRun := func(res *sim.Result, class int) int {
+		run, best := 0, 0
+		for _, p := range res.Departed {
+			if p.Class == class {
+				run++
+				if run > best {
+					best = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		return best
+	}
+	mkTrace := func(heavy int, light []int) []sim.Arrival {
+		var tr []sim.Arrival
+		for i := 0; i < pkts; i++ {
+			tr = append(tr, sim.Arrival{At: 0, Len: 1000, Class: heavy})
+			for _, l := range light {
+				tr = append(tr, sim.Arrival{At: 0, Len: 1000, Class: l})
+			}
+		}
+		return tr
+	}
+
+	wfq := pfq.NewWFQ(10*mbps, 0)
+	heavy1, _ := wfq.AddFlow(heavyW)
+	var light1 []int
+	for i := 0; i < lights; i++ {
+		id, _ := wfq.AddFlow(1)
+		light1 = append(light1, id)
+	}
+	res1 := sim.RunTrace(wfq, 10*mbps, mkTrace(heavy1, light1), 0)
+	wfqRun := maxRun(res1, heavy1)
+
+	h := pfq.New(pfq.WF2Q, 0)
+	heavy2n, _ := h.AddNode(nil, "heavy", heavyW)
+	var light2 []int
+	for i := 0; i < lights; i++ {
+		n, _ := h.AddNode(nil, "", 1)
+		light2 = append(light2, n.ID())
+	}
+	res2 := sim.RunTrace(h, 10*mbps, mkTrace(heavy2n.ID(), light2), 0)
+	wf2qRun := maxRun(res2, heavy2n.ID())
+
+	if wfqRun < pkts {
+		t.Fatalf("WFQ burst-ahead not reproduced: run %d want %d", wfqRun, pkts)
+	}
+	if wf2qRun > 3 {
+		t.Fatalf("WF2Q+ should interleave: run %d", wf2qRun)
+	}
+}
+
+func TestWFQValidation(t *testing.T) {
+	w := pfq.NewWFQ(mbps, 0)
+	if _, err := w.AddFlow(0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid flow should panic")
+		}
+	}()
+	w.Enqueue(&pktq.Packet{Len: 1, Class: 9}, 0)
+}

@@ -1,0 +1,126 @@
+// Package pktq provides the packet representation and the per-class FIFO
+// queue shared by every scheduler in this repository.
+package pktq
+
+// Criterion records which scheduling criterion released a packet; it is
+// diagnostic metadata used by the experiments (e.g. to measure how much
+// service the real-time criterion claimed versus link-sharing).
+type Criterion uint8
+
+const (
+	// ByNone marks a packet not yet dequeued.
+	ByNone Criterion = iota
+	// ByRealTime marks service under the real-time criterion.
+	ByRealTime
+	// ByLinkShare marks service under the link-sharing criterion.
+	ByLinkShare
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case ByRealTime:
+		return "rt"
+	case ByLinkShare:
+		return "ls"
+	default:
+		return "none"
+	}
+}
+
+// Packet is one unit of work. Times are nanoseconds on the simulation (or
+// wall) clock; Len is the wire length in bytes and is what every scheduler
+// charges for.
+type Packet struct {
+	Len     int    // wire length in bytes
+	Class   int    // leaf class index within the scheduler
+	Flow    int    // originating flow, for statistics
+	Seq     uint64 // global arrival sequence number
+	Arrival int64  // ns, time the last bit arrived (paper's convention)
+	Depart  int64  // ns, time the last bit was transmitted; set by the link
+
+	// Deadline and Crit are diagnostics filled in by curve-based
+	// schedulers when the packet is dequeued.
+	Deadline int64
+	Crit     Criterion
+
+	// Payload carries application data for real-datapath uses (e.g. the
+	// UDP shaper example); simulators leave it nil.
+	Payload []byte
+}
+
+// FIFO is a bounded first-in first-out packet queue with drop-tail
+// semantics. The zero FIFO is unbounded; set PktLimit and/or ByteLimit to
+// bound it.
+type FIFO struct {
+	PktLimit  int   // maximum packets held, 0 = unlimited
+	ByteLimit int64 // maximum bytes held, 0 = unlimited
+
+	buf     []*Packet
+	head    int
+	count   int
+	bytes   int64
+	dropped uint64
+}
+
+// Len returns the number of queued packets.
+func (q *FIFO) Len() int { return q.count }
+
+// Bytes returns the number of queued bytes.
+func (q *FIFO) Bytes() int64 { return q.bytes }
+
+// Dropped returns the count of packets rejected by Push.
+func (q *FIFO) Dropped() uint64 { return q.dropped }
+
+// Push appends p, returning false (and counting a drop) if a limit would be
+// exceeded.
+func (q *FIFO) Push(p *Packet) bool {
+	if q.PktLimit > 0 && q.count >= q.PktLimit {
+		q.dropped++
+		return false
+	}
+	if q.ByteLimit > 0 && q.count > 0 && q.bytes+int64(p.Len) > q.ByteLimit {
+		q.dropped++
+		return false
+	}
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = p
+	q.count++
+	q.bytes += int64(p.Len)
+	return true
+}
+
+// Front returns the head packet without removing it, or nil.
+func (q *FIFO) Front() *Packet {
+	if q.count == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Pop removes and returns the head packet, or nil.
+func (q *FIFO) Pop() *Packet {
+	if q.count == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.bytes -= int64(p.Len)
+	return p
+}
+
+func (q *FIFO) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]*Packet, n)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

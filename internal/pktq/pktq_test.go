@@ -1,0 +1,105 @@
+package pktq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mk(len int, seq uint64) *Packet { return &Packet{Len: len, Seq: seq} }
+
+func TestFIFOOrder(t *testing.T) {
+	var q FIFO
+	for i := 0; i < 100; i++ {
+		if !q.Push(mk(10, uint64(i))) {
+			t.Fatal("unbounded queue dropped")
+		}
+	}
+	if q.Len() != 100 || q.Bytes() != 1000 {
+		t.Fatalf("len=%d bytes=%d", q.Len(), q.Bytes())
+	}
+	for i := 0; i < 100; i++ {
+		p := q.Pop()
+		if p.Seq != uint64(i) {
+			t.Fatalf("out of order: %d at %d", p.Seq, i)
+		}
+	}
+	if q.Pop() != nil || q.Front() != nil {
+		t.Fatal("empty queue returned packet")
+	}
+}
+
+func TestFIFOPktLimit(t *testing.T) {
+	q := FIFO{PktLimit: 2}
+	q.Push(mk(1, 0))
+	q.Push(mk(1, 1))
+	if q.Push(mk(1, 2)) {
+		t.Fatal("limit not enforced")
+	}
+	if q.Dropped() != 1 {
+		t.Fatalf("dropped=%d", q.Dropped())
+	}
+	q.Pop()
+	if !q.Push(mk(1, 3)) {
+		t.Fatal("space freed but push failed")
+	}
+}
+
+func TestFIFOByteLimit(t *testing.T) {
+	q := FIFO{ByteLimit: 1000}
+	if !q.Push(mk(900, 0)) {
+		t.Fatal("first push failed")
+	}
+	if q.Push(mk(200, 1)) {
+		t.Fatal("byte limit not enforced")
+	}
+	// A packet larger than the limit is still accepted into an empty
+	// queue so oversized packets cannot wedge the class.
+	q2 := FIFO{ByteLimit: 100}
+	if !q2.Push(mk(500, 0)) {
+		t.Fatal("oversized packet rejected from empty queue")
+	}
+}
+
+func TestFIFOFrontStable(t *testing.T) {
+	var q FIFO
+	q.Push(mk(5, 7))
+	if q.Front().Seq != 7 || q.Front().Seq != 7 {
+		t.Fatal("front not stable")
+	}
+	if q.Len() != 1 {
+		t.Fatal("front consumed packet")
+	}
+}
+
+func TestFIFOWrapAroundModel(t *testing.T) {
+	var q FIFO
+	rng := rand.New(rand.NewSource(8))
+	var model []uint64
+	var seq uint64
+	var bytes int64
+	for op := 0; op < 50000; op++ {
+		if rng.Intn(2) == 0 {
+			l := rng.Intn(1500) + 1
+			q.Push(mk(l, seq))
+			model = append(model, seq)
+			bytes += int64(l)
+			seq++
+		} else if len(model) > 0 {
+			p := q.Pop()
+			if p.Seq != model[0] {
+				t.Fatalf("op %d: pop %d want %d", op, p.Seq, model[0])
+			}
+			bytes -= int64(p.Len)
+			model = model[1:]
+		}
+		if q.Len() != len(model) || q.Bytes() != bytes {
+			t.Fatalf("op %d: len/bytes mismatch", op)
+		}
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if ByRealTime.String() != "rt" || ByLinkShare.String() != "ls" || ByNone.String() != "none" {
+		t.Fatal("criterion strings wrong")
+	}
+}

@@ -1,0 +1,153 @@
+// Package sced implements the service curve earliest deadline first
+// scheduler (SCED, Sariowan et al. [14] as presented in the paper's
+// Section II): each session has a deadline curve, initialized to its
+// service curve and min-updated whenever the session becomes backlogged
+// again (equation (3)); packets are transmitted in increasing deadline
+// order.
+//
+// SCED guarantees every admissible service-curve set but is *unfair*: a
+// session that received excess service is later punished for it (the
+// paper's Fig. 2), because its deadlines are computed from its total
+// received service. This package exists as the baseline exhibiting that
+// behaviour; H-FSC's nonpunishment is demonstrated against it.
+//
+// With linear service curves through the origin SCED reduces exactly to
+// the virtual clock discipline (Section III-B); NewVirtualClock builds
+// that configuration.
+package sced
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/heap"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// Session is one SCED session.
+type Session struct {
+	id   int
+	name string
+	sc   curve.SC
+
+	queue    pktq.FIFO
+	deadline curve.RTSC
+	cumul    int64 // total service received (SCED has a single counter)
+	d        int64 // deadline of the head packet
+	item     *heap.Item[*Session]
+}
+
+// ID returns the session identifier used as Packet.Class.
+func (s *Session) ID() int { return s.id }
+
+// Name returns the session's name.
+func (s *Session) Name() string { return s.name }
+
+// Cumul returns the total bytes served to the session.
+func (s *Session) Cumul() int64 { return s.cumul }
+
+// QueueLen returns the number of queued packets.
+func (s *Session) QueueLen() int { return s.queue.Len() }
+
+// Dropped returns packets rejected by the session queue.
+func (s *Session) Dropped() uint64 { return s.queue.Dropped() }
+
+// Scheduler is the SCED scheduler.
+type Scheduler struct {
+	sessions []*Session
+	ready    heap.Heap[*Session] // backlogged sessions by head deadline
+	backlog  int
+	qlimit   int
+}
+
+// New creates an empty SCED scheduler. qlimit bounds each session queue in
+// packets (0 = unbounded).
+func New(qlimit int) *Scheduler {
+	return &Scheduler{qlimit: qlimit}
+}
+
+// NewVirtualClock creates a SCED scheduler preloaded with one session per
+// rate, each with a linear service curve — the virtual clock discipline.
+func NewVirtualClock(rates []uint64, qlimit int) (*Scheduler, []*Session) {
+	s := New(qlimit)
+	out := make([]*Session, len(rates))
+	for i, r := range rates {
+		ses, err := s.AddSession(fmt.Sprintf("vc%d", i), curve.Linear(r))
+		if err != nil {
+			panic(err) // linear curves are always valid
+		}
+		out[i] = ses
+	}
+	return s, out
+}
+
+// AddSession registers a session with the given service curve.
+func (s *Scheduler) AddSession(name string, sc curve.SC) (*Session, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.IsZero() {
+		return nil, fmt.Errorf("sced: session %q needs a nonzero service curve", name)
+	}
+	ses := &Session{id: len(s.sessions), name: name, sc: sc}
+	ses.queue.PktLimit = s.qlimit
+	ses.deadline.Init(sc, 0, 0)
+	s.sessions = append(s.sessions, ses)
+	return ses, nil
+}
+
+// Sessions returns the registered sessions.
+func (s *Scheduler) Sessions() []*Session { return s.sessions }
+
+// Backlog implements sched.Scheduler.
+func (s *Scheduler) Backlog() int { return s.backlog }
+
+// Enqueue implements sched.Scheduler.
+func (s *Scheduler) Enqueue(p *pktq.Packet, now int64) bool {
+	if p.Class < 0 || p.Class >= len(s.sessions) {
+		panic(fmt.Sprintf("sced: enqueue to invalid session %d", p.Class))
+	}
+	if p.Len <= 0 {
+		panic(fmt.Sprintf("sced: packet with non-positive length %d", p.Len))
+	}
+	ses := s.sessions[p.Class]
+	first := ses.queue.Len() == 0
+	if !ses.queue.Push(p) {
+		return false
+	}
+	s.backlog++
+	if first {
+		// Equation (3): D = min(D, S translated to (now, cumul)).
+		ses.deadline.Min(ses.sc, now, ses.cumul)
+		ses.d = ses.deadline.Y2X(ses.cumul + int64(p.Len))
+		ses.item = s.ready.Push(ses.d, ses)
+	}
+	return true
+}
+
+// Dequeue implements sched.Scheduler: earliest deadline first, work
+// conserving.
+func (s *Scheduler) Dequeue(now int64) *pktq.Packet {
+	it := s.ready.Min()
+	if it == nil {
+		return nil
+	}
+	ses := it.Value
+	p := ses.queue.Pop()
+	s.backlog--
+	ses.cumul += int64(p.Len)
+	p.Deadline = ses.d
+	p.Crit = pktq.ByRealTime
+	if next := ses.queue.Front(); next != nil {
+		ses.d = ses.deadline.Y2X(ses.cumul + int64(next.Len))
+		s.ready.Fix(ses.item, ses.d)
+	} else {
+		s.ready.Remove(ses.item)
+		ses.item = nil
+	}
+	return p
+}
+
+// NextReady implements sched.Scheduler; SCED is work conserving, so a
+// backlog is always immediately serviceable.
+func (s *Scheduler) NextReady(now int64) (int64, bool) { return 0, false }

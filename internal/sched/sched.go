@@ -1,0 +1,31 @@
+// Package sched defines the interface every packet scheduler in this
+// repository implements — H-FSC itself, the SCED and virtual-clock
+// baselines, and the hierarchical packet fair queueing family. The
+// simulator's link model and the benchmark harness drive schedulers only
+// through this interface.
+package sched
+
+import "github.com/netsched/hfsc/internal/pktq"
+
+// Scheduler is a work-queueing packet scheduler. All methods take the
+// current clock (ns); implementations must tolerate repeated calls with
+// the same time but never a decreasing one.
+type Scheduler interface {
+	// Enqueue offers a packet for transmission. It returns false if the
+	// packet was dropped (e.g. queue limits).
+	Enqueue(p *pktq.Packet, now int64) bool
+
+	// Dequeue selects the next packet to transmit at time now, or nil if
+	// nothing may be sent yet. A nil return with Backlog() > 0 means the
+	// scheduler is intentionally idling (e.g. an upper-limit curve or a
+	// non-work-conserving baseline); consult NextReady for the retry time.
+	Dequeue(now int64) *pktq.Packet
+
+	// NextReady returns the earliest future time at which Dequeue may
+	// return a packet, when known. ok is false if the scheduler has no
+	// backlog or cannot bound the time.
+	NextReady(now int64) (t int64, ok bool)
+
+	// Backlog returns the number of packets currently queued.
+	Backlog() int
+}

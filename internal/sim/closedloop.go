@@ -1,0 +1,66 @@
+package sim
+
+import "github.com/netsched/hfsc/internal/pktq"
+
+// ClosedLoopSource is a window-based adaptive sender: it keeps up to
+// Window packets outstanding and releases the next packet one RTT after a
+// departure, like a simplified TCP in congestion avoidance. The paper's
+// fairness discussion (Section III-B) is motivated by exactly such
+// adaptive applications: they expand into idle capacity, and a fair
+// scheduler must not punish them for having done so.
+type ClosedLoopSource struct {
+	Link   *Link
+	Class  int
+	Flow   int
+	PktLen int
+	Window int   // packets in flight
+	RTT    int64 // ns between a departure and the replacement arrival
+	Stop   int64 // no new packets at or after this time
+
+	inflight int
+	sent     uint64
+}
+
+// Start injects the initial window at the current simulation time.
+func (c *ClosedLoopSource) Start() {
+	for i := 0; i < c.Window; i++ {
+		c.inject()
+	}
+}
+
+// OnDepart must be invoked for every departure observed on the link (use
+// FanOutDepart when several observers need the callback); packets of other
+// flows are ignored.
+func (c *ClosedLoopSource) OnDepart(p *pktq.Packet) {
+	if p.Flow != c.Flow {
+		return
+	}
+	c.inflight--
+	at := c.Link.Sim.Now() + c.RTT
+	if at >= c.Stop {
+		return
+	}
+	c.Link.Sim.Schedule(at, c.inject)
+}
+
+// Sent returns the number of packets injected so far.
+func (c *ClosedLoopSource) Sent() uint64 { return c.sent }
+
+func (c *ClosedLoopSource) inject() {
+	if c.Link.Sim.Now() >= c.Stop {
+		return
+	}
+	c.inflight++
+	c.sent++
+	c.Link.Inject(&pktq.Packet{Len: c.PktLen, Class: c.Class, Flow: c.Flow})
+}
+
+// FanOutDepart combines several departure observers into one callback for
+// Link.OnDepart.
+func FanOutDepart(fns ...func(*pktq.Packet)) func(*pktq.Packet) {
+	return func(p *pktq.Packet) {
+		for _, fn := range fns {
+			fn(p)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/sim"
+)
+
+const (
+	mbps = uint64(125_000)
+	ms   = int64(1_000_000)
+	sec  = int64(1_000_000_000)
+)
+
+// An adaptive (window-based) flow expands into idle capacity and, when a
+// competitor arrives, falls back to its fair share immediately — without
+// being punished for the excess it used. This is the paper's core
+// motivation for the fairness property (Section III-B).
+func TestClosedLoopAdaptiveFlowUsesExcessWithoutPunishment(t *testing.T) {
+	s := core.New(core.Options{DefaultQueueLimit: 64})
+	adaptive, err := s.AddClass(nil, "adaptive", curve.SC{}, curve.Linear(mbps), curve.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbr, err := s.AddClass(nil, "cbr", curve.SC{}, curve.Linear(mbps), curve.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sm sim.Sim
+	link := sim.NewLink(&sm, 2*mbps, s)
+
+	bytesIn := map[int]map[int64]int64{adaptive.ID(): {}, cbr.ID(): {}}
+	record := func(p *pktq.Packet) {
+		bin := p.Depart / (50 * ms)
+		bytesIn[p.Class][bin] += int64(p.Len)
+	}
+	src := &sim.ClosedLoopSource{
+		Link: link, Class: adaptive.ID(), Flow: 1,
+		PktLen: 1000, Window: 8, RTT: 2 * ms, Stop: 900 * ms,
+	}
+	link.OnDepart = sim.FanOutDepart(record, src.OnDepart)
+	sm.Schedule(0, src.Start)
+	// Competitor wakes at 400 ms with CBR at its full 1 Mb/s share.
+	interval := sim.TxTime(1000, mbps)
+	for at := 400 * ms; at < 900*ms; at += interval {
+		at := at
+		sm.Schedule(at, func() {
+			link.Inject(&pktq.Packet{Len: 1000, Class: cbr.ID(), Flow: 2})
+		})
+	}
+	sm.Run(sec)
+
+	rate := func(class int, bin int64) float64 {
+		return float64(bytesIn[class][bin]) / 0.05
+	}
+	// Phase 1: adaptive flow alone should fill most of the 2 Mb/s link.
+	if r := rate(adaptive.ID(), 4); r < 0.85*float64(2*mbps) {
+		t.Fatalf("adaptive flow did not expand into idle capacity: %.0f B/s", r)
+	}
+	// Phase 2: immediately after the competitor wakes, the adaptive flow
+	// keeps (at least close to) its guaranteed half — no punishment.
+	if r := rate(adaptive.ID(), 9); r < 0.75*float64(mbps) {
+		t.Fatalf("adaptive flow punished after competitor woke: %.0f B/s", r)
+	}
+	if r := rate(cbr.ID(), 9); r < 0.75*float64(mbps) {
+		t.Fatalf("competitor not served: %.0f B/s", r)
+	}
+	if src.Sent() == 0 {
+		t.Fatal("closed-loop source never sent")
+	}
+}
+
+// The window cap must hold: with a huge RTT the source cannot have more
+// than Window packets outstanding.
+func TestClosedLoopWindowBound(t *testing.T) {
+	s := core.New(core.Options{})
+	cl, _ := s.AddClass(nil, "w", curve.SC{}, curve.Linear(mbps), curve.SC{})
+	var sm sim.Sim
+	link := sim.NewLink(&sm, 10*mbps, s)
+	src := &sim.ClosedLoopSource{
+		Link: link, Class: cl.ID(), Flow: 1,
+		PktLen: 500, Window: 3, RTT: sec, Stop: 100 * ms,
+	}
+	link.OnDepart = src.OnDepart
+	sm.Schedule(0, src.Start)
+	sm.Run(200 * ms)
+	if src.Sent() != 3 {
+		t.Fatalf("sent %d packets; window of 3 with RTT 1s should allow exactly 3", src.Sent())
+	}
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"github.com/netsched/hfsc/internal/fixpt"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/sched"
+)
+
+// Arrival is one packet arrival in a workload trace.
+type Arrival struct {
+	At    int64 // ns, arrival time of the packet's last bit
+	Len   int   // bytes
+	Class int   // destination leaf class
+	Flow  int   // originating flow, carried into statistics
+}
+
+// SortArrivals orders a trace by time (stable on equal times), as the Link
+// requires.
+func SortArrivals(arr []Arrival) {
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].At < arr[j].At })
+}
+
+// Link drains a scheduler at Rate bytes/s with non-preemptive transmission.
+type Link struct {
+	Sim   *Sim
+	Rate  uint64
+	Sched sched.Scheduler
+
+	// OnDepart, if set, observes each packet as its last bit leaves.
+	OnDepart func(p *pktq.Packet)
+
+	busy    bool
+	retryAt int64 // time of the scheduled idle retry, or -1
+	sent    uint64
+	sentB   int64
+	seq     uint64
+}
+
+// NewLink wires a link to a simulator and scheduler.
+func NewLink(s *Sim, rate uint64, sch sched.Scheduler) *Link {
+	return &Link{Sim: s, Rate: rate, Sched: sch, retryAt: -1}
+}
+
+// TxTime returns the transmission time (ns) of a packet of n bytes at rate
+// bytes/s, rounded up.
+func TxTime(n int, rate uint64) int64 {
+	return fixpt.MulDivCeilSat(uint64(n), 1_000_000_000, rate)
+}
+
+// Sent returns the number of packets and bytes fully transmitted.
+func (l *Link) Sent() (packets uint64, bytes int64) { return l.sent, l.sentB }
+
+// Inject enqueues a packet at the current simulation time and kicks the
+// link if idle.
+func (l *Link) Inject(p *pktq.Packet) bool {
+	p.Arrival = l.Sim.Now()
+	p.Seq = l.seq
+	l.seq++
+	ok := l.Sched.Enqueue(p, l.Sim.Now())
+	if ok && !l.busy {
+		l.pump()
+	}
+	return ok
+}
+
+// pump attempts to start a transmission now.
+func (l *Link) pump() {
+	now := l.Sim.Now()
+	p := l.Sched.Dequeue(now)
+	if p == nil {
+		if l.Sched.Backlog() == 0 {
+			return
+		}
+		// The scheduler is intentionally idling; retry at its hint.
+		t, ok := l.Sched.NextReady(now)
+		if !ok {
+			return
+		}
+		if t <= now {
+			t = now + 1
+		}
+		if l.retryAt >= 0 && l.retryAt <= t {
+			return // an earlier retry is already pending
+		}
+		l.retryAt = t
+		l.Sim.Schedule(t, func() {
+			l.retryAt = -1
+			if !l.busy {
+				l.pump()
+			}
+		})
+		return
+	}
+	l.busy = true
+	done := now + TxTime(p.Len, l.Rate)
+	l.Sim.Schedule(done, func() {
+		p.Depart = l.Sim.Now()
+		l.sent++
+		l.sentB += int64(p.Len)
+		if l.OnDepart != nil {
+			l.OnDepart(p)
+		}
+		l.busy = false
+		l.pump()
+	})
+}
+
+// Result collects the outcome of a RunTrace call.
+type Result struct {
+	Departed []*pktq.Packet // in departure order
+	Offered  int            // packets injected
+	Drops    int            // packets rejected at enqueue
+	EndTime  int64          // simulation clock when the run stopped
+}
+
+// RunTrace plays a sorted arrival trace through a scheduler on a fresh
+// simulator and runs until the trace is exhausted and the backlog drains,
+// or the clock passes horizon (0 means unbounded). It is the workhorse
+// used by tests, examples and the experiment harness.
+func RunTrace(sch sched.Scheduler, rate uint64, trace []Arrival, horizon int64) *Result {
+	if horizon <= 0 {
+		horizon = math.MaxInt64
+	}
+	var sm Sim
+	link := NewLink(&sm, rate, sch)
+	res := &Result{}
+	link.OnDepart = func(p *pktq.Packet) { res.Departed = append(res.Departed, p) }
+	for _, a := range trace {
+		a := a
+		sm.Schedule(a.At, func() {
+			res.Offered++
+			p := &pktq.Packet{Len: a.Len, Class: a.Class, Flow: a.Flow}
+			if !link.Inject(p) {
+				res.Drops++
+			}
+		})
+	}
+	sm.Run(horizon)
+	res.EndTime = sm.Now()
+	return res
+}

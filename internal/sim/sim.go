@@ -1,0 +1,100 @@
+// Package sim is a deterministic discrete-event simulator for packet
+// links. It replaces the paper's NetBSD testbed: a Link drains any
+// sched.Scheduler at a configured line rate with non-preemptive packet
+// transmission, while arrival traces (from internal/source) are injected at
+// exact nanosecond timestamps. Scheduling behaviour depends only on arrival
+// times, packet lengths and the algorithm, all of which the simulator
+// reproduces exactly, so shapes measured here transfer to a real datapath.
+package sim
+
+// event is a scheduled callback. Events at equal times fire in schedule
+// order, making runs fully deterministic.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+// Sim is the event loop. The zero value is ready to use.
+type Sim struct {
+	now    int64
+	seq    uint64
+	events []event // binary min-heap by (at, seq)
+}
+
+// Now returns the current simulation time (ns).
+func (s *Sim) Now() int64 { return s.now }
+
+// Schedule runs fn at time at (>= Now).
+func (s *Sim) Schedule(at int64, fn func()) {
+	if at < s.now {
+		panic("sim: scheduling into the past")
+	}
+	s.events = append(s.events, event{at: at, seq: s.seq, fn: fn})
+	s.seq++
+	s.up(len(s.events) - 1)
+}
+
+func (s *Sim) less(i, j int) bool {
+	if s.events[i].at != s.events[j].at {
+		return s.events[i].at < s.events[j].at
+	}
+	return s.events[i].seq < s.events[j].seq
+}
+
+func (s *Sim) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			return
+		}
+		s.events[i], s.events[p] = s.events[p], s.events[i]
+		i = p
+	}
+}
+
+func (s *Sim) down(i int) {
+	n := len(s.events)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			return
+		}
+		s.events[i], s.events[m] = s.events[m], s.events[i]
+		i = m
+	}
+}
+
+// Step runs the next event. It returns false when no events remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	ev := s.events[0]
+	last := len(s.events) - 1
+	s.events[0] = s.events[last]
+	s.events = s.events[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue empties or the clock passes until.
+func (s *Sim) Run(until int64) {
+	for len(s.events) > 0 && s.events[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+func TestSimEventOrder(t *testing.T) {
+	var s Sim
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	s.Schedule(10, func() { got = append(got, 11) }) // same time: schedule order
+	s.Run(100)
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if s.Now() != 100 {
+		t.Fatalf("now=%d", s.Now())
+	}
+}
+
+func TestSimSchedulePastPanics(t *testing.T) {
+	var s Sim
+	s.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		s.Schedule(5, func() {})
+	})
+	s.Run(20)
+}
+
+func TestSimRunStopsAtHorizon(t *testing.T) {
+	var s Sim
+	fired := false
+	s.Schedule(50, func() { fired = true })
+	s.Run(40)
+	if fired {
+		t.Fatal("event past horizon fired")
+	}
+	if s.Now() != 40 {
+		t.Fatalf("now=%d", s.Now())
+	}
+	s.Run(60)
+	if !fired {
+		t.Fatal("event not fired after extending horizon")
+	}
+}
+
+// fifoSched is a trivial work-conserving scheduler for link tests.
+type fifoSched struct{ q pktq.FIFO }
+
+func (f *fifoSched) Enqueue(p *pktq.Packet, _ int64) bool { return f.q.Push(p) }
+func (f *fifoSched) Dequeue(_ int64) *pktq.Packet         { return f.q.Pop() }
+func (f *fifoSched) NextReady(_ int64) (int64, bool)      { return 0, false }
+func (f *fifoSched) Backlog() int                         { return f.q.Len() }
+
+// pacedSched releases at most one packet per interval, exercising the
+// link's NextReady retry path.
+type pacedSched struct {
+	q        pktq.FIFO
+	interval int64
+	nextOK   int64
+}
+
+func (f *pacedSched) Enqueue(p *pktq.Packet, _ int64) bool { return f.q.Push(p) }
+func (f *pacedSched) Dequeue(now int64) *pktq.Packet {
+	if now < f.nextOK {
+		return nil
+	}
+	p := f.q.Pop()
+	if p != nil {
+		f.nextOK = now + f.interval
+	}
+	return p
+}
+func (f *pacedSched) NextReady(now int64) (int64, bool) { return f.nextOK, f.nextOK > now }
+func (f *pacedSched) Backlog() int                      { return f.q.Len() }
+
+func TestLinkBackToBackTiming(t *testing.T) {
+	// 1000 B packets at 1 MB/s = 1 ms each, three arriving at t=0.
+	trace := []Arrival{{At: 0, Len: 1000}, {At: 0, Len: 1000}, {At: 0, Len: 1000}}
+	res := RunTrace(&fifoSched{}, 1_000_000, trace, 0)
+	if len(res.Departed) != 3 {
+		t.Fatalf("departed %d", len(res.Departed))
+	}
+	for i, want := range []int64{1_000_000, 2_000_000, 3_000_000} {
+		if res.Departed[i].Depart != want {
+			t.Fatalf("pkt %d depart %d want %d", i, res.Departed[i].Depart, want)
+		}
+	}
+}
+
+func TestLinkIdlePeriod(t *testing.T) {
+	// Second packet arrives after the link went idle.
+	trace := []Arrival{{At: 0, Len: 1000}, {At: 5_000_000, Len: 1000}}
+	res := RunTrace(&fifoSched{}, 1_000_000, trace, 0)
+	if res.Departed[1].Depart != 6_000_000 {
+		t.Fatalf("depart %d want 6ms", res.Departed[1].Depart)
+	}
+}
+
+func TestLinkNonWorkConservingRetry(t *testing.T) {
+	// Paced scheduler: one packet per 10 ms despite a fast link.
+	trace := []Arrival{{At: 0, Len: 100}, {At: 0, Len: 100}, {At: 0, Len: 100}}
+	res := RunTrace(&pacedSched{interval: 10_000_000}, 1_000_000_000, trace, 0)
+	if len(res.Departed) != 3 {
+		t.Fatalf("departed %d", len(res.Departed))
+	}
+	if res.Departed[2].Depart < 20_000_000 {
+		t.Fatalf("pacing not honored: %d", res.Departed[2].Depart)
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	if got := TxTime(1000, 1_000_000); got != 1_000_000 {
+		t.Fatalf("TxTime=%d", got)
+	}
+	if got := TxTime(1, 3); got != 333_333_334 {
+		t.Fatalf("TxTime ceil=%d", got)
+	}
+}
+
+func TestSortArrivalsStable(t *testing.T) {
+	arr := []Arrival{{At: 5, Flow: 1}, {At: 3, Flow: 2}, {At: 5, Flow: 3}}
+	SortArrivals(arr)
+	if arr[0].Flow != 2 || arr[1].Flow != 1 || arr[2].Flow != 3 {
+		t.Fatalf("order %v", arr)
+	}
+}
+
+func TestLinkSentCountersAndResultFields(t *testing.T) {
+	trace := []Arrival{{At: 0, Len: 400}, {At: 0, Len: 600}}
+	res := RunTrace(&fifoSched{}, 1_000_000, trace, 0)
+	if res.Offered != 2 || res.Drops != 0 {
+		t.Fatalf("offered=%d drops=%d", res.Offered, res.Drops)
+	}
+	if res.EndTime < res.Departed[1].Depart {
+		t.Fatalf("end time %d before last departure", res.EndTime)
+	}
+	var bytes int64
+	for _, p := range res.Departed {
+		bytes += int64(p.Len)
+	}
+	if bytes != 1000 {
+		t.Fatalf("bytes %d", bytes)
+	}
+}

@@ -1,0 +1,167 @@
+// Package source generates deterministic synthetic workloads as arrival
+// traces for the simulator. These stand in for the traces the paper's
+// testbed used (MPEG video, audio, FTP): the experiments probe scheduler
+// behaviour, which depends only on the arrival envelope, so precisely
+// controlled synthetic envelopes are the right substitute.
+//
+// All randomness flows from an explicit splitmix64 PRNG seed, so every
+// experiment is exactly reproducible.
+package source
+
+import (
+	"math"
+
+	"github.com/netsched/hfsc/internal/sim"
+)
+
+// Rand is a tiny deterministic PRNG (splitmix64). The zero value is a
+// valid generator seeded with 0; prefer NewRand.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("source: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponential variate with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// CBR emits fixed-size packets at a fixed interval on [start, end).
+func CBR(class, flow, pktLen int, interval, start, end int64) []sim.Arrival {
+	var out []sim.Arrival
+	for at := start; at < end; at += interval {
+		out = append(out, sim.Arrival{At: at, Len: pktLen, Class: class, Flow: flow})
+	}
+	return out
+}
+
+// CBRRate emits fixed-size packets at the given average rate (bytes/s).
+func CBRRate(class, flow, pktLen int, rate uint64, start, end int64) []sim.Arrival {
+	interval := sim.TxTime(pktLen, rate)
+	if interval < 1 {
+		interval = 1
+	}
+	return CBR(class, flow, pktLen, interval, start, end)
+}
+
+// Greedy emits packets fast enough to keep the class continuously
+// backlogged on a link of linkRate bytes/s.
+func Greedy(class, flow, pktLen int, linkRate uint64, start, end int64) []sim.Arrival {
+	interval := sim.TxTime(pktLen, linkRate) / 2
+	if interval < 1 {
+		interval = 1
+	}
+	return CBR(class, flow, pktLen, interval, start, end)
+}
+
+// Poisson emits fixed-size packets with exponential inter-arrival times at
+// the given average packet rate (packets/s).
+func Poisson(rng *Rand, class, flow, pktLen int, pps float64, start, end int64) []sim.Arrival {
+	var out []sim.Arrival
+	at := float64(start)
+	for {
+		at += rng.Exp(1e9 / pps)
+		if int64(at) >= end {
+			return out
+		}
+		out = append(out, sim.Arrival{At: int64(at), Len: pktLen, Class: class, Flow: flow})
+	}
+}
+
+// OnOff emits CBR bursts at peakRate (bytes/s) with exponentially
+// distributed on and off durations (ns means), the classic bursty-data
+// model.
+func OnOff(rng *Rand, class, flow, pktLen int, peakRate uint64, meanOn, meanOff float64, start, end int64) []sim.Arrival {
+	var out []sim.Arrival
+	interval := sim.TxTime(pktLen, peakRate)
+	if interval < 1 {
+		interval = 1
+	}
+	at := start
+	for at < end {
+		burstEnd := at + int64(rng.Exp(meanOn))
+		for at < burstEnd && at < end {
+			out = append(out, sim.Arrival{At: at, Len: pktLen, Class: class, Flow: flow})
+			at += interval
+		}
+		at += int64(rng.Exp(meanOff))
+	}
+	return out
+}
+
+// VideoVBR models a frame-structured variable-bit-rate video source: a
+// frame every frameInterval ns whose size is meanFrame bytes scaled by a
+// bounded random factor (0.5x–2x, mildly bursty like the MPEG traces the
+// paper's testbed played), fragmented into mtu-sized packets delivered
+// back-to-back at the frame instant.
+func VideoVBR(rng *Rand, class, flow int, meanFrame, mtu int, frameInterval, start, end int64) []sim.Arrival {
+	var out []sim.Arrival
+	for at := start; at < end; at += frameInterval {
+		f := 0.5 + 1.5*rng.Float64()*rng.Float64() // skewed toward small
+		size := int(float64(meanFrame) * f)
+		if size < 1 {
+			size = 1
+		}
+		for size > 0 {
+			l := size
+			if l > mtu {
+				l = mtu
+			}
+			out = append(out, sim.Arrival{At: at, Len: l, Class: class, Flow: flow})
+			size -= l
+		}
+	}
+	return out
+}
+
+// AudioSpurt models a voice source with talkspurts: CBR packets during
+// exponentially distributed talk periods, silence otherwise.
+func AudioSpurt(rng *Rand, class, flow, pktLen int, interval int64, meanTalk, meanSilence float64, start, end int64) []sim.Arrival {
+	var out []sim.Arrival
+	at := start
+	for at < end {
+		talkEnd := at + int64(rng.Exp(meanTalk))
+		for at < talkEnd && at < end {
+			out = append(out, sim.Arrival{At: at, Len: pktLen, Class: class, Flow: flow})
+			at += interval
+		}
+		at += int64(rng.Exp(meanSilence))
+	}
+	return out
+}
+
+// Merge combines traces into one time-sorted trace.
+func Merge(traces ...[]sim.Arrival) []sim.Arrival {
+	var all []sim.Arrival
+	for _, tr := range traces {
+		all = append(all, tr...)
+	}
+	sim.SortArrivals(all)
+	return all
+}

@@ -1,0 +1,151 @@
+package source
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	ms  = int64(1_000_000)
+	sec = int64(1_000_000_000)
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a2 := NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("different seeds suspiciously similar")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("out of range: %f", f)
+		}
+		sum += f
+	}
+	if m := sum / 10000; m < 0.45 || m > 0.55 {
+		t.Fatalf("mean %f not ~0.5", m)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(2)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(100)
+	}
+	if m := sum / float64(n); math.Abs(m-100) > 3 {
+		t.Fatalf("exp mean %f want ~100", m)
+	}
+}
+
+func TestCBRRateAchievesRate(t *testing.T) {
+	tr := CBRRate(1, 0, 1000, 125_000, 0, sec) // 1 Mb/s for 1 s
+	var bytes int64
+	for _, a := range tr {
+		bytes += int64(a.Len)
+		if a.Class != 1 {
+			t.Fatal("class not propagated")
+		}
+	}
+	if bytes < 120_000 || bytes > 130_000 {
+		t.Fatalf("CBR produced %d bytes/s want ~125000", bytes)
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	tr := Poisson(NewRand(3), 0, 0, 100, 1000, 0, 10*sec) // 1000 pps for 10 s
+	n := len(tr)
+	if n < 9000 || n > 11000 {
+		t.Fatalf("poisson emitted %d packets want ~10000", n)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].At < tr[i-1].At {
+			t.Fatal("arrivals out of order")
+		}
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	// meanOn = meanOff → about half the peak rate on average.
+	tr := OnOff(NewRand(4), 0, 0, 1000, 1_000_000, 50e6, 50e6, 0, 10*sec)
+	var bytes int64
+	for _, a := range tr {
+		bytes += int64(a.Len)
+	}
+	avg := float64(bytes) / 10
+	if avg < 0.3e6 || avg > 0.7e6 {
+		t.Fatalf("on-off average %f B/s want ~0.5e6", avg)
+	}
+}
+
+func TestVideoVBRFragmentation(t *testing.T) {
+	tr := VideoVBR(NewRand(5), 2, 7, 30_000, 1500, 33*ms, 0, sec)
+	if len(tr) == 0 {
+		t.Fatal("no packets")
+	}
+	for _, a := range tr {
+		if a.Len > 1500 || a.Len < 1 {
+			t.Fatalf("bad fragment size %d", a.Len)
+		}
+		if a.Class != 2 || a.Flow != 7 {
+			t.Fatal("ids not propagated")
+		}
+	}
+	// ~30 frames of ~mean 30 KB * factor averaging ≈ 0.875 → rough check.
+	var bytes int64
+	for _, a := range tr {
+		bytes += int64(a.Len)
+	}
+	if bytes < 300_000 || bytes > 2_000_000 {
+		t.Fatalf("video volume %d implausible", bytes)
+	}
+}
+
+func TestAudioSpurt(t *testing.T) {
+	tr := AudioSpurt(NewRand(6), 0, 0, 160, 20*ms, 400e6, 600e6, 0, 10*sec)
+	if len(tr) == 0 {
+		t.Fatal("no packets")
+	}
+	// Duty cycle 0.4 of 8 KB/s ≈ 3.2 KB/s.
+	var bytes int64
+	for _, a := range tr {
+		bytes += int64(a.Len)
+	}
+	avg := float64(bytes) / 10
+	if avg < 1500 || avg > 5500 {
+		t.Fatalf("audio average %f B/s want ~3200", avg)
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	a := CBR(0, 0, 100, 3*ms, 0, 30*ms)
+	b := CBR(1, 1, 100, 5*ms, ms, 30*ms)
+	m := Merge(a, b)
+	if len(m) != len(a)+len(b) {
+		t.Fatal("lost arrivals")
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].At < m[i-1].At {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package stats provides the measurement plumbing shared by tests,
+// examples and the experiment harness: delay samples with exact quantiles,
+// time-binned throughput series, and fixed-width table rendering for
+// paper-style output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates values (e.g. per-packet delays in ns) and reports
+// summary statistics. Quantiles are exact (all values retained).
+type Sample struct {
+	vals   []float64
+	sorted bool
+	sum    float64
+	max    float64
+	min    float64
+}
+
+// Add appends a value.
+func (s *Sample) Add(v float64) {
+	if len(s.vals) == 0 || v > s.max {
+		s.max = v
+	}
+	if len(s.vals) == 0 || v < s.min {
+		s.min = v
+	}
+	s.vals = append(s.vals, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// N returns the number of values.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Max returns the largest value (0 when empty).
+func (s *Sample) Max() float64 { return s.max }
+
+// Min returns the smallest value (0 when empty).
+func (s *Sample) Min() float64 { return s.min }
+
+// Quantile returns the q-quantile (0 <= q <= 1), interpolation-free
+// (lower-nearest-rank).
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	i := int(q * float64(len(s.vals)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.vals) {
+		i = len(s.vals) - 1
+	}
+	return s.vals[i]
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.vals {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// Series accumulates per-key byte counts into fixed-width time bins,
+// producing throughput-over-time curves.
+type Series struct {
+	BinWidth int64 // ns
+	bins     map[int]map[int64]int64
+	maxBin   int64
+}
+
+// NewSeries creates a series with the given bin width (ns).
+func NewSeries(binWidth int64) *Series {
+	return &Series{BinWidth: binWidth, bins: map[int]map[int64]int64{}}
+}
+
+// Add credits n bytes to key at time at.
+func (s *Series) Add(key int, at int64, n int64) {
+	b := at / s.BinWidth
+	m := s.bins[key]
+	if m == nil {
+		m = map[int64]int64{}
+		s.bins[key] = m
+	}
+	m[b] += n
+	if b > s.maxBin {
+		s.maxBin = b
+	}
+}
+
+// Bins returns the number of bins from 0 through the latest credited one.
+func (s *Series) Bins() int { return int(s.maxBin) + 1 }
+
+// Bytes returns the bytes credited to key in bin i.
+func (s *Series) Bytes(key int, i int) int64 { return s.bins[key][int64(i)] }
+
+// Rate returns key's throughput in bin i, bytes/s.
+func (s *Series) Rate(key int, i int) float64 {
+	return float64(s.Bytes(key, i)) / (float64(s.BinWidth) / 1e9)
+}
+
+// Table renders fixed-width rows, paper style. Columns are sized to the
+// widest cell.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row, formatting each value with %v (floats with %g).
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FmtDur renders nanoseconds as a human-friendly duration string for
+// tables (µs/ms/s with three significant digits).
+func FmtDur(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// FmtRate renders bytes/s as a bits-per-second string.
+func FmtRate(bps float64) string {
+	b := bps * 8
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.3gGb/s", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.3gMb/s", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.3gKb/s", b/1e3)
+	default:
+		return fmt.Sprintf("%.0fb/s", b)
+	}
+}
+
+// CDF returns (value, cumulative fraction) pairs at the given quantile
+// probes — the shape the paper's delay-distribution figures plot.
+func (s *Sample) CDF(qs ...float64) [][2]float64 {
+	out := make([][2]float64, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, [2]float64{s.Quantile(q), q})
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty sample not zero")
+	}
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("n/min/max wrong: %d %f %f", s.N(), s.Min(), s.Max())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean %f", s.Mean())
+	}
+	if q := s.Quantile(0.5); q != 5 {
+		t.Fatalf("median %f", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 %f", q)
+	}
+	if q := s.Quantile(1); q != 9 {
+		t.Fatalf("q1 %f", q)
+	}
+	// Std of 1,3,5,7,9 = sqrt(10)
+	if d := s.Std(); math.Abs(d-math.Sqrt(10)) > 1e-9 {
+		t.Fatalf("std %f", d)
+	}
+	// Adding after a quantile query must keep working.
+	s.Add(11)
+	if s.Quantile(1) != 11 {
+		t.Fatal("quantile stale after Add")
+	}
+}
+
+func TestSeriesBinning(t *testing.T) {
+	s := NewSeries(1_000_000) // 1 ms bins
+	s.Add(1, 0, 100)
+	s.Add(1, 999_999, 100)
+	s.Add(1, 1_000_000, 50)
+	s.Add(2, 2_500_000, 10)
+	if s.Bytes(1, 0) != 200 || s.Bytes(1, 1) != 50 {
+		t.Fatalf("bins wrong: %d %d", s.Bytes(1, 0), s.Bytes(1, 1))
+	}
+	if s.Bins() != 3 {
+		t.Fatalf("bins %d", s.Bins())
+	}
+	if r := s.Rate(1, 0); r != 200_000 {
+		t.Fatalf("rate %f", r)
+	}
+	if s.Bytes(3, 0) != 0 {
+		t.Fatal("missing key should be zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("b", 3.14159)
+	var b strings.Builder
+	if err := tb.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[3], "3.14") {
+		t.Fatalf("content: %q", out)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := FmtDur(1500); got != "1.5us" {
+		t.Fatalf("FmtDur: %s", got)
+	}
+	if got := FmtDur(2.5e6); got != "2.5ms" {
+		t.Fatalf("FmtDur ms: %s", got)
+	}
+	if got := FmtDur(3e9); got != "3s" {
+		t.Fatalf("FmtDur s: %s", got)
+	}
+	if got := FmtDur(400); got != "400ns" {
+		t.Fatalf("FmtDur ns: %s", got)
+	}
+	if got := FmtRate(125_000); got != "1Mb/s" {
+		t.Fatalf("FmtRate: %s", got)
+	}
+	if got := FmtRate(125_000_000); got != "1Gb/s" {
+		t.Fatalf("FmtRate G: %s", got)
+	}
+	if got := FmtRate(125); got != "1Kb/s" {
+		t.Fatalf("FmtRate K: %s", got)
+	}
+	if got := FmtRate(10); got != "80b/s" {
+		t.Fatalf("FmtRate b: %s", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(0.5, 0.9, 1.0)
+	if len(cdf) != 3 {
+		t.Fatal("probe count")
+	}
+	if cdf[0][0] < 49 || cdf[0][0] > 51 || cdf[2][0] != 100 {
+		t.Fatalf("cdf values: %v", cdf)
+	}
+}

@@ -1,0 +1,285 @@
+// Package tcconf translates Linux tc(8) HFSC configuration commands into
+// this repository's hierarchy specs, so existing sch_hfsc setups can be
+// evaluated directly (with hfsc-replay/hfsc-admit) or ported to the
+// library.
+//
+// Supported subset, one command per line ('#' comments allowed; the
+// "tc class add dev <dev>" prefix is optional):
+//
+//	class add parent root classid 1:1  hfsc ls rate 25mbit
+//	class add parent 1:1  classid 1:10 hfsc sc umax 1500b dmax 10ms rate 2mbit ls rate 2mbit
+//	class add parent 1:1  classid 1:11 hfsc rt m1 5mbit d 10ms m2 1mbit ls m2 3mbit ul rate 8mbit
+//	link 45mbit
+//
+// Curve grammar per tc-hfsc(7): each of rt/ls/ul/sc takes either
+// [m1 RATE d TIME] m2 RATE, or umax BYTES dmax TIME rate RATE, or the
+// shorthand rate RATE. "sc" sets both rt and ls. Rates accept bit/kbit/
+// mbit/gbit (decimal, bits per second) or bps/kbps/mbps (bytes per
+// second); sizes accept b/kb.
+package tcconf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/hierarchy"
+)
+
+// ParseRate parses tc rate syntax into bytes per second.
+func ParseRate(s string) (uint64, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	type unit struct {
+		suffix string
+		mult   float64 // to bytes/s
+	}
+	units := []unit{
+		{"gbps", 1e9}, {"mbps", 1e6}, {"kbps", 1e3},
+		{"gbit", 1e9 / 8}, {"mbit", 1e6 / 8}, {"kbit", 1e3 / 8},
+		{"bps", 1}, {"bit", 1.0 / 8},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(low, u.suffix) {
+			v, err := strconv.ParseFloat(low[:len(low)-len(u.suffix)], 64)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("tcconf: bad rate %q", s)
+			}
+			return uint64(v * u.mult), nil
+		}
+	}
+	v, err := strconv.ParseUint(low, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tcconf: bad rate %q", s)
+	}
+	return v / 8, nil // bare numbers are bits per second in tc
+}
+
+// ParseSize parses tc size syntax (bytes).
+func ParseSize(s string) (int64, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(low, "kb"):
+		mult, low = 1024, low[:len(low)-2]
+	case strings.HasSuffix(low, "b"):
+		low = low[:len(low)-1]
+	}
+	v, err := strconv.ParseInt(low, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("tcconf: bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+// parseCurve consumes one curve's key/value tokens starting at i (after
+// the rt/ls/ul/sc keyword) and returns the curve plus the next index.
+func parseCurve(tok []string, i int) (curve.SC, int, error) {
+	var (
+		m1, m2, rate uint64
+		d            int64
+		umax         int64
+		dmax         int64
+		seen         = map[string]bool{}
+	)
+	for i < len(tok) {
+		key := strings.ToLower(tok[i])
+		switch key {
+		case "m1", "m2", "d", "umax", "dmax", "rate":
+			if i+1 >= len(tok) {
+				return curve.SC{}, i, fmt.Errorf("tcconf: %s needs a value", key)
+			}
+			if seen[key] {
+				return curve.SC{}, i, fmt.Errorf("tcconf: duplicate %s", key)
+			}
+			seen[key] = true
+			val := tok[i+1]
+			var err error
+			switch key {
+			case "m1":
+				m1, err = ParseRate(val)
+			case "m2":
+				m2, err = ParseRate(val)
+			case "rate":
+				rate, err = ParseRate(val)
+			case "umax":
+				umax, err = ParseSize(val)
+			case "d", "dmax":
+				var dd time.Duration
+				dd, err = time.ParseDuration(val)
+				if key == "d" {
+					d = dd.Nanoseconds()
+				} else {
+					dmax = dd.Nanoseconds()
+				}
+			}
+			if err != nil {
+				return curve.SC{}, i, err
+			}
+			i += 2
+		default:
+			// Start of the next curve keyword or end of the command.
+			goto done
+		}
+	}
+done:
+	switch {
+	case seen["umax"] || seen["dmax"]:
+		if !seen["umax"] || !seen["dmax"] || !seen["rate"] {
+			return curve.SC{}, i, fmt.Errorf("tcconf: umax/dmax form needs umax, dmax and rate")
+		}
+		sc, err := curve.FromUMaxDmaxRate(umax, dmax, rate)
+		return sc, i, err
+	case seen["m1"] || seen["d"]:
+		if !seen["m2"] {
+			return curve.SC{}, i, fmt.Errorf("tcconf: m1/d form needs m2")
+		}
+		return curve.SC{M1: m1, D: d, M2: m2}, i, nil
+	case seen["m2"]:
+		return curve.Linear(m2), i, nil
+	case seen["rate"]:
+		return curve.Linear(rate), i, nil
+	default:
+		return curve.SC{}, i, fmt.Errorf("tcconf: empty curve specification")
+	}
+}
+
+// Parse reads tc-style commands and produces a hierarchy spec. Class ids
+// ("1:10") become class names; "root" (or the qdisc handle "1:" / "1:0")
+// is the root.
+func Parse(r io.Reader) (*hierarchy.Spec, error) {
+	spec := &hierarchy.Spec{}
+	known := map[string]bool{"root": true}
+	isRoot := func(id string) bool {
+		return id == "root" || strings.HasSuffix(id, ":") || strings.HasSuffix(id, ":0")
+	}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		tok := strings.Fields(line)
+		if len(tok) == 0 {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("tcconf:%d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		// Strip an optional "tc" prefix and "dev <name>" pairs.
+		if tok[0] == "tc" {
+			tok = tok[1:]
+		}
+		for i := 0; i+1 < len(tok); i++ {
+			if tok[i] == "dev" {
+				tok = append(tok[:i], tok[i+2:]...)
+				break
+			}
+		}
+		if len(tok) == 0 {
+			continue
+		}
+		if tok[0] == "link" {
+			if len(tok) != 2 {
+				return nil, fail("link takes one rate")
+			}
+			rate, err := ParseRate(tok[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			spec.LinkRate = rate
+			continue
+		}
+		if tok[0] != "class" || len(tok) < 2 || tok[1] != "add" {
+			return nil, fail("expected \"class add ...\" or \"link RATE\", got %q", strings.Join(tok, " "))
+		}
+		var parent, classid string
+		i := 2
+		for i+1 < len(tok) {
+			switch tok[i] {
+			case "parent":
+				parent, i = tok[i+1], i+2
+			case "classid":
+				classid, i = tok[i+1], i+2
+			default:
+				goto hfscKw
+			}
+		}
+	hfscKw:
+		if classid == "" {
+			return nil, fail("missing classid")
+		}
+		if parent == "" {
+			return nil, fail("missing parent")
+		}
+		if i >= len(tok) || tok[i] != "hfsc" {
+			return nil, fail("expected hfsc keyword")
+		}
+		i++
+		cs := hierarchy.ClassSpec{Name: classid}
+		if isRoot(parent) {
+			cs.Parent = "root"
+		} else {
+			if !known[parent] {
+				return nil, fail("unknown parent %q", parent)
+			}
+			cs.Parent = parent
+		}
+		for i < len(tok) {
+			kw := strings.ToLower(tok[i])
+			var (
+				c   curve.SC
+				err error
+			)
+			switch kw {
+			case "rt", "ls", "ul", "sc":
+				c, i, err = parseCurve(tok, i+1)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+			default:
+				return nil, fail("unknown keyword %q", tok[i])
+			}
+			switch kw {
+			case "rt":
+				cs.RT = c
+			case "ls":
+				cs.LS = c
+			case "ul":
+				cs.UL = c
+			case "sc": // rt and ls together, per tc-hfsc(7)
+				cs.RT = c
+				cs.LS = c
+			}
+		}
+		if known[cs.Name] {
+			return nil, fail("duplicate classid %q", cs.Name)
+		}
+		known[cs.Name] = true
+		spec.Classes = append(spec.Classes, cs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if spec.LinkRate == 0 {
+		return nil, fmt.Errorf("tcconf: missing \"link RATE\" directive")
+	}
+	// tc permits rt/sc on interior classes but sch_hfsc only honours the
+	// link-sharing part there; mirror that by dropping interior rt curves
+	// (this library enforces leaf-only real-time curves).
+	interior := map[string]bool{}
+	for _, c := range spec.Classes {
+		interior[c.Parent] = true
+	}
+	for i := range spec.Classes {
+		if interior[spec.Classes[i].Name] {
+			spec.Classes[i].RT = curve.SC{}
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,113 @@
+package tcconf
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+)
+
+func TestParseRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"1mbit", 125_000, true},
+		{"64kbit", 8_000, true},
+		{"1gbit", 125_000_000, true},
+		{"2.5mbit", 312_500, true},
+		{"1mbps", 1_000_000, true},
+		{"8000", 1_000, true}, // bare = bits/s
+		{"100bit", 12, true},
+		{"zoom", 0, false},
+		{"-1mbit", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseRate(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseRate(%q) = %d, %v; want %d ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	if v, err := ParseSize("1500b"); err != nil || v != 1500 {
+		t.Errorf("1500b: %d %v", v, err)
+	}
+	if v, err := ParseSize("2kb"); err != nil || v != 2048 {
+		t.Errorf("2kb: %d %v", v, err)
+	}
+	if _, err := ParseSize("xb"); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+const sample = `
+# a pfSense-style HFSC setup
+link 45mbit
+tc class add dev eth0 parent root classid 1:1  hfsc ls rate 25mbit
+class add parent 1:1 classid 1:10 hfsc sc umax 1500b dmax 10ms rate 2mbit
+class add parent 1:1 classid 1:11 hfsc rt m1 5mbit d 10ms m2 1mbit ls m2 3mbit ul rate 8mbit
+class add parent root classid 1:2 hfsc ls rate 20mbit
+`
+
+func TestParseSample(t *testing.T) {
+	spec, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.LinkRate != 5_625_000 {
+		t.Fatalf("link %d", spec.LinkRate)
+	}
+	if len(spec.Classes) != 4 {
+		t.Fatalf("classes %d", len(spec.Classes))
+	}
+	// 1:1 is interior: its sc/rt must have been dropped, ls kept.
+	if !spec.Classes[0].RT.IsZero() || spec.Classes[0].LS.Rate() != 3_125_000 {
+		t.Fatalf("1:1 curves: %+v", spec.Classes[0])
+	}
+	// 1:10 got sc applied to both rt and ls, umax/dmax mapped via Fig. 7.
+	c10 := spec.Classes[1]
+	if c10.RT.IsZero() || c10.LS != c10.RT || c10.RT.Rate() != 250_000 {
+		t.Fatalf("1:10 curves: %+v", c10)
+	}
+	// 1:11 explicit m1/d/m2 plus ul.
+	c11 := spec.Classes[2]
+	if c11.RT.M1 != 625_000 || c11.RT.D != 10_000_000 || c11.RT.M2 != 125_000 {
+		t.Fatalf("1:11 rt: %+v", c11.RT)
+	}
+	if c11.UL.Rate() != 1_000_000 {
+		t.Fatalf("1:11 ul: %+v", c11.UL)
+	}
+
+	// The spec must build into a working scheduler.
+	sch, byName, err := spec.BuildHFSC(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName["1:10"].Parent() != byName["1:1"] {
+		t.Fatal("hierarchy wiring")
+	}
+	_ = sch
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"class add parent root classid 1:1 hfsc ls rate 1mbit",                                                                   // no link
+		"link 1mbit\nclass add classid 1:1 hfsc ls rate 1mbit",                                                                   // no parent
+		"link 1mbit\nclass add parent root hfsc ls rate 1mbit",                                                                   // no classid
+		"link 1mbit\nclass add parent 9:9 classid 1:1 hfsc ls rate 1mbit",                                                        // unknown parent
+		"link 1mbit\nclass add parent root classid 1:1 hfsc ls",                                                                  // empty curve
+		"link 1mbit\nclass add parent root classid 1:1 hfsc ls m1 1mbit",                                                         // m1 without m2
+		"link 1mbit\nclass add parent root classid 1:1 hfsc ls umax 100b rate 1mbit",                                             // umax w/o dmax
+		"link 1mbit\nclass add parent root classid 1:1 hfsc zz rate 1mbit",                                                       // bad keyword
+		"link 1mbit\nclass add parent root classid 1:1 hfsc ls rate 1mbit\nclass add parent root classid 1:1 hfsc ls rate 1mbit", // dup
+		"link 1mbit\nqdisc add root handle 1: hfsc default 10",                                                                   // unsupported directive
+	}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted: %q", s)
+		}
+	}
+}

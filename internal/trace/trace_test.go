@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{At: 0, Len: 160, Class: "audio", Flow: 1},
+		{At: 20_000_000, Len: 1500, Class: "data", Flow: 2},
+		{At: 20_000_000, Len: 160, Class: "audio", Flow: 1},
+	}
+	var b strings.Builder
+	if err := Write(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadFormats(t *testing.T) {
+	in := `
+# comment
+1.5ms 100 voice        # trailing comment
+2500  200 data 7
+`
+	recs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("len %d", len(recs))
+	}
+	if recs[0].At != 1_500_000 || recs[0].Flow != 0 {
+		t.Fatalf("first: %+v", recs[0])
+	}
+	if recs[1].At != 2500 || recs[1].Flow != 7 {
+		t.Fatalf("second: %+v", recs[1])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"x 100 voice",
+		"1ms voice",
+		"1ms -5 voice",
+		"1ms 0 voice",
+		"1ms 100 voice x",
+		"-1ms 100 voice",
+		"1ms 100 a b c",
+	}
+	for _, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestBind(t *testing.T) {
+	recs := []Record{
+		{At: 5, Len: 100, Class: "b"},
+		{At: 1, Len: 100, Class: "a", Flow: 3},
+	}
+	ids := map[string]int{"a": 1, "b": 2}
+	arr, err := Bind(recs, func(n string) (int, bool) { id, ok := ids[n]; return id, ok })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[0].Class != 1 || arr[0].Flow != 3 || arr[1].Class != 2 {
+		t.Fatalf("bound: %+v", arr)
+	}
+	if arr[0].At > arr[1].At {
+		t.Fatal("not sorted")
+	}
+	if _, err := Bind([]Record{{At: 0, Len: 1, Class: "nope"}}, func(string) (int, bool) { return 0, false }); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestFromArrivals(t *testing.T) {
+	arr := []sim.Arrival{{At: 7, Len: 9, Class: 2, Flow: 4}}
+	recs := FromArrivals(arr, func(id int) string { return "c" })
+	if len(recs) != 1 || recs[0].Class != "c" || recs[0].At != 7 {
+		t.Fatalf("recs: %+v", recs)
+	}
+}

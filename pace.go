@@ -1,0 +1,198 @@
+package hfsc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PacedQueue runs a Scheduler behind a single goroutine and paces output
+// at the configured line rate in real time — the software equivalent of
+// the kernel qdisc + NIC pairing the paper's implementation lived in.
+//
+// Packets submitted from any goroutine are enqueued by the pacing
+// goroutine, which transmits by calling the user's Transmit callback and
+// sleeps whenever the scheduler idles (empty, or upper-limit bound).
+type PacedQueue struct {
+	// Transmit is invoked for every departing packet, from the pacing
+	// goroutine. It must not block for long: time spent here stalls the
+	// link.
+	Transmit func(*Packet)
+
+	s    *Scheduler
+	rate uint64
+	in   chan *Packet
+	stop chan struct{}
+	done sync.WaitGroup
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	sent    uint64
+	sentB   int64
+	drops   uint64
+}
+
+// NewPacedQueue wraps the scheduler. After Start, the Scheduler must not
+// be used directly (the pacing goroutine owns it).
+func NewPacedQueue(s *Scheduler, transmit func(*Packet)) (*PacedQueue, error) {
+	if s == nil || s.cfg.LinkRate == 0 {
+		return nil, fmt.Errorf("hfsc: PacedQueue needs a scheduler with Config.LinkRate set")
+	}
+	if transmit == nil {
+		return nil, fmt.Errorf("hfsc: PacedQueue needs a Transmit callback")
+	}
+	return &PacedQueue{
+		Transmit: transmit,
+		s:        s,
+		rate:     s.cfg.LinkRate,
+		in:       make(chan *Packet, 256),
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the pacing goroutine.
+func (q *PacedQueue) Start() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.started {
+		return
+	}
+	q.started = true
+	q.done.Add(1)
+	go q.loop()
+}
+
+// Stop terminates the pacing goroutine and waits for it; queued packets
+// are discarded. Stop is idempotent.
+func (q *PacedQueue) Stop() {
+	q.mu.Lock()
+	if !q.started || q.stopped {
+		q.mu.Unlock()
+		return
+	}
+	q.stopped = true
+	q.mu.Unlock()
+	close(q.stop)
+	q.done.Wait()
+}
+
+// Submit hands a packet to the shaper. It returns false if the shaper is
+// stopped or its intake buffer is full (counted as a drop).
+func (q *PacedQueue) Submit(p *Packet) bool {
+	select {
+	case <-q.stop:
+		return false
+	default:
+	}
+	select {
+	case q.in <- p:
+		return true
+	default:
+		q.mu.Lock()
+		q.drops++
+		q.mu.Unlock()
+		return false
+	}
+}
+
+// Stats returns packets/bytes transmitted and intake drops so far.
+func (q *PacedQueue) Stats() (sent uint64, bytes int64, drops uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sent, q.sentB, q.drops
+}
+
+func (q *PacedQueue) loop() {
+	defer q.done.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	var linkFree time.Time
+
+	drainIntake := func(now int64) {
+		for {
+			select {
+			case p := <-q.in:
+				q.s.Enqueue(p, now)
+			default:
+				return
+			}
+		}
+	}
+
+	for {
+		now := time.Now()
+		drainIntake(now.UnixNano())
+
+		// Respect the previous packet's transmission time.
+		if now.Before(linkFree) {
+			ok, pending := sleepUntil(timer, linkFree.Sub(now), q.stop, nil)
+			if !ok {
+				return
+			}
+			if pending != nil {
+				q.s.Enqueue(pending, time.Now().UnixNano())
+			}
+			continue
+		}
+
+		p := q.s.Dequeue(now.UnixNano())
+		if p == nil {
+			// Idle: wait for an arrival, the scheduler's wake-up hint, or
+			// Stop.
+			wait := time.Hour
+			if t, ok := q.s.NextReady(now.UnixNano()); ok {
+				wait = time.Duration(t - now.UnixNano())
+				if wait <= 0 {
+					wait = time.Microsecond
+				}
+			}
+			ok, pending := sleepUntil(timer, wait, q.stop, q.in)
+			if !ok {
+				return
+			}
+			if pending != nil {
+				q.s.Enqueue(pending, time.Now().UnixNano())
+			}
+			continue
+		}
+
+		q.Transmit(p)
+		q.mu.Lock()
+		q.sent++
+		q.sentB += int64(p.Len)
+		q.mu.Unlock()
+		linkFree = now.Add(time.Duration(int64(p.Len) * int64(time.Second) / int64(q.rate)))
+	}
+}
+
+// sleepUntil waits for the duration, a stop signal, or (optionally) an
+// intake arrival, whichever comes first. A packet received while waiting
+// is handed back to the caller for immediate enqueueing (re-queueing it on
+// the channel would reorder it behind later arrivals). Returns ok=false on
+// stop.
+func sleepUntil(timer *time.Timer, d time.Duration, stop <-chan struct{}, in chan *Packet) (ok bool, pending *Packet) {
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(d)
+	if in == nil {
+		select {
+		case <-stop:
+			return false, nil
+		case <-timer.C:
+			return true, nil
+		}
+	}
+	select {
+	case <-stop:
+		return false, nil
+	case <-timer.C:
+		return true, nil
+	case p := <-in:
+		return true, p
+	}
+}

@@ -1,0 +1,111 @@
+package hfsc_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+// The paced queue must (a) deliver everything, (b) honour the line rate
+// within coarse real-time tolerances, and (c) prioritize the real-time
+// class. Timing assertions are deliberately loose to stay robust on busy
+// CI machines.
+func TestPacedQueueEndToEnd(t *testing.T) {
+	// 1 MB/s link: 100 x 1000 B take >= ~99 ms on the wire.
+	s := hfsc.New(hfsc.Config{LinkRate: 1_000_000 * hfsc.Bps})
+	rt, err := hfsc.ForRealTime(200, 2*time.Millisecond, 10_000*hfsc.Bps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voice, _ := s.AddClass(nil, "voice", hfsc.ClassConfig{RealTime: rt, LinkShare: hfsc.Linear(10_000)})
+	bulk, _ := s.AddClass(nil, "bulk", hfsc.ClassConfig{LinkShare: hfsc.Linear(990_000)})
+
+	var mu sync.Mutex
+	var order []int
+	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {
+		mu.Lock()
+		order = append(order, p.Class)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Stop()
+
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if !q.Submit(&hfsc.Packet{Len: 1000, Class: bulk.ID()}) {
+			t.Fatal("submit failed")
+		}
+	}
+	// A voice packet submitted mid-burst should jump ahead of most bulk.
+	time.Sleep(5 * time.Millisecond)
+	q.Submit(&hfsc.Packet{Len: 200, Class: voice.ID()})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sent, _, _ := q.Stats()
+		if sent == 101 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: sent %d of 101", sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 90*time.Millisecond {
+		t.Fatalf("pacing too fast: 100.2 KB at 1 MB/s in %v", elapsed)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	pos := -1
+	for i, c := range order {
+		if c == voice.ID() {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatal("voice packet lost")
+	}
+	// It arrived ~5 ms in (~5 bulk packets served); it must not have
+	// waited behind the whole bulk queue.
+	if pos > 40 {
+		t.Fatalf("voice packet served at position %d of 101", pos)
+	}
+}
+
+func TestPacedQueueStopIsIdempotentAndRejects(t *testing.T) {
+	s := hfsc.New(hfsc.Config{LinkRate: hfsc.Mbps})
+	cl, _ := s.AddClass(nil, "c", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	q.Start() // no-op
+	q.Stop()
+	q.Stop() // no-op
+	if q.Submit(&hfsc.Packet{Len: 1, Class: cl.ID()}) {
+		t.Fatal("submit accepted after stop")
+	}
+}
+
+func TestPacedQueueValidation(t *testing.T) {
+	if _, err := hfsc.NewPacedQueue(nil, func(p *hfsc.Packet) {}); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	s := hfsc.New(hfsc.Config{}) // no link rate
+	if _, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {}); err == nil {
+		t.Error("missing LinkRate accepted")
+	}
+	s2 := hfsc.New(hfsc.Config{LinkRate: hfsc.Mbps})
+	if _, err := hfsc.NewPacedQueue(s2, nil); err == nil {
+		t.Error("nil transmit accepted")
+	}
+}
