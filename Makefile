@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench bench-smoke bench-json
+
+## check: the full pre-merge gate — formatting, vet, build, race tests
+## and a short benchmark smoke run to catch perf-path compile/runtime rot.
+check: fmt vet build test bench-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# A handful of iterations of each benchmark: verifies the bench harnesses
+# still run (panics in priming/steady-state loops fail the target) without
+# taking benchmark-quality time.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=10x ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=2s ./...
+
+# Refresh the machine-readable overhead tracking file.
+bench-json:
+	$(GO) run ./cmd/hfsc-bench -json BENCH_overhead.json

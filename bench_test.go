@@ -53,7 +53,7 @@ func BenchmarkAblationVT(b *testing.B)     { benchExperiment(b, "abl2") }
 func BenchmarkAblationUlimit(b *testing.B) { benchExperiment(b, "abl3") }
 
 // buildFlat creates n real-time+link-sharing leaves under the root.
-func buildFlat(b *testing.B, n int, el core.EligibleStructure) (*core.Scheduler, []int) {
+func buildFlat(b testing.TB, n int, el core.EligibleStructure) (*core.Scheduler, []int) {
 	b.Helper()
 	s := core.New(core.Options{Eligible: el})
 	rate := uint64(1_250_000_000) / uint64(n)
@@ -70,7 +70,7 @@ func buildFlat(b *testing.B, n int, el core.EligibleStructure) (*core.Scheduler,
 }
 
 // buildDeep spreads n leaves across a hierarchy of the given depth.
-func buildDeep(b *testing.B, n, depth int) (*core.Scheduler, []int) {
+func buildDeep(b testing.TB, n, depth int) (*core.Scheduler, []int) {
 	b.Helper()
 	s := core.New(core.Options{})
 	rate := uint64(1_250_000_000)
@@ -156,6 +156,250 @@ func BenchmarkEligibleStructures(b *testing.B) {
 				pump(b, s, ids)
 			})
 		}
+	}
+}
+
+// buildDeferred builds the firstFit worst case: n-1 link-sharing leaves
+// whose upper-limit curves defer them (almost) forever after one packet of
+// service, plus one unconstrained leaf whose tiny link-sharing rate pins
+// its virtual time to the far right of the vt-tree. Steady state then
+// serves only that last leaf, so every dequeue must skip all deferred
+// siblings: a linear scan in a naive firstFit, a single descent in the
+// augmented one.
+func buildDeferred(b testing.TB, n int) (*core.Scheduler, int) {
+	b.Helper()
+	s := core.New(core.Options{})
+	rate := uint64(1_250_000_000) / uint64(n)
+	for i := 0; i < n-1; i++ {
+		_, err := s.AddClass(nil, fmt.Sprintf("capped%d", i),
+			curve.SC{}, curve.Linear(rate), curve.Linear(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	open, err := s.AddClass(nil, "open", curve.SC{}, curve.Linear(1), curve.SC{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, open.ID()
+}
+
+// primeDeferred backlogs every class and serves each capped leaf once so
+// its upper limit kicks in, leaving only the open leaf servable.
+func primeDeferred(b testing.TB, s *core.Scheduler, openID, n int) {
+	b.Helper()
+	now := int64(0)
+	for _, c := range s.Classes() {
+		if c.IsLeaf() && c != s.Root() {
+			s.Enqueue(&pktq.Packet{Len: 1000, Class: c.ID()}, now)
+			s.Enqueue(&pktq.Packet{Len: 1000, Class: c.ID()}, now)
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if p := s.Dequeue(now); p == nil {
+			b.Fatal("priming dequeue idled")
+		}
+	}
+}
+
+// BenchmarkFirstFitDeferred is the upper-limit worst case of the
+// link-sharing criterion: all but one sibling deferred. The paper's O(log n)
+// claim requires per-dequeue cost to grow logarithmically here.
+func BenchmarkFirstFitDeferred(b *testing.B) {
+	for _, n := range []int{16, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("classes=%d", n), func(b *testing.B) {
+			s, openID := buildDeferred(b, n)
+			primeDeferred(b, s, openID, n)
+			now := int64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += 800
+				p := s.Dequeue(now)
+				if p == nil {
+					b.Fatal("scheduler idled")
+				}
+				if p.Class != openID {
+					b.Fatalf("served class %d, want open leaf %d", p.Class, openID)
+				}
+				p.Crit = 0
+				s.Enqueue(p, now)
+			}
+		})
+	}
+}
+
+// BenchmarkNextReady measures the retry-time query with every active class
+// deferred by an upper limit: the naive implementation walks all of them.
+func BenchmarkNextReady(b *testing.B) {
+	for _, n := range []int{16, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("classes=%d", n), func(b *testing.B) {
+			s := core.New(core.Options{})
+			rate := uint64(1_250_000_000) / uint64(n)
+			for i := 0; i < n; i++ {
+				_, err := s.AddClass(nil, fmt.Sprintf("capped%d", i),
+					curve.SC{}, curve.Linear(rate), curve.Linear(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			now := int64(0)
+			for _, c := range s.Classes() {
+				if c.IsLeaf() && c != s.Root() {
+					s.Enqueue(&pktq.Packet{Len: 1000, Class: c.ID()}, now)
+					s.Enqueue(&pktq.Packet{Len: 1000, Class: c.ID()}, now)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if p := s.Dequeue(now); p == nil {
+					b.Fatal("priming dequeue idled")
+				}
+			}
+			if p := s.Dequeue(now); p != nil {
+				b.Fatal("expected all classes deferred")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := s.NextReady(now); !ok {
+					b.Fatal("no retry time despite backlog")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStateAllocs reports allocations per enqueue+dequeue pair
+// in steady state with packet reuse: the hot path itself should be
+// allocation-free (the rbtree node free list and in-place repositioning).
+func BenchmarkSteadyStateAllocs(b *testing.B) {
+	s, ids := buildFlat(b, 256, core.ElAugmentedTree)
+	now := int64(0)
+	for i, id := range ids {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 800
+		p := s.Dequeue(now)
+		if p == nil {
+			b.Fatal("scheduler idled")
+		}
+		p.Crit = 0
+		s.Enqueue(p, now)
+	}
+}
+
+// BenchmarkDequeueNBurst measures the batched dequeue path: one DequeueN
+// call draining a 32-packet burst, versus 32 Dequeue calls.
+func BenchmarkDequeueNBurst(b *testing.B) {
+	const n, burst = 256, 32
+	s, ids := buildFlat(b, n, core.ElAugmentedTree)
+	now := int64(0)
+	for i, id := range ids {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	out := make([]*pktq.Packet, 0, burst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 800 * burst
+		out = s.DequeueN(now, burst, out[:0])
+		if len(out) == 0 {
+			b.Fatal("scheduler idled")
+		}
+		for _, p := range out {
+			p.Crit = 0
+			s.Enqueue(p, now)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs asserts the tentpole allocation guarantee: once
+// warm, enqueue+dequeue cycles (including activation/passivation churn,
+// upper-limit repositions and batched draining) allocate nothing — rbtree
+// nodes come from the per-tree free lists and in-place repositioning keeps
+// handles stable.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	t.Run("flat-rt", func(t *testing.T) {
+		s, ids := buildFlat(t, 256, core.ElAugmentedTree)
+		now := int64(0)
+		for i, id := range ids {
+			s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+		}
+		checkZeroAllocs(t, func() {
+			now += 800
+			p := s.Dequeue(now)
+			if p == nil {
+				t.Fatal("scheduler idled")
+			}
+			p.Crit = 0
+			s.Enqueue(p, now)
+		})
+	})
+	t.Run("deep", func(t *testing.T) {
+		s, ids := buildDeep(t, 64, 4)
+		now := int64(0)
+		for i, id := range ids {
+			s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+		}
+		checkZeroAllocs(t, func() {
+			now += 800
+			p := s.Dequeue(now)
+			if p == nil {
+				t.Fatal("scheduler idled")
+			}
+			p.Crit = 0
+			s.Enqueue(p, now)
+		})
+	})
+	t.Run("deferred-ulimit", func(t *testing.T) {
+		s, openID := buildDeferred(t, 64)
+		primeDeferred(t, s, openID, 64)
+		now := int64(0)
+		checkZeroAllocs(t, func() {
+			now += 800
+			p := s.Dequeue(now)
+			if p == nil {
+				t.Fatal("scheduler idled")
+			}
+			p.Crit = 0
+			s.Enqueue(p, now)
+		})
+	})
+	t.Run("dequeue-n", func(t *testing.T) {
+		const burst = 16
+		s, ids := buildFlat(t, 256, core.ElAugmentedTree)
+		now := int64(0)
+		for i, id := range ids {
+			s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+		}
+		out := make([]*pktq.Packet, 0, burst)
+		checkZeroAllocs(t, func() {
+			now += 800 * burst
+			out = s.DequeueN(now, burst, out[:0])
+			if len(out) == 0 {
+				t.Fatal("scheduler idled")
+			}
+			for _, p := range out {
+				p.Crit = 0
+				s.Enqueue(p, now)
+			}
+		})
+	})
+}
+
+// checkZeroAllocs warms fn, then asserts it performs zero allocations per
+// run in steady state.
+func checkZeroAllocs(t *testing.T, fn func()) {
+	t.Helper()
+	for i := 0; i < 2000; i++ { // warm queues, tree free lists and buffers
+		fn()
+	}
+	if allocs := testing.AllocsPerRun(500, fn); allocs != 0 {
+		t.Fatalf("steady state allocates %.2f allocs/op, want 0", allocs)
 	}
 }
 

@@ -1,17 +1,25 @@
 // Command hfsc-bench measures the scheduler's per-packet computation
 // overhead — the paper's Section VII measurement experiment ("determine
 // the computation overhead") — as enqueue and dequeue cost versus the
-// number of classes, for flat and deep hierarchies and for both
-// eligible-list structures of Section V.
+// number of classes, for flat and deep hierarchies, for both eligible-list
+// structures of Section V, for the upper-limit worst cases (every sibling
+// deferred) and for the batched DequeueN path.
 //
 // Absolute numbers reflect this machine; the paper's claim is the shape:
 // per-packet cost grows slowly (O(log n)) with the number of classes.
+//
+// Alongside the text table the command maintains a machine-readable
+// BENCH_overhead.json (ns/pkt and allocs/pkt per size and structure) so the
+// repository's performance trajectory is tracked over time: the file's
+// "baseline" section is preserved across runs while "current" is replaced.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/netsched/hfsc/internal/core"
@@ -20,30 +28,112 @@ import (
 	"github.com/netsched/hfsc/internal/stats"
 )
 
+// Result is one measured configuration.
+type Result struct {
+	Name         string  `json:"name"`    // workload, e.g. "flat-rbtree"
+	Classes      int     `json:"classes"` // number of leaf classes
+	NsPerPkt     float64 `json:"ns_per_pkt"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+}
+
+// Snapshot is one full run of every configuration.
+type Snapshot struct {
+	Source  string   `json:"source"`
+	Results []Result `json:"results"`
+}
+
+// File is the on-disk BENCH_overhead.json layout.
+type File struct {
+	Note     string    `json:"note"`
+	Baseline *Snapshot `json:"baseline,omitempty"`
+	Current  *Snapshot `json:"current"`
+}
+
 func main() {
 	var (
-		ops   = flag.Int("ops", 200_000, "packets per measurement")
-		depth = flag.Int("depth", 3, "hierarchy depth for the deep variant")
+		ops      = flag.Int("ops", 200_000, "packets per measurement")
+		depth    = flag.Int("depth", 3, "hierarchy depth for the deep variant")
+		burst    = flag.Int("burst", 32, "DequeueN burst size")
+		jsonPath = flag.String("json", "BENCH_overhead.json", "perf-tracking JSON file to update (empty to disable)")
 	)
 	flag.Parse()
 
 	sizes := []int{16, 64, 256, 1024, 4096}
-	tbl := &stats.Table{Header: []string{"classes", "flat rbtree", "flat calendar", fmt.Sprintf("depth-%d tree", *depth)}}
+	var results []Result
+	record := func(name string, classes int, ns, allocs float64) {
+		results = append(results, Result{Name: name, Classes: classes, NsPerPkt: ns, AllocsPerPkt: allocs})
+	}
+
+	tbl := &stats.Table{Header: []string{"classes", "flat rbtree", "flat calendar",
+		fmt.Sprintf("depth-%d tree", *depth), fmt.Sprintf("batch n=%d", *burst), "deferred", "nextready"}}
 	for _, n := range sizes {
-		flatRB := measure(buildFlat(n, core.ElAugmentedTree), n, *ops)
-		flatCal := measure(buildFlat(n, core.ElCalendar), n, *ops)
-		deep := measure(buildDeep(n, *depth), n, *ops)
+		flatRB, aRB := measure(buildFlat(n, core.ElAugmentedTree), *ops)
+		flatCal, aCal := measure(buildFlat(n, core.ElCalendar), *ops)
+		deep, aDeep := measure(buildDeep(n, *depth), *ops)
+		batch, aBatch := measureBatch(buildFlat(n, core.ElAugmentedTree), *ops, *burst)
+		def, aDef := measureDeferred(n, *ops)
+		nr, aNR := measureNextReady(n, *ops)
+		record("flat-rbtree", n, flatRB, aRB)
+		record("flat-calendar", n, flatCal, aCal)
+		record(fmt.Sprintf("deep-%d", *depth), n, deep, aDeep)
+		record(fmt.Sprintf("batch-%d", *burst), n, batch, aBatch)
+		record("deferred-firstfit", n, def, aDef)
+		record("nextready", n, nr, aNR)
 		tbl.AddRow(fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.0f ns/pkt", flatRB),
 			fmt.Sprintf("%.0f ns/pkt", flatCal),
-			fmt.Sprintf("%.0f ns/pkt", deep))
+			fmt.Sprintf("%.0f ns/pkt", deep),
+			fmt.Sprintf("%.0f ns/pkt", batch),
+			fmt.Sprintf("%.0f ns/pkt", def),
+			fmt.Sprintf("%.0f ns/op", nr))
 	}
-	fmt.Println("TBL-O1: per-packet overhead (one enqueue + one dequeue)")
+	fmt.Println("TBL-O1: per-packet overhead (one enqueue + one dequeue; steady state, packets reused)")
 	fmt.Println()
 	if err := tbl.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+}
+
+// writeJSON updates the perf-tracking file: the baseline section survives
+// across runs (seeded from the first run if the file never had one), the
+// current section is replaced.
+func writeJSON(path string, results []Result) error {
+	cur := &Snapshot{Source: "cmd/hfsc-bench " + time.Now().UTC().Format("2006-01-02"), Results: results}
+	out := File{
+		Note: "Per-packet scheduler overhead; ns_per_pkt is one enqueue+dequeue " +
+			"(nextready: one NextReady query). The baseline section is frozen at the " +
+			"pre-augmentation hot path; current is refreshed by each cmd/hfsc-bench run.",
+		Current: cur,
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		var old File
+		if err := json.Unmarshal(raw, &old); err != nil {
+			return fmt.Errorf("hfsc-bench: cannot parse existing %s: %w", path, err)
+		}
+		if old.Note != "" {
+			out.Note = old.Note
+		}
+		out.Baseline = old.Baseline
+		if out.Baseline == nil {
+			out.Baseline = old.Current
+		}
+	}
+	if out.Baseline == nil {
+		out.Baseline = cur
+	}
+	raw, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // buildFlat creates n leaf classes under the root, each with concave rt
@@ -93,27 +183,147 @@ func buildDeep(n, depth int) *core.Scheduler {
 	return s
 }
 
-// measure runs a steady-state enqueue/dequeue loop over all leaves and
-// returns nanoseconds per packet (one enqueue plus one dequeue).
-func measure(s *core.Scheduler, nLeaves, ops int) float64 {
-	var leaves []int
+// leaves returns the leaf class IDs of s.
+func leaves(s *core.Scheduler) []int {
+	var ids []int
 	for _, c := range s.Classes() {
 		if c.IsLeaf() && c != s.Root() {
-			leaves = append(leaves, c.ID())
+			ids = append(ids, c.ID())
+		}
+	}
+	return ids
+}
+
+// clock runs fn ops times and returns ns/op and allocs/op.
+func clock(ops int, fn func(i int)) (float64, float64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		fn(i)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(ops),
+		float64(after.Mallocs-before.Mallocs) / float64(ops)
+}
+
+// measure runs a steady-state enqueue/dequeue loop over all leaves,
+// reusing the dequeued packet so the scheduler's own allocation behaviour
+// is what is measured.
+func measure(s *core.Scheduler, ops int) (nsPerPkt, allocsPerPkt float64) {
+	ids := leaves(s)
+	now := int64(0)
+	for i, id := range ids {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	for i := 0; i < 2*len(ids); i++ { // warm free lists and ring buffers
+		now += 800
+		p := s.Dequeue(now)
+		if p == nil {
+			panic("scheduler idled during warmup")
+		}
+		p.Crit = 0
+		s.Enqueue(p, now)
+	}
+	return clock(ops, func(int) {
+		now += 800 // ~1000 B at 10 Gb/s
+		p := s.Dequeue(now)
+		if p == nil {
+			panic("scheduler idled unexpectedly")
+		}
+		p.Crit = 0
+		s.Enqueue(p, now)
+	})
+}
+
+// measureBatch is measure with DequeueN draining bursts.
+func measureBatch(s *core.Scheduler, ops, burst int) (nsPerPkt, allocsPerPkt float64) {
+	ids := leaves(s)
+	now := int64(0)
+	for i, id := range ids {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	}
+	out := make([]*pktq.Packet, 0, burst)
+	rounds := ops / burst
+	ns, allocs := clock(rounds, func(int) {
+		now += 800 * int64(burst)
+		out = s.DequeueN(now, burst, out[:0])
+		if len(out) == 0 {
+			panic("scheduler idled unexpectedly")
+		}
+		for _, p := range out {
+			p.Crit = 0
+			s.Enqueue(p, now)
+		}
+	})
+	return ns / float64(burst), allocs / float64(burst)
+}
+
+// measureDeferred measures the firstFit worst case: n-1 siblings deferred
+// by upper limits, service always landing on the highest-vt leaf.
+func measureDeferred(n, ops int) (nsPerPkt, allocsPerPkt float64) {
+	s := core.New(core.Options{})
+	rate := uint64(1_250_000_000) / uint64(n)
+	for i := 0; i < n-1; i++ {
+		if _, err := s.AddClass(nil, fmt.Sprintf("capped%d", i),
+			curve.SC{}, curve.Linear(rate), curve.Linear(1)); err != nil {
+			panic(err)
+		}
+	}
+	open, err := s.AddClass(nil, "open", curve.SC{}, curve.Linear(1), curve.SC{})
+	if err != nil {
+		panic(err)
+	}
+	now := int64(0)
+	for _, id := range leaves(s) {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id}, now)
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id}, now)
+	}
+	for i := 0; i < n-1; i++ { // push every capped leaf past its limit
+		if p := s.Dequeue(now); p == nil {
+			panic("priming dequeue idled")
+		}
+	}
+	return clock(ops, func(int) {
+		now += 800
+		p := s.Dequeue(now)
+		if p == nil || p.Class != open.ID() {
+			panic("deferred workload served the wrong class")
+		}
+		p.Crit = 0
+		s.Enqueue(p, now)
+	})
+}
+
+// measureNextReady measures the retry-time query with every class deferred.
+func measureNextReady(n, ops int) (nsPerOp, allocsPerOp float64) {
+	s := core.New(core.Options{})
+	rate := uint64(1_250_000_000) / uint64(n)
+	for i := 0; i < n; i++ {
+		if _, err := s.AddClass(nil, fmt.Sprintf("capped%d", i),
+			curve.SC{}, curve.Linear(rate), curve.Linear(1)); err != nil {
+			panic(err)
 		}
 	}
 	now := int64(0)
-	// Prefill so dequeues always find work.
-	for i, id := range leaves {
-		s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+	for _, id := range leaves(s) {
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id}, now)
+		s.Enqueue(&pktq.Packet{Len: 1000, Class: id}, now)
 	}
-	start := time.Now()
-	for i := 0; i < ops; i++ {
-		now += 800 // ~1000 B at 10 Gb/s
-		s.Enqueue(&pktq.Packet{Len: 1000, Class: leaves[i%len(leaves)], Seq: uint64(i)}, now)
+	for i := 0; i < n; i++ {
 		if p := s.Dequeue(now); p == nil {
-			panic("scheduler idled unexpectedly")
+			panic("priming dequeue idled")
 		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+	if p := s.Dequeue(now); p != nil {
+		panic("expected every class deferred")
+	}
+	return clock(ops, func(int) {
+		if _, ok := s.NextReady(now); !ok {
+			panic("no retry time despite backlog")
+		}
+	})
 }

@@ -253,6 +253,16 @@ func (s *Scheduler) Enqueue(p *Packet, now int64) bool { return s.core.Enqueue(p
 // Dequeue returns the next packet to send at the given clock, or nil.
 func (s *Scheduler) Dequeue(now int64) *Packet { return s.core.Dequeue(now) }
 
+// DequeueN dequeues up to max packets at the given clock, appending them to
+// out (which may be nil) and returning the extended slice. It selects
+// exactly what repeated Dequeue calls would, but lets a driver drain a
+// burst in one call and reuse the output buffer across bursts, keeping the
+// burst path allocation-free in steady state. It stops early when nothing
+// more may be sent at now.
+func (s *Scheduler) DequeueN(now int64, max int, out []*Packet) []*Packet {
+	return s.core.DequeueN(now, max, out)
+}
+
 // NextReady reports when Dequeue may next succeed after returning nil with
 // a backlog (e.g. under upper limits).
 func (s *Scheduler) NextReady(now int64) (int64, bool) { return s.core.NextReady(now) }

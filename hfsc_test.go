@@ -121,3 +121,40 @@ func TestCurveConstructor(t *testing.T) {
 		t.Fatalf("D=%d", sc.D)
 	}
 }
+
+func TestDequeueNMatchesDequeue(t *testing.T) {
+	build := func() *hfsc.Scheduler {
+		s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+		a, _ := s.AddClass(nil, "a", hfsc.ClassConfig{LinkShare: hfsc.Linear(6 * hfsc.Mbps)})
+		b, _ := s.AddClass(nil, "b", hfsc.ClassConfig{LinkShare: hfsc.Linear(4 * hfsc.Mbps)})
+		for i := 0; i < 10; i++ {
+			s.Enqueue(&hfsc.Packet{Len: 1000, Class: a.ID()}, 0)
+			s.Enqueue(&hfsc.Packet{Len: 500, Class: b.ID()}, 0)
+		}
+		return s
+	}
+	one, batch := build(), build()
+
+	out := make([]*hfsc.Packet, 0, 8)
+	now := int64(0)
+	for batch.Backlog() > 0 {
+		out = batch.DequeueN(now, 8, out[:0])
+		if len(out) == 0 {
+			t.Fatal("DequeueN returned nothing with backlog and no upper limits")
+		}
+		for _, p := range out {
+			q := one.Dequeue(now)
+			if q == nil || q.Class != p.Class || q.Len != p.Len {
+				t.Fatalf("batch/single divergence: %v vs %v", p, q)
+			}
+		}
+		now += 1_000_000
+	}
+	if one.Backlog() != 0 {
+		t.Fatalf("single-packet scheduler still has %d queued", one.Backlog())
+	}
+	// max <= 0 or empty scheduler: no packets, out untouched semantics.
+	if got := batch.DequeueN(now, 8, out[:0]); len(got) != 0 {
+		t.Fatalf("drained scheduler returned %d packets", len(got))
+	}
+}

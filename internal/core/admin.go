@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/fixpt"
+	"github.com/netsched/hfsc/internal/rbtree"
 )
 
 // RemoveClass deletes a passive leaf class from the hierarchy, mirroring
@@ -22,8 +24,8 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl.queue.Len() > 0 {
 		return fmt.Errorf("core: class %q still has queued packets", cl.name)
 	}
-	if cl.vtnode != nil || cl.cfnode != nil || cl.elHandle.node != nil ||
-		cl.elHandle.cal != nil || cl.elHandle.hp != nil {
+	if cl.vtnode != nil || cl.cfnode != nil || cl.fitnode != nil ||
+		cl.elHandle.node != nil || cl.elHandle.cal != nil || cl.elHandle.hp != nil {
 		return fmt.Errorf("core: class %q is still active", cl.name)
 	}
 	p := cl.parent
@@ -93,6 +95,7 @@ func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) erro
 // rather than at some later symptom.
 func (s *Scheduler) CheckInvariants() error {
 	backlog := 0
+	fitMembers := 0
 	var walk func(c *Class) (activeLeaves int, err error)
 	walk = func(c *Class) (int, error) {
 		if c.IsLeaf() {
@@ -145,6 +148,24 @@ func (s *Scheduler) CheckInvariants() error {
 			if (ch.vtnode != nil) != (ch.cfnode != nil) {
 				return 0, fmt.Errorf("class %q vttree/cftree membership disagree", ch.name)
 			}
+			// The global fit index holds exactly the active classes with a
+			// real fit time.
+			wantFit := ch.vtnode != nil && ch.f != noFit
+			if (ch.fitnode != nil) != wantFit {
+				return 0, fmt.Errorf("class %q fit-index membership=%v want %v (f=%d)",
+					ch.name, ch.fitnode != nil, wantFit, ch.f)
+			}
+			if ch.fitnode != nil {
+				fitMembers++
+			}
+			// The effective fit time is max of own and children's minimum.
+			wantF := ch.myf
+			if ch.cfmin > wantF && ch.vtnode != nil {
+				wantF = ch.cfmin
+			}
+			if ch.vtnode != nil && ch.f != wantF {
+				return 0, fmt.Errorf("class %q f=%d want max(myf=%d, cfmin=%d)", ch.name, ch.f, ch.myf, ch.cfmin)
+			}
 		}
 		if c.nactive != activeChildren {
 			return 0, fmt.Errorf("class %q nactive=%d but %d active children", c.name, c.nactive, activeChildren)
@@ -158,13 +179,39 @@ func (s *Scheduler) CheckInvariants() error {
 		if c != s.root && c.total != childTotals {
 			return 0, fmt.Errorf("class %q total %d != children sum %d", c.name, c.total, childTotals)
 		}
-		// cfmin consistency.
-		wantCfmin := int64(0)
+		// cfmin consistency (noFit when no active child is constrained).
+		wantCfmin := int64(noFit)
 		if n := c.cftree.Min(); n != nil {
 			wantCfmin = n.Item.f
 		}
 		if c.cfmin != wantCfmin {
 			return 0, fmt.Errorf("class %q cfmin %d != tree min %d", c.name, c.cfmin, wantCfmin)
+		}
+		// vt-tree augmentation: every node's Aug is the minimum f in its
+		// subtree (firstFit's search invariant).
+		var checkAug func(n *rbtree.Node[*Class]) (int64, error)
+		checkAug = func(n *rbtree.Node[*Class]) (int64, error) {
+			if n == nil {
+				return int64(fixpt.MaxInt64), nil
+			}
+			m := n.Item.f
+			for _, side := range []*rbtree.Node[*Class]{n.Left(), n.Right()} {
+				sm, err := checkAug(side)
+				if err != nil {
+					return 0, err
+				}
+				if sm < m {
+					m = sm
+				}
+			}
+			if n.Aug != m {
+				return 0, fmt.Errorf("class %q vttree aug %d != subtree min f %d at %q",
+					c.name, n.Aug, m, n.Item.name)
+			}
+			return m, nil
+		}
+		if _, err := checkAug(c.vttree.Root()); err != nil {
+			return 0, err
 		}
 		return totalActiveLeaves, nil
 	}
@@ -173,6 +220,9 @@ func (s *Scheduler) CheckInvariants() error {
 	}
 	if backlog != s.backlog {
 		return fmt.Errorf("backlog counter %d != queued packets %d", s.backlog, backlog)
+	}
+	if fitMembers != s.fittree.Len() {
+		return fmt.Errorf("fit index holds %d classes, want %d", s.fittree.Len(), fitMembers)
 	}
 	return nil
 }

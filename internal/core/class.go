@@ -56,19 +56,22 @@ type Class struct {
 	vtnode       *rbtree.Node[*Class]
 
 	// State as a parent of active children.
-	vttree  *rbtree.Tree[*Class] // active children ordered by vt
-	nactive int                  // number of active children (for a leaf: 0/1)
-	cvtmin  int64                // watermark: largest vt selected this period
-	cvtoff  int64                // vt offset for the next backlog period
-	period  uint64               // backlog-period sequence number
+	vttree    *rbtree.Tree[*Class] // active children ordered by vt, Aug = min f in subtree
+	nactive   int                  // number of active children (for a leaf: 0/1)
+	cvtmin    int64                // watermark: largest vt selected this period
+	cvtminSet bool                 // whether any selection happened this period
+	cvtoff    int64                // vt offset for the next backlog period
+	period    uint64               // backlog-period sequence number
 
-	// Upper-limit state.
-	ulimit curve.RTSC
-	myf    int64 // own fit time from the upper-limit curve
-	f      int64 // effective fit time: max(myf, cfmin)
-	cfmin  int64 // min f among active children (parents)
-	cfnode *rbtree.Node[*Class]
-	cftree *rbtree.Tree[*Class] // active children ordered by f
+	// Upper-limit state. Fit times use noFit ("fits at any time") when no
+	// upper-limit curve constrains the class; see scheduler.go.
+	myf     int64 // own fit time from the upper-limit curve, or noFit
+	f       int64 // effective fit time: max(myf, cfmin), or noFit
+	cfmin   int64 // min f among active children (parents), or noFit
+	ulimit  curve.RTSC
+	cfnode  *rbtree.Node[*Class]
+	cftree  *rbtree.Tree[*Class] // active children ordered by f
+	fitnode *rbtree.Node[*Class] // position in the scheduler's global fit index
 
 	// Statistics.
 	rtWork  int64 // bytes served by the real-time criterion
@@ -154,6 +157,21 @@ func cfLess(a, b *Class) bool {
 		return a.f < b.f
 	}
 	return a.id < b.id
+}
+
+// vtAug maintains the vt-tree augmentation: the minimum effective fit time
+// in each node's subtree. It lets firstFit descend directly to the
+// smallest-vt child whose fit time has arrived, and prunes whole subtrees
+// whose every member is deferred by an upper limit.
+func vtAug(n *rbtree.Node[*Class]) {
+	m := n.Item.f
+	if l := n.Left(); l != nil && l.Aug < m {
+		m = l.Aug
+	}
+	if r := n.Right(); r != nil && r.Aug < m {
+		m = r.Aug
+	}
+	n.Aug = m
 }
 
 // elLess orders leaves by eligible time in the eligible tree.

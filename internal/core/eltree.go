@@ -47,10 +47,12 @@ func (h *elhandle) clear() { h.node, h.cal, h.hp = nil, nil, nil }
 // eligible times; the augmentation is the minimum deadline in the subtree.
 type elAugTree struct {
 	tree *rbtree.Tree[*Class]
+	// refImpl disables the in-place update fast path (golden-trace tests).
+	refImpl bool
 }
 
-func newElAugTree() *elAugTree {
-	return &elAugTree{tree: rbtree.New(elLess, func(n *rbtree.Node[*Class]) {
+func newElAugTree(refImpl bool) *elAugTree {
+	return &elAugTree{refImpl: refImpl, tree: rbtree.New(elLess, func(n *rbtree.Node[*Class]) {
 		m := n.Item.d
 		if l := n.Left(); l != nil && l.Aug < m {
 			m = l.Aug
@@ -70,9 +72,20 @@ func (t *elAugTree) remove(cl *Class) {
 }
 
 func (t *elAugTree) update(cl *Class, _ int64) {
-	// e is the tree key, so reposition; Insert refreshes the min-deadline
-	// augmentation along both paths.
-	t.tree.Delete(cl.elHandle.node)
+	// e is the tree key. If the new eligible time still sorts between the
+	// in-order neighbors the node can stay put, and only the min-deadline
+	// augmentation on its root path needs recomputing (d changed too).
+	n := cl.elHandle.node
+	if !t.refImpl {
+		prev := t.tree.Prev(n)
+		next := t.tree.Next(n)
+		if (prev == nil || elLess(prev.Item, cl)) && (next == nil || elLess(cl, next.Item)) {
+			t.tree.Update(n)
+			return
+		}
+	}
+	// Reposition; Insert refreshes the augmentation along both paths.
+	t.tree.Delete(n)
 	cl.elHandle.node = t.tree.Insert(cl)
 }
 

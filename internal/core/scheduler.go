@@ -53,7 +53,20 @@ type Options struct {
 	DefaultQueueLimit int
 	// Tracer, if set, observes scheduler events synchronously.
 	Tracer Tracer
+
+	// refImpl switches firstFit, NextReady and the tree repositioning to
+	// straightforward reference implementations (linear scans, full
+	// delete+reinsert). Selection must be bit-identical either way; the
+	// golden-trace tests run both in lockstep. Test-only.
+	refImpl bool
 }
+
+// noFit is the fit-time value of a class with no upper-limit constraint
+// anywhere in its subtree: it fits at any time. Using an explicit sentinel
+// (rather than 0) keeps a legitimate fit time of 0 at the clock origin
+// distinct from "unconstrained", and keeps unconstrained classes out of
+// NextReady's earliest-future-fit query.
+const noFit = math.MinInt64
 
 // Scheduler is the H-FSC packet scheduler over one link.
 type Scheduler struct {
@@ -62,6 +75,10 @@ type Scheduler struct {
 	classes []*Class
 	el      eligibleList
 	backlog int
+	// fittree indexes every active class with a real fit time (f != noFit)
+	// by f, so NextReady answers "earliest fit time beyond now" with one
+	// O(log n) successor query instead of walking all active classes.
+	fittree *rbtree.Tree[*Class]
 }
 
 // New creates a scheduler with an implicit root class.
@@ -79,16 +96,17 @@ func New(opts Options) *Scheduler {
 		}
 		s.el = newElCalendar(w, b)
 	default:
-		s.el = newElAugTree()
+		s.el = newElAugTree(opts.refImpl)
 	}
-	s.root = &Class{id: 0, name: "root"}
+	s.fittree = rbtree.New[*Class](cfLess, nil)
+	s.root = &Class{id: 0, name: "root", myf: noFit, f: noFit, cfmin: noFit}
 	s.initParentTrees(s.root)
 	s.classes = []*Class{s.root}
 	return s
 }
 
 func (s *Scheduler) initParentTrees(c *Class) {
-	c.vttree = rbtree.New[*Class](vtLess, nil)
+	c.vttree = rbtree.New(vtLess, vtAug)
 	c.cftree = rbtree.New[*Class](cfLess, nil)
 }
 
@@ -155,6 +173,7 @@ func (s *Scheduler) AddClass(parent *Class, name string, rsc, fsc, usc curve.SC)
 		parent: parent,
 		rsc:    rsc, fsc: fsc, usc: usc,
 		hasRSC: !rsc.IsZero(), hasFSC: !fsc.IsZero(), hasUSC: !usc.IsZero(),
+		myf: noFit, f: noFit, cfmin: noFit,
 	}
 	cl.queue.PktLimit = s.opts.DefaultQueueLimit
 	// Seed the runtime curves from the specifications at the origin; every
@@ -212,6 +231,31 @@ func (s *Scheduler) Dequeue(now int64) *pktq.Packet {
 	if s.backlog == 0 {
 		return nil
 	}
+	return s.dequeueOne(now)
+}
+
+// DequeueN dequeues up to max packets at time now, appending them to out
+// (which may be nil) and returning the extended slice. It is the batched
+// form of Dequeue for burst draining — one call per link wakeup instead of
+// one per packet, with the output buffer reused across bursts so the burst
+// path allocates nothing in steady state. Selection is exactly the
+// per-packet criteria: DequeueN(now, k, nil) yields the same packets in the
+// same order as k consecutive Dequeue(now) calls. It stops early when the
+// scheduler has nothing it may send at now.
+func (s *Scheduler) DequeueN(now int64, max int, out []*pktq.Packet) []*pktq.Packet {
+	for i := 0; i < max && s.backlog > 0; i++ {
+		p := s.dequeueOne(now)
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// dequeueOne selects and releases one packet; the caller has checked the
+// backlog.
+func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 	realtime := false
 	cl := s.el.minDeadline(now)
 	if cl != nil {
@@ -272,23 +316,50 @@ func (s *Scheduler) NextReady(now int64) (int64, bool) {
 	if e, ok := s.el.minE(); ok && e > now && e < next {
 		next = e
 	}
-	// Walk active classes for the earliest fit time beyond now. This is
-	// O(active classes) but runs only when the link idles on purpose.
+	if f, ok := s.minFitAfter(now); ok && f < next {
+		next = f
+	}
+	if next == math.MaxInt64 {
+		return 0, false
+	}
+	return next, true
+}
+
+// minFitAfter returns the earliest fit time strictly beyond now among all
+// active upper-limit-constrained classes: a successor query on the global
+// fit index, O(log n) in the number of active classes.
+func (s *Scheduler) minFitAfter(now int64) (int64, bool) {
+	if s.opts.refImpl {
+		return s.minFitAfterRef(now)
+	}
+	best, found := int64(0), false
+	for n := s.fittree.Root(); n != nil; {
+		if n.Item.f > now {
+			best, found = n.Item.f, true
+			n = n.Left()
+		} else {
+			n = n.Right()
+		}
+	}
+	return best, found
+}
+
+// minFitAfterRef is the pre-augmentation implementation: recursively walk
+// every active class. Kept as the golden reference for minFitAfter.
+func (s *Scheduler) minFitAfterRef(now int64) (int64, bool) {
+	best, found := int64(math.MaxInt64), false
 	var walk func(c *Class)
 	walk = func(c *Class) {
 		for n := c.vttree.Min(); n != nil; n = c.vttree.Next(n) {
 			ch := n.Item
-			if ch.f > now && ch.f < next {
-				next = ch.f
+			if ch.f != noFit && ch.f > now && ch.f < best {
+				best, found = ch.f, true
 			}
 			walk(ch)
 		}
 	}
 	walk(s.root)
-	if next == math.MaxInt64 {
-		return 0, false
-	}
-	return next, true
+	return best, found
 }
 
 // initED establishes the eligible and deadline curves when a leaf becomes
@@ -364,7 +435,7 @@ func (s *Scheduler) activate(cl *Class, now int64) {
 			vt = maxN.Item.vt
 		default: // VTMean — the paper's (vmin+vmax)/2
 			vt = maxN.Item.vt
-			if p.cvtmin != 0 {
+			if p.cvtminSet {
 				vt = midpoint(p.cvtmin, vt)
 			}
 		}
@@ -378,6 +449,7 @@ func (s *Scheduler) activate(cl *Class, now int64) {
 		// virtual time reached in previous periods so vt stays monotone.
 		cl.vt = p.cvtoff
 		p.cvtmin = 0
+		p.cvtminSet = false
 		p.period++
 	}
 
@@ -389,7 +461,7 @@ func (s *Scheduler) activate(cl *Class, now int64) {
 		cl.ulimit.Min(cl.usc, now, cl.total)
 		cl.myf = cl.ulimit.Y2X(cl.total)
 	} else {
-		cl.myf = 0
+		cl.myf = noFit
 	}
 	// Children activated earlier in this cascade may already constrain us.
 	cl.f = cl.myf
@@ -400,6 +472,9 @@ func (s *Scheduler) activate(cl *Class, now int64) {
 	cl.vtnode = p.vttree.Insert(cl)
 	cl.cfnode = p.cftree.Insert(cl)
 	updateCfmin(p)
+	if cl.f != noFit {
+		cl.fitnode = s.fittree.Insert(cl)
+	}
 	s.trace(EvActivate, cl, nil, now)
 }
 
@@ -430,7 +505,7 @@ func (s *Scheduler) updateVF(cl *Class, length, now int64, leafEmptied bool) {
 		// A class served by the real-time criterion while not being the
 		// virtual-time minimum can fall behind the selection watermark;
 		// pull it forward so sibling order remains meaningful.
-		if cl.vt < p.cvtmin {
+		if p.cvtminSet && cl.vt < p.cvtmin {
 			cl.vtadj += p.cvtmin - cl.vt
 			cl.vt = p.cvtmin
 		}
@@ -446,13 +521,15 @@ func (s *Scheduler) updateVF(cl *Class, length, now int64, leafEmptied bool) {
 			p.cftree.Delete(cl.cfnode)
 			cl.cfnode = nil
 			updateCfmin(p)
+			if cl.fitnode != nil {
+				s.fittree.Delete(cl.fitnode)
+				cl.fitnode = nil
+			}
 			s.trace(EvPassive, cl, nil, now)
 			continue
 		}
 
-		// Reposition in the vt tree.
-		p.vttree.Delete(cl.vtnode)
-		cl.vtnode = p.vttree.Insert(cl)
+		s.repositionVT(cl)
 
 		if cl.hasUSC {
 			cl.myf = cl.ulimit.Y2X(cl.total)
@@ -461,22 +538,67 @@ func (s *Scheduler) updateVF(cl *Class, length, now int64, leafEmptied bool) {
 	}
 }
 
+// repositionVT re-sorts cl in its parent's vt tree after cl.vt advanced.
+// When the in-order neighbors still bracket the new virtual time — the
+// common case in steady state, since all active siblings advance together —
+// the node stays in place and no rebalancing happens at all (vt does not
+// feed the tree's min-fit augmentation, so there is nothing to fix up).
+func (s *Scheduler) repositionVT(cl *Class) {
+	p := cl.parent
+	n := cl.vtnode
+	if !s.opts.refImpl {
+		prev := p.vttree.Prev(n)
+		next := p.vttree.Next(n)
+		if (prev == nil || vtLess(prev.Item, cl)) && (next == nil || vtLess(cl, next.Item)) {
+			return
+		}
+	}
+	p.vttree.Delete(n)
+	cl.vtnode = p.vttree.Insert(cl)
+}
+
 // refreshF recomputes a class's effective fit time from its own upper
-// limit and its children's, repositioning it in the parent's cftree when it
-// changed.
+// limit and its children's, refreshing the structures that index it: the
+// parent's cftree (and its cached minimum), the vt tree's min-fit
+// augmentation, and the scheduler-wide fit index.
 func (s *Scheduler) refreshF(cl *Class) {
 	f := cl.myf
 	if cl.cfmin > f {
 		f = cl.cfmin
 	}
-	if f != cl.f {
-		cl.f = f
-		if cl.cfnode != nil {
-			p := cl.parent
-			p.cftree.Delete(cl.cfnode)
-			cl.cfnode = p.cftree.Insert(cl)
-			updateCfmin(p)
+	if f == cl.f {
+		return
+	}
+	cl.f = f
+	if cl.cfnode == nil {
+		return
+	}
+	p := cl.parent
+	n := cl.cfnode
+	inPlace := false
+	if !s.opts.refImpl {
+		prev := p.cftree.Prev(n)
+		next := p.cftree.Next(n)
+		inPlace = (prev == nil || cfLess(prev.Item, cl)) && (next == nil || cfLess(cl, next.Item))
+	}
+	if !inPlace {
+		p.cftree.Delete(n)
+		cl.cfnode = p.cftree.Insert(cl)
+	}
+	updateCfmin(p)
+	// The fit time feeds the vt tree's subtree-minimum augmentation.
+	p.vttree.Update(cl.vtnode)
+	switch {
+	case f == noFit:
+		if cl.fitnode != nil {
+			s.fittree.Delete(cl.fitnode)
+			cl.fitnode = nil
 		}
+	case cl.fitnode == nil:
+		cl.fitnode = s.fittree.Insert(cl)
+	default:
+		s.fittree.Delete(cl.fitnode)
+		cl.fitnode = s.fittree.Insert(cl)
 	}
 }
 
@@ -484,7 +606,7 @@ func updateCfmin(p *Class) {
 	if n := p.cftree.Min(); n != nil {
 		p.cfmin = n.Item.f
 	} else {
-		p.cfmin = 0
+		p.cfmin = noFit
 	}
 }
 
@@ -497,14 +619,15 @@ func (s *Scheduler) minVT(now int64) *Class {
 		return nil
 	}
 	for !cl.IsLeaf() {
-		next := firstFit(cl, now)
+		next := s.firstFit(cl, now)
 		if next == nil {
 			return nil
 		}
 		// Raise the selection watermark: newly activating siblings must
 		// not start behind classes already selected this period.
-		if next.vt > cl.cvtmin {
+		if !cl.cvtminSet || next.vt > cl.cvtmin {
 			cl.cvtmin = next.vt
+			cl.cvtminSet = true
 		}
 		cl = next
 	}
@@ -512,9 +635,37 @@ func (s *Scheduler) minVT(now int64) *Class {
 }
 
 // firstFit returns the active child with the smallest virtual time among
-// those whose fit time has arrived. Without upper-limit curves this is the
-// leftmost node.
-func firstFit(p *Class, now int64) *Class {
+// those whose fit time has arrived, by descending the vt tree guided by
+// the subtree-minimum fit-time augmentation: if the left subtree contains
+// any fitting class, the in-order first one is there; else the current
+// node, else the right subtree. One root-to-leaf walk, O(log n), versus
+// the linear in-order scan of the reference implementation whenever upper
+// limits defer the low-vt siblings.
+func (s *Scheduler) firstFit(p *Class, now int64) *Class {
+	if s.opts.refImpl {
+		return firstFitRef(p, now)
+	}
+	n := p.vttree.Root()
+	if n == nil || n.Aug > now {
+		return nil
+	}
+	for {
+		if l := n.Left(); l != nil && l.Aug <= now {
+			n = l
+			continue
+		}
+		if n.Item.f <= now {
+			return n.Item
+		}
+		// The augmentation promised a fit in this subtree but neither the
+		// left side nor the node itself provides it: it is on the right.
+		n = n.Right()
+	}
+}
+
+// firstFitRef is the pre-augmentation linear scan, kept as the golden
+// reference for firstFit.
+func firstFitRef(p *Class, now int64) *Class {
 	for n := p.vttree.Min(); n != nil; n = p.vttree.Next(n) {
 		if n.Item.f <= now {
 			return n.Item

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// Regression tests for the zero-value sentinel ambiguity: a fit time or a
+// selected virtual time of 0 is perfectly legitimate at the clock origin
+// and must not be confused with "no upper limit" / "nothing selected yet".
+
+// TestUpperLimitScheduleAtOrigin schedules at now=0 with every class
+// upper-limited: fit times of exactly 0 must let traffic flow, and once
+// the limits bite, NextReady must report the real (positive) fit time
+// rather than being confused by unconstrained siblings.
+func TestUpperLimitScheduleAtOrigin(t *testing.T) {
+	s := New(Options{})
+	rate := uint64(1_000_000)
+	capped, err := s.AddClass(nil, "capped", curve.SC{}, curve.Linear(rate), curve.Linear(rate/10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := s.AddClass(nil, "free", curve.SC{}, curve.Linear(rate), curve.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Backlog only the capped class: its fit time at zero total service is
+	// a legitimate 0, so the first packet must go out at now=0.
+	s.Enqueue(&pktq.Packet{Len: 1000, Class: capped.ID()}, 0)
+	s.Enqueue(&pktq.Packet{Len: 1000, Class: capped.ID()}, 0)
+	p := s.Dequeue(0)
+	if p == nil || p.Class != capped.ID() {
+		t.Fatalf("first packet at now=0: got %v, want capped class", p)
+	}
+	// 1000 B at 100 kB/s: the next packet fits at 10 ms.
+	if p = s.Dequeue(0); p != nil {
+		t.Fatalf("second packet escaped the upper limit: %v", p)
+	}
+	next, ok := s.NextReady(0)
+	if !ok || next != 10_000_000 {
+		t.Fatalf("NextReady = (%d, %v), want (10ms, true)", next, ok)
+	}
+	if p = s.Dequeue(next); p == nil {
+		t.Fatal("packet not released at its fit time")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unconstrained backlogged class must never surface as a fit-time
+	// wait: with only "free" backlogged the scheduler never idles.
+	s.Enqueue(&pktq.Packet{Len: 1000, Class: free.ID()}, next)
+	if p = s.Dequeue(next); p == nil || p.Class != free.ID() {
+		t.Fatalf("unconstrained class blocked: %v", p)
+	}
+}
+
+// TestVTMeanZeroWatermark pins down the cvtmin half of the ambiguity: a
+// class selected at virtual time 0 establishes a watermark of 0, and a
+// sibling activating afterwards must receive the paper's (vmin+vmax)/2 —
+// not vmax, which is what treating cvtmin==0 as "unset" yields.
+func TestVTMeanZeroWatermark(t *testing.T) {
+	s := New(Options{})
+	rate := uint64(1_000_000)
+	a, err := s.AddClass(nil, "a", curve.SC{}, curve.Linear(rate), curve.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AddClass(nil, "b", curve.SC{}, curve.Linear(rate), curve.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve one packet of a at the clock origin: a is selected at vt 0, so
+	// the watermark is (a set) 0, and a's own vt advances.
+	s.Enqueue(&pktq.Packet{Len: 1000, Class: a.ID()}, 0)
+	s.Enqueue(&pktq.Packet{Len: 1000, Class: a.ID()}, 0)
+	if p := s.Dequeue(0); p == nil {
+		t.Fatal("no packet at origin")
+	}
+	if got := a.VirtualTime(); got <= 0 {
+		t.Fatalf("a.vt = %d after service, want > 0", got)
+	}
+
+	// b activates now: VTMean must anchor at midpoint(0, a.vt).
+	s.Enqueue(&pktq.Packet{Len: 1000, Class: b.ID()}, 0)
+	want := midpoint(0, a.VirtualTime())
+	if got := b.VirtualTime(); got != want {
+		t.Fatalf("b.vt = %d, want midpoint(0, %d) = %d", got, a.VirtualTime(), want)
+	}
+}

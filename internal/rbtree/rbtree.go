@@ -11,6 +11,12 @@
 // as handles for O(log n) deletion without a search. An optional Update
 // callback maintains per-node augmented data; it is invoked bottom-up after
 // every structural change touching a node's subtree.
+//
+// Deleted nodes are recycled on an internal free list, so a tree whose
+// population churns in steady state (the scheduler's activation and
+// reposition traffic) performs no allocations after its high-water mark.
+// A handle passed to Delete is invalid afterwards and may be returned again
+// by a later Insert.
 package rbtree
 
 // Node is a tree node holding one item of type T plus augmented data
@@ -40,6 +46,8 @@ type Tree[T any] struct {
 	less func(a, b T) bool
 	// update recomputes n.Aug from n.Item and n's children. May be nil.
 	update func(n *Node[T])
+	// free is a singly linked list (through Node.right) of recycled nodes.
+	free *Node[T]
 }
 
 // New returns a tree ordered by less. If update is non-nil it is called to
@@ -167,9 +175,22 @@ func (t *Tree[T]) rotateRight(x *Node[T]) {
 	}
 }
 
+// newNode returns a node for item, reusing a recycled one when available.
+func (t *Tree[T]) newNode(item T) *Node[T] {
+	if z := t.free; z != nil {
+		t.free = z.right
+		z.Item = item
+		z.Aug = 0
+		z.left, z.right, z.parent = nil, nil, nil
+		z.red = true
+		return z
+	}
+	return &Node[T]{Item: item, red: true}
+}
+
 // Insert adds item and returns its node handle.
 func (t *Tree[T]) Insert(item T) *Node[T] {
-	z := &Node[T]{Item: item, red: true}
+	z := t.newNode(item)
 	var y *Node[T]
 	x := t.root
 	for x != nil {
@@ -250,7 +271,8 @@ func (t *Tree[T]) transplant(u, v *Node[T]) {
 }
 
 // Delete removes node z from the tree. The node must currently belong to
-// this tree; afterwards its handle is invalid.
+// this tree; afterwards its handle is invalid (the node is recycled and a
+// later Insert may return it again).
 func (t *Tree[T]) Delete(z *Node[T]) {
 	t.size--
 	y := z
@@ -295,7 +317,11 @@ func (t *Tree[T]) Delete(z *Node[T]) {
 	if !yWasRed {
 		t.deleteFixup(x, xParent)
 	}
-	z.left, z.right, z.parent = nil, nil, nil
+	var zero T
+	z.Item = zero // release references held by the recycled node
+	z.left, z.parent = nil, nil
+	z.right = t.free
+	t.free = z
 }
 
 func (t *Tree[T]) deleteFixup(x, parent *Node[T]) {

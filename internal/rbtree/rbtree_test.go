@@ -275,6 +275,65 @@ func TestUpdateReestablishesAugmentation(t *testing.T) {
 	}
 }
 
+// TestAugmentPropertyRandom is the property test for the augmentation: on
+// random insert/delete/update sequences, every node's Aug must equal the
+// brute-force minimum d over its subtree, and the red-black invariants must
+// hold after every operation. It exercises exactly what the scheduler's
+// hot path relies on — aggregates staying correct through rotations,
+// transplant deletions, in-place Update calls and node recycling.
+func TestAugmentPropertyRandom(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		tr := newKVTree()
+		rng := rand.New(rand.NewSource(seed))
+		live := []*Node[kv]{}
+		for op := 0; op < 8000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5 || len(live) == 0: // insert
+				live = append(live, tr.Insert(kv{key: rng.Intn(300), d: rng.Int63n(1e6)}))
+			case r < 8: // delete a random live handle
+				i := rng.Intn(len(live))
+				tr.Delete(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default: // mutate the augmented value in place
+				n := live[rng.Intn(len(live))]
+				n.Item.d = rng.Int63n(1e6)
+				tr.Update(n)
+			}
+			if op%97 == 0 {
+				checkInvariants(t, tr)
+			}
+		}
+		checkInvariants(t, tr)
+		if tr.Len() != len(live) {
+			t.Fatalf("seed %d: len %d want %d", seed, tr.Len(), len(live))
+		}
+	}
+}
+
+// TestSteadyChurnDoesNotAllocate pins the free-list guarantee: once a tree
+// has reached its high-water mark, delete+insert churn recycles nodes
+// instead of allocating.
+func TestSteadyChurnDoesNotAllocate(t *testing.T) {
+	tr := newKVTree()
+	rng := rand.New(rand.NewSource(7))
+	ring := make([]*Node[kv], 512)
+	for i := range ring {
+		ring[i] = tr.Insert(kv{key: rng.Intn(1 << 20), d: rng.Int63()})
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		j := i % len(ring)
+		i++
+		tr.Delete(ring[j])
+		ring[j] = tr.Insert(kv{key: (i * 2654435761) % (1 << 20), d: int64(i)})
+	})
+	if allocs != 0 {
+		t.Fatalf("churn allocates %.2f allocs/op, want 0", allocs)
+	}
+	checkInvariants(t, tr)
+}
+
 func BenchmarkInsertDelete(b *testing.B) {
 	tr := newKVTree()
 	rng := rand.New(rand.NewSource(1))
