@@ -1,10 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke bench-json
+.PHONY: check lint fmt vet build test bench bench-smoke bench-json
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests
 ## and a short benchmark smoke run to catch perf-path compile/runtime rot.
 check: fmt vet build test bench-smoke
+
+## lint: the static checks alone (formatting + vet), for fast CI feedback.
+lint: fmt vet
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/netsched/hfsc"
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/experiments"
+	"github.com/netsched/hfsc/internal/metrics"
 	"github.com/netsched/hfsc/internal/pfq"
 	"github.com/netsched/hfsc/internal/pktq"
 	"github.com/netsched/hfsc/internal/sced"
@@ -126,6 +128,39 @@ func BenchmarkOverheadFlat(b *testing.B) {
 	for _, n := range []int{16, 64, 256, 1024, 4096} {
 		b.Run(fmt.Sprintf("classes=%d", n), func(b *testing.B) {
 			s, ids := buildFlat(b, n, core.ElAugmentedTree)
+			pump(b, s, ids)
+		})
+	}
+}
+
+// buildFlatTraced is buildFlat with the metrics aggregator attached, for
+// measuring the observability pipeline's overhead on the hot path.
+func buildFlatTraced(b testing.TB, n int) (*core.Scheduler, []int) {
+	b.Helper()
+	s := core.New(core.Options{
+		Eligible: core.ElAugmentedTree,
+		Tracer:   metrics.NewAggregator(metrics.Options{}),
+	})
+	rate := uint64(1_250_000_000) / uint64(n)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		cl, err := s.AddClass(nil, fmt.Sprintf("c%d", i),
+			curve.SC{M1: 2 * rate, D: 10_000_000, M2: rate}, curve.Linear(rate), curve.SC{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = cl.ID()
+	}
+	return s, ids
+}
+
+// BenchmarkOverheadFlatMetrics repeats BenchmarkOverheadFlat with the
+// metrics aggregator attached; the delta against the plain series is the
+// per-packet price of always-on observability.
+func BenchmarkOverheadFlatMetrics(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("classes=%d", n), func(b *testing.B) {
+			s, ids := buildFlatTraced(b, n)
 			pump(b, s, ids)
 		})
 	}
@@ -367,6 +402,50 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			}
 			p.Crit = 0
 			s.Enqueue(p, now)
+		})
+	})
+	t.Run("metrics-enabled", func(t *testing.T) {
+		// The aggregator itself must not break the guarantee: histograms,
+		// EWMAs and timestamp rings all work in place once warm.
+		s, ids := buildFlatTraced(t, 256)
+		now := int64(0)
+		for i, id := range ids {
+			s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+		}
+		checkZeroAllocs(t, func() {
+			now += 800
+			p := s.Dequeue(now)
+			if p == nil {
+				t.Fatal("scheduler idled")
+			}
+			p.Crit = 0
+			s.Enqueue(p, now)
+		})
+	})
+	t.Run("public-offer-disabled", func(t *testing.T) {
+		// The public wrapper's Offer path without Config.Metrics: the
+		// validation and nil-aggregator checks must stay free.
+		s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+		cl, err := s.AddClass(nil, "a", hfsc.ClassConfig{
+			RealTime:  hfsc.Linear(hfsc.Mbps),
+			LinkShare: hfsc.Linear(hfsc.Mbps),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &hfsc.Packet{Len: 1000, Class: cl.ID()}
+		now := int64(0)
+		s.Enqueue(p, now)
+		checkZeroAllocs(t, func() {
+			now += 800
+			q := s.Dequeue(now)
+			if q == nil {
+				t.Fatal("scheduler idled")
+			}
+			q.Crit = 0
+			if s.Offer(q, now) != hfsc.DropNone {
+				t.Fatal("offer refused")
+			}
 		})
 	})
 	t.Run("dequeue-n", func(t *testing.T) {

@@ -1,0 +1,28 @@
+package hfsc
+
+import "time"
+
+// The clock contract
+//
+// Every scheduler method that takes a `now int64` — Enqueue, Offer,
+// Dequeue, DequeueN, NextReady, SetCurves — reads it as nanoseconds on one
+// monotone, caller-chosen clock. The epoch is arbitrary: simulations use 0
+// at start, drivers use wall time. All that matters is that a single
+// scheduler only ever sees one clock and that it never runs backwards
+// (time may stand still: equal timestamps are fine). Packet.Arrival,
+// Packet.Deadline and every duration-valued metric (deadline slack,
+// queueing delay) live on the same clock.
+//
+// Real-time drivers should use Now and At to convert to and from
+// time.Time instead of hand-rolling UnixNano arithmetic; the pair fixes
+// the Unix-epoch convention in one place.
+
+// Now converts a time.Time to the scheduler's nanosecond clock using the
+// Unix-epoch convention (t.UnixNano()). Use with time-of-day clocks:
+//
+//	s.Enqueue(p, hfsc.Now(time.Now()))
+func Now(t time.Time) int64 { return t.UnixNano() }
+
+// At converts a scheduler clock value back to a time.Time under the same
+// Unix-epoch convention. At(Now(t)) == t up to the monotonic reading.
+func At(ns int64) time.Time { return time.Unix(0, ns) }

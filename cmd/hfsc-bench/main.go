@@ -24,6 +24,7 @@ import (
 
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/metrics"
 	"github.com/netsched/hfsc/internal/pktq"
 	"github.com/netsched/hfsc/internal/stats"
 )
@@ -64,16 +65,18 @@ func main() {
 		results = append(results, Result{Name: name, Classes: classes, NsPerPkt: ns, AllocsPerPkt: allocs})
 	}
 
-	tbl := &stats.Table{Header: []string{"classes", "flat rbtree", "flat calendar",
+	tbl := &stats.Table{Header: []string{"classes", "flat rbtree", "+metrics", "flat calendar",
 		fmt.Sprintf("depth-%d tree", *depth), fmt.Sprintf("batch n=%d", *burst), "deferred", "nextready"}}
 	for _, n := range sizes {
-		flatRB, aRB := measure(buildFlat(n, core.ElAugmentedTree), *ops)
-		flatCal, aCal := measure(buildFlat(n, core.ElCalendar), *ops)
+		flatRB, aRB := measure(buildFlat(n, core.ElAugmentedTree, false), *ops)
+		flatMet, aMet := measure(buildFlat(n, core.ElAugmentedTree, true), *ops)
+		flatCal, aCal := measure(buildFlat(n, core.ElCalendar, false), *ops)
 		deep, aDeep := measure(buildDeep(n, *depth), *ops)
-		batch, aBatch := measureBatch(buildFlat(n, core.ElAugmentedTree), *ops, *burst)
+		batch, aBatch := measureBatch(buildFlat(n, core.ElAugmentedTree, false), *ops, *burst)
 		def, aDef := measureDeferred(n, *ops)
 		nr, aNR := measureNextReady(n, *ops)
 		record("flat-rbtree", n, flatRB, aRB)
+		record("flat-rbtree-metrics", n, flatMet, aMet)
 		record("flat-calendar", n, flatCal, aCal)
 		record(fmt.Sprintf("deep-%d", *depth), n, deep, aDeep)
 		record(fmt.Sprintf("batch-%d", *burst), n, batch, aBatch)
@@ -81,6 +84,7 @@ func main() {
 		record("nextready", n, nr, aNR)
 		tbl.AddRow(fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.0f ns/pkt", flatRB),
+			fmt.Sprintf("%.0f ns/pkt", flatMet),
 			fmt.Sprintf("%.0f ns/pkt", flatCal),
 			fmt.Sprintf("%.0f ns/pkt", deep),
 			fmt.Sprintf("%.0f ns/pkt", batch),
@@ -137,9 +141,14 @@ func writeJSON(path string, results []Result) error {
 }
 
 // buildFlat creates n leaf classes under the root, each with concave rt
-// and linear ls curves.
-func buildFlat(n int, el core.EligibleStructure) *core.Scheduler {
-	s := core.New(core.Options{Eligible: el})
+// and linear ls curves; traced attaches the metrics aggregator so the
+// "+metrics" column measures the observability pipeline's overhead.
+func buildFlat(n int, el core.EligibleStructure, traced bool) *core.Scheduler {
+	opts := core.Options{Eligible: el}
+	if traced {
+		opts.Tracer = metrics.NewAggregator(metrics.Options{})
+	}
+	s := core.New(opts)
 	rate := uint64(1_250_000_000) / uint64(n) // split a 10 Gb/s link
 	for i := 0; i < n; i++ {
 		_, err := s.AddClass(nil, fmt.Sprintf("c%d", i),

@@ -6,6 +6,7 @@
 //	hfsc-sim -list
 //	hfsc-sim -exp exp1
 //	hfsc-sim -exp all
+//	hfsc-sim -prom -          # OBS-1 metrics in Prometheus text format
 //
 // The exit status is nonzero if any executed experiment fails one of its
 // shape checks.
@@ -24,12 +25,31 @@ func main() {
 	var (
 		exp  = flag.String("exp", "all", "experiment id to run, or \"all\"")
 		list = flag.Bool("list", false, "list experiment ids and exit")
+		prom = flag.String("prom", "", "run the OBS-1 workload and write its metrics in Prometheus text format to the given file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *prom != "" {
+		out := os.Stdout
+		if *prom != "-" {
+			f, err := os.Create(*prom)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hfsc-sim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.Obs1Exposition(out); err != nil {
+			fmt.Fprintf(os.Stderr, "hfsc-sim: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

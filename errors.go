@@ -1,0 +1,41 @@
+package hfsc
+
+import (
+	"errors"
+
+	"github.com/netsched/hfsc/internal/core"
+)
+
+// Sentinel errors returned by the public API. All errors returned by
+// Scheduler methods wrap one of these (or a core sentinel re-exported
+// below) and can be matched with errors.Is; the error strings additionally
+// carry the specific class name, rate or curve involved.
+var (
+	// ErrDuplicateClass is returned by AddClass when the name is taken.
+	ErrDuplicateClass = errors.New("hfsc: duplicate class name")
+	// ErrNilClass is returned when a nil *Class is passed where a class is
+	// required.
+	ErrNilClass = errors.New("hfsc: nil class")
+	// ErrNoLinkRate is returned by Admissible and DelayBound when
+	// Config.LinkRate was left zero.
+	ErrNoLinkRate = errors.New("hfsc: Config.LinkRate not set")
+	// ErrInadmissible is returned by Admissible when the sum of the leaf
+	// real-time curves exceeds the link's capacity curve, i.e. the SCED
+	// schedulability condition of the paper's Section II fails.
+	ErrInadmissible = errors.New("hfsc: real-time curves exceed the link capacity")
+	// ErrMetricsDisabled is returned by WriteMetrics when the scheduler was
+	// created without Config.Metrics.
+	ErrMetricsDisabled = errors.New("hfsc: metrics not enabled in Config")
+)
+
+// Structural errors surfaced from the core scheduler; RemoveClass and
+// SetCurves wrap these.
+var (
+	// ErrRootClass: the operation does not apply to the implicit root.
+	ErrRootClass = core.ErrRootClass
+	// ErrNotLeaf: RemoveClass on a class that still has children.
+	ErrNotLeaf = core.ErrNotLeaf
+	// ErrClassActive: the class is active (queued packets or in-tree state);
+	// RemoveClass and SetCurves require a passive class.
+	ErrClassActive = core.ErrClassActive
+)

@@ -1,6 +1,7 @@
 package hfsc_test
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -57,5 +58,53 @@ func ExampleScheduler_Admissible() {
 	fmt.Println(s.Admissible() != nil)
 	// Output:
 	// <nil>
+	// true
+}
+
+// Every public-API failure maps to an exported sentinel, matchable with
+// errors.Is — no string inspection needed to branch on the cause.
+func ExampleErrDuplicateClass() {
+	s := hfsc.New(hfsc.Config{})
+	s.AddClass(nil, "voice", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	_, err := s.AddClass(nil, "voice", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	fmt.Println(errors.Is(err, hfsc.ErrDuplicateClass))
+	fmt.Println(err)
+	// Output:
+	// true
+	// hfsc: duplicate class name "voice"
+}
+
+// Snapshot copies the metrics pipeline's per-class counters, EWMA rates
+// and histograms; Offer reports exactly why a packet was refused.
+func ExampleScheduler_Snapshot() {
+	s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps, Metrics: true})
+	voice, _ := s.AddClass(nil, "voice", hfsc.ClassConfig{
+		RealTime:  hfsc.Linear(hfsc.Mbps),
+		LinkShare: hfsc.Linear(hfsc.Mbps),
+	})
+
+	now := int64(0)
+	for i := 0; i < 10; i++ {
+		s.Enqueue(&hfsc.Packet{Len: 1000, Class: voice.ID()}, now)
+		s.Dequeue(now)
+		now += 1_000_000
+	}
+	s.Offer(&hfsc.Packet{Len: 1000, Class: 99}, now) // unknown class
+
+	snap := s.Snapshot()
+	vm := voice.Metrics()
+	fmt.Printf("sent=%d misses=%d rejects=%d\n",
+		vm.SentPackets(), vm.DeadlineMisses, snap.DropsUnknownClass)
+	// Output:
+	// sent=10 misses=0 rejects=1
+}
+
+// Now and At fix the scheduler's nanosecond clock convention in one place
+// for real-time drivers.
+func ExampleNow() {
+	t := time.Date(2000, 1, 2, 3, 4, 5, 6, time.UTC)
+	ns := hfsc.Now(t)
+	fmt.Println(hfsc.At(ns).UTC().Equal(t))
+	// Output:
 	// true
 }

@@ -128,11 +128,11 @@ func main() {
 				want = min(owed, maxBurst)
 			}
 		}
-		burst = s.DequeueN(now.UnixNano(), want, burst[:0])
+		burst = s.DequeueN(hfsc.Now(now), want, burst[:0])
 		if len(burst) == 0 {
 			var wait time.Duration = time.Hour
-			if t, ok := s.NextReady(now.UnixNano()); ok {
-				wait = time.Duration(t - now.UnixNano())
+			if t, ok := s.NextReady(hfsc.Now(now)); ok {
+				wait = time.Duration(t - hfsc.Now(now))
 			}
 			if !timer.Stop() {
 				select {
@@ -143,7 +143,7 @@ func main() {
 			timer.Reset(wait)
 			select {
 			case pkt := <-in:
-				s.Enqueue(pkt, time.Now().UnixNano())
+				s.Enqueue(pkt, hfsc.Now(time.Now()))
 			case <-timer.C:
 			}
 			continue
@@ -161,7 +161,7 @@ func main() {
 		for {
 			select {
 			case pkt := <-in:
-				s.Enqueue(pkt, time.Now().UnixNano())
+				s.Enqueue(pkt, hfsc.Now(time.Now()))
 				continue
 			default:
 			}

@@ -32,6 +32,7 @@ import (
 
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/metrics"
 	"github.com/netsched/hfsc/internal/pktq"
 )
 
@@ -102,6 +103,15 @@ type Config struct {
 	DefaultQueueLimit int
 	// VTPolicy selects the system virtual time policy (default VTMean).
 	VTPolicy VTPolicy
+	// Metrics enables the always-on observability pipeline: per-class
+	// counters, queue gauges, EWMA service rates and deadline-slack /
+	// queueing-delay histograms, exposed via Snapshot, Class.Metrics and
+	// WriteMetrics. The disabled path costs nothing beyond a nil check on
+	// the scheduling fast path.
+	Metrics bool
+	// MetricsWindow is the EWMA time constant for the service-rate
+	// estimators (default one second). Ignored unless Metrics is set.
+	MetricsWindow time.Duration
 }
 
 // Class is a node in the link-sharing hierarchy.
@@ -160,6 +170,7 @@ type ClassStats struct {
 type Scheduler struct {
 	cfg     Config
 	core    *core.Scheduler
+	agg     *metrics.Aggregator // nil unless Config.Metrics
 	byName  map[string]*Class
 	wrapped map[*core.Class]*Class
 }
@@ -167,14 +178,19 @@ type Scheduler struct {
 // New creates a scheduler.
 func New(cfg Config) *Scheduler {
 	s := &Scheduler{
-		cfg: cfg,
-		core: core.New(core.Options{
-			VTPolicy:          cfg.VTPolicy,
-			DefaultQueueLimit: cfg.DefaultQueueLimit,
-		}),
+		cfg:     cfg,
 		byName:  map[string]*Class{},
 		wrapped: map[*core.Class]*Class{},
 	}
+	opts := core.Options{
+		VTPolicy:          cfg.VTPolicy,
+		DefaultQueueLimit: cfg.DefaultQueueLimit,
+	}
+	if cfg.Metrics {
+		s.agg = metrics.NewAggregator(metrics.Options{Window: cfg.MetricsWindow})
+		opts.Tracer = s.agg
+	}
+	s.core = core.New(opts)
 	return s
 }
 
@@ -210,7 +226,7 @@ func (s *Scheduler) Classes() []*Class {
 // unique.
 func (s *Scheduler) AddClass(parent *Class, name string, cfg ClassConfig) (*Class, error) {
 	if _, dup := s.byName[name]; dup {
-		return nil, fmt.Errorf("hfsc: duplicate class name %q", name)
+		return nil, fmt.Errorf("%w %q", ErrDuplicateClass, name)
 	}
 	var pc *core.Class
 	if parent != nil {
@@ -219,6 +235,9 @@ func (s *Scheduler) AddClass(parent *Class, name string, cfg ClassConfig) (*Clas
 	c, err := s.core.AddClass(pc, name, cfg.RealTime, cfg.LinkShare, cfg.UpperLimit)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.QueueLimit > 0 {
+		c.SetQueueLimit(cfg.QueueLimit)
 	}
 	w := s.wrap(c)
 	s.byName[name] = w
@@ -229,7 +248,7 @@ func (s *Scheduler) AddClass(parent *Class, name string, cfg ClassConfig) (*Clas
 // tc class del). A parent left childless becomes a leaf again.
 func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl == nil {
-		return fmt.Errorf("hfsc: nil class")
+		return ErrNilClass
 	}
 	if err := s.core.RemoveClass(cl.c); err != nil {
 		return err
@@ -242,13 +261,15 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 // SetCurves replaces a passive class's curves at the given clock (ns).
 func (s *Scheduler) SetCurves(cl *Class, cfg ClassConfig, now int64) error {
 	if cl == nil {
-		return fmt.Errorf("hfsc: nil class")
+		return ErrNilClass
 	}
 	return s.core.SetCurves(cl.c, cfg.RealTime, cfg.LinkShare, cfg.UpperLimit, now)
 }
 
 // Enqueue offers a packet at the given clock (ns); false means dropped.
-func (s *Scheduler) Enqueue(p *Packet, now int64) bool { return s.core.Enqueue(p, now) }
+// It is Offer with the reason collapsed to a bool; use Offer when the
+// caller needs to distinguish queue-limit drops from invalid packets.
+func (s *Scheduler) Enqueue(p *Packet, now int64) bool { return s.Offer(p, now) == DropNone }
 
 // Dequeue returns the next packet to send at the given clock, or nil.
 func (s *Scheduler) Dequeue(now int64) *Packet { return s.core.Dequeue(now) }
@@ -276,7 +297,7 @@ func (s *Scheduler) Backlog() int { return s.core.Backlog() }
 // configuration is admissible.
 func (s *Scheduler) Admissible() error {
 	if s.cfg.LinkRate == 0 {
-		return fmt.Errorf("hfsc: Config.LinkRate not set; cannot check admissibility")
+		return fmt.Errorf("%w; cannot check admissibility", ErrNoLinkRate)
 	}
 	sum := curve.Curve{}
 	for _, c := range s.core.Classes() {
@@ -285,7 +306,7 @@ func (s *Scheduler) Admissible() error {
 		}
 	}
 	if !sum.LE(curve.LinearCurve(s.cfg.LinkRate)) {
-		return fmt.Errorf("hfsc: real-time curves exceed the link capacity (%d B/s)", s.cfg.LinkRate)
+		return fmt.Errorf("%w (%d B/s)", ErrInadmissible, s.cfg.LinkRate)
 	}
 	return nil
 }
@@ -296,7 +317,7 @@ func (s *Scheduler) Admissible() error {
 // maximum-length packet (lmax bytes) at the link rate.
 func (s *Scheduler) DelayBound(rsc SC, u int, lmax int) (time.Duration, error) {
 	if s.cfg.LinkRate == 0 {
-		return 0, fmt.Errorf("hfsc: Config.LinkRate not set")
+		return 0, ErrNoLinkRate
 	}
 	t := curve.FromSC(rsc).Inverse(int64(u))
 	if t == curve.Inf {

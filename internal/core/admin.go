@@ -16,17 +16,17 @@ import (
 // curves to do so.
 func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl == nil || cl == s.root {
-		return fmt.Errorf("core: cannot remove the root class")
+		return fmt.Errorf("core: cannot remove the root class: %w", ErrRootClass)
 	}
 	if !cl.IsLeaf() {
-		return fmt.Errorf("core: class %q still has children", cl.name)
+		return fmt.Errorf("core: class %q: %w", cl.name, ErrNotLeaf)
 	}
 	if cl.queue.Len() > 0 {
-		return fmt.Errorf("core: class %q still has queued packets", cl.name)
+		return fmt.Errorf("core: class %q still has queued packets: %w", cl.name, ErrClassActive)
 	}
 	if cl.vtnode != nil || cl.cfnode != nil || cl.fitnode != nil ||
 		cl.elHandle.node != nil || cl.elHandle.cal != nil || cl.elHandle.hp != nil {
-		return fmt.Errorf("core: class %q is still active", cl.name)
+		return fmt.Errorf("core: class %q: %w", cl.name, ErrClassActive)
 	}
 	p := cl.parent
 	for i, c := range p.child {
@@ -47,10 +47,10 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 // curve; leaves keep a real-time and/or link-sharing curve.
 func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) error {
 	if cl == nil || cl == s.root {
-		return fmt.Errorf("core: cannot set curves on the root class")
+		return fmt.Errorf("core: cannot set curves on the root class: %w", ErrRootClass)
 	}
 	if cl.Active() {
-		return fmt.Errorf("core: class %q is active; curves can only change while passive", cl.name)
+		return fmt.Errorf("core: class %q: curves can only change while passive: %w", cl.name, ErrClassActive)
 	}
 	for _, sc := range []curve.SC{rsc, fsc, usc} {
 		if err := sc.Validate(); err != nil {

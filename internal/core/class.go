@@ -127,6 +127,14 @@ func (c *Class) SentPackets() uint64 { return c.sentPkt }
 // QueueLen returns the number of packets queued at this leaf.
 func (c *Class) QueueLen() int { return c.queue.Len() }
 
+// SetQueueLimit bounds this leaf's queue in packets (0 = unbounded),
+// overriding the scheduler's DefaultQueueLimit. Already-queued packets are
+// unaffected; the limit applies to subsequent enqueues.
+func (c *Class) SetQueueLimit(n int) { c.queue.PktLimit = n }
+
+// QueueLimit returns the leaf's packet limit (0 = unbounded).
+func (c *Class) QueueLimit() int { return c.queue.PktLimit }
+
 // QueueBytes returns the bytes queued at this leaf.
 func (c *Class) QueueBytes() int64 { return c.queue.Bytes() }
 

@@ -1,0 +1,20 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the administrative operations (AddClass, RemoveClass,
+// SetCurves). They are wrapped into the descriptive errors those methods
+// return, so callers can branch with errors.Is while messages keep naming
+// the offending class. The public hfsc package re-exports these values.
+var (
+	// ErrRootClass marks an operation that is not allowed on the implicit
+	// root class (removal, curve changes).
+	ErrRootClass = errors.New("operation not allowed on the root class")
+	// ErrNotLeaf marks an operation requiring a leaf applied to a class
+	// that still has children.
+	ErrNotLeaf = errors.New("class still has children")
+	// ErrClassActive marks a structural change attempted while the class is
+	// active (backlogged, queued packets, or still linked into the
+	// scheduling trees); such changes require the class to be passive.
+	ErrClassActive = errors.New("class is active")
+)

@@ -209,10 +209,10 @@ func (s *Scheduler) Enqueue(p *pktq.Packet, now int64) bool {
 	}
 	first := cl.queue.Len() == 0
 	if !cl.queue.Push(p) {
-		s.trace(EvDrop, cl, p, now)
+		s.trace(EvDrop, cl, p, now, int64(DropQueueLimit))
 		return false
 	}
-	s.trace(EvEnqueue, cl, p, now)
+	s.trace(EvEnqueue, cl, p, now, 0)
 	s.backlog++
 	if first {
 		if cl.hasRSC {
@@ -263,7 +263,15 @@ func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 	} else {
 		cl = s.minVT(now)
 		if cl == nil {
-			return nil // nothing fits (upper limits) or only future-eligible RT traffic
+			// Nothing fits (upper limits) or only future-eligible RT
+			// traffic. If active link-sharing classes exist, the refusal is
+			// an upper-limit deferral — an observable non-work-conserving
+			// moment worth reporting.
+			if s.opts.Tracer != nil && s.root.vttree.Len() > 0 {
+				f, _ := s.minFitAfter(now)
+				s.trace(EvUlimitDefer, s.root, nil, now, f)
+			}
+			return nil
 		}
 	}
 
@@ -274,11 +282,15 @@ func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 		p.Crit = pktq.ByRealTime
 		p.Deadline = cl.d
 		cl.rtWork += length
-		s.trace(EvDequeueRT, cl, p, now)
+		slack := cl.d - now
+		s.trace(EvDequeueRT, cl, p, now, slack)
+		if slack < 0 {
+			s.trace(EvDeadlineMiss, cl, p, now, slack)
+		}
 	} else {
 		p.Crit = pktq.ByLinkShare
 		cl.lsWork += length
-		s.trace(EvDequeueLS, cl, p, now)
+		s.trace(EvDequeueLS, cl, p, now, 0)
 	}
 	cl.sentPkt++
 
@@ -475,7 +487,7 @@ func (s *Scheduler) activate(cl *Class, now int64) {
 	if cl.f != noFit {
 		cl.fitnode = s.fittree.Insert(cl)
 	}
-	s.trace(EvActivate, cl, nil, now)
+	s.trace(EvActivate, cl, nil, now, 0)
 }
 
 // updateVF charges length bytes of service up the hierarchy after a
@@ -525,7 +537,7 @@ func (s *Scheduler) updateVF(cl *Class, length, now int64, leafEmptied bool) {
 				s.fittree.Delete(cl.fitnode)
 				cl.fitnode = nil
 			}
-			s.trace(EvPassive, cl, nil, now)
+			s.trace(EvPassive, cl, nil, now, 0)
 			continue
 		}
 

@@ -8,9 +8,11 @@ type Event uint8
 const (
 	// EvEnqueue: a packet was accepted into a leaf queue.
 	EvEnqueue Event = iota
-	// EvDrop: a packet was rejected by a leaf queue limit.
+	// EvDrop: a packet was rejected; aux carries the DropReason.
 	EvDrop
-	// EvDequeueRT: a packet left under the real-time criterion.
+	// EvDequeueRT: a packet left under the real-time criterion; aux carries
+	// the deadline slack (deadline − now, ns): positive means the packet
+	// left ahead of its deadline, negative means a deadline miss.
 	EvDequeueRT
 	// EvDequeueLS: a packet left under the link-sharing criterion.
 	EvDequeueLS
@@ -18,6 +20,14 @@ const (
 	EvActivate
 	// EvPassive: a class went passive.
 	EvPassive
+	// EvDeadlineMiss: a real-time packet left after its deadline. Emitted
+	// in addition to EvDequeueRT; aux carries the (negative) slack.
+	EvDeadlineMiss
+	// EvUlimitDefer: a dequeue attempt found backlogged link-sharing
+	// traffic but every active class deferred by an upper-limit curve; aux
+	// carries the earliest future fit time (0 if none). The class is the
+	// root.
+	EvUlimitDefer
 )
 
 func (e Event) String() string {
@@ -34,21 +44,59 @@ func (e Event) String() string {
 		return "activate"
 	case EvPassive:
 		return "passive"
+	case EvDeadlineMiss:
+		return "deadline-miss"
+	case EvUlimitDefer:
+		return "ulimit-defer"
+	default:
+		return "unknown"
+	}
+}
+
+// DropReason says why a packet was refused. Queue-limit drops are traced
+// by the scheduler itself (EvDrop aux); the admission reasons are reported
+// by the public wrapper, which validates packets before they reach the
+// core.
+type DropReason uint8
+
+const (
+	// DropNone: the packet was accepted.
+	DropNone DropReason = iota
+	// DropQueueLimit: the leaf queue's packet or byte limit was reached.
+	DropQueueLimit
+	// DropUnknownClass: the packet named a class that does not exist or
+	// cannot carry traffic (interior, root, or removed).
+	DropUnknownClass
+	// DropBadPacket: the packet itself was malformed (non-positive length).
+	DropBadPacket
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "none"
+	case DropQueueLimit:
+		return "queue-limit"
+	case DropUnknownClass:
+		return "unknown-class"
+	case DropBadPacket:
+		return "bad-packet"
 	default:
 		return "unknown"
 	}
 }
 
 // Tracer observes scheduler events; see Options.Tracer. Packet is nil for
-// activation/passivation events. Tracers run synchronously on the
+// activation/passivation and deferral events; aux is the event-specific
+// payload documented on each Event. Tracers run synchronously on the
 // scheduling path: keep them cheap.
 type Tracer interface {
-	Trace(ev Event, cl *Class, p *pktq.Packet, now int64)
+	Trace(ev Event, cl *Class, p *pktq.Packet, now, aux int64)
 }
 
 // trace emits an event if a tracer is configured.
-func (s *Scheduler) trace(ev Event, cl *Class, p *pktq.Packet, now int64) {
+func (s *Scheduler) trace(ev Event, cl *Class, p *pktq.Packet, now, aux int64) {
 	if s.opts.Tracer != nil {
-		s.opts.Tracer.Trace(ev, cl, p, now)
+		s.opts.Tracer.Trace(ev, cl, p, now, aux)
 	}
 }

@@ -13,7 +13,7 @@ type recTracer struct {
 	names  []string
 }
 
-func (r *recTracer) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now int64) {
+func (r *recTracer) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, aux int64) {
 	r.events = append(r.events, ev)
 	r.names = append(r.names, cl.Name())
 }
@@ -64,7 +64,7 @@ func TestTracerCriterionAgreement(t *testing.T) {
 		p  *pktq.Packet
 	}
 	var log []got
-	tr := traceFn(func(ev core.Event, cl *core.Class, p *pktq.Packet, now int64) {
+	tr := traceFn(func(ev core.Event, cl *core.Class, p *pktq.Packet, now, aux int64) {
 		if ev == core.EvDequeueRT || ev == core.EvDequeueLS {
 			log = append(log, got{ev, p})
 		}
@@ -104,8 +104,8 @@ func TestTracerCriterionAgreement(t *testing.T) {
 }
 
 // traceFn adapts a function to the Tracer interface.
-type traceFn func(core.Event, *core.Class, *pktq.Packet, int64)
+type traceFn func(core.Event, *core.Class, *pktq.Packet, int64, int64)
 
-func (f traceFn) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now int64) {
-	f(ev, cl, p, now)
+func (f traceFn) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, aux int64) {
+	f(ev, cl, p, now, aux)
 }

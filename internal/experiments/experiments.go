@@ -100,6 +100,7 @@ var Registry = map[string]func() *Report{
 	"tbla1": TblA1,
 	"abl2":  AblationVTPolicy,
 	"abl3":  AblationUpperLimit,
+	"obs1":  Obs1,
 }
 
 // IDs returns the registered experiment ids in stable order.

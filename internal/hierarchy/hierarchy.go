@@ -220,6 +220,9 @@ func (s *Spec) BuildHFSC(opts core.Options) (*core.Scheduler, map[string]*core.C
 		if err != nil {
 			return nil, nil, err
 		}
+		if cs.QLen > 0 {
+			cl.SetQueueLimit(cs.QLen)
+		}
 		byName[cs.Name] = cl
 	}
 	return sch, byName, nil

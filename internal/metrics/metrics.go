@@ -1,0 +1,476 @@
+// Package metrics is the always-on observability pipeline for the H-FSC
+// scheduler: it turns the core's synchronous tracer events into per-class
+// fixed-bucket histograms (deadline slack, queueing delay), rolling EWMA
+// service-rate estimators and monotonic counters, and renders the result
+// as immutable snapshots or Prometheus text exposition.
+//
+// The pipeline is event → Aggregator → Snapshot/exposition:
+//
+//   - the core scheduler emits events (enqueue, drop+reason, dequeue with
+//     deadline slack, deadline miss, activation, upper-limit deferral) on
+//     the scheduling path;
+//   - the Aggregator (a core.Tracer) folds them into per-class state under
+//     one mutex — after warm-up it allocates nothing per event, so it can
+//     stay attached in production;
+//   - Snapshot copies the state out for callers (safe from any goroutine),
+//     and WritePrometheus renders a snapshot for scraping.
+//
+// The paper's evaluation measures per-class service rates, delays versus
+// deadlines and computation overhead offline; this package exports the
+// same signals continuously from a live scheduler.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/pktq"
+	"github.com/netsched/hfsc/internal/stats"
+)
+
+// DefaultWindow is the default EWMA time constant for the per-class
+// service-rate estimators.
+const DefaultWindow = time.Second
+
+// DelayBuckets are the default histogram upper bounds (ns) for nonnegative
+// durations such as queueing delay: roughly logarithmic from 10 µs to 10 s.
+var DelayBuckets = []int64{
+	10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000,
+	100_000_000, 250_000_000, 500_000_000, 1_000_000_000, 10_000_000_000,
+}
+
+// SlackBuckets are the default histogram upper bounds (ns) for deadline
+// slack (deadline − departure). Negative values are deadline misses; the
+// negative range is mirrored so the miss magnitude is visible too.
+var SlackBuckets = []int64{
+	-10_000_000, -1_000_000, -100_000, -10_000, 0,
+	10_000, 100_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+	25_000_000, 50_000_000, 100_000_000, 1_000_000_000,
+}
+
+// Histogram is a fixed-bucket histogram over int64 values (ns). Bounds are
+// per-bucket upper bounds in ascending order; one extra overflow bucket
+// catches values beyond the last bound. Not safe for concurrent use (the
+// Aggregator serializes access).
+type Histogram struct {
+	bounds []int64
+	counts []uint64 // len(bounds)+1; the last is the overflow bucket
+	sum    int64
+	n      uint64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(v int64) {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo]++
+	h.sum += v
+	h.n++
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram.
+type HistogramSnapshot struct {
+	Bounds []int64  // per-bucket upper bounds (ns), ascending
+	Counts []uint64 // non-cumulative; len(Bounds)+1, last = overflow (+Inf)
+	Sum    int64    // sum of observed values (ns)
+	Count  uint64   // number of observations
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: h.bounds, // bounds are never mutated; share them
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// SnapshotHistogram copies a standalone Histogram (the Aggregator snapshots
+// its own histograms internally; this is for direct Histogram users).
+func SnapshotHistogram(h *Histogram) HistogramSnapshot { return h.snapshot() }
+
+// Quantile estimates the q-quantile (bucket upper bound convention; see
+// stats.QuantileFromBuckets).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return stats.QuantileFromBuckets(s.Bounds, s.Counts, q)
+}
+
+// EWMA estimates a byte rate (bytes/s) with exponential decay over a
+// configurable time constant, robust to irregular observation intervals:
+// same-instant observations accumulate, and the blend weight of each batch
+// is 1−exp(−Δt/τ).
+type EWMA struct {
+	tau  float64 // time constant, ns
+	rate float64 // bytes/s
+	pend int64   // bytes observed since last fold
+	last int64   // clock of the last fold
+	init bool
+}
+
+// SetTau sets the time constant (ns). Zero or negative falls back to
+// DefaultWindow.
+func (e *EWMA) SetTau(tauNs float64) {
+	if tauNs <= 0 {
+		tauNs = float64(DefaultWindow.Nanoseconds())
+	}
+	e.tau = tauNs
+}
+
+// Observe credits n bytes at clock now (ns).
+func (e *EWMA) Observe(n, now int64) {
+	if !e.init {
+		e.init = true
+		e.last = now
+		e.pend = n
+		return
+	}
+	e.pend += n
+	dt := now - e.last
+	if dt <= 0 {
+		return
+	}
+	inst := float64(e.pend) * 1e9 / float64(dt)
+	a := 1 - math.Exp(-float64(dt)/e.tau)
+	e.rate += a * (inst - e.rate)
+	e.last = now
+	e.pend = 0
+}
+
+// Rate reports the estimated rate (bytes/s) at clock now, decaying toward
+// zero over idle time without mutating the estimator.
+func (e *EWMA) Rate(now int64) float64 {
+	if !e.init {
+		return 0
+	}
+	r := e.rate
+	if dt := now - e.last; dt > 0 {
+		// Fold pending bytes as if the interval ended now, then decay.
+		inst := float64(e.pend) * 1e9 / float64(dt)
+		a := 1 - math.Exp(-float64(dt)/e.tau)
+		r += a * (inst - r)
+	}
+	return r
+}
+
+// ring is a grow-only FIFO of int64 (enqueue timestamps). Steady state is
+// allocation-free once it has grown to the peak queue length.
+type ring struct {
+	buf   []int64
+	head  int
+	count int
+}
+
+func (r *ring) push(v int64) {
+	if r.count == len(r.buf) {
+		n := len(r.buf) * 2
+		if n == 0 {
+			n = 8
+		}
+		nb := make([]int64, n)
+		for i := 0; i < r.count; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+}
+
+func (r *ring) pop() (int64, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return v, true
+}
+
+// classState is the per-class aggregate.
+type classState struct {
+	id   int
+	name string
+	leaf bool
+
+	enqPkts     uint64
+	enqBytes    int64
+	sentRTPkts  uint64
+	sentRTBytes int64
+	sentLSPkts  uint64
+	sentLSBytes int64
+
+	drops         [4]uint64 // indexed by core.DropReason
+	deadlineMiss  uint64
+	activations   uint64
+	queuedPkts    int64
+	queuedBytes   int64
+	slack, qdelay *Histogram
+	rate, rateRT  EWMA
+
+	enqAt ring // per-packet enqueue clocks (FIFO order mirrors the leaf queue)
+}
+
+// Options configures an Aggregator.
+type Options struct {
+	// Window is the EWMA time constant (default DefaultWindow).
+	Window time.Duration
+	// SlackBuckets / DelayBuckets override the default histogram bounds.
+	SlackBuckets []int64
+	DelayBuckets []int64
+}
+
+// Aggregator folds core scheduler events into per-class metrics. It
+// implements core.Tracer; attach it via core.Options.Tracer (or
+// hfsc.Config.Metrics). All methods are safe for concurrent use; Trace is
+// allocation-free in steady state.
+type Aggregator struct {
+	mu      sync.Mutex
+	opts    Options
+	tau     float64
+	classes []*classState // indexed by class id; nil = never seen
+
+	lastEvent    int64
+	ulimitDefers uint64
+	dropUnknown  uint64
+	dropBadPkt   uint64
+}
+
+// NewAggregator creates an aggregator.
+func NewAggregator(opts Options) *Aggregator {
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	if opts.SlackBuckets == nil {
+		opts.SlackBuckets = SlackBuckets
+	}
+	if opts.DelayBuckets == nil {
+		opts.DelayBuckets = DelayBuckets
+	}
+	return &Aggregator{opts: opts, tau: float64(opts.Window.Nanoseconds())}
+}
+
+// state returns (creating on first use) the per-class aggregate.
+func (a *Aggregator) state(cl *core.Class) *classState {
+	id := cl.ID()
+	for id >= len(a.classes) {
+		a.classes = append(a.classes, nil)
+	}
+	st := a.classes[id]
+	if st == nil {
+		st = &classState{
+			id:     id,
+			name:   cl.Name(),
+			leaf:   cl.IsLeaf(),
+			slack:  NewHistogram(a.opts.SlackBuckets),
+			qdelay: NewHistogram(a.opts.DelayBuckets),
+		}
+		st.rate.tau = a.tau
+		st.rateRT.tau = a.tau
+		a.classes[id] = st
+	}
+	return st
+}
+
+// Trace implements core.Tracer.
+func (a *Aggregator) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, aux int64) {
+	a.mu.Lock()
+	if now > a.lastEvent {
+		a.lastEvent = now
+	}
+	switch ev {
+	case core.EvEnqueue:
+		st := a.state(cl)
+		st.enqPkts++
+		st.enqBytes += int64(p.Len)
+		st.queuedPkts++
+		st.queuedBytes += int64(p.Len)
+		st.enqAt.push(now)
+	case core.EvDrop:
+		st := a.state(cl)
+		r := core.DropReason(aux)
+		if r == core.DropNone || int(r) >= len(st.drops) {
+			r = core.DropQueueLimit
+		}
+		st.drops[r]++
+	case core.EvDequeueRT:
+		st := a.state(cl)
+		st.sentRTPkts++
+		st.sentRTBytes += int64(p.Len)
+		st.slack.Observe(aux)
+		st.rateRT.Observe(int64(p.Len), now)
+		a.dequeued(st, p, now)
+	case core.EvDequeueLS:
+		st := a.state(cl)
+		st.sentLSPkts++
+		st.sentLSBytes += int64(p.Len)
+		a.dequeued(st, p, now)
+	case core.EvDeadlineMiss:
+		a.state(cl).deadlineMiss++
+	case core.EvActivate:
+		a.state(cl).activations++
+	case core.EvUlimitDefer:
+		a.ulimitDefers++
+	}
+	a.mu.Unlock()
+}
+
+// dequeued applies the criterion-independent bookkeeping of a departure.
+func (a *Aggregator) dequeued(st *classState, p *pktq.Packet, now int64) {
+	st.queuedPkts--
+	st.queuedBytes -= int64(p.Len)
+	st.rate.Observe(int64(p.Len), now)
+	if at, ok := st.enqAt.pop(); ok && now >= at {
+		st.qdelay.Observe(now - at)
+	}
+}
+
+// CountDrop records a packet refused before it reached the core scheduler
+// (admission drops: unknown class, malformed packet). The public wrapper
+// calls this so core-level queue drops and wrapper-level admission drops
+// share one set of reason codes.
+func (a *Aggregator) CountDrop(reason core.DropReason, now int64) {
+	a.mu.Lock()
+	if now > a.lastEvent {
+		a.lastEvent = now
+	}
+	switch reason {
+	case core.DropBadPacket:
+		a.dropBadPkt++
+	default:
+		a.dropUnknown++
+	}
+	a.mu.Unlock()
+}
+
+// ClassSnapshot is an immutable copy of one class's metrics.
+type ClassSnapshot struct {
+	ID   int
+	Name string
+	Leaf bool
+
+	// Monotonic counters.
+	EnqueuedPackets uint64
+	EnqueuedBytes   int64
+	SentPacketsRT   uint64
+	SentBytesRT     int64
+	SentPacketsLS   uint64
+	SentBytesLS     int64
+	DropsQueueLimit uint64
+	DeadlineMisses  uint64
+	Activations     uint64
+
+	// Gauges.
+	QueuedPackets int64
+	QueuedBytes   int64
+
+	// EWMA service rates (bytes/s) as of the snapshot clock.
+	RateBps   float64 // all service
+	RateRTBps float64 // real-time criterion only
+
+	// Distributions.
+	DeadlineSlack HistogramSnapshot // ns; negative = missed deadlines
+	QueueDelay    HistogramSnapshot // ns from enqueue to dequeue
+}
+
+// SentPackets returns the total packets sent under both criteria.
+func (c *ClassSnapshot) SentPackets() uint64 { return c.SentPacketsRT + c.SentPacketsLS }
+
+// SentBytes returns the total bytes sent under both criteria.
+func (c *ClassSnapshot) SentBytes() int64 { return c.SentBytesRT + c.SentBytesLS }
+
+// Snapshot is a point-in-time copy of every tracked class plus the
+// scheduler-level counters.
+type Snapshot struct {
+	// Now is the scheduler clock of the newest event folded in.
+	Now int64
+	// UlimitDefers counts dequeue attempts refused because every active
+	// class was deferred by an upper-limit curve.
+	UlimitDefers uint64
+	// DropsUnknownClass / DropsBadPacket count packets refused before
+	// reaching a leaf queue (admission drops).
+	DropsUnknownClass uint64
+	DropsBadPacket    uint64
+	// Classes holds one entry per class that has produced events, in class
+	// id (creation) order.
+	Classes []ClassSnapshot
+}
+
+// Class returns the snapshot of the class with the given id.
+func (s *Snapshot) Class(id int) (ClassSnapshot, bool) {
+	for i := range s.Classes {
+		if s.Classes[i].ID == id {
+			return s.Classes[i], true
+		}
+	}
+	return ClassSnapshot{}, false
+}
+
+// Snapshot copies the current state. Safe to call from any goroutine, in
+// particular while the scheduling goroutine keeps feeding events.
+func (a *Aggregator) Snapshot() *Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := &Snapshot{
+		Now:               a.lastEvent,
+		UlimitDefers:      a.ulimitDefers,
+		DropsUnknownClass: a.dropUnknown,
+		DropsBadPacket:    a.dropBadPkt,
+	}
+	for _, st := range a.classes {
+		if st == nil {
+			continue
+		}
+		out.Classes = append(out.Classes, a.snapClass(st))
+	}
+	return out
+}
+
+// ClassSnapshot copies one class's current state (zero, false if the class
+// has produced no events yet).
+func (a *Aggregator) ClassSnapshot(id int) (ClassSnapshot, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id < 0 || id >= len(a.classes) || a.classes[id] == nil {
+		return ClassSnapshot{}, false
+	}
+	return a.snapClass(a.classes[id]), true
+}
+
+func (a *Aggregator) snapClass(st *classState) ClassSnapshot {
+	return ClassSnapshot{
+		ID:              st.id,
+		Name:            st.name,
+		Leaf:            st.leaf,
+		EnqueuedPackets: st.enqPkts,
+		EnqueuedBytes:   st.enqBytes,
+		SentPacketsRT:   st.sentRTPkts,
+		SentBytesRT:     st.sentRTBytes,
+		SentPacketsLS:   st.sentLSPkts,
+		SentBytesLS:     st.sentLSBytes,
+		DropsQueueLimit: st.drops[core.DropQueueLimit],
+		DeadlineMisses:  st.deadlineMiss,
+		Activations:     st.activations,
+		QueuedPackets:   st.queuedPkts,
+		QueuedBytes:     st.queuedBytes,
+		RateBps:         st.rate.Rate(a.lastEvent),
+		RateRTBps:       st.rateRT.Rate(a.lastEvent),
+		DeadlineSlack:   st.slack.snapshot(),
+		QueueDelay:      st.qdelay.snapshot(),
+	}
+}

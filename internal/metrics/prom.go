@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Durations are converted from the scheduler's
+// nanosecond clock to seconds, rates stay in bytes per second. Classes are
+// labelled by name; dequeue criteria appear as crit="rt"/"ls" so the
+// link-sharing/real-time split the paper's decoupling argument rests on is
+// visible per class.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	b := &strings.Builder{}
+
+	family(b, "hfsc_enqueued_packets_total", "counter",
+		"Packets accepted into a leaf queue.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		counter(b, "hfsc_enqueued_packets_total", lbl("class", c.Name), float64(c.EnqueuedPackets))
+	}
+
+	family(b, "hfsc_sent_packets_total", "counter",
+		"Packets dequeued, by class and selection criterion (rt = real-time, ls = link-sharing).")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		counter(b, "hfsc_sent_packets_total", lbl("class", c.Name)+","+lbl("crit", "rt"), float64(c.SentPacketsRT))
+		counter(b, "hfsc_sent_packets_total", lbl("class", c.Name)+","+lbl("crit", "ls"), float64(c.SentPacketsLS))
+	}
+
+	family(b, "hfsc_sent_bytes_total", "counter",
+		"Bytes dequeued, by class and selection criterion.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		counter(b, "hfsc_sent_bytes_total", lbl("class", c.Name)+","+lbl("crit", "rt"), float64(c.SentBytesRT))
+		counter(b, "hfsc_sent_bytes_total", lbl("class", c.Name)+","+lbl("crit", "ls"), float64(c.SentBytesLS))
+	}
+
+	family(b, "hfsc_drops_total", "counter",
+		"Packets dropped at a full leaf queue.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		counter(b, "hfsc_drops_total", lbl("class", c.Name)+","+lbl("reason", "queue_limit"), float64(c.DropsQueueLimit))
+	}
+
+	family(b, "hfsc_enqueue_rejects_total", "counter",
+		"Packets refused before reaching a leaf queue.")
+	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "unknown_class"), float64(s.DropsUnknownClass))
+	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "bad_packet"), float64(s.DropsBadPacket))
+
+	family(b, "hfsc_deadline_misses_total", "counter",
+		"Real-time dequeues that departed after their service-curve deadline.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		counter(b, "hfsc_deadline_misses_total", lbl("class", c.Name), float64(c.DeadlineMisses))
+	}
+
+	family(b, "hfsc_activations_total", "counter",
+		"Transitions of a class from passive to active.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		counter(b, "hfsc_activations_total", lbl("class", c.Name), float64(c.Activations))
+	}
+
+	family(b, "hfsc_ulimit_defers_total", "counter",
+		"Dequeue attempts refused because every active class was deferred by an upper-limit curve.")
+	counter(b, "hfsc_ulimit_defers_total", "", float64(s.UlimitDefers))
+
+	family(b, "hfsc_queue_packets", "gauge", "Packets currently queued per class.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		gauge(b, "hfsc_queue_packets", lbl("class", c.Name), float64(c.QueuedPackets))
+	}
+
+	family(b, "hfsc_queue_bytes", "gauge", "Bytes currently queued per class.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		gauge(b, "hfsc_queue_bytes", lbl("class", c.Name), float64(c.QueuedBytes))
+	}
+
+	family(b, "hfsc_service_rate_bytes_per_second", "gauge",
+		"EWMA service rate per class; crit=\"all\" covers both criteria, crit=\"rt\" real-time service only.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		gauge(b, "hfsc_service_rate_bytes_per_second", lbl("class", c.Name)+","+lbl("crit", "all"), c.RateBps)
+		gauge(b, "hfsc_service_rate_bytes_per_second", lbl("class", c.Name)+","+lbl("crit", "rt"), c.RateRTBps)
+	}
+
+	family(b, "hfsc_deadline_slack_seconds", "histogram",
+		"Deadline minus departure time for real-time dequeues; negative buckets are misses.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		if c.DeadlineSlack.Count == 0 && !c.Leaf {
+			continue
+		}
+		histogram(b, "hfsc_deadline_slack_seconds", lbl("class", c.Name), c.DeadlineSlack)
+	}
+
+	family(b, "hfsc_queue_delay_seconds", "histogram",
+		"Time from enqueue to dequeue per class.")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		if c.QueueDelay.Count == 0 && !c.Leaf {
+			continue
+		}
+		histogram(b, "hfsc_queue_delay_seconds", lbl("class", c.Name), c.QueueDelay)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func family(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func counter(b *strings.Builder, name, labels string, v float64) {
+	sample(b, name, labels, v)
+}
+
+func gauge(b *strings.Builder, name, labels string, v float64) {
+	sample(b, name, labels, v)
+}
+
+func sample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(fmtFloat(v))
+	b.WriteByte('\n')
+}
+
+// histogram renders one class's histogram as cumulative le-buckets (bounds
+// converted ns→s) ending in le="+Inf", plus _sum and _count.
+func histogram(b *strings.Builder, name, labels string, h HistogramSnapshot) {
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, labels, fmtFloat(float64(bound)/1e9), cum)
+	}
+	if len(h.Counts) > 0 {
+		cum += h.Counts[len(h.Counts)-1]
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, fmtFloat(float64(h.Sum)/1e9))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, h.Count)
+}
+
+// lbl renders one name="value" pair, escaping the value per the exposition
+// format (backslash, double quote, newline).
+func lbl(name, value string) string {
+	return name + `="` + labelEscaper.Replace(value) + `"`
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

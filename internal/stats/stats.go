@@ -220,6 +220,35 @@ func FmtRate(bps float64) string {
 	}
 }
 
+// QuantileFromBuckets estimates the q-quantile (0 <= q <= 1) of a
+// fixed-bucket histogram: bounds are the per-bucket upper bounds in
+// ascending order, counts the per-bucket (non-cumulative) tallies with one
+// extra overflow bucket (len(counts) == len(bounds)+1). The estimate is the
+// upper bound of the bucket containing the target rank — the bucketed
+// counterpart of Sample.Quantile's lower-nearest-rank convention. The
+// overflow bucket reports the last finite bound. Returns 0 when empty.
+func QuantileFromBuckets(bounds []int64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total-1))
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			if i >= len(bounds) {
+				return float64(bounds[len(bounds)-1])
+			}
+			return float64(bounds[i])
+		}
+	}
+	return float64(bounds[len(bounds)-1])
+}
+
 // CDF returns (value, cumulative fraction) pairs at the given quantile
 // probes — the shape the paper's delay-distribution figures plot.
 func (s *Sample) CDF(qs ...float64) [][2]float64 {

@@ -1,0 +1,96 @@
+package hfsc
+
+import (
+	"io"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/metrics"
+)
+
+// Snapshot is a point-in-time copy of the scheduler's metrics: per-class
+// counters, queue gauges, EWMA service rates and the deadline-slack and
+// queueing-delay histograms, plus scheduler-level admission-drop and
+// upper-limit-deferral counters. Obtain one with Scheduler.Snapshot.
+type Snapshot = metrics.Snapshot
+
+// ClassSnapshot is one class's slice of a Snapshot.
+type ClassSnapshot = metrics.ClassSnapshot
+
+// HistogramSnapshot is an immutable fixed-bucket histogram (bounds in ns).
+type HistogramSnapshot = metrics.HistogramSnapshot
+
+// DropReason classifies why Offer refused a packet.
+type DropReason = core.DropReason
+
+// Drop reasons, re-exported from the core event stream so wrapper-level
+// admission drops and core queue drops share one vocabulary.
+const (
+	// DropNone: the packet was accepted.
+	DropNone = core.DropNone
+	// DropQueueLimit: the leaf queue was full.
+	DropQueueLimit = core.DropQueueLimit
+	// DropUnknownClass: Packet.Class named no leaf class (unknown id,
+	// interior class, or the root).
+	DropUnknownClass = core.DropUnknownClass
+	// DropBadPacket: the packet was nil or had a non-positive length.
+	DropBadPacket = core.DropBadPacket
+)
+
+// Offer offers a packet at the given clock (ns) and reports exactly what
+// happened: DropNone on acceptance, otherwise the reason the packet was
+// refused. Unlike the core scheduler, which treats an unknown class as a
+// programming error, Offer validates first — making it safe to feed from
+// untrusted classification. When metrics are enabled every refusal is
+// counted under its reason.
+func (s *Scheduler) Offer(p *Packet, now int64) DropReason {
+	if p == nil || p.Len <= 0 {
+		if s.agg != nil {
+			s.agg.CountDrop(core.DropBadPacket, now)
+		}
+		return DropBadPacket
+	}
+	cl := s.core.ClassByID(p.Class)
+	if cl == nil || !cl.IsLeaf() || cl == s.core.Root() {
+		if s.agg != nil {
+			s.agg.CountDrop(core.DropUnknownClass, now)
+		}
+		return DropUnknownClass
+	}
+	if !s.core.Enqueue(p, now) {
+		return DropQueueLimit // the core traced the drop with its reason
+	}
+	return DropNone
+}
+
+// Snapshot copies the current metrics. It returns nil when the scheduler
+// was created without Config.Metrics. Safe to call concurrently with the
+// scheduling goroutine: it touches only the aggregator, never the
+// scheduler's tree state.
+func (s *Scheduler) Snapshot() *Snapshot {
+	if s.agg == nil {
+		return nil
+	}
+	return s.agg.Snapshot()
+}
+
+// WriteMetrics renders the current metrics in the Prometheus text
+// exposition format. It returns ErrMetricsDisabled when the scheduler was
+// created without Config.Metrics. Like Snapshot, it is safe to call
+// concurrently with scheduling.
+func (s *Scheduler) WriteMetrics(w io.Writer) error {
+	if s.agg == nil {
+		return ErrMetricsDisabled
+	}
+	return metrics.WritePrometheus(w, s.agg.Snapshot())
+}
+
+// Metrics returns this class's slice of the metrics snapshot. The zero
+// ClassSnapshot is returned when metrics are disabled or the class has not
+// produced any events yet.
+func (c *Class) Metrics() ClassSnapshot {
+	if c.sched.agg == nil {
+		return ClassSnapshot{}
+	}
+	cs, _ := c.sched.agg.ClassSnapshot(c.c.ID())
+	return cs
+}

@@ -2,6 +2,7 @@ package hfsc
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -103,17 +104,38 @@ func (q *PacedQueue) Stats() (sent uint64, bytes int64, drops uint64) {
 	return q.sent, q.sentB, q.drops
 }
 
+// Snapshot copies the scheduler's metrics (nil when the scheduler was
+// created without Config.Metrics). Unlike the Scheduler itself, which the
+// pacing goroutine owns after Start, this is safe to call from any
+// goroutine: it reads only the metrics aggregator.
+func (q *PacedQueue) Snapshot() *Snapshot { return q.s.Snapshot() }
+
+// WriteMetrics renders the scheduler's metrics in Prometheus text format
+// (ErrMetricsDisabled without Config.Metrics). Safe from any goroutine,
+// like Snapshot — wire it straight into an HTTP /metrics handler.
+func (q *PacedQueue) WriteMetrics(w io.Writer) error { return q.s.WriteMetrics(w) }
+
 func (q *PacedQueue) loop() {
 	defer q.done.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	var linkFree time.Time
 
-	drainIntake := func(now int64) {
+	// enqueue stamps the arrival clock (unless the submitter already did)
+	// so queueing-delay metrics measure from intake, then hands the packet
+	// to the scheduler.
+	enqueue := func(p *Packet, ns int64) {
+		if p.Arrival == 0 {
+			p.Arrival = ns
+		}
+		q.s.Enqueue(p, ns)
+	}
+
+	drainIntake := func(ns int64) {
 		for {
 			select {
 			case p := <-q.in:
-				q.s.Enqueue(p, now)
+				enqueue(p, ns)
 			default:
 				return
 			}
@@ -122,7 +144,8 @@ func (q *PacedQueue) loop() {
 
 	for {
 		now := time.Now()
-		drainIntake(now.UnixNano())
+		nowNs := Now(now)
+		drainIntake(nowNs)
 
 		// Respect the previous packet's transmission time.
 		if now.Before(linkFree) {
@@ -131,18 +154,18 @@ func (q *PacedQueue) loop() {
 				return
 			}
 			if pending != nil {
-				q.s.Enqueue(pending, time.Now().UnixNano())
+				enqueue(pending, Now(time.Now()))
 			}
 			continue
 		}
 
-		p := q.s.Dequeue(now.UnixNano())
+		p := q.s.Dequeue(nowNs)
 		if p == nil {
 			// Idle: wait for an arrival, the scheduler's wake-up hint, or
 			// Stop.
 			wait := time.Hour
-			if t, ok := q.s.NextReady(now.UnixNano()); ok {
-				wait = time.Duration(t - now.UnixNano())
+			if t, ok := q.s.NextReady(nowNs); ok {
+				wait = time.Duration(t - nowNs)
 				if wait <= 0 {
 					wait = time.Microsecond
 				}
@@ -152,7 +175,7 @@ func (q *PacedQueue) loop() {
 				return
 			}
 			if pending != nil {
-				q.s.Enqueue(pending, time.Now().UnixNano())
+				enqueue(pending, Now(time.Now()))
 			}
 			continue
 		}

@@ -1,0 +1,45 @@
+package hfsc
+
+// White-box test: the wrapper caches *Class values in two maps (byName and
+// wrapped). RemoveClass must clean both, or removed classes leak and stale
+// wrappers resurface when a core class pointer is reused.
+
+import "testing"
+
+func TestRemoveClassCleansWrapMaps(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 3; i++ {
+		a, err := s.AddClass(nil, "a", ClassConfig{LinkShare: Linear(Mbps)})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		// Touch the wrap cache through every accessor that populates it.
+		if a.Parent() != s.Root() {
+			t.Fatal("parent lookup")
+		}
+		s.Classes()
+		if err := s.RemoveClass(a); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if got := len(s.byName); got != 0 {
+			t.Fatalf("round %d: byName holds %d entries after removal", i, got)
+		}
+		// Only root (and any interior wrappers) may remain cached; the
+		// removed leaf's entry must be gone.
+		if _, stale := s.wrapped[a.c]; stale {
+			t.Fatalf("round %d: wrapped map still holds the removed class", i)
+		}
+	}
+	// A failed removal must leave the maps intact.
+	b, _ := s.AddClass(nil, "b", ClassConfig{LinkShare: Linear(Mbps)})
+	s.Enqueue(&Packet{Len: 100, Class: b.ID()}, 0)
+	if err := s.RemoveClass(b); err == nil {
+		t.Fatal("removed an active class")
+	}
+	if s.Class("b") != b {
+		t.Fatal("failed removal evicted the class from byName")
+	}
+	if _, ok := s.wrapped[b.c]; !ok {
+		t.Fatal("failed removal evicted the class from wrapped")
+	}
+}
