@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint fmt vet build test bench bench-smoke bench-json
+.PHONY: check lint fmt vet build test bench bench-smoke bench-intake bench-json
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests
 ## and a short benchmark smoke run to catch perf-path compile/runtime rot.
@@ -30,6 +30,11 @@ bench-smoke:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=2s ./...
+
+# The intake-path benchmarks only: the sharded MPSC ring against the old
+# single-channel baseline, plus the end-to-end PacedQueue.Submit path.
+bench-intake:
+	$(GO) test -run='^$$' -bench='Intake' -benchmem -benchtime=2s ./...
 
 # Refresh the machine-readable overhead tracking file.
 bench-json:

@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/intake"
 	"github.com/netsched/hfsc/internal/metrics"
 	"github.com/netsched/hfsc/internal/pktq"
 	"github.com/netsched/hfsc/internal/stats"
@@ -35,6 +37,9 @@ type Result struct {
 	Classes      int     `json:"classes"` // number of leaf classes
 	NsPerPkt     float64 `json:"ns_per_pkt"`
 	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+	// Producers is set on the intake rows: concurrent submitters feeding
+	// one consumer (ns_per_pkt is aggregate wall time per packet).
+	Producers int `json:"producers,omitempty"`
 }
 
 // Snapshot is one full run of every configuration.
@@ -94,6 +99,31 @@ func main() {
 	fmt.Println("TBL-O1: per-packet overhead (one enqueue + one dequeue; steady state, packets reused)")
 	fmt.Println()
 	if err := tbl.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// TBL-O2: the driver intake under producer contention — the single
+	// channel the PacedQueue used to funnel every Submit through, versus
+	// the sharded MPSC rings that replaced it.
+	itbl := &stats.Table{Header: []string{"producers", "chan pkts/s", "shard pkts/s", "speedup"}}
+	intakeOps := *ops * 10 // tens of millions/s: more ops for a stable wall-clock read
+	for _, prod := range []int{1, 4, 16} {
+		chanRate := measureIntakeChan(prod, intakeOps)
+		shardRate := measureIntakeShard(prod, intakeOps)
+		record(fmt.Sprintf("intake-chan-p%d", prod), 16, 1e9/chanRate, 0)
+		results[len(results)-1].Producers = prod
+		record(fmt.Sprintf("intake-shard-p%d", prod), 16, 1e9/shardRate, 0)
+		results[len(results)-1].Producers = prod
+		itbl.AddRow(fmt.Sprintf("%d", prod),
+			fmt.Sprintf("%.2fM", chanRate/1e6),
+			fmt.Sprintf("%.2fM", shardRate/1e6),
+			fmt.Sprintf("%.2fx", shardRate/chanRate))
+	}
+	fmt.Println()
+	fmt.Println("TBL-O2: intake throughput under producer contention (accepted packets/s, submit -> batch drain)")
+	fmt.Println()
+	if err := itbl.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -305,6 +335,82 @@ func measureDeferred(n, ops int) (nsPerPkt, allocsPerPkt float64) {
 		p.Crit = 0
 		s.Enqueue(p, now)
 	})
+}
+
+// measureIntakeShard measures aggregate intake throughput through the
+// sharded MPSC rings: `producers` goroutines each push their share of ops
+// packets under their own key (their producer group / class), spinning on
+// a full ring, while this goroutine batch-drains — the PacedQueue intake
+// shape. Returns accepted packets per second of wall time.
+func measureIntakeShard(producers, ops int) float64 {
+	q := intake.New(16, 256)
+	per := ops / producers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			p := &pktq.Packet{Len: 1000, Class: pr}
+			for i := 0; i < per; i++ {
+				for !q.Push(pr, p) {
+					runtime.Gosched()
+				}
+			}
+		}(pr)
+	}
+	buf := make([]*pktq.Packet, 0, 256)
+	consumed := 0
+	for consumed < per*producers {
+		buf = q.Drain(buf[:0], 256)
+		consumed += len(buf)
+		if len(buf) == 0 {
+			runtime.Gosched()
+		}
+	}
+	elapsed := time.Since(start)
+	wg.Wait()
+	return float64(consumed) / elapsed.Seconds()
+}
+
+// measureIntakeChan is the pre-shard baseline: every producer funnels into
+// one 256-slot channel with non-blocking sends (the old PacedQueue.Submit)
+// and the consumer receives packet by packet.
+func measureIntakeChan(producers, ops int) float64 {
+	ch := make(chan *pktq.Packet, 256)
+	per := ops / producers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			p := &pktq.Packet{Len: 1000, Class: pr}
+			for i := 0; i < per; i++ {
+			send:
+				for {
+					select {
+					case ch <- p:
+						break send
+					default:
+						runtime.Gosched()
+					}
+				}
+			}
+		}(pr)
+	}
+	consumed := 0
+	for consumed < per*producers {
+		select {
+		case <-ch:
+			consumed++
+		default:
+			runtime.Gosched()
+		}
+	}
+	elapsed := time.Since(start)
+	wg.Wait()
+	return float64(consumed) / elapsed.Seconds()
 }
 
 // measureNextReady measures the retry-time query with every class deferred.

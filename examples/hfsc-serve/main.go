@@ -95,6 +95,16 @@ func main() {
 		}
 	}()
 
+	// Periodic driver-level stats: the typed PacedStats snapshot covers the
+	// intake side (what /metrics covers for the scheduler side).
+	go func() {
+		for range time.Tick(10 * time.Second) {
+			st := q.Stats()
+			log.Printf("paced: sent=%d pkts %d B, intake drops full=%d stopped=%d, backlog=%d, shard high-water=%v",
+				st.SentPackets, st.SentBytes, st.DropsIntakeFull, st.DropsStopped, st.IntakeBacklog, st.ShardHighWater)
+		}
+	}()
+
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := q.WriteMetrics(w); err != nil {

@@ -3,8 +3,11 @@
 // kernel module plays for a network interface.
 //
 // Packets arriving on the listen sockets are classified by listen port and
-// enqueued; a single scheduler goroutine dequeues at the configured line
-// rate and forwards to the destination. Try it with three terminals:
+// submitted to a PacedQueue; its pacing goroutine dequeues at the
+// configured line rate and forwards to the destination. Each listen socket
+// has its own reader goroutine — the sharded intake lets them all call
+// Submit concurrently without a lock between them. Try it with three
+// terminals:
 //
 //	go run ./examples/udpshaper -rate 1Mbit \
 //	    -class voice:9001:rt(160,5ms,64Kbit):64Kbit \
@@ -13,7 +16,9 @@
 //	nc -u -l 9999                     # sink
 //	yes | nc -u 127.0.0.1 9002        # bulk load; then speak on 9001
 //
-// The voice port stays responsive regardless of bulk load.
+// The voice port stays responsive regardless of bulk load. When the bulk
+// sender overdrives a shard, Submit reports DropIntakeFull and the reader
+// counts it instead of blocking the socket read loop.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	hfsc "github.com/netsched/hfsc"
@@ -38,6 +44,7 @@ func main() {
 	var classes classFlag
 	rateStr := flag.String("rate", "1Mbit", "egress line rate")
 	to := flag.String("to", "127.0.0.1:9999", "destination address")
+	statsEvery := flag.Duration("stats", 5*time.Second, "interval between stats lines (0 disables)")
 	flag.Var(&classes, "class", "name:port:rtCurve:lsCurve (curves in hierarchy syntax; rt may be empty)")
 	flag.Parse()
 	if len(classes.specs) == 0 {
@@ -59,8 +66,19 @@ func main() {
 	defer out.Close()
 
 	s := hfsc.New(hfsc.Config{LinkRate: rate, DefaultQueueLimit: 200})
-	in := make(chan *hfsc.Packet, 256)
 
+	// The pacing goroutine owns the scheduler and the egress socket; the
+	// reader goroutines only ever touch the intake rings.
+	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {
+		if _, err := out.Write(p.Payload); err != nil {
+			log.Printf("forward: %v", err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rejected atomic.Uint64 // scheduler-side refusals are in Snapshot; this counts intake drops seen by readers
 	for _, spec := range classes.specs {
 		parts := strings.SplitN(spec, ":", 4)
 		if len(parts) != 4 {
@@ -96,7 +114,13 @@ func main() {
 				}
 				payload := make([]byte, n)
 				copy(payload, buf[:n])
-				in <- &hfsc.Packet{Len: n, Class: cl.ID(), Payload: payload}
+				switch q.Submit(&hfsc.Packet{Len: n, Class: cl.ID(), Payload: payload}) {
+				case hfsc.DropNone:
+				case hfsc.DropIntakeFull:
+					rejected.Add(1) // bounded intake: drop here, never block the socket
+				case hfsc.DropStopped:
+					return
+				}
 			}
 		}(cl, conn)
 	}
@@ -104,68 +128,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "warning:", err)
 	}
 
-	// The scheduler loop: single goroutine owns the scheduler, paces the
-	// egress at the line rate, and sleeps while idle or rate-limited. When
-	// the loop falls behind schedule (timer slack, a slow socket write), it
-	// recovers the deficit with one batched DequeueN call instead of paying
-	// the scheduler-entry cost per packet.
-	const maxBurst = 32
 	fmt.Printf("shaping to %s at %s\n", *to, *rateStr)
-	timer := time.NewTimer(time.Hour)
-	linkFree := time.Now()
-	burst := make([]*hfsc.Packet, 0, maxBurst)
-	for {
-		now := time.Now()
-		if now.Before(linkFree) {
-			time.Sleep(linkFree.Sub(now))
-			continue
-		}
-		// Size the burst by how many full-length packets of link time the
-		// loop owes; steady state stays packet by packet.
-		want := 1
-		if behind := now.Sub(linkFree); behind > 0 {
-			if owed := int(uint64(behind) * uint64(rate) / (1500 * uint64(time.Second))); owed > 1 {
-				want = min(owed, maxBurst)
-			}
-		}
-		burst = s.DequeueN(hfsc.Now(now), want, burst[:0])
-		if len(burst) == 0 {
-			var wait time.Duration = time.Hour
-			if t, ok := s.NextReady(hfsc.Now(now)); ok {
-				wait = time.Duration(t - hfsc.Now(now))
-			}
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
-			timer.Reset(wait)
-			select {
-			case pkt := <-in:
-				s.Enqueue(pkt, hfsc.Now(time.Now()))
-			case <-timer.C:
-			}
-			continue
-		}
-		total := 0
-		for _, p := range burst {
-			if _, err := out.Write(p.Payload); err != nil {
-				log.Printf("forward: %v", err)
-			}
-			total += p.Len
-		}
-		tx := time.Duration(int64(total) * int64(time.Second) / int64(rate))
-		linkFree = now.Add(tx)
-		// Opportunistically drain arrivals that came in meanwhile.
-		for {
-			select {
-			case pkt := <-in:
-				s.Enqueue(pkt, hfsc.Now(time.Now()))
-				continue
-			default:
-			}
-			break
-		}
+	q.Start()
+	defer q.Stop()
+
+	if *statsEvery <= 0 {
+		select {}
+	}
+	for range time.Tick(*statsEvery) {
+		st := q.Stats()
+		log.Printf("sent %d pkts (%d B), intake drops full=%d stopped=%d, backlog %d, reader-seen drops %d",
+			st.SentPackets, st.SentBytes, st.DropsIntakeFull, st.DropsStopped, st.IntakeBacklog, rejected.Load())
 	}
 }

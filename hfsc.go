@@ -22,8 +22,15 @@
 //	s.Enqueue(&hfsc.Packet{Len: 1500, Class: video.ID()}, now)
 //	p := s.Dequeue(now)
 //
-// The scheduler is single-goroutine by design, like a qdisc: callers
-// serialize access (see examples/udpshaper for a channel-based wrapper).
+// # Concurrency model
+//
+// The Scheduler itself is single-goroutine by design, like a qdisc:
+// callers serialize access. For multi-producer use, wrap it in a
+// PacedQueue — its Submit is safe from any number of goroutines (packets
+// land in sharded lock-free intake rings, drained in batches by the one
+// pacing goroutine that owns the Scheduler) and reports a DropReason when
+// a bounded intake shard overflows. See examples/udpshaper for the
+// datapath shape and DESIGN.md for the intake architecture.
 package hfsc
 
 import (

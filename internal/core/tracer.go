@@ -69,6 +69,13 @@ const (
 	DropUnknownClass
 	// DropBadPacket: the packet itself was malformed (non-positive length).
 	DropBadPacket
+	// DropIntakeFull: a driver's intake ring was full. Never emitted by the
+	// scheduler core; reported by drivers (e.g. the public PacedQueue) so
+	// intake loss shares the scheduler's drop vocabulary.
+	DropIntakeFull
+	// DropStopped: the driver was already stopped. Driver-level, like
+	// DropIntakeFull.
+	DropStopped
 )
 
 func (r DropReason) String() string {
@@ -81,6 +88,10 @@ func (r DropReason) String() string {
 		return "unknown-class"
 	case DropBadPacket:
 		return "bad-packet"
+	case DropIntakeFull:
+		return "intake-full"
+	case DropStopped:
+		return "stopped"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,105 @@
+package intake_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/intake"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// BenchmarkIntakePushDrain is the single-producer steady state: one push,
+// one drain, no contention — the floor the sharded design must not
+// regress against the old channel intake.
+func BenchmarkIntakePushDrain(b *testing.B) {
+	q := intake.New(1, 256)
+	p := &pktq.Packet{Len: 1000}
+	out := make([]*pktq.Packet, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !q.Push(0, p) {
+			b.Fatal("push refused")
+		}
+		out = q.Drain(out[:0], 1)
+		if len(out) != 1 {
+			b.Fatal("drain empty")
+		}
+	}
+}
+
+// BenchmarkIntakeContended runs GOMAXPROCS producers against one draining
+// goroutine — the multi-producer contention case the shards exist for.
+func BenchmarkIntakeContended(b *testing.B) {
+	q := intake.New(16, 256)
+	stop := make(chan struct{})
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		buf := make([]*pktq.Packet, 0, 64)
+		for {
+			buf = q.Drain(buf[:0], 64)
+			if len(buf) == 0 {
+				select {
+				case <-stop:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	var key atomic.Uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		k := int(key.Add(1))
+		p := &pktq.Packet{Len: 1000, Class: k}
+		for pb.Next() {
+			for !q.Push(k, p) {
+				runtime.Gosched()
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-consumerDone
+}
+
+// BenchmarkIntakeChannelContended is the baseline the shards replaced: a
+// single buffered channel with non-blocking sends, GOMAXPROCS producers.
+func BenchmarkIntakeChannelContended(b *testing.B) {
+	ch := make(chan *pktq.Packet, 256)
+	stop := make(chan struct{})
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for {
+			select {
+			case <-ch:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := &pktq.Packet{Len: 1000}
+		for pb.Next() {
+			for {
+				select {
+				case ch <- p:
+				default:
+					runtime.Gosched()
+					continue
+				}
+				break
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-consumerDone
+}

@@ -1,0 +1,247 @@
+// Package intake provides the multi-producer packet intake for real-time
+// drivers: a set of bounded MPSC ring buffers ("shards"), each a
+// Vyukov-style sequence-numbered ring, selected by a key hash and drained
+// in batches by a single consumer goroutine.
+//
+// The design targets the driver regime of the paper's Section VII
+// overhead argument: the scheduler core is O(log n) per packet, so the
+// surrounding I/O path must not reintroduce a serial bottleneck. A single
+// Go channel serializes every producer on one lock and wakes the consumer
+// per packet; sharded rings replace that with one compare-and-swap per
+// submit, no producer-side locks, and batch drains that amortize the
+// consumer's wakeup over many packets.
+//
+// Ordering contract: packets pushed with the same key land in the same
+// shard, and each shard is FIFO, so per-key order (per leaf class, when
+// the key is the class id) is preserved end to end. Order across keys is
+// unspecified — which is invisible to H-FSC, whose leaf queues are
+// per-class FIFOs.
+//
+// Overflow policy: a push to a full shard fails immediately (drop-tail at
+// intake) and is counted on that shard; the producer never blocks. The
+// consumer observes cumulative drops via Drops and per-shard depth
+// high-water marks via HighWater.
+package intake
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// DefaultDepth is the per-shard capacity used when New is given a
+// non-positive depth. With the default shard count this keeps total
+// intake capacity within a small multiple of the old single 256-slot
+// channel while giving every producer group its own ring.
+const DefaultDepth = 256
+
+const cacheLine = 64
+
+// slot is one ring cell. seq follows the Vyukov MPMC convention: it holds
+// the ticket of the push that may fill the cell (seq == pos), then
+// ticket+1 once filled (consumer may take it), then pos+capacity once
+// consumed (free for the next lap).
+type slot struct {
+	seq atomic.Uint64
+	p   *pktq.Packet
+}
+
+// Shard is one bounded MPSC ring buffer. Any goroutine may Push; exactly
+// one goroutine may Drain.
+type Shard struct {
+	slots []slot
+	mask  uint64
+
+	_     [cacheLine]byte // keep the producer-hot tail off the slots' lines
+	tail  atomic.Uint64   // next ticket to reserve (producers, CAS)
+	_     [cacheLine - 8]byte
+	drops atomic.Uint64 // pushes refused because the ring was full
+	_     [cacheLine - 8]byte
+
+	// Consumer-side state. head is advanced only by the consumer (Drain),
+	// but read by anyone through Depth; hw is written by the consumer and
+	// read by anyone (Stats).
+	head atomic.Uint64
+	hw   atomic.Int64
+}
+
+func (s *Shard) init(depth int) {
+	s.slots = make([]slot, depth)
+	s.mask = uint64(depth - 1)
+	for i := range s.slots {
+		s.slots[i].seq.Store(uint64(i))
+	}
+}
+
+// Push offers a packet to the ring. It returns false — counting a drop —
+// when the ring is full; it never blocks.
+func (s *Shard) Push(p *pktq.Packet) bool {
+	pos := s.tail.Load()
+	for {
+		sl := &s.slots[pos&s.mask]
+		seq := sl.seq.Load()
+		switch {
+		case seq == pos: // cell free: try to claim the ticket
+			if s.tail.CompareAndSwap(pos, pos+1) {
+				sl.p = p
+				sl.seq.Store(pos + 1)
+				return true
+			}
+			pos = s.tail.Load()
+		case int64(seq-pos) < 0: // cell still holds the previous lap: full
+			s.drops.Add(1)
+			return false
+		default: // another producer claimed this ticket; advance
+			pos = s.tail.Load()
+		}
+	}
+}
+
+// Drain moves up to max packets out of the ring in FIFO order, appending
+// to out. Single consumer only. It samples the shard depth for the
+// high-water mark before draining.
+func (s *Shard) Drain(out []*pktq.Packet, max int) []*pktq.Packet {
+	head := s.head.Load()
+	if depth := int64(s.tail.Load() - head); depth > s.hw.Load() {
+		s.hw.Store(depth)
+	}
+	for n := 0; n < max; n++ {
+		sl := &s.slots[head&s.mask]
+		if sl.seq.Load() != head+1 {
+			break // empty, or a claimed cell not yet published
+		}
+		p := sl.p
+		sl.p = nil
+		sl.seq.Store(head + s.mask + 1) // free for the next lap
+		out = append(out, p)
+		head++
+	}
+	s.head.Store(head)
+	return out
+}
+
+// Depth reports the packets currently buffered (approximate under
+// concurrent pushes).
+func (s *Shard) Depth() int { return int(s.tail.Load() - s.head.Load()) }
+
+// Drops reports the cumulative pushes refused because the ring was full.
+func (s *Shard) Drops() uint64 { return s.drops.Load() }
+
+// HighWater reports the deepest backlog observed at a drain.
+func (s *Shard) HighWater() int64 { return s.hw.Load() }
+
+// Queue is a set of shards with key-hashed placement: the multi-producer
+// front half of a driver. Producers call Push from any goroutine; one
+// consumer goroutine calls Drain.
+type Queue struct {
+	shards []Shard
+	shift  uint
+	next   int // consumer-only: rotating drain start, so no shard starves
+}
+
+// DefaultShards returns the shard count used when New is given a
+// non-positive count: the number of schedulable CPUs rounded up to a
+// power of two, clamped to [1, 64]. More CPUs means more concurrent
+// producers worth isolating from each other.
+func DefaultShards() int {
+	n := ceilPow2(runtime.GOMAXPROCS(0))
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// New creates a queue with the given shard count and per-shard depth,
+// each rounded up to a power of two; non-positive values select
+// DefaultShards and DefaultDepth.
+func New(shards, depth int) *Queue {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	shards = ceilPow2(shards)
+	depth = ceilPow2(depth)
+	q := &Queue{shards: make([]Shard, shards)}
+	for i := range q.shards {
+		q.shards[i].init(depth)
+	}
+	// Fibonacci hashing wants the top log2(shards) bits of the product.
+	for s := shards; s > 1; s >>= 1 {
+		q.shift++
+	}
+	return q
+}
+
+// NumShards reports the shard count (a power of two).
+func (q *Queue) NumShards() int { return len(q.shards) }
+
+// Cap reports the total packet capacity across shards.
+func (q *Queue) Cap() int { return len(q.shards) * len(q.shards[0].slots) }
+
+// Shard returns the shard the given key maps to.
+func (q *Queue) Shard(key int) *Shard {
+	// Fibonacci (multiplicative) hash: spreads sequential class ids and
+	// arbitrary keys alike across the power-of-two shard count.
+	h := uint64(uint32(key)) * 0x9E3779B97F4A7C15
+	return &q.shards[h>>(64-q.shift)&uint64(len(q.shards)-1)]
+}
+
+// Push offers a packet under the given key (same key -> same shard ->
+// FIFO). False means the shard was full and the packet was dropped.
+func (q *Queue) Push(key int, p *pktq.Packet) bool { return q.Shard(key).Push(p) }
+
+// Drain moves up to max packets out of the queue, appending to out.
+// Within a shard order is FIFO; across shards the drain rotates its
+// starting shard call to call so a saturated shard cannot starve the
+// others. Single consumer only.
+func (q *Queue) Drain(out []*pktq.Packet, max int) []*pktq.Packet {
+	n := len(q.shards)
+	for i := 0; i < n && len(out) < max; i++ {
+		out = q.shards[(q.next+i)&(n-1)].Drain(out, max-len(out))
+	}
+	q.next = (q.next + 1) & (n - 1)
+	return out
+}
+
+// Depth reports the total packets currently buffered (approximate under
+// concurrent pushes).
+func (q *Queue) Depth() int {
+	d := 0
+	for i := range q.shards {
+		d += q.shards[i].Depth()
+	}
+	return d
+}
+
+// Drops reports the cumulative pushes refused across all shards.
+func (q *Queue) Drops() uint64 {
+	var d uint64
+	for i := range q.shards {
+		d += q.shards[i].Drops()
+	}
+	return d
+}
+
+// HighWater returns each shard's depth high-water mark (sampled at
+// drains), indexed by shard.
+func (q *Queue) HighWater() []int64 {
+	hw := make([]int64, len(q.shards))
+	for i := range q.shards {
+		hw[i] = q.shards[i].HighWater()
+	}
+	return hw
+}
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

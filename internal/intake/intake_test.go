@@ -1,0 +1,219 @@
+package intake_test
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/intake"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+func TestShardFIFOAndCapacity(t *testing.T) {
+	q := intake.New(1, 8)
+	if q.NumShards() != 1 || q.Cap() != 8 {
+		t.Fatalf("got %d shards cap %d, want 1/8", q.NumShards(), q.Cap())
+	}
+	for i := 0; i < 8; i++ {
+		if !q.Push(0, &pktq.Packet{Len: 1, Seq: uint64(i)}) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if q.Push(0, &pktq.Packet{Len: 1}) {
+		t.Fatal("push accepted into a full ring")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", q.Drops())
+	}
+	if q.Depth() != 8 {
+		t.Fatalf("depth = %d, want 8", q.Depth())
+	}
+	out := q.Drain(nil, 5)
+	if len(out) != 5 {
+		t.Fatalf("drained %d, want 5", len(out))
+	}
+	out = q.Drain(out, 100)
+	if len(out) != 8 {
+		t.Fatalf("drained %d total, want 8", len(out))
+	}
+	for i, p := range out {
+		if p.Seq != uint64(i) {
+			t.Fatalf("out[%d].Seq = %d, want %d (FIFO violated)", i, p.Seq, i)
+		}
+	}
+	// The freed slots must be reusable (ring wrap).
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < 8; i++ {
+			if !q.Push(0, &pktq.Packet{Len: 1, Seq: uint64(100 + lap*8 + i)}) {
+				t.Fatalf("lap %d push %d refused after drain", lap, i)
+			}
+		}
+		got := q.Drain(nil, 8)
+		if len(got) != 8 {
+			t.Fatalf("lap %d drained %d, want 8", lap, len(got))
+		}
+		for i, p := range got {
+			if p.Seq != uint64(100+lap*8+i) {
+				t.Fatalf("lap %d out[%d].Seq = %d", lap, i, p.Seq)
+			}
+		}
+	}
+}
+
+func TestRoundingAndDefaults(t *testing.T) {
+	q := intake.New(3, 100)
+	if q.NumShards() != 4 {
+		t.Fatalf("shards = %d, want 4 (rounded up)", q.NumShards())
+	}
+	if q.Cap() != 4*128 {
+		t.Fatalf("cap = %d, want %d", q.Cap(), 4*128)
+	}
+	d := intake.New(0, 0)
+	if d.NumShards() != intake.DefaultShards() || d.Cap() != d.NumShards()*intake.DefaultDepth {
+		t.Fatalf("defaults: %d shards cap %d", d.NumShards(), d.Cap())
+	}
+	if s := intake.DefaultShards(); s < 1 || s > 64 || s&(s-1) != 0 {
+		t.Fatalf("DefaultShards() = %d, want a power of two in [1,64]", s)
+	}
+}
+
+func TestSameKeySameShard(t *testing.T) {
+	q := intake.New(8, 16)
+	for key := 0; key < 100; key++ {
+		if q.Shard(key) != q.Shard(key) {
+			t.Fatalf("key %d not stable", key)
+		}
+	}
+	// Distinct sequential keys should spread over more than one shard.
+	seen := map[*intake.Shard]bool{}
+	for key := 0; key < 64; key++ {
+		seen[q.Shard(key)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 sequential keys landed on %d shard(s)", len(seen))
+	}
+}
+
+func TestHighWater(t *testing.T) {
+	q := intake.New(1, 16)
+	for i := 0; i < 10; i++ {
+		q.Push(0, &pktq.Packet{Len: 1})
+	}
+	q.Drain(nil, 100)
+	if hw := q.HighWater()[0]; hw != 10 {
+		t.Fatalf("high water = %d, want 10", hw)
+	}
+	for i := 0; i < 4; i++ {
+		q.Push(0, &pktq.Packet{Len: 1})
+	}
+	q.Drain(nil, 100)
+	if hw := q.HighWater()[0]; hw != 10 {
+		t.Fatalf("high water = %d after shallower burst, want 10", hw)
+	}
+}
+
+// TestConcurrentConservationAndOrder is the package's core property under
+// -race: with P producers pushing under distinct keys against one
+// draining consumer, every accepted packet comes out exactly once, per-key
+// order is FIFO, and accepted+dropped == offered.
+func TestConcurrentConservationAndOrder(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 5000
+	)
+	q := intake.New(4, 64)
+	var accepted, dropped [producers]uint64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				p := &pktq.Packet{Len: 1, Class: pr, Seq: uint64(i)}
+				if q.Push(pr, p) {
+					accepted[pr]++
+				} else {
+					dropped[pr]++
+					if dropped[pr]%64 == 0 {
+						runtime.Gosched() // let the consumer breathe
+					}
+				}
+			}
+		}(pr)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	var got [producers]uint64
+	lastSeq := [producers]int64{}
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	buf := make([]*pktq.Packet, 0, 64)
+	drain := func() {
+		for {
+			buf = q.Drain(buf[:0], 64)
+			if len(buf) == 0 {
+				return
+			}
+			for _, p := range buf {
+				if int64(p.Seq) <= lastSeq[p.Class] {
+					t.Errorf("producer %d: seq %d after %d (reordered)", p.Class, p.Seq, lastSeq[p.Class])
+					return
+				}
+				lastSeq[p.Class] = int64(p.Seq)
+				got[p.Class]++
+			}
+		}
+	}
+	for {
+		drain()
+		select {
+		case <-done:
+			drain() // final sweep after all producers finished
+			for pr := 0; pr < producers; pr++ {
+				if accepted[pr]+dropped[pr] != perProd {
+					t.Fatalf("producer %d: accepted %d + dropped %d != %d", pr, accepted[pr], dropped[pr], perProd)
+				}
+				if got[pr] != accepted[pr] {
+					t.Fatalf("producer %d: drained %d, accepted %d", pr, got[pr], accepted[pr])
+				}
+			}
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestRandomizedInterleaving drains with random batch sizes while pushes
+// trickle in, exercising partial drains and ring wrap at every depth.
+func TestRandomizedInterleaving(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := intake.New(2, 8)
+	next := uint64(0) // next seq to push, per single key
+	expect := uint64(0)
+	inFlight := 0
+	for step := 0; step < 10000; step++ {
+		if rng.Intn(2) == 0 {
+			if q.Push(7, &pktq.Packet{Len: 1, Seq: next}) {
+				next++
+				inFlight++
+			}
+		} else {
+			out := q.Drain(nil, 1+rng.Intn(5))
+			for _, p := range out {
+				if p.Seq != expect {
+					t.Fatalf("step %d: got seq %d, want %d", step, p.Seq, expect)
+				}
+				expect++
+				inFlight--
+			}
+		}
+	}
+	if inFlight != q.Depth() {
+		t.Fatalf("depth %d, tracked in-flight %d", q.Depth(), inFlight)
+	}
+}

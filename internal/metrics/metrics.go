@@ -249,6 +249,11 @@ type Aggregator struct {
 	ulimitDefers uint64
 	dropUnknown  uint64
 	dropBadPkt   uint64
+	// Driver-level intake drops, published as monotonic totals by
+	// RecordIntake (counted upstream in lock-free shard counters) or
+	// incrementally by CountDrop.
+	dropIntakeFull uint64
+	dropStopped    uint64
 }
 
 // NewAggregator creates an aggregator.
@@ -352,8 +357,32 @@ func (a *Aggregator) CountDrop(reason core.DropReason, now int64) {
 	switch reason {
 	case core.DropBadPacket:
 		a.dropBadPkt++
+	case core.DropIntakeFull:
+		a.dropIntakeFull++
+	case core.DropStopped:
+		a.dropStopped++
 	default:
 		a.dropUnknown++
+	}
+	a.mu.Unlock()
+}
+
+// RecordIntake publishes a driver's cumulative intake-drop totals
+// (ring-full and submit-after-stop). Drivers count these in lock-free
+// per-shard counters on the producer path and sync the monotonic totals
+// here on snapshot, so the hot path never takes the aggregator mutex; the
+// totals only move forward. Do not mix with CountDrop for the same
+// reasons (the absolute total would double-count the increments).
+func (a *Aggregator) RecordIntake(intakeFull, stopped uint64, now int64) {
+	a.mu.Lock()
+	if now > a.lastEvent {
+		a.lastEvent = now
+	}
+	if intakeFull > a.dropIntakeFull {
+		a.dropIntakeFull = intakeFull
+	}
+	if stopped > a.dropStopped {
+		a.dropStopped = stopped
 	}
 	a.mu.Unlock()
 }
@@ -406,6 +435,11 @@ type Snapshot struct {
 	// reaching a leaf queue (admission drops).
 	DropsUnknownClass uint64
 	DropsBadPacket    uint64
+	// DropsIntakeFull / DropsStopped count packets refused at a driver's
+	// intake (PacedQueue.Submit): ring-buffer overflow and submits after
+	// Stop. Like the admission drops they never reached a leaf queue.
+	DropsIntakeFull uint64
+	DropsStopped    uint64
 	// Classes holds one entry per class that has produced events, in class
 	// id (creation) order.
 	Classes []ClassSnapshot
@@ -431,6 +465,8 @@ func (a *Aggregator) Snapshot() *Snapshot {
 		UlimitDefers:      a.ulimitDefers,
 		DropsUnknownClass: a.dropUnknown,
 		DropsBadPacket:    a.dropBadPkt,
+		DropsIntakeFull:   a.dropIntakeFull,
+		DropsStopped:      a.dropStopped,
 	}
 	for _, st := range a.classes {
 		if st == nil {

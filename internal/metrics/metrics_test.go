@@ -191,6 +191,39 @@ func TestCountDrop(t *testing.T) {
 	}
 }
 
+func TestRecordIntake(t *testing.T) {
+	agg := metrics.NewAggregator(metrics.Options{})
+	agg.RecordIntake(10, 2, 5)
+	snap := agg.Snapshot()
+	if snap.DropsIntakeFull != 10 || snap.DropsStopped != 2 {
+		t.Fatalf("intake drops %d/%d want 10/2", snap.DropsIntakeFull, snap.DropsStopped)
+	}
+	// Totals are monotonic: a stale republish must not move them backwards.
+	agg.RecordIntake(7, 1, 6)
+	agg.RecordIntake(12, 2, 7)
+	snap = agg.Snapshot()
+	if snap.DropsIntakeFull != 12 || snap.DropsStopped != 2 {
+		t.Fatalf("intake drops %d/%d want 12/2", snap.DropsIntakeFull, snap.DropsStopped)
+	}
+	if snap.Now != 7 {
+		t.Fatalf("snapshot clock %d want 7", snap.Now)
+	}
+}
+
+func TestCountDropIntakeReasons(t *testing.T) {
+	agg := metrics.NewAggregator(metrics.Options{})
+	agg.CountDrop(core.DropIntakeFull, 1)
+	agg.CountDrop(core.DropIntakeFull, 2)
+	agg.CountDrop(core.DropStopped, 3)
+	snap := agg.Snapshot()
+	if snap.DropsIntakeFull != 2 || snap.DropsStopped != 1 {
+		t.Fatalf("intake drops %d/%d want 2/1", snap.DropsIntakeFull, snap.DropsStopped)
+	}
+	if snap.DropsUnknownClass != 0 {
+		t.Fatalf("intake reasons leaked into unknown-class: %d", snap.DropsUnknownClass)
+	}
+}
+
 func TestUlimitDeferCounted(t *testing.T) {
 	agg := metrics.NewAggregator(metrics.Options{})
 	s := core.New(core.Options{Tracer: agg})
@@ -384,6 +417,7 @@ func TestWritePrometheus(t *testing.T) {
 		now += 2_000_000
 	}
 	agg.CountDrop(core.DropUnknownClass, now)
+	agg.RecordIntake(5, 1, now)
 
 	var buf strings.Builder
 	if err := metrics.WritePrometheus(&buf, agg.Snapshot()); err != nil {
@@ -396,6 +430,8 @@ func TestWritePrometheus(t *testing.T) {
 		`hfsc_sent_packets_total{class="ls-class",crit="ls"}`,
 		`hfsc_drops_total{class="rt-class",reason="queue_limit"}`,
 		`hfsc_enqueue_rejects_total{reason="unknown_class"}`,
+		`hfsc_enqueue_rejects_total{reason="intake_full"}`,
+		`hfsc_enqueue_rejects_total{reason="stopped"}`,
 		`hfsc_service_rate_bytes_per_second{class="rt-class",crit="all"}`,
 		`hfsc_queue_packets{class="rt-class"}`,
 		`hfsc_ulimit_defers_total{}`,

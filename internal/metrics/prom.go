@@ -50,6 +50,8 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		"Packets refused before reaching a leaf queue.")
 	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "unknown_class"), float64(s.DropsUnknownClass))
 	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "bad_packet"), float64(s.DropsBadPacket))
+	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "intake_full"), float64(s.DropsIntakeFull))
+	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "stopped"), float64(s.DropsStopped))
 
 	family(b, "hfsc_deadline_misses_total", "counter",
 		"Real-time dequeues that departed after their service-curve deadline.")

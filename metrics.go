@@ -34,6 +34,11 @@ const (
 	DropUnknownClass = core.DropUnknownClass
 	// DropBadPacket: the packet was nil or had a non-positive length.
 	DropBadPacket = core.DropBadPacket
+	// DropIntakeFull: a PacedQueue intake shard was full (driver-level;
+	// returned by PacedQueue.Submit, never by Offer).
+	DropIntakeFull = core.DropIntakeFull
+	// DropStopped: the PacedQueue was already stopped (driver-level).
+	DropStopped = core.DropStopped
 )
 
 // Offer offers a packet at the given clock (ns) and reports exactly what

@@ -4,38 +4,71 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/netsched/hfsc/internal/intake"
 )
 
 // PacedQueue runs a Scheduler behind a single goroutine and paces output
 // at the configured line rate in real time — the software equivalent of
 // the kernel qdisc + NIC pairing the paper's implementation lived in.
 //
-// Packets submitted from any goroutine are enqueued by the pacing
-// goroutine, which transmits by calling the user's Transmit callback and
-// sleeps whenever the scheduler idles (empty, or upper-limit bound).
+// Intake is built for multi-producer scale: packets submitted from any
+// goroutine land in sharded bounded MPSC ring buffers (one compare-and-
+// swap per Submit, no locks) keyed by the packet's class, and the pacing
+// goroutine drains them in batches. Per-class FIFO order is preserved;
+// when the link falls behind schedule the transmit side recovers the
+// deficit with one batched DequeueN call instead of paying the
+// scheduler-entry cost per packet. A Submit to a full shard drops the
+// packet immediately (DropIntakeFull) rather than blocking the producer.
 type PacedQueue struct {
 	// Transmit is invoked for every departing packet, from the pacing
 	// goroutine. It must not block for long: time spent here stalls the
 	// link.
 	Transmit func(*Packet)
 
+	// IntakeShards and IntakeDepth tune the intake rings; set them before
+	// the first Submit or Start. Zero picks the defaults (one shard per
+	// CPU rounded up to a power of two, 256 slots per shard); both are
+	// rounded up to powers of two.
+	IntakeShards int
+	IntakeDepth  int
+
 	s    *Scheduler
 	rate uint64
-	in   chan *Packet
+
+	ringsOnce sync.Once
+	rings     *intake.Queue
+
 	stop chan struct{}
+	wake chan struct{} // 1-slot doorbell, rung only while idle is set
+	idle atomic.Bool   // pacing goroutine is (about to be) asleep
 	done sync.WaitGroup
 
-	mu      sync.Mutex
+	mu      sync.Mutex // Start/Stop state only; the hot path is atomic
 	started bool
 	stopped bool
-	sent    uint64
-	sentB   int64
-	drops   uint64
+
+	sent        atomic.Uint64
+	sentBytes   atomic.Int64
+	dropStopped atomic.Uint64
 }
 
+const (
+	// paceMaxBurst caps how many packets one loop iteration may transmit
+	// when recovering schedule deficit (timer slack, a slow Transmit).
+	paceMaxBurst = 32
+	// paceDrainBatch sizes one intake drain call.
+	paceDrainBatch = 64
+	// paceMTU is the packet size used to convert schedule deficit into a
+	// burst budget; underestimating the count is safe (the loop comes
+	// straight back).
+	paceMTU = 1500
+)
+
 // NewPacedQueue wraps the scheduler. After Start, the Scheduler must not
-// be used directly (the pacing goroutine owns it).
+// be used directly (the pacing goroutine owns it) until Stop returns.
 func NewPacedQueue(s *Scheduler, transmit func(*Packet)) (*PacedQueue, error) {
 	if s == nil || s.cfg.LinkRate == 0 {
 		return nil, fmt.Errorf("hfsc: PacedQueue needs a scheduler with Config.LinkRate set")
@@ -47,9 +80,16 @@ func NewPacedQueue(s *Scheduler, transmit func(*Packet)) (*PacedQueue, error) {
 		Transmit: transmit,
 		s:        s,
 		rate:     s.cfg.LinkRate,
-		in:       make(chan *Packet, 256),
 		stop:     make(chan struct{}),
+		wake:     make(chan struct{}, 1),
 	}, nil
+}
+
+// intakeRings lazily builds the rings so IntakeShards/IntakeDepth set
+// after NewPacedQueue still apply.
+func (q *PacedQueue) intakeRings() *intake.Queue {
+	q.ringsOnce.Do(func() { q.rings = intake.New(q.IntakeShards, q.IntakeDepth) })
+	return q.rings
 }
 
 // Start launches the pacing goroutine.
@@ -65,7 +105,8 @@ func (q *PacedQueue) Start() {
 }
 
 // Stop terminates the pacing goroutine and waits for it; queued packets
-// are discarded. Stop is idempotent.
+// are discarded. Stop is idempotent. After Stop returns the Scheduler may
+// be inspected again (e.g. Backlog) — the pacing goroutine is gone.
 func (q *PacedQueue) Stop() {
 	q.mu.Lock()
 	if !q.started || q.stopped {
@@ -78,91 +119,140 @@ func (q *PacedQueue) Stop() {
 	q.done.Wait()
 }
 
-// Submit hands a packet to the shaper. It returns false if the shaper is
-// stopped or its intake buffer is full (counted as a drop).
-func (q *PacedQueue) Submit(p *Packet) bool {
+// Submit hands a packet to the shaper from any goroutine and reports
+// exactly what happened: DropNone on acceptance, DropStopped after Stop,
+// DropIntakeFull when the packet's intake shard was full (bounded-queue
+// overflow: the packet is dropped, the producer never blocks). Acceptance
+// means the packet reached the intake rings; scheduler-level refusals
+// (unknown class, queue limit) happen asynchronously on the pacing
+// goroutine and are visible through Snapshot, not Submit.
+func (q *PacedQueue) Submit(p *Packet) DropReason {
 	select {
 	case <-q.stop:
-		return false
+		q.dropStopped.Add(1)
+		return DropStopped
 	default:
 	}
-	select {
-	case q.in <- p:
-		return true
-	default:
-		q.mu.Lock()
-		q.drops++
-		q.mu.Unlock()
-		return false
+	if !q.intakeRings().Push(p.Class, p) {
+		return DropIntakeFull // the shard counted the drop
+	}
+	if q.idle.Load() {
+		select {
+		case q.wake <- struct{}{}:
+		default: // doorbell already rung
+		}
+	}
+	return DropNone
+}
+
+// TrySubmit is Submit with the reason collapsed to a bool, mirroring the
+// Enqueue/Offer split on the Scheduler: true means accepted.
+func (q *PacedQueue) TrySubmit(p *Packet) bool { return q.Submit(p) == DropNone }
+
+// PacedStats is a snapshot of the driver's own counters (the scheduler's
+// per-class metrics live in Snapshot). New fields may be added; existing
+// ones keep their meaning.
+type PacedStats struct {
+	// SentPackets and SentBytes count packets handed to Transmit.
+	SentPackets uint64
+	SentBytes   int64
+	// DropsIntakeFull counts Submits refused because the packet's intake
+	// shard was full; DropsStopped counts Submits after Stop.
+	DropsIntakeFull uint64
+	DropsStopped    uint64
+	// IntakeBacklog is the number of packets currently buffered in the
+	// intake rings (approximate while producers are active).
+	IntakeBacklog int
+	// ShardHighWater holds each intake shard's deepest backlog observed
+	// at a drain, indexed by shard.
+	ShardHighWater []int64
+}
+
+// Drops returns the total packets refused at intake, all reasons.
+func (st PacedStats) Drops() uint64 { return st.DropsIntakeFull + st.DropsStopped }
+
+// Stats snapshots the driver counters. Safe from any goroutine; the hot
+// paths it reads are all atomics.
+func (q *PacedQueue) Stats() PacedStats {
+	r := q.intakeRings()
+	return PacedStats{
+		SentPackets:     q.sent.Load(),
+		SentBytes:       q.sentBytes.Load(),
+		DropsIntakeFull: r.Drops(),
+		DropsStopped:    q.dropStopped.Load(),
+		IntakeBacklog:   r.Depth(),
+		ShardHighWater:  r.HighWater(),
 	}
 }
 
-// Stats returns packets/bytes transmitted and intake drops so far.
-func (q *PacedQueue) Stats() (sent uint64, bytes int64, drops uint64) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.sent, q.sentB, q.drops
+// syncMetrics publishes the driver-level intake drop totals into the
+// scheduler's metrics aggregator so /metrics reports intake loss next to
+// queue-limit loss. Cheap and idempotent (totals are monotonic).
+func (q *PacedQueue) syncMetrics() {
+	if q.s.agg == nil {
+		return
+	}
+	q.s.agg.RecordIntake(q.intakeRings().Drops(), q.dropStopped.Load(), Now(time.Now()))
 }
 
 // Snapshot copies the scheduler's metrics (nil when the scheduler was
-// created without Config.Metrics). Unlike the Scheduler itself, which the
-// pacing goroutine owns after Start, this is safe to call from any
-// goroutine: it reads only the metrics aggregator.
-func (q *PacedQueue) Snapshot() *Snapshot { return q.s.Snapshot() }
+// created without Config.Metrics), after folding in the driver's intake
+// drop counters. Unlike the Scheduler itself, which the pacing goroutine
+// owns after Start, this is safe to call from any goroutine: it reads
+// only the metrics aggregator and the driver's atomics.
+func (q *PacedQueue) Snapshot() *Snapshot {
+	q.syncMetrics()
+	return q.s.Snapshot()
+}
 
 // WriteMetrics renders the scheduler's metrics in Prometheus text format
-// (ErrMetricsDisabled without Config.Metrics). Safe from any goroutine,
-// like Snapshot — wire it straight into an HTTP /metrics handler.
-func (q *PacedQueue) WriteMetrics(w io.Writer) error { return q.s.WriteMetrics(w) }
+// (ErrMetricsDisabled without Config.Metrics), intake drops included.
+// Safe from any goroutine, like Snapshot — wire it straight into an HTTP
+// /metrics handler.
+func (q *PacedQueue) WriteMetrics(w io.Writer) error {
+	q.syncMetrics()
+	return q.s.WriteMetrics(w)
+}
 
 func (q *PacedQueue) loop() {
 	defer q.done.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
-	var linkFree time.Time
-
-	// enqueue stamps the arrival clock (unless the submitter already did)
-	// so queueing-delay metrics measure from intake, then hands the packet
-	// to the scheduler.
-	enqueue := func(p *Packet, ns int64) {
-		if p.Arrival == 0 {
-			p.Arrival = ns
-		}
-		q.s.Enqueue(p, ns)
-	}
-
-	drainIntake := func(ns int64) {
-		for {
-			select {
-			case p := <-q.in:
-				enqueue(p, ns)
-			default:
-				return
-			}
-		}
-	}
+	rings := q.intakeRings()
+	// drainCap bounds one drain sweep to a full lap of the rings so a
+	// sustained producer flood cannot starve the transmit side.
+	drainCap := rings.Cap()
+	linkFree := time.Now()
+	burst := make([]*Packet, 0, paceMaxBurst)
+	buf := make([]*Packet, 0, paceDrainBatch)
 
 	for {
 		now := time.Now()
 		nowNs := Now(now)
-		drainIntake(nowNs)
+		buf, _ = q.drainIntake(rings, buf, nowNs, drainCap)
 
-		// Respect the previous packet's transmission time.
+		// Respect the transmission time of what already left.
 		if now.Before(linkFree) {
-			ok, pending := sleepUntil(timer, linkFree.Sub(now), q.stop, nil)
-			if !ok {
+			if !q.sleep(timer, linkFree.Sub(now), rings, &buf, false) {
 				return
-			}
-			if pending != nil {
-				enqueue(pending, Now(time.Now()))
 			}
 			continue
 		}
 
-		p := q.s.Dequeue(nowNs)
-		if p == nil {
-			// Idle: wait for an arrival, the scheduler's wake-up hint, or
-			// Stop.
+		// Steady state sends packet by packet; when the loop is behind
+		// schedule (timer slack, a slow Transmit) it recovers the deficit
+		// with one batched DequeueN call.
+		want := 1
+		if behind := now.Sub(linkFree); behind > 0 {
+			if owed := int(uint64(behind) * q.rate / (paceMTU * uint64(time.Second))); owed > 1 {
+				want = min(owed, paceMaxBurst)
+			}
+		}
+		burst = q.s.DequeueN(nowNs, want, burst[:0])
+		if len(burst) == 0 {
+			// Idle (empty or upper-limit bound): an idle link accrues no
+			// transmission credit.
+			linkFree = now
 			wait := time.Hour
 			if t, ok := q.s.NextReady(nowNs); ok {
 				wait = time.Duration(t - nowNs)
@@ -170,31 +260,52 @@ func (q *PacedQueue) loop() {
 					wait = time.Microsecond
 				}
 			}
-			ok, pending := sleepUntil(timer, wait, q.stop, q.in)
-			if !ok {
+			if !q.sleep(timer, wait, rings, &buf, true) {
 				return
-			}
-			if pending != nil {
-				enqueue(pending, Now(time.Now()))
 			}
 			continue
 		}
 
-		q.Transmit(p)
-		q.mu.Lock()
-		q.sent++
-		q.sentB += int64(p.Len)
-		q.mu.Unlock()
-		linkFree = now.Add(time.Duration(int64(p.Len) * int64(time.Second) / int64(q.rate)))
+		total := 0
+		for _, p := range burst {
+			q.Transmit(p)
+			total += p.Len
+		}
+		q.sent.Add(uint64(len(burst)))
+		q.sentBytes.Add(int64(total))
+		linkFree = now.Add(time.Duration(int64(total) * int64(time.Second) / int64(q.rate)))
 	}
 }
 
-// sleepUntil waits for the duration, a stop signal, or (optionally) an
-// intake arrival, whichever comes first. A packet received while waiting
-// is handed back to the caller for immediate enqueueing (re-queueing it on
-// the channel would reorder it behind later arrivals). Returns ok=false on
-// stop.
-func sleepUntil(timer *time.Timer, d time.Duration, stop <-chan struct{}, in chan *Packet) (ok bool, pending *Packet) {
+// drainIntake moves buffered arrivals into the scheduler, stamping the
+// arrival clock (unless the submitter already did) so queueing-delay
+// metrics measure from intake. At most cap packets per call.
+func (q *PacedQueue) drainIntake(rings *intake.Queue, buf []*Packet, nowNs int64, limit int) ([]*Packet, int) {
+	drained := 0
+	for drained < limit {
+		buf = rings.Drain(buf[:0], min(paceDrainBatch, limit-drained))
+		if len(buf) == 0 {
+			break
+		}
+		for _, p := range buf {
+			if p.Arrival == 0 {
+				p.Arrival = nowNs
+			}
+			q.s.Enqueue(p, nowNs)
+		}
+		drained += len(buf)
+	}
+	return buf, drained
+}
+
+// sleep parks the pacing goroutine for at most d, waking early on Stop or
+// on a Submit doorbell. Before parking it re-drains the rings: a producer
+// that pushed before observing the idle flag rings no doorbell, so the
+// final drain (sequenced after the flag store) is what catches it. When
+// bailOnArrival is set (the scheduler was idle) a late arrival returns
+// immediately instead of parking; otherwise (the link is busy) arrivals
+// are enqueued and the wait continues. Returns false on Stop.
+func (q *PacedQueue) sleep(timer *time.Timer, d time.Duration, rings *intake.Queue, buf *[]*Packet, bailOnArrival bool) bool {
 	if !timer.Stop() {
 		select {
 		case <-timer.C:
@@ -202,20 +313,23 @@ func sleepUntil(timer *time.Timer, d time.Duration, stop <-chan struct{}, in cha
 		}
 	}
 	timer.Reset(d)
-	if in == nil {
-		select {
-		case <-stop:
-			return false, nil
-		case <-timer.C:
-			return true, nil
-		}
+	select {
+	case <-q.wake: // clear a stale doorbell; the drain below catches its packet
+	default:
+	}
+	q.idle.Store(true)
+	defer q.idle.Store(false)
+	var drained int
+	*buf, drained = q.drainIntake(rings, *buf, Now(time.Now()), rings.Cap())
+	if bailOnArrival && drained > 0 {
+		return true
 	}
 	select {
-	case <-stop:
-		return false, nil
+	case <-q.stop:
+		return false
 	case <-timer.C:
-		return true, nil
-	case p := <-in:
-		return true, p
+		return true
+	case <-q.wake:
+		return true
 	}
 }

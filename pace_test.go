@@ -1,6 +1,8 @@
 package hfsc_test
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -37,8 +39,8 @@ func TestPacedQueueEndToEnd(t *testing.T) {
 
 	start := time.Now()
 	for i := 0; i < 100; i++ {
-		if !q.Submit(&hfsc.Packet{Len: 1000, Class: bulk.ID()}) {
-			t.Fatal("submit failed")
+		if r := q.Submit(&hfsc.Packet{Len: 1000, Class: bulk.ID()}); r != hfsc.DropNone {
+			t.Fatalf("submit failed: %v", r)
 		}
 	}
 	// A voice packet submitted mid-burst should jump ahead of most bulk.
@@ -47,12 +49,15 @@ func TestPacedQueueEndToEnd(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		sent, _, _ := q.Stats()
-		if sent == 101 {
+		st := q.Stats()
+		if st.SentPackets == 101 {
+			if st.SentBytes != 100*1000+200 {
+				t.Fatalf("sent bytes %d, want %d", st.SentBytes, 100*1000+200)
+			}
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("timed out: sent %d of 101", sent)
+			t.Fatalf("timed out: sent %d of 101", st.SentPackets)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -91,8 +96,14 @@ func TestPacedQueueStopIsIdempotentAndRejects(t *testing.T) {
 	q.Start() // no-op
 	q.Stop()
 	q.Stop() // no-op
-	if q.Submit(&hfsc.Packet{Len: 1, Class: cl.ID()}) {
-		t.Fatal("submit accepted after stop")
+	if r := q.Submit(&hfsc.Packet{Len: 1, Class: cl.ID()}); r != hfsc.DropStopped {
+		t.Fatalf("submit after stop returned %v, want DropStopped", r)
+	}
+	if q.TrySubmit(&hfsc.Packet{Len: 1, Class: cl.ID()}) {
+		t.Fatal("TrySubmit accepted after stop")
+	}
+	if st := q.Stats(); st.DropsStopped != 2 || st.Drops() != 2 {
+		t.Fatalf("stats drops = %+v, want 2 stopped", st)
 	}
 }
 
@@ -108,4 +119,208 @@ func TestPacedQueueValidation(t *testing.T) {
 	if _, err := hfsc.NewPacedQueue(s2, nil); err == nil {
 		t.Error("nil transmit accepted")
 	}
+}
+
+// TestPacedQueueIntakeOverflow fills a deliberately tiny intake ring with
+// no consumer running and checks the bounded-queue overflow policy:
+// DropIntakeFull from Submit, counted in PacedStats, and — once metrics
+// are synced — visible in the aggregator snapshot and Prometheus output.
+func TestPacedQueueIntakeOverflow(t *testing.T) {
+	s := hfsc.New(hfsc.Config{LinkRate: hfsc.Mbps, Metrics: true})
+	cl, _ := s.AddClass(nil, "c", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.IntakeShards = 1
+	q.IntakeDepth = 8
+
+	for i := 0; i < 8; i++ {
+		if r := q.Submit(&hfsc.Packet{Len: 1, Class: cl.ID()}); r != hfsc.DropNone {
+			t.Fatalf("submit %d: %v", i, r)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if r := q.Submit(&hfsc.Packet{Len: 1, Class: cl.ID()}); r != hfsc.DropIntakeFull {
+			t.Fatalf("overflow submit returned %v, want DropIntakeFull", r)
+		}
+	}
+	st := q.Stats()
+	if st.DropsIntakeFull != 3 {
+		t.Fatalf("DropsIntakeFull = %d, want 3", st.DropsIntakeFull)
+	}
+	if st.IntakeBacklog != 8 {
+		t.Fatalf("IntakeBacklog = %d, want 8", st.IntakeBacklog)
+	}
+	if len(st.ShardHighWater) != 1 {
+		t.Fatalf("ShardHighWater has %d shards, want 1", len(st.ShardHighWater))
+	}
+
+	// The bugfix under test: intake drops must reach the metrics pipeline.
+	snap := q.Snapshot()
+	if snap.DropsIntakeFull != 3 {
+		t.Fatalf("snapshot DropsIntakeFull = %d, want 3", snap.DropsIntakeFull)
+	}
+	var buf strings.Builder
+	if err := q.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `hfsc_enqueue_rejects_total{reason="intake_full"} 3`) {
+		t.Fatalf("prometheus output missing intake_full counter:\n%s", buf.String())
+	}
+
+	// Start/Stop drains nothing into /metrics twice (totals are monotonic).
+	q.Start()
+	q.Stop()
+	if r := q.Submit(&hfsc.Packet{Len: 1, Class: cl.ID()}); r != hfsc.DropStopped {
+		t.Fatalf("post-stop submit: %v", r)
+	}
+	if snap := q.Snapshot(); snap.DropsIntakeFull != 3 || snap.DropsStopped != 1 {
+		t.Fatalf("snapshot drops = %d/%d, want 3/1", snap.DropsIntakeFull, snap.DropsStopped)
+	}
+}
+
+// TestPacedQueueConservation is the multi-producer stress gate (run under
+// -race by make check): N concurrent submitters against one pacing
+// goroutine, asserting conservation — every accepted packet is eventually
+// transmitted exactly once, every refused Submit is accounted by reason —
+// and FIFO order within each producer's class.
+func TestPacedQueueConservation(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+	)
+	// Fast link so pacing is not the bottleneck: 100 B at 100 MB/s = 1 µs.
+	s := hfsc.New(hfsc.Config{LinkRate: 100_000_000 * hfsc.Bps})
+	classes := make([]int, producers)
+	for i := range classes {
+		cl, err := s.AddClass(nil, fmt.Sprintf("p%d", i), hfsc.ClassConfig{
+			LinkShare: hfsc.Linear(100_000_000 / producers),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[i] = cl.ID()
+	}
+
+	var mu sync.Mutex
+	lastSeq := make(map[int]int64, producers)
+	got := make(map[int]uint64, producers)
+	reordered := false
+	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {
+		mu.Lock()
+		last, ok := lastSeq[p.Class]
+		if ok && int64(p.Seq) <= last {
+			reordered = true
+		}
+		lastSeq[p.Class] = int64(p.Seq)
+		got[p.Class]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.IntakeShards = 4
+	q.IntakeDepth = 64 // small rings so overflow drops actually happen
+	q.Start()
+	defer q.Stop()
+
+	var accepted, dropped [producers]uint64
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				r := q.Submit(&hfsc.Packet{Len: 100, Class: classes[pr], Seq: uint64(i)})
+				switch r {
+				case hfsc.DropNone:
+					accepted[pr]++
+				case hfsc.DropIntakeFull:
+					dropped[pr]++
+				default:
+					t.Errorf("producer %d: unexpected reason %v", pr, r)
+					return
+				}
+			}
+		}(pr)
+	}
+	wg.Wait()
+
+	var totalAccepted uint64
+	for pr := 0; pr < producers; pr++ {
+		if accepted[pr]+dropped[pr] != perProd {
+			t.Fatalf("producer %d: %d accepted + %d dropped != %d", pr, accepted[pr], dropped[pr], perProd)
+		}
+		totalAccepted += accepted[pr]
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := q.Stats()
+		if st.SentPackets == totalAccepted {
+			break
+		}
+		if st.SentPackets > totalAccepted {
+			t.Fatalf("sent %d > accepted %d (duplication)", st.SentPackets, totalAccepted)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: sent %d of %d accepted (intake backlog %d, scheduler backlog unknown)",
+				st.SentPackets, totalAccepted, st.IntakeBacklog)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.Stop()
+
+	// Quiescent conservation: accepted == transmitted + dropped + backlog,
+	// with backlog zero on both levels once everything drained.
+	st := q.Stats()
+	if st.IntakeBacklog != 0 {
+		t.Fatalf("intake backlog %d after drain", st.IntakeBacklog)
+	}
+	if s.Backlog() != 0 {
+		t.Fatalf("scheduler backlog %d after drain", s.Backlog())
+	}
+	if st.DropsIntakeFull != sum(dropped[:]) {
+		t.Fatalf("stats drops %d, producers saw %d", st.DropsIntakeFull, sum(dropped[:]))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if reordered {
+		t.Fatal("intra-producer reordering observed")
+	}
+	for pr := 0; pr < producers; pr++ {
+		if got[classes[pr]] != accepted[pr] {
+			t.Fatalf("producer %d: transmitted %d, accepted %d", pr, got[classes[pr]], accepted[pr])
+		}
+	}
+}
+
+func sum(xs []uint64) uint64 {
+	var t uint64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// BenchmarkIntakeSubmit measures the full Submit path (stop check, shard
+// hash, ring push) plus the pacing goroutine's drain, contended across
+// GOMAXPROCS submitters.
+func BenchmarkIntakeSubmit(b *testing.B) {
+	s := hfsc.New(hfsc.Config{LinkRate: hfsc.Gbps})
+	cl, _ := s.AddClass(nil, "c", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Gbps)})
+	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q.Start()
+	defer q.Stop()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		id := cl.ID()
+		for pb.Next() {
+			q.Submit(&hfsc.Packet{Len: 1000, Class: id})
+		}
+	})
 }
