@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint fmt vet build test bench bench-smoke bench-intake bench-json
+.PHONY: check lint fmt vet build test bench bench-smoke bench-intake bench-json bench-check
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests
 ## and a short benchmark smoke run to catch perf-path compile/runtime rot.
@@ -39,3 +39,10 @@ bench-intake:
 # Refresh the machine-readable overhead tracking file.
 bench-json:
 	$(GO) run ./cmd/hfsc-bench -json BENCH_overhead.json
+
+# Regression gate: re-run the TBL-O1 overhead rows and fail if any
+# ns_per_pkt regresses more than 15% against the frozen baseline section
+# of BENCH_overhead.json. Fewer ops than a full run — the gate catches
+# step-change regressions, not noise.
+bench-check:
+	$(GO) run ./cmd/hfsc-bench -ops 100000 -check

@@ -21,8 +21,10 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	hfsc "github.com/netsched/hfsc"
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/intake"
@@ -57,13 +59,17 @@ type File struct {
 
 func main() {
 	var (
-		ops      = flag.Int("ops", 200_000, "packets per measurement")
-		depth    = flag.Int("depth", 3, "hierarchy depth for the deep variant")
-		burst    = flag.Int("burst", 32, "DequeueN burst size")
-		jsonPath = flag.String("json", "BENCH_overhead.json", "perf-tracking JSON file to update (empty to disable)")
+		ops       = flag.Int("ops", 200_000, "packets per measurement")
+		depth     = flag.Int("depth", 3, "hierarchy depth for the deep variant")
+		burst     = flag.Int("burst", 32, "DequeueN burst size")
+		jsonPath  = flag.String("json", "BENCH_overhead.json", "perf-tracking JSON file to update (empty to disable)")
+		check     = flag.Bool("check", false, "regression gate: re-run the TBL-O1 overhead rows plus the one-shard MultiQueue row and fail if ns_per_pkt regresses beyond -tolerance vs the baseline section of -json (no file is written)")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns_per_pkt regression in -check mode")
 	)
 	flag.Parse()
 
+	// multiProducers feeds the MultiQueue rows (TBL-O3 and the -check gate).
+	const multiProducers = 16
 	sizes := []int{16, 64, 256, 1024, 4096}
 	var results []Result
 	record := func(name string, classes int, ns, allocs float64) {
@@ -102,6 +108,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *check {
+		// Also gate the sharded end-to-end path at one shard — the row a
+		// single-CPU runner can meaningfully hold steady. Wall-clock
+		// end-to-end numbers are noisier than the tight TBL-O1 loops, so
+		// take the best of three.
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			if r := measureMulti(1, multiProducers, 1024, *ops); r > best {
+				best = r
+			}
+		}
+		record("multiqueue-s1", 1024, 1e9/best, 0)
+		results[len(results)-1].Producers = multiProducers
+		if err := checkBaseline(*jsonPath, results, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbench-check: no ns_per_pkt regression beyond %.0f%% vs baseline\n", *tolerance*100)
+		return
+	}
 
 	// TBL-O2: the driver intake under producer contention — the single
 	// channel the PacedQueue used to funnel every Submit through, versus
@@ -124,6 +150,31 @@ func main() {
 	fmt.Println("TBL-O2: intake throughput under producer contention (accepted packets/s, submit -> batch drain)")
 	fmt.Println()
 	if err := itbl.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// TBL-O3: end-to-end MultiQueue throughput versus shard count — the
+	// sharded-scheduler scaling experiment. The line rate is set far above
+	// what the CPU can push so scheduling work, not pacing, is measured.
+	mtbl := &stats.Table{Header: []string{"shards", "pkts/s", "vs s=1"}}
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		rate := measureMulti(shards, multiProducers, 1024, *ops)
+		if shards == 1 {
+			base = rate
+		}
+		record(fmt.Sprintf("multiqueue-s%d", shards), 1024, 1e9/rate, 0)
+		results[len(results)-1].Producers = multiProducers
+		mtbl.AddRow(fmt.Sprintf("%d", shards),
+			fmt.Sprintf("%.2fM", rate/1e6),
+			fmt.Sprintf("%.2fx", rate/base))
+	}
+	fmt.Println()
+	fmt.Printf("TBL-O3: MultiQueue throughput vs shards (1024 classes, %d producers, batch SubmitN, pooled packets; GOMAXPROCS=%d)\n",
+		multiProducers, runtime.GOMAXPROCS(0))
+	fmt.Println()
+	if err := mtbl.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -411,6 +462,116 @@ func measureIntakeChan(producers, ops int) float64 {
 	elapsed := time.Since(start)
 	wg.Wait()
 	return float64(consumed) / elapsed.Seconds()
+}
+
+// measureMulti measures end-to-end MultiQueue throughput: producers
+// batch-submit pooled packets (SubmitN, 32 per batch) round-robin over
+// their slice of nclasses top-level classes while the shard pacing
+// goroutines dequeue and Release. Returns transmitted packets per second
+// of wall time. The 100 Gb/s line keeps pacing out of the way.
+func measureMulti(shards, producers, nclasses, ops int) float64 {
+	var sent atomic.Int64
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{LinkRate: 100 * hfsc.Gbps},
+		Shards: shards,
+	}, func(p *hfsc.Packet) {
+		sent.Add(1)
+		p.Release()
+	})
+	if err != nil {
+		panic(err)
+	}
+	rate := 100 * hfsc.Gbps / uint64(nclasses)
+	ids := make([]int, nclasses)
+	for i := 0; i < nclasses; i++ {
+		cl, err := m.AddClass(nil, fmt.Sprintf("c%d", i), hfsc.ClassConfig{LinkShare: hfsc.Linear(rate)})
+		if err != nil {
+			panic(err)
+		}
+		ids[i] = cl.ID()
+	}
+	m.Start()
+	defer m.Stop()
+
+	const batch = 32
+	per := ops / producers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			mine := ids[pr*nclasses/producers : (pr+1)*nclasses/producers]
+			ps := make([]*hfsc.Packet, 0, batch)
+			for done := 0; done < per; {
+				ps = ps[:0]
+				for len(ps) < batch && done+len(ps) < per {
+					p := hfsc.GetPacket()
+					p.Len = 1000
+					p.Class = mine[(done+len(ps))%len(mine)]
+					ps = append(ps, p)
+				}
+				rest := ps
+				for len(rest) > 0 {
+					n, r := m.SubmitN(rest)
+					done += n
+					rest = rest[n:]
+					if r == hfsc.DropIntakeFull {
+						runtime.Gosched() // full shard ring: retry the refused packet
+					}
+				}
+			}
+		}(pr)
+	}
+	wg.Wait()
+	for int(sent.Load()) < per*producers {
+		runtime.Gosched()
+	}
+	elapsed := time.Since(start)
+	return float64(per*producers) / elapsed.Seconds()
+}
+
+// checkBaseline compares freshly measured TBL-O1 rows against the frozen
+// baseline section of the perf-tracking file, failing on any ns_per_pkt
+// regression beyond the tolerance fraction. Rows absent from the baseline
+// (new workloads) are skipped.
+func checkBaseline(path string, results []Result, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("hfsc-bench -check: cannot read %s: %w", path, err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("hfsc-bench -check: cannot parse %s: %w", path, err)
+	}
+	if f.Baseline == nil {
+		return fmt.Errorf("hfsc-bench -check: %s has no baseline section", path)
+	}
+	base := map[string]float64{}
+	for _, r := range f.Baseline.Results {
+		base[fmt.Sprintf("%s/%d", r.Name, r.Classes)] = r.NsPerPkt
+	}
+	var failures []string
+	for _, r := range results {
+		key := fmt.Sprintf("%s/%d", r.Name, r.Classes)
+		want, ok := base[key]
+		if !ok || want <= 0 {
+			continue
+		}
+		if r.NsPerPkt > want*(1+tolerance) {
+			failures = append(failures,
+				fmt.Sprintf("  %-28s %.0f ns/pkt vs baseline %.0f (%+.0f%%)",
+					key, r.NsPerPkt, want, 100*(r.NsPerPkt/want-1)))
+		}
+	}
+	if len(failures) > 0 {
+		msg := "hfsc-bench -check: ns_per_pkt regressions beyond tolerance:\n"
+		for _, l := range failures {
+			msg += l + "\n"
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
 }
 
 // measureNextReady measures the retry-time query with every class deferred.

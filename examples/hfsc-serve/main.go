@@ -1,4 +1,4 @@
-// Hfsc-serve is the observability example: a PacedQueue shaping synthetic
+// Hfsc-serve is the observability example: a MultiQueue shaping synthetic
 // traffic in real time, with the scheduler's metrics scraped over HTTP in
 // Prometheus text format — the paper's measurement methodology turned into
 // a production monitoring endpoint.
@@ -12,7 +12,9 @@
 // with a real-time curve, a greedy "bulk" class with a short queue (so
 // queue-limit drops show up), and an upper-limited "capped" class (so
 // deferral events show up). Watch hfsc_deadline_slack_seconds stay
-// positive for voice while hfsc_drops_total climbs for bulk.
+// positive for voice while hfsc_drops_total climbs for bulk. The classes
+// spread across scheduler shards; /metrics reports them merged under
+// their global ids.
 package main
 
 import (
@@ -28,78 +30,80 @@ import (
 func main() {
 	listen := flag.String("listen", ":9153", "HTTP listen address for /metrics")
 	rate := flag.Uint64("rate", 1, "link rate in Mb/s")
+	shards := flag.Int("shards", 0, "scheduler shards (0 = one per CPU)")
 	flag.Parse()
 
 	link := *rate * hfsc.Mbps
-	s := hfsc.New(hfsc.Config{
-		LinkRate:          link,
-		DefaultQueueLimit: 1000,
-		Metrics:           true,
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{
+			LinkRate:          link,
+			DefaultQueueLimit: 1000,
+			Metrics:           true,
+		},
+		Shards: *shards,
+	}, func(p *hfsc.Packet) {
+		// A real datapath would write p.Payload to a socket here.
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	voiceRT, err := hfsc.ForRealTime(160, 5*time.Millisecond, 64*hfsc.Kbps)
 	if err != nil {
 		log.Fatal(err)
 	}
-	voice, err := s.AddClass(nil, "voice", hfsc.ClassConfig{
+	voice, err := m.AddClass(nil, "voice", hfsc.ClassConfig{
 		RealTime:  voiceRT,
 		LinkShare: hfsc.Linear(64 * hfsc.Kbps),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bulk, err := s.AddClass(nil, "bulk", hfsc.ClassConfig{
+	bulk, err := m.AddClass(nil, "bulk", hfsc.ClassConfig{
 		LinkShare:  hfsc.Linear(link * 3 / 4),
 		QueueLimit: 32, // short queue: overload surfaces as queue-limit drops
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	capped, err := s.AddClass(nil, "capped", hfsc.ClassConfig{
+	capped, err := m.AddClass(nil, "capped", hfsc.ClassConfig{
 		LinkShare:  hfsc.Linear(link / 4),
 		UpperLimit: hfsc.Linear(link / 10),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := s.Admissible(); err != nil {
+	if err := m.Admissible(); err != nil {
 		log.Fatal(err)
 	}
-
-	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {
-		// A real datapath would write p.Payload to a socket here.
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	q.Start()
-	defer q.Stop()
+	m.Start()
+	defer m.Stop()
 
 	// Synthetic load. Submit stamps nothing; the pacing goroutine stamps
 	// Arrival on enqueue, so queue-delay histograms measure shaper time.
 	go func() { // voice: 160 B every 20 ms = 64 Kb/s CBR
 		for range time.Tick(20 * time.Millisecond) {
-			q.Submit(&hfsc.Packet{Len: 160, Class: voice.ID()})
+			m.Submit(&hfsc.Packet{Len: 160, Class: voice.ID()})
 		}
 	}()
 	go func() { // bulk: bursts that overdrive the link
 		for range time.Tick(10 * time.Millisecond) {
 			for i := 0; i < 2; i++ {
-				q.Submit(&hfsc.Packet{Len: 1200, Class: bulk.ID()})
+				m.Submit(&hfsc.Packet{Len: 1200, Class: bulk.ID()})
 			}
 		}
 	}()
 	go func() { // capped: ~2x its upper limit, with jittered sizes
 		for range time.Tick(25 * time.Millisecond) {
-			q.Submit(&hfsc.Packet{Len: 400 + rand.Intn(400), Class: capped.ID()})
+			m.Submit(&hfsc.Packet{Len: 400 + rand.Intn(400), Class: capped.ID()})
 		}
 	}()
 
-	// Periodic driver-level stats: the typed PacedStats snapshot covers the
-	// intake side (what /metrics covers for the scheduler side).
+	// Periodic driver-level stats: the typed MultiStats snapshot covers the
+	// intake and pacing side (what /metrics covers for the scheduler side).
 	go func() {
 		for range time.Tick(10 * time.Second) {
-			st := q.Stats()
+			st := m.Stats()
 			log.Printf("paced: sent=%d pkts %d B, intake drops full=%d stopped=%d, backlog=%d, shard high-water=%v",
 				st.SentPackets, st.SentBytes, st.DropsIntakeFull, st.DropsStopped, st.IntakeBacklog, st.ShardHighWater)
 		}
@@ -107,10 +111,10 @@ func main() {
 
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := q.WriteMetrics(w); err != nil {
+		if err := m.WriteMetrics(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	log.Printf("serving metrics on %s/metrics (link %d Mb/s)", *listen, *rate)
+	log.Printf("serving metrics on %s/metrics (link %d Mb/s, %d shards)", *listen, *rate, m.NumShards())
 	log.Fatal(http.ListenAndServe(*listen, nil))
 }

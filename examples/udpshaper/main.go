@@ -2,11 +2,13 @@
 // egress is paced by the H-FSC scheduler, the role the paper's NetBSD
 // kernel module plays for a network interface.
 //
-// Packets arriving on the listen sockets are classified by listen port and
-// submitted to a PacedQueue; its pacing goroutine dequeues at the
-// configured line rate and forwards to the destination. Each listen socket
-// has its own reader goroutine — the sharded intake lets them all call
-// Submit concurrently without a lock between them. Try it with three
+// Packets arriving on the listen sockets are classified by listen port
+// and submitted to a MultiQueue — per-core scheduler shards, each pacing
+// its service-curve slice of the line rate. Each listen socket has its
+// own reader goroutine; readers batch bursts into one SubmitN call and
+// recycle packets through the shared pool (GetPacket in the readers,
+// Release after the egress write), so a sustained flood neither locks
+// readers against each other nor allocates per packet. Try it with three
 // terminals:
 //
 //	go run ./examples/udpshaper -rate 1Mbit \
@@ -17,8 +19,8 @@
 //	yes | nc -u 127.0.0.1 9002        # bulk load; then speak on 9001
 //
 // The voice port stays responsive regardless of bulk load. When the bulk
-// sender overdrives a shard, Submit reports DropIntakeFull and the reader
-// counts it instead of blocking the socket read loop.
+// sender overdrives a shard, SubmitN reports DropIntakeFull and the
+// reader counts the drop instead of blocking the socket read loop.
 package main
 
 import (
@@ -40,10 +42,15 @@ type classFlag struct{ specs []string }
 func (c *classFlag) String() string     { return strings.Join(c.specs, " ") }
 func (c *classFlag) Set(s string) error { c.specs = append(c.specs, s); return nil }
 
+// batchSize bounds one SubmitN call; a reader flushes earlier whenever
+// the socket goes momentarily quiet, so batching never adds idle latency.
+const batchSize = 16
+
 func main() {
 	var classes classFlag
 	rateStr := flag.String("rate", "1Mbit", "egress line rate")
 	to := flag.String("to", "127.0.0.1:9999", "destination address")
+	shards := flag.Int("shards", 0, "scheduler shards (0 = one per CPU)")
 	statsEvery := flag.Duration("stats", 5*time.Second, "interval between stats lines (0 disables)")
 	flag.Var(&classes, "class", "name:port:rtCurve:lsCurve (curves in hierarchy syntax; rt may be empty)")
 	flag.Parse()
@@ -65,20 +72,23 @@ func main() {
 	}
 	defer out.Close()
 
-	s := hfsc.New(hfsc.Config{LinkRate: rate, DefaultQueueLimit: 200})
-
-	// The pacing goroutine owns the scheduler and the egress socket; the
-	// reader goroutines only ever touch the intake rings.
-	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {
+	// The shard pacing goroutines own their schedulers; with more than one
+	// shard the transmit callback runs concurrently, which a UDP write
+	// tolerates. Readers only ever touch the intake rings.
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{LinkRate: rate, DefaultQueueLimit: 200},
+		Shards: *shards,
+	}, func(p *hfsc.Packet) {
 		if _, err := out.Write(p.Payload); err != nil {
 			log.Printf("forward: %v", err)
 		}
+		p.Release()
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var rejected atomic.Uint64 // scheduler-side refusals are in Snapshot; this counts intake drops seen by readers
+	var rejected atomic.Uint64 // intake drops seen by readers; scheduler-side refusals are in Snapshot
 	for _, spec := range classes.specs {
 		parts := strings.SplitN(spec, ":", 4)
 		if len(parts) != 4 {
@@ -94,7 +104,7 @@ func main() {
 		if cfg.LinkShare, err = hierarchy.ParseCurve(parts[3]); err != nil {
 			log.Fatal(err)
 		}
-		cl, err := s.AddClass(nil, name, cfg)
+		cl, err := m.AddClass(nil, name, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,41 +113,93 @@ func main() {
 			log.Fatal(err)
 		}
 		defer conn.Close()
-		fmt.Printf("class %-8s on :%s  rt=%v ls=%v\n", name, port, cfg.RealTime, cfg.LinkShare)
+		fmt.Printf("class %-8s on :%s  shard %d  rt=%v ls=%v\n", name, port, cl.Shard(), cfg.RealTime, cfg.LinkShare)
 
-		go func(cl *hfsc.Class, conn net.PacketConn) {
-			buf := make([]byte, 64<<10)
-			for {
-				n, _, err := conn.ReadFrom(buf)
-				if err != nil {
-					return
-				}
-				payload := make([]byte, n)
-				copy(payload, buf[:n])
-				switch q.Submit(&hfsc.Packet{Len: n, Class: cl.ID(), Payload: payload}) {
-				case hfsc.DropNone:
-				case hfsc.DropIntakeFull:
-					rejected.Add(1) // bounded intake: drop here, never block the socket
-				case hfsc.DropStopped:
-					return
-				}
-			}
-		}(cl, conn)
+		go read(conn, m, cl.ID(), &rejected)
 	}
-	if err := s.Admissible(); err != nil {
+	if err := m.Admissible(); err != nil {
 		fmt.Fprintln(os.Stderr, "warning:", err)
 	}
 
-	fmt.Printf("shaping to %s at %s\n", *to, *rateStr)
-	q.Start()
-	defer q.Stop()
+	fmt.Printf("shaping to %s at %s across %d shard(s)\n", *to, *rateStr, m.NumShards())
+	m.Start()
+	defer m.Stop()
 
 	if *statsEvery <= 0 {
 		select {}
 	}
 	for range time.Tick(*statsEvery) {
-		st := q.Stats()
-		log.Printf("sent %d pkts (%d B), intake drops full=%d stopped=%d, backlog %d, reader-seen drops %d",
-			st.SentPackets, st.SentBytes, st.DropsIntakeFull, st.DropsStopped, st.IntakeBacklog, rejected.Load())
+		st := m.Stats()
+		rates := make([]string, len(st.Shards))
+		for i, sh := range st.Shards {
+			rates[i] = fmt.Sprintf("%d", sh.Rate)
+		}
+		log.Printf("sent %d pkts (%d B), intake drops full=%d stopped=%d, backlog %d, reader-seen drops %d, shard rates %s B/s",
+			st.SentPackets, st.SentBytes, st.DropsIntakeFull, st.DropsStopped, st.IntakeBacklog, rejected.Load(),
+			strings.Join(rates, "/"))
 	}
+}
+
+// read pulls datagrams off one socket and batch-submits them: the first
+// read of a batch blocks, the rest use an immediate deadline so a burst
+// coalesces into one SubmitN while a lone packet is flushed at once.
+func read(conn net.PacketConn, m *hfsc.MultiQueue, class int, rejected *atomic.Uint64) {
+	buf := make([]byte, 64<<10)
+	batch := make([]*hfsc.Packet, 0, batchSize)
+	var zero time.Time
+	for {
+		batch = batch[:0]
+		conn.SetReadDeadline(zero) // block for the head of the next batch
+		for len(batch) < batchSize {
+			n, _, err := conn.ReadFrom(buf)
+			if err != nil {
+				if len(batch) > 0 && errTimeout(err) {
+					break // burst over: flush what we have
+				}
+				if errTimeout(err) {
+					continue
+				}
+				submit(m, batch, rejected)
+				return
+			}
+			p := hfsc.GetPacket()
+			p.Len = n
+			p.Class = class
+			p.Payload = append(p.Payload[:0], buf[:n]...) // reuse pooled capacity
+			batch = append(batch, p)
+			// Drain whatever already sits in the socket buffer, no waiting.
+			conn.SetReadDeadline(time.Unix(1, 0))
+		}
+		if !submit(m, batch, rejected) {
+			return
+		}
+	}
+}
+
+// submit feeds one batch through SubmitN, releasing refused packets and
+// counting drops. Returns false once the shaper is stopped.
+func submit(m *hfsc.MultiQueue, batch []*hfsc.Packet, rejected *atomic.Uint64) bool {
+	rest := batch
+	for len(rest) > 0 {
+		n, r := m.SubmitN(rest)
+		rest = rest[n:]
+		switch r {
+		case hfsc.DropNone:
+		case hfsc.DropStopped:
+			for _, p := range rest {
+				p.Release()
+			}
+			return false
+		default: // DropIntakeFull etc.: bounded intake — drop, never block the socket
+			rejected.Add(1)
+			rest[0].Release()
+			rest = rest[1:]
+		}
+	}
+	return true
+}
+
+func errTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
 }

@@ -1,0 +1,40 @@
+package metrics
+
+import "sort"
+
+// MergeSnapshots folds per-shard snapshots into one, for drivers that run
+// several schedulers side by side (MultiQueue). Scheduler-level counters
+// sum, the clock is the newest across shards, and class entries — which
+// are disjoint between shards — are concatenated. Class ids are local to
+// each shard's scheduler, so remap translates (shard index, local id) to
+// the merged id space; returning ok=false drops the entry (e.g. a shard's
+// root). A nil remap keeps local ids, which is only meaningful for a
+// single snapshot. Nil snapshots are skipped.
+func MergeSnapshots(snaps []*Snapshot, remap func(shard, id int) (int, bool)) *Snapshot {
+	out := &Snapshot{}
+	for i, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.Now > out.Now {
+			out.Now = s.Now
+		}
+		out.UlimitDefers += s.UlimitDefers
+		out.DropsUnknownClass += s.DropsUnknownClass
+		out.DropsBadPacket += s.DropsBadPacket
+		out.DropsIntakeFull += s.DropsIntakeFull
+		out.DropsStopped += s.DropsStopped
+		for _, c := range s.Classes {
+			if remap != nil {
+				id, ok := remap(i, c.ID)
+				if !ok {
+					continue
+				}
+				c.ID = id
+			}
+			out.Classes = append(out.Classes, c)
+		}
+	}
+	sort.Slice(out.Classes, func(a, b int) bool { return out.Classes[a].ID < out.Classes[b].ID })
+	return out
+}

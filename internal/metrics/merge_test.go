@@ -1,0 +1,61 @@
+package metrics
+
+import "testing"
+
+func TestMergeSnapshots(t *testing.T) {
+	a := &Snapshot{
+		Now:            100,
+		UlimitDefers:   2,
+		DropsBadPacket: 1,
+		Classes: []ClassSnapshot{
+			{ID: 1, Name: "voice", EnqueuedPackets: 10},
+			{ID: 2, Name: "bulk", EnqueuedPackets: 20},
+		},
+	}
+	b := &Snapshot{
+		Now:             250,
+		UlimitDefers:    3,
+		DropsIntakeFull: 7,
+		Classes: []ClassSnapshot{
+			{ID: 1, Name: "video", EnqueuedPackets: 30},
+		},
+	}
+	remap := func(shard, id int) (int, bool) {
+		if shard == 0 {
+			return id, true // shard 0 keeps 1, 2
+		}
+		if id == 1 {
+			return 3, true // shard 1's class 1 is global 3
+		}
+		return 0, false
+	}
+	m := MergeSnapshots([]*Snapshot{a, nil, b}, remap)
+	if m.Now != 250 {
+		t.Fatalf("Now = %d, want max 250", m.Now)
+	}
+	if m.UlimitDefers != 5 || m.DropsBadPacket != 1 || m.DropsIntakeFull != 7 {
+		t.Fatalf("scheduler counters not summed: %+v", m)
+	}
+	if len(m.Classes) != 3 {
+		t.Fatalf("got %d classes, want 3", len(m.Classes))
+	}
+	for i, want := range []struct {
+		id   int
+		name string
+	}{{1, "voice"}, {2, "bulk"}, {3, "video"}} {
+		if m.Classes[i].ID != want.id || m.Classes[i].Name != want.name {
+			t.Fatalf("class[%d] = %d/%q, want %d/%q",
+				i, m.Classes[i].ID, m.Classes[i].Name, want.id, want.name)
+		}
+	}
+	if got, ok := m.Class(3); !ok || got.EnqueuedPackets != 30 {
+		t.Fatalf("Class(3) = %+v, %v", got, ok)
+	}
+
+	// Dropped entries: remap rejecting everything yields scheduler-level
+	// sums only.
+	none := MergeSnapshots([]*Snapshot{a, b}, func(int, int) (int, bool) { return 0, false })
+	if len(none.Classes) != 0 || none.UlimitDefers != 5 {
+		t.Fatalf("reject-all merge kept classes: %+v", none)
+	}
+}

@@ -1,0 +1,31 @@
+package pktq
+
+import "sync"
+
+// pool recycles Packet structs for sustained-load drivers. A scheduler
+// datapath that allocates one Packet per wire packet churns the garbage
+// collector at exactly the moment it is busiest; recycling through a
+// sync.Pool keeps the steady state allocation-free.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed Packet from the pool. Pair every Get with exactly
+// one Release once the packet's owner is done with it.
+func Get() *Packet { return pool.Get().(*Packet) }
+
+// Release zeroes the packet and returns it to the pool. The Payload
+// backing array is kept (length reset to zero) so a driver that fills
+// payloads with append reuses the same buffer lap after lap.
+//
+// Ownership rule: whoever holds the packet releases it. A scheduler or
+// driver owns the packet from a successful enqueue/Submit until its
+// Transmit callback returns; callers may Release only a packet that was
+// never accepted (a refused Submit) or one whose Transmit has completed
+// — typically at the end of the Transmit callback itself.
+func (p *Packet) Release() {
+	payload := p.Payload
+	if payload != nil {
+		payload = payload[:0]
+	}
+	*p = Packet{Payload: payload}
+	pool.Put(p)
+}

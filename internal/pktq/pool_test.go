@@ -1,0 +1,36 @@
+package pktq
+
+import "testing"
+
+func TestPoolReleaseZeroes(t *testing.T) {
+	p := Get()
+	if p.Len != 0 || p.Class != 0 || len(p.Payload) != 0 {
+		t.Fatalf("Get returned a dirty packet: %+v", p)
+	}
+	p.Len = 1500
+	p.Class = 7
+	p.Seq = 42
+	p.Arrival = 99
+	p.Deadline = 100
+	p.Crit = ByRealTime
+	p.Payload = append(p.Payload, make([]byte, 1024)...)
+	p.Release()
+
+	q := Get()
+	if q.Len != 0 || q.Class != 0 || q.Seq != 0 || q.Arrival != 0 ||
+		q.Deadline != 0 || q.Crit != ByNone || len(q.Payload) != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", q)
+	}
+	q.Release()
+}
+
+func TestPoolKeepsPayloadCapacity(t *testing.T) {
+	// The pool contract is that Release keeps the payload backing array;
+	// whether Get returns the same struct is up to the runtime, so test the
+	// invariant directly on the struct.
+	p := &Packet{Payload: make([]byte, 512, 2048)}
+	p.Release()
+	if len(p.Payload) != 0 || cap(p.Payload) != 2048 {
+		t.Fatalf("Release: payload len=%d cap=%d, want 0/2048", len(p.Payload), cap(p.Payload))
+	}
+}

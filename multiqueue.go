@@ -1,0 +1,530 @@
+package hfsc
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/metrics"
+	"github.com/netsched/hfsc/internal/multi"
+)
+
+// MultiConfig configures a MultiQueue. The embedded Config applies to
+// every shard (LinkRate is the whole link's line rate; each shard paces
+// at its slice of it).
+type MultiConfig struct {
+	Config
+
+	// Shards is the number of scheduler shards — independent Schedulers,
+	// each behind its own PacedQueue and pacing goroutine. 0 picks one per
+	// CPU rounded up to a power of two; values are clamped to [1, 64].
+	Shards int
+
+	// IntakeShards and IntakeDepth tune each shard's intake rings (see
+	// PacedQueue); zero picks the defaults.
+	IntakeShards int
+	IntakeDepth  int
+
+	// RebalanceEvery is the excess-bandwidth rebalancing period: how often
+	// the measured per-shard demand re-divides the line rate beyond the
+	// guaranteed floors. 0 picks the default (250 ms); negative disables
+	// rebalancing, freezing the slices computed at Start.
+	RebalanceEvery time.Duration
+}
+
+// DefaultRebalanceEvery is the rebalancing period used when
+// MultiConfig.RebalanceEvery is zero.
+const DefaultRebalanceEvery = 250 * time.Millisecond
+
+// MultiQueue runs H-FSC across scheduler shards — one independent
+// Scheduler per shard, each owned by its own pacing goroutine draining
+// its own intake rings — so the scheduling work itself scales with
+// cores instead of serializing on one dequeue loop.
+//
+// The partition follows the paper's admissibility condition, which
+// composes: top-level classes (and their whole subtrees) are pinned to a
+// shard at AddClass time, and each shard's pacing rate is a
+// service-curve slice of the line rate that never drops below the
+// shard's admitted sum of real-time curves. Real-time guarantees
+// (Theorem 2 delay bounds) therefore hold per shard exactly as they
+// would on a dedicated link of the slice's rate. What is traded away is
+// packet-granular link-sharing *across* shards: a rebalancer goroutine
+// re-divides only the excess (non-guaranteed) bandwidth between shards
+// from measured backlog and EWMA service rates, so cross-shard fairness
+// is epoch-granular where intra-shard fairness remains per-packet.
+//
+// Class identifiers returned by AddClass (and carried in Packet.Class)
+// are global to the MultiQueue; the mapping to shard-local classes is
+// internal. Like the core hierarchy, the class tree must be fully built
+// before Start.
+type MultiQueue struct {
+	cfg      MultiConfig
+	line     uint64
+	transmit func(*Packet)
+
+	shards []*mqShard
+	place  *multi.Placement
+	rebal  *multi.Rebalancer
+
+	classes []*MultiClass // indexed by global class id
+	byName  map[string]*MultiClass
+
+	mu       sync.Mutex
+	started  bool
+	stopped  bool
+	stopReb  chan struct{}
+	rebDone  sync.WaitGroup
+	floorBuf []uint64
+	sentBuf  []int64
+	backBuf  []int64
+
+	dropUnknown atomic.Uint64
+}
+
+// mqShard is one scheduler shard: a Scheduler owned by a PacedQueue, plus
+// the local→global class id mapping its Transmit wrapper restores.
+type mqShard struct {
+	sched    *Scheduler
+	q        *PacedQueue
+	globalOf []int // local class id → global id; -1 for the root
+}
+
+// MultiClass is a class of a MultiQueue: a shard-local Class plus its
+// global identity. Use ID as Packet.Class for leaves.
+type MultiClass struct {
+	cl    *Class
+	mq    *MultiQueue
+	shard int
+	id    int
+}
+
+// ID returns the MultiQueue-global identifier to place in Packet.Class.
+func (c *MultiClass) ID() int { return c.id }
+
+// Name returns the class name (unique across the whole MultiQueue).
+func (c *MultiClass) Name() string { return c.cl.Name() }
+
+// Shard returns the index of the scheduler shard this class is pinned to.
+func (c *MultiClass) Shard() int { return c.shard }
+
+// IsLeaf reports whether the class has no children.
+func (c *MultiClass) IsLeaf() bool { return c.cl.IsLeaf() }
+
+// Parent returns the parent class, or nil for a top-level class.
+func (c *MultiClass) Parent() *MultiClass {
+	p := c.cl.Parent()
+	if p == nil || p == c.mq.shards[c.shard].sched.Root() {
+		return nil
+	}
+	return c.mq.classes[c.mq.shards[c.shard].globalOf[p.ID()]]
+}
+
+// Stats reports the class's service counters. Like direct Scheduler
+// access, it is safe only before Start or after Stop (the shard's pacing
+// goroutine owns the counters in between); use Metrics for live numbers.
+func (c *MultiClass) Stats() ClassStats { return c.cl.Stats() }
+
+// Metrics returns this class's slice of the metrics snapshot (zero when
+// metrics are disabled), with the ID translated to the global id space.
+// Safe from any goroutine.
+func (c *MultiClass) Metrics() ClassSnapshot {
+	cs := c.cl.Metrics()
+	if cs.Name != "" {
+		cs.ID = c.id
+	}
+	return cs
+}
+
+// NewMultiQueue creates a MultiQueue with the given transmit callback,
+// which is invoked for every departing packet from that packet's shard
+// pacing goroutine — with Shards > 1 it must be safe for concurrent use.
+func NewMultiQueue(cfg MultiConfig, transmit func(*Packet)) (*MultiQueue, error) {
+	if cfg.LinkRate == 0 {
+		return nil, fmt.Errorf("hfsc: MultiQueue needs Config.LinkRate set")
+	}
+	if transmit == nil {
+		return nil, fmt.Errorf("hfsc: MultiQueue needs a Transmit callback")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = multi.DefaultShards()
+	}
+	if n > multi.MaxShards {
+		n = multi.MaxShards
+	}
+	cfg.Shards = n
+	if cfg.RebalanceEvery == 0 {
+		cfg.RebalanceEvery = DefaultRebalanceEvery
+	}
+	m := &MultiQueue{
+		cfg:      cfg,
+		line:     cfg.LinkRate,
+		transmit: transmit,
+		place:    multi.NewPlacement(n),
+		rebal:    multi.NewRebalancer(cfg.LinkRate, n, cfg.MetricsWindow),
+		byName:   map[string]*MultiClass{},
+		stopReb:  make(chan struct{}),
+		sentBuf:  make([]int64, n),
+		backBuf:  make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		sh := &mqShard{globalOf: []int{-1}} // local id 0 is the shard's root
+		sh.sched = New(cfg.Config)
+		q, err := NewPacedQueue(sh.sched, func(p *Packet) {
+			p.Class = sh.globalOf[p.Class]
+			transmit(p)
+		})
+		if err != nil {
+			return nil, err
+		}
+		q.IntakeShards = cfg.IntakeShards
+		q.IntakeDepth = cfg.IntakeDepth
+		sh.q = q
+		m.shards = append(m.shards, sh)
+	}
+	return m, nil
+}
+
+// NumShards reports the shard count.
+func (m *MultiQueue) NumShards() int { return len(m.shards) }
+
+// supRate returns the supremum of sc(t)/t for a two-piece linear curve —
+// the conservative per-curve rate the shard floors account.
+func supRate(sc SC) uint64 {
+	if sc.M1 > sc.M2 {
+		return sc.M1
+	}
+	return sc.M2
+}
+
+// AddClass creates a class. A nil parent makes a top-level class, which
+// is pinned to a shard chosen to balance guaranteed load; children land
+// on their parent's shard, so each top-level subtree lives entirely
+// inside one scheduler. Names must be unique across the MultiQueue. The
+// hierarchy must be fully built before Start.
+func (m *MultiQueue) AddClass(parent *MultiClass, name string, cfg ClassConfig) (*MultiClass, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return nil, fmt.Errorf("hfsc: MultiQueue classes must be added before Start")
+	}
+	if _, dup := m.byName[name]; dup {
+		return nil, fmt.Errorf("%w %q", ErrDuplicateClass, name)
+	}
+	guarantee := supRate(cfg.RealTime)
+	var shard int
+	var parentCl *Class
+	if parent == nil {
+		shard = m.place.Place(guarantee)
+	} else {
+		shard = parent.shard
+		parentCl = parent.cl
+	}
+	sh := m.shards[shard]
+	cl, err := sh.sched.AddClass(parentCl, name, cfg)
+	if err != nil {
+		if parent == nil {
+			m.place.Unplace(shard, guarantee)
+		}
+		return nil, err
+	}
+	if parent != nil {
+		m.place.Charge(shard, guarantee)
+	}
+	id := len(m.classes)
+	for len(sh.globalOf) <= cl.ID() {
+		sh.globalOf = append(sh.globalOf, -1)
+	}
+	sh.globalOf[cl.ID()] = id
+	mc := &MultiClass{cl: cl, mq: m, shard: shard, id: id}
+	m.classes = append(m.classes, mc)
+	m.byName[name] = mc
+	return mc, nil
+}
+
+// Class returns the class with the given name, or nil.
+func (m *MultiQueue) Class(name string) *MultiClass {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byName[name]
+}
+
+// Classes returns every class in creation (global id) order.
+func (m *MultiQueue) Classes() []*MultiClass {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*MultiClass(nil), m.classes...)
+}
+
+// Admissible verifies the composed schedulability condition: the summed
+// per-shard guaranteed floors (each the sup-rate sum of its admitted
+// real-time curves) must fit in the line rate. This is slightly
+// conservative versus the single-scheduler Admissible — sup-rates bound
+// the exact curve sum from above — which is the price of giving each
+// shard an independently checkable slice.
+func (m *MultiQueue) Admissible() error {
+	m.mu.Lock()
+	total := m.place.TotalFloor()
+	m.mu.Unlock()
+	if total > m.line {
+		return fmt.Errorf("%w (guaranteed floors %d B/s exceed line %d B/s)",
+			ErrInadmissible, total, m.line)
+	}
+	return nil
+}
+
+// Start computes the initial rate slices, launches every shard's pacing
+// goroutine and, unless disabled, the rebalancer.
+func (m *MultiQueue) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	m.rebalanceLocked(Now(time.Now()))
+	for _, sh := range m.shards {
+		sh.q.Start()
+	}
+	if m.cfg.RebalanceEvery > 0 && len(m.shards) > 1 {
+		m.rebDone.Add(1)
+		go m.rebalanceLoop()
+	}
+}
+
+// Stop terminates the rebalancer and every shard's pacing goroutine and
+// waits for them; queued packets are discarded. Idempotent.
+func (m *MultiQueue) Stop() {
+	m.mu.Lock()
+	if !m.started || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	close(m.stopReb)
+	m.rebDone.Wait()
+	for _, sh := range m.shards {
+		sh.q.Stop()
+	}
+}
+
+func (m *MultiQueue) rebalanceLoop() {
+	defer m.rebDone.Done()
+	t := time.NewTicker(m.cfg.RebalanceEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopReb:
+			return
+		case now := <-t.C:
+			m.mu.Lock()
+			m.rebalanceLocked(Now(now))
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Rebalance runs one rebalancing pass immediately (the rebalancer
+// goroutine does this on its own period; exposed for tests and for
+// drivers running with RebalanceEvery < 0).
+func (m *MultiQueue) Rebalance() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rebalanceLocked(Now(time.Now()))
+}
+
+// rebalanceLocked re-divides the line rate: guaranteed floors always,
+// excess by measured demand (EWMA service rate plus intake backlog).
+func (m *MultiQueue) rebalanceLocked(now int64) {
+	m.floorBuf = m.place.Floors(m.floorBuf)
+	for i, sh := range m.shards {
+		st := sh.q.Stats()
+		m.sentBuf[i] = st.SentBytes
+		m.backBuf[i] = int64(st.IntakeBacklog) * paceMTU
+	}
+	slices := m.rebal.Slices(now, m.sentBuf, m.backBuf, m.floorBuf)
+	for i, sh := range m.shards {
+		sh.q.SetRate(slices[i])
+	}
+}
+
+// classRef resolves a global class id to its shard and local id; ok is
+// false for unknown ids.
+func (m *MultiQueue) classRef(id int) (*mqShard, int, bool) {
+	if id < 0 || id >= len(m.classes) {
+		return nil, 0, false
+	}
+	c := m.classes[id]
+	return m.shards[c.shard], c.cl.ID(), true
+}
+
+// Submit hands a packet to its class's shard from any goroutine,
+// reporting exactly what happened (see PacedQueue.Submit):
+// DropUnknownClass when Packet.Class is no known global class id,
+// otherwise the shard's verdict. On any refusal the packet — with
+// Packet.Class unchanged — stays owned by the caller.
+func (m *MultiQueue) Submit(p *Packet) DropReason {
+	if p == nil || p.Len <= 0 {
+		return DropBadPacket
+	}
+	sh, local, ok := m.classRef(p.Class)
+	if !ok {
+		m.dropUnknown.Add(1)
+		return DropUnknownClass
+	}
+	global := p.Class
+	p.Class = local
+	if r := sh.q.Submit(p); r != DropNone {
+		p.Class = global
+		return r
+	}
+	return DropNone
+}
+
+// TrySubmit is Submit with the reason collapsed to a bool.
+func (m *MultiQueue) TrySubmit(p *Packet) bool { return m.Submit(p) == DropNone }
+
+// SubmitN is the batch form of Submit with PacedQueue.SubmitN's prefix
+// contract: packets are routed to their shards in order, stopping at the
+// first refusal; each touched shard's doorbell rings once per batch.
+// Ownership of ps[:accepted] passes to the shaper; ps[accepted:] stays
+// with the caller.
+func (m *MultiQueue) SubmitN(ps []*Packet) (accepted int, last DropReason) {
+	if len(ps) == 0 {
+		return 0, DropNone
+	}
+	if m.shards[0].q.isStopped() {
+		m.shards[0].q.dropStopped.Add(1)
+		return 0, DropStopped
+	}
+	var touched uint64 // shard count is clamped to 64
+	kick := func() {
+		for touched != 0 {
+			i := bits.TrailingZeros64(touched)
+			touched &^= 1 << i
+			m.shards[i].q.kick()
+		}
+	}
+	for i, p := range ps {
+		if p == nil || p.Len <= 0 {
+			kick()
+			return i, DropBadPacket
+		}
+		sh, local, ok := m.classRef(p.Class)
+		if !ok {
+			m.dropUnknown.Add(1)
+			kick()
+			return i, DropUnknownClass
+		}
+		global := p.Class
+		p.Class = local
+		if !sh.q.push(p) { // the intake shard counted the drop
+			p.Class = global
+			kick()
+			return i, DropIntakeFull
+		}
+		touched |= 1 << uint(m.classes[global].shard)
+	}
+	kick()
+	return len(ps), DropNone
+}
+
+// MultiStats is a snapshot of the driver counters across all shards: the
+// embedded PacedStats carries the merged totals (ShardHighWater is the
+// concatenation of every shard's intake high-water marks, shard 0's
+// rings first), Shards the per-shard breakdown.
+type MultiStats struct {
+	PacedStats
+	Shards []ShardStats
+}
+
+// ShardStats is one shard's slice of a MultiStats.
+type ShardStats struct {
+	PacedStats
+	// Rate is the shard's current pacing slice (bytes/s) and
+	// GuaranteedRate the admitted real-time floor it never drops below.
+	Rate           uint64
+	GuaranteedRate uint64
+}
+
+// Stats snapshots the driver counters of every shard plus the merged
+// totals. Safe from any goroutine; a never-started MultiQueue returns
+// zero-valued stats.
+func (m *MultiQueue) Stats() MultiStats {
+	out := MultiStats{Shards: make([]ShardStats, len(m.shards))}
+	for i, sh := range m.shards {
+		st := sh.q.Stats()
+		m.mu.Lock()
+		floor := m.place.Floor(i)
+		m.mu.Unlock()
+		out.Shards[i] = ShardStats{PacedStats: st, Rate: sh.q.Rate(), GuaranteedRate: floor}
+		out.SentPackets += st.SentPackets
+		out.SentBytes += st.SentBytes
+		out.DropsIntakeFull += st.DropsIntakeFull
+		out.DropsStopped += st.DropsStopped
+		out.IntakeBacklog += st.IntakeBacklog
+		out.ShardHighWater = append(out.ShardHighWater, st.ShardHighWater...)
+	}
+	return out
+}
+
+// Snapshot merges every shard's metrics snapshot into one, with class
+// ids translated to the global id space; nil when the MultiQueue was
+// created without Config.Metrics. Safe from any goroutine.
+func (m *MultiQueue) Snapshot() *Snapshot {
+	if !m.cfg.Metrics {
+		return nil
+	}
+	snaps := make([]*metrics.Snapshot, len(m.shards))
+	for i, sh := range m.shards {
+		snaps[i] = sh.q.Snapshot()
+	}
+	merged := metrics.MergeSnapshots(snaps, func(shard, id int) (int, bool) {
+		g := m.shards[shard].globalOf
+		if id < 0 || id >= len(g) || g[id] < 0 {
+			return 0, false
+		}
+		return g[id], true
+	})
+	merged.DropsUnknownClass += m.dropUnknown.Load()
+	return merged
+}
+
+// WriteMetrics renders the merged metrics in Prometheus text format
+// (ErrMetricsDisabled without Config.Metrics). Safe from any goroutine.
+func (m *MultiQueue) WriteMetrics(w io.Writer) error {
+	snap := m.Snapshot()
+	if snap == nil {
+		return ErrMetricsDisabled
+	}
+	return metrics.WritePrometheus(w, snap)
+}
+
+// DelayBound mirrors Scheduler.DelayBound for a leaf pinned to a shard:
+// per Theorems 1 and 2 the bound is the curve's time to deliver u bytes
+// plus one maximum packet's transmission time at the shard's guaranteed
+// slice — the rate the slice never drops below, not the full line.
+func (m *MultiQueue) DelayBound(c *MultiClass, u, lmax int) (time.Duration, error) {
+	if c == nil {
+		return 0, ErrNilClass
+	}
+	rsc := c.cl.c.RSC()
+	t := curve.FromSC(rsc).Inverse(int64(u))
+	if t == curve.Inf {
+		return 0, fmt.Errorf("hfsc: curve never delivers %d bytes", u)
+	}
+	m.mu.Lock()
+	floor := m.place.Floor(c.shard)
+	m.mu.Unlock()
+	rate := floor
+	if rate == 0 {
+		rate = m.line / uint64(len(m.shards))
+	}
+	slack := curve.FromSC(Linear(rate)).Inverse(int64(lmax))
+	return time.Duration(t + slack), nil
+}

@@ -1,0 +1,572 @@
+package hfsc_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+// TestMultiQueueConservation is the sharded sibling of
+// TestPacedQueueConservation (run under -race by make check): concurrent
+// producers batch-submitting pooled packets across a 4-shard MultiQueue
+// with the rebalancer ticking hot, asserting conservation — every
+// accepted packet transmitted exactly once, every refusal accounted —
+// and FIFO order within each class.
+func TestMultiQueueConservation(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+		batch     = 16
+	)
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config:         hfsc.Config{LinkRate: 400_000_000 * hfsc.Bps},
+		Shards:         4,
+		IntakeShards:   2,
+		IntakeDepth:    64, // small rings so overflow drops actually happen
+		RebalanceEvery: 2 * time.Millisecond,
+	}, nil)
+	if err == nil {
+		t.Fatal("nil transmit accepted")
+	}
+
+	var mu sync.Mutex
+	lastSeq := make(map[int]int64, producers)
+	got := make(map[int]uint64, producers)
+	reordered := false
+	m, err = hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config:         hfsc.Config{LinkRate: 400_000_000 * hfsc.Bps},
+		Shards:         4,
+		IntakeShards:   2,
+		IntakeDepth:    64,
+		RebalanceEvery: 2 * time.Millisecond,
+	}, func(p *hfsc.Packet) {
+		mu.Lock()
+		last, ok := lastSeq[p.Class]
+		if ok && int64(p.Seq) <= last {
+			reordered = true
+		}
+		lastSeq[p.Class] = int64(p.Seq)
+		got[p.Class]++
+		mu.Unlock()
+		p.Release()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", m.NumShards())
+	}
+	classes := make([]int, producers)
+	shardUsed := map[int]bool{}
+	for i := range classes {
+		cl, err := m.AddClass(nil, fmt.Sprintf("p%d", i), hfsc.ClassConfig{
+			LinkShare: hfsc.Linear(400_000_000 / producers),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[i] = cl.ID()
+		shardUsed[cl.Shard()] = true
+	}
+	// Greedy placement of 8 equal top-level classes over 4 shards must use
+	// every shard.
+	if len(shardUsed) != 4 {
+		t.Fatalf("8 classes landed on %d of 4 shards", len(shardUsed))
+	}
+	m.Start()
+	defer m.Stop()
+
+	var accepted, dropped [producers]uint64
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			ps := make([]*hfsc.Packet, 0, batch)
+			seq := uint64(0)
+			for seq < perProd {
+				ps = ps[:0]
+				for len(ps) < batch && seq < perProd {
+					p := hfsc.GetPacket()
+					p.Len = 100
+					p.Class = classes[pr]
+					p.Seq = seq
+					seq++
+					ps = append(ps, p)
+				}
+				// SubmitN prefix contract: ps[:n] are gone; on a refusal,
+				// drop ps[n] (releasing it back to the pool) and retry the
+				// rest of the batch.
+				rest := ps
+				for len(rest) > 0 {
+					n, r := m.SubmitN(rest)
+					accepted[pr] += uint64(n)
+					rest = rest[n:]
+					switch r {
+					case hfsc.DropNone:
+					case hfsc.DropIntakeFull:
+						dropped[pr]++
+						rest[0].Release()
+						rest = rest[1:]
+					default:
+						t.Errorf("producer %d: unexpected reason %v", pr, r)
+						return
+					}
+				}
+			}
+		}(pr)
+	}
+	wg.Wait()
+
+	var totalAccepted uint64
+	for pr := 0; pr < producers; pr++ {
+		if accepted[pr]+dropped[pr] != perProd {
+			t.Fatalf("producer %d: %d accepted + %d dropped != %d", pr, accepted[pr], dropped[pr], perProd)
+		}
+		totalAccepted += accepted[pr]
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := m.Stats()
+		if st.SentPackets == totalAccepted {
+			break
+		}
+		if st.SentPackets > totalAccepted {
+			t.Fatalf("sent %d > accepted %d (duplication)", st.SentPackets, totalAccepted)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: sent %d of %d accepted (intake backlog %d)",
+				st.SentPackets, totalAccepted, st.IntakeBacklog)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+
+	st := m.Stats()
+	if st.IntakeBacklog != 0 {
+		t.Fatalf("intake backlog %d after drain", st.IntakeBacklog)
+	}
+	var droppedTotal uint64
+	for pr := 0; pr < producers; pr++ {
+		droppedTotal += dropped[pr]
+	}
+	if st.DropsIntakeFull != droppedTotal {
+		t.Fatalf("stats drops %d, producers saw %d", st.DropsIntakeFull, droppedTotal)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("Stats has %d shards, want 4", len(st.Shards))
+	}
+	var perShard uint64
+	var sumRate uint64
+	for i, sh := range st.Shards {
+		perShard += sh.SentPackets
+		sumRate += sh.Rate
+		if sh.Rate < sh.GuaranteedRate {
+			t.Fatalf("shard %d paces at %d below its guaranteed %d", i, sh.Rate, sh.GuaranteedRate)
+		}
+	}
+	if perShard != st.SentPackets {
+		t.Fatalf("per-shard sent %d != merged %d", perShard, st.SentPackets)
+	}
+	if sumRate != 400_000_000 {
+		t.Fatalf("shard rates sum to %d, want the line rate", sumRate)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if reordered {
+		t.Fatal("intra-class reordering observed")
+	}
+	for pr := 0; pr < producers; pr++ {
+		if got[classes[pr]] != accepted[pr] {
+			t.Fatalf("producer %d: transmitted %d, accepted %d", pr, got[classes[pr]], accepted[pr])
+		}
+	}
+
+	// Post-Stop refusals.
+	if r := m.Submit(&hfsc.Packet{Len: 1, Class: classes[0]}); r != hfsc.DropStopped {
+		t.Fatalf("submit after stop returned %v, want DropStopped", r)
+	}
+	if n, r := m.SubmitN([]*hfsc.Packet{{Len: 1, Class: classes[0]}}); n != 0 || r != hfsc.DropStopped {
+		t.Fatalf("SubmitN after stop returned %d/%v, want 0/DropStopped", n, r)
+	}
+}
+
+func TestMultiQueueClassManagement(t *testing.T) {
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{LinkRate: hfsc.Mbps},
+		Shards: 2,
+	}, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := m.AddClass(nil, "agency", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps / 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := m.AddClass(parent, "video", hfsc.ClassConfig{
+		RealTime:  hfsc.Linear(100 * hfsc.Kbps),
+		LinkShare: hfsc.Linear(hfsc.Mbps / 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Shard() != parent.Shard() {
+		t.Fatalf("child on shard %d, parent on %d: subtrees must not split", child.Shard(), parent.Shard())
+	}
+	if child.Parent() != parent {
+		t.Fatalf("Parent() = %v, want %v", child.Parent(), parent)
+	}
+	if parent.Parent() != nil {
+		t.Fatal("top-level class has a parent")
+	}
+	if parent.IsLeaf() || !child.IsLeaf() {
+		t.Fatal("leaf flags wrong")
+	}
+	if m.Class("video") != child || m.Class("nope") != nil {
+		t.Fatal("name lookup broken")
+	}
+	if cs := m.Classes(); len(cs) != 2 || cs[0] != parent || cs[1] != child {
+		t.Fatalf("Classes() = %v", cs)
+	}
+	if parent.ID() != 0 || child.ID() != 1 {
+		t.Fatalf("global ids %d/%d, want 0/1", parent.ID(), child.ID())
+	}
+	if _, err := m.AddClass(nil, "video", hfsc.ClassConfig{LinkShare: hfsc.Linear(1)}); !errors.Is(err, hfsc.ErrDuplicateClass) {
+		t.Fatalf("duplicate name across shards: %v", err)
+	}
+
+	m.Start()
+	defer m.Stop()
+	if _, err := m.AddClass(nil, "late", hfsc.ClassConfig{LinkShare: hfsc.Linear(1)}); err == nil {
+		t.Fatal("AddClass after Start accepted")
+	}
+	if r := m.Submit(&hfsc.Packet{Len: 100, Class: 99}); r != hfsc.DropUnknownClass {
+		t.Fatalf("unknown class returned %v", r)
+	}
+	if r := m.Submit(&hfsc.Packet{Len: 0, Class: child.ID()}); r != hfsc.DropBadPacket {
+		t.Fatalf("bad packet returned %v", r)
+	}
+	if !m.TrySubmit(&hfsc.Packet{Len: 100, Class: child.ID()}) {
+		t.Fatal("valid submit refused")
+	}
+}
+
+// TestMultiQueueSubmitNPrefix pins the batch-intake contract on both
+// queue types: packets are accepted in order up to the first refusal,
+// the refused packet stays with the caller, and only the attempted
+// refusal is counted.
+func TestMultiQueueSubmitNPrefix(t *testing.T) {
+	s := hfsc.New(hfsc.Config{LinkRate: hfsc.Mbps})
+	cl, _ := s.AddClass(nil, "c", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.IntakeShards = 1
+	q.IntakeDepth = 8 // no consumer running: ring fills and stays full
+	ps := make([]*hfsc.Packet, 12)
+	for i := range ps {
+		ps[i] = &hfsc.Packet{Len: 100, Class: cl.ID(), Seq: uint64(i)}
+	}
+	if n, r := q.SubmitN(nil); n != 0 || r != hfsc.DropNone {
+		t.Fatalf("empty batch: %d/%v", n, r)
+	}
+	n, r := q.SubmitN(ps)
+	if n != 8 || r != hfsc.DropIntakeFull {
+		t.Fatalf("SubmitN = %d/%v, want 8/DropIntakeFull", n, r)
+	}
+	if st := q.Stats(); st.DropsIntakeFull != 1 || st.IntakeBacklog != 8 {
+		t.Fatalf("stats = %+v, want exactly the one attempted refusal counted", st)
+	}
+
+	// MultiQueue: the batch spans shards; a refusal mid-batch still rings
+	// the doorbells of shards already fed.
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config:       hfsc.Config{LinkRate: hfsc.Mbps},
+		Shards:       2,
+		IntakeShards: 1,
+		IntakeDepth:  8,
+	}, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.AddClass(nil, "a", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps / 2)})
+	b, _ := m.AddClass(nil, "b", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps / 2)})
+	if a.Shard() == b.Shard() {
+		t.Fatalf("equal top-level classes share shard %d", a.Shard())
+	}
+	mix := make([]*hfsc.Packet, 20)
+	for i := range mix {
+		id := a.ID()
+		if i%2 == 1 {
+			id = b.ID()
+		}
+		mix[i] = &hfsc.Packet{Len: 100, Class: id}
+	}
+	n, r = m.SubmitN(mix)
+	if n != 16 || r != hfsc.DropIntakeFull {
+		t.Fatalf("MultiQueue SubmitN = %d/%v, want 16/DropIntakeFull (8 per shard)", n, r)
+	}
+	// The refused packet keeps its caller-visible (global) class id.
+	if mix[16].Class != a.ID() && mix[16].Class != b.ID() {
+		t.Fatalf("refused packet's class rewritten to %d", mix[16].Class)
+	}
+
+	// A bad packet or unknown class mid-batch stops the batch there.
+	bad := []*hfsc.Packet{{Len: 100, Class: a.ID()}, {Len: 100, Class: 42}}
+	m2, _ := hfsc.NewMultiQueue(hfsc.MultiConfig{Config: hfsc.Config{LinkRate: hfsc.Mbps}, Shards: 2}, func(p *hfsc.Packet) {})
+	ac, _ := m2.AddClass(nil, "a", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	bad[0].Class = ac.ID()
+	if n, r := m2.SubmitN(bad); n != 1 || r != hfsc.DropUnknownClass {
+		t.Fatalf("unknown mid-batch = %d/%v", n, r)
+	}
+	if n, r := m2.SubmitN([]*hfsc.Packet{{Len: 0, Class: ac.ID()}}); n != 0 || r != hfsc.DropBadPacket {
+		t.Fatalf("bad mid-batch = %d/%v", n, r)
+	}
+}
+
+// TestMultiQueueMergedMetrics checks the cross-shard snapshot: classes
+// from different shards appear under their global ids and names, and
+// driver-level unknown-class drops are folded in.
+func TestMultiQueueMergedMetrics(t *testing.T) {
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{LinkRate: 10_000_000 * hfsc.Bps, Metrics: true},
+		Shards: 2,
+	}, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.AddClass(nil, "voice", hfsc.ClassConfig{LinkShare: hfsc.Linear(5_000_000)})
+	b, _ := m.AddClass(nil, "bulk", hfsc.ClassConfig{LinkShare: hfsc.Linear(5_000_000)})
+	if a.Shard() == b.Shard() {
+		t.Fatal("classes share a shard; test needs a cross-shard merge")
+	}
+	m.Start()
+	m.Submit(&hfsc.Packet{Len: 500, Class: a.ID()})
+	m.Submit(&hfsc.Packet{Len: 700, Class: b.ID()})
+	m.Submit(&hfsc.Packet{Len: 1, Class: 77}) // DropUnknownClass at the MultiQueue level
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().SentPackets != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: sent %d of 2", m.Stats().SentPackets)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+
+	snap := m.Snapshot()
+	if snap == nil {
+		t.Fatal("nil snapshot with Metrics enabled")
+	}
+	if snap.DropsUnknownClass != 1 {
+		t.Fatalf("DropsUnknownClass = %d, want 1", snap.DropsUnknownClass)
+	}
+	if len(snap.Classes) != 2 {
+		t.Fatalf("merged snapshot has %d classes, want 2: %+v", len(snap.Classes), snap.Classes)
+	}
+	for i, want := range []struct {
+		id   int
+		name string
+	}{{a.ID(), "voice"}, {b.ID(), "bulk"}} {
+		if snap.Classes[i].ID != want.id || snap.Classes[i].Name != want.name {
+			t.Fatalf("class[%d] = %d/%q, want %d/%q",
+				i, snap.Classes[i].ID, snap.Classes[i].Name, want.id, want.name)
+		}
+	}
+	if cs := a.Metrics(); cs.ID != a.ID() || cs.Name != "voice" {
+		t.Fatalf("MultiClass.Metrics = %d/%q, want global id %d", cs.ID, cs.Name, a.ID())
+	}
+	var buf strings.Builder
+	if err := m.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"voice", "bulk"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("prometheus output missing class %q:\n%s", name, buf.String())
+		}
+	}
+
+	plain, _ := hfsc.NewMultiQueue(hfsc.MultiConfig{Config: hfsc.Config{LinkRate: hfsc.Mbps}}, func(p *hfsc.Packet) {})
+	if plain.Snapshot() != nil {
+		t.Fatal("snapshot without Metrics should be nil")
+	}
+	if err := plain.WriteMetrics(&buf); !errors.Is(err, hfsc.ErrMetricsDisabled) {
+		t.Fatalf("WriteMetrics without metrics: %v", err)
+	}
+}
+
+// TestMultiQueueAdmissibleAndDelayBound checks the composed (per-shard
+// floor) admissibility test and the shard-slice delay bound.
+func TestMultiQueueAdmissibleAndDelayBound(t *testing.T) {
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{LinkRate: 1000 * hfsc.Bps},
+		Shards: 2,
+	}, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := m.AddClass(nil, "rt1", hfsc.ClassConfig{RealTime: hfsc.Linear(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddClass(nil, "rt2", hfsc.ClassConfig{RealTime: hfsc.Linear(400)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admissible(); err != nil {
+		t.Fatalf("800 of 1000 B/s guaranteed reported inadmissible: %v", err)
+	}
+	if _, err := m.AddClass(nil, "rt3", hfsc.ClassConfig{RealTime: hfsc.Linear(400)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admissible(); !errors.Is(err, hfsc.ErrInadmissible) {
+		t.Fatalf("1200 of 1000 B/s guaranteed: %v", err)
+	}
+
+	if _, err := m.DelayBound(nil, 100, 100); !errors.Is(err, hfsc.ErrNilClass) {
+		t.Fatalf("nil class: %v", err)
+	}
+	// rt1 (400 B/s curve) on a shard whose floor is at least 400 B/s:
+	// 100 B through the curve takes 250 ms; the lmax slack at the floor
+	// can only shorten vs the curve's own rate if the floor is higher.
+	d, err := m.DelayBound(cl, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 250*time.Millisecond || d > time.Second {
+		t.Fatalf("delay bound %v outside (250ms, 1s]", d)
+	}
+}
+
+// TestMultiQueueStatsBeforeStart is the stats-lifecycle fix under test:
+// Stats and Snapshot on a never-started queue (paced or multi) return
+// zero values without building the intake rings, and keep working after
+// Stop.
+func TestMultiQueueStatsBeforeStart(t *testing.T) {
+	s := hfsc.New(hfsc.Config{LinkRate: hfsc.Mbps, Metrics: true})
+	if _, err := s.AddClass(nil, "c", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.SentPackets != 0 || st.IntakeBacklog != 0 || st.ShardHighWater != nil {
+		t.Fatalf("never-started stats not zero: %+v", st)
+	}
+	if snap := q.Snapshot(); snap == nil || snap.DropsIntakeFull != 0 {
+		t.Fatalf("never-started snapshot: %+v", snap)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { q.Stats() }); allocs != 0 {
+		t.Fatalf("Stats on a never-started queue allocates %.1f/op (rings built?)", allocs)
+	}
+
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{LinkRate: hfsc.Mbps, Metrics: true},
+		Shards: 4,
+	}, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := m.AddClass(nil, "c", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	st := m.Stats()
+	if st.SentPackets != 0 || st.IntakeBacklog != 0 || len(st.ShardHighWater) != 0 {
+		t.Fatalf("never-started MultiQueue stats not zero: %+v", st)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("Stats has %d shard entries, want 4", len(st.Shards))
+	}
+	for i, sh := range st.Shards {
+		if sh.ShardHighWater != nil {
+			t.Fatalf("shard %d built its rings for a stats read", i)
+		}
+	}
+	if snap := m.Snapshot(); snap == nil || len(snap.Classes) != 0 {
+		t.Fatalf("never-started MultiQueue snapshot: %+v", snap)
+	}
+
+	// After Stop the same calls still answer (and see the traffic).
+	m.Start()
+	m.Submit(&hfsc.Packet{Len: 100, Class: cl.ID()})
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().SentPackets != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the packet")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+	if st := m.Stats(); st.SentPackets != 1 || st.SentBytes != 100 {
+		t.Fatalf("post-stop stats: %+v", st)
+	}
+	if snap := m.Snapshot(); snap == nil {
+		t.Fatal("post-stop snapshot nil")
+	}
+}
+
+// TestMultiQueueRebalanceFloors drives one shard hard and checks the
+// public invariant after live rebalancing: every shard's pacing rate
+// stays at or above its guaranteed floor while the slices keep summing
+// to the line rate.
+func TestMultiQueueRebalanceFloors(t *testing.T) {
+	const line = 1_000_000 * hfsc.Bps
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config:         hfsc.Config{LinkRate: line},
+		Shards:         2,
+		RebalanceEvery: -1, // drive Rebalance by hand
+	}, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, _ := m.AddClass(nil, "busy", hfsc.ClassConfig{
+		RealTime:  hfsc.Linear(100_000),
+		LinkShare: hfsc.Linear(100_000),
+	})
+	idle, _ := m.AddClass(nil, "idle", hfsc.ClassConfig{
+		RealTime:  hfsc.Linear(200_000),
+		LinkShare: hfsc.Linear(200_000),
+	})
+	if busy.Shard() == idle.Shard() {
+		t.Fatal("test needs the classes on different shards")
+	}
+	m.Start()
+	defer m.Stop()
+
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 20; i++ {
+			p := hfsc.GetPacket()
+			p.Len = 1000
+			p.Class = busy.ID()
+			m.Submit(p)
+		}
+		m.Rebalance()
+		st := m.Stats()
+		var sum uint64
+		for i, sh := range st.Shards {
+			if sh.Rate < sh.GuaranteedRate {
+				t.Fatalf("round %d: shard %d paces at %d below floor %d", round, i, sh.Rate, sh.GuaranteedRate)
+			}
+			sum += sh.Rate
+		}
+		if sum != line {
+			t.Fatalf("round %d: rates sum to %d, want %d", round, sum, line)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The idle shard's floor must be intact: 200 kB/s guaranteed.
+	st := m.Stats()
+	if st.Shards[idle.Shard()].GuaranteedRate != 200_000 {
+		t.Fatalf("idle shard floor = %d, want 200000", st.Shards[idle.Shard()].GuaranteedRate)
+	}
+	if st.Shards[busy.Shard()].Rate < st.Shards[idle.Shard()].GuaranteedRate {
+		// Not an invariant — just a sanity log target; the hard invariant
+		// was asserted per round above.
+		t.Logf("busy shard rate %d", st.Shards[busy.Shard()].Rate)
+	}
+}

@@ -36,10 +36,9 @@ type PacedQueue struct {
 	IntakeDepth  int
 
 	s    *Scheduler
-	rate uint64
+	rate atomic.Uint64 // pacing rate in bytes/s; see SetRate
 
-	ringsOnce sync.Once
-	rings     *intake.Queue
+	rings atomic.Pointer[intake.Queue] // built lazily on first Submit/Start
 
 	stop chan struct{}
 	wake chan struct{} // 1-slot doorbell, rung only while idle is set
@@ -76,20 +75,43 @@ func NewPacedQueue(s *Scheduler, transmit func(*Packet)) (*PacedQueue, error) {
 	if transmit == nil {
 		return nil, fmt.Errorf("hfsc: PacedQueue needs a Transmit callback")
 	}
-	return &PacedQueue{
+	q := &PacedQueue{
 		Transmit: transmit,
 		s:        s,
-		rate:     s.cfg.LinkRate,
 		stop:     make(chan struct{}),
 		wake:     make(chan struct{}, 1),
-	}, nil
+	}
+	q.rate.Store(s.cfg.LinkRate)
+	return q, nil
 }
 
+// SetRate changes the pacing rate (bytes/s) from any goroutine; zero is
+// ignored. The initial rate is the scheduler's Config.LinkRate. MultiQueue
+// uses this to re-divide a line rate between shards at run time; it only
+// moves the output pacing — admission control and delay bounds still use
+// the rate the Scheduler was configured with.
+func (q *PacedQueue) SetRate(bps uint64) {
+	if bps > 0 {
+		q.rate.Store(bps)
+	}
+}
+
+// Rate reports the current pacing rate in bytes/s.
+func (q *PacedQueue) Rate() uint64 { return q.rate.Load() }
+
 // intakeRings lazily builds the rings so IntakeShards/IntakeDepth set
-// after NewPacedQueue still apply.
+// after NewPacedQueue still apply. Read-only paths (Stats, syncMetrics)
+// load q.rings directly instead, so a queue that never carried traffic
+// never allocates its rings.
 func (q *PacedQueue) intakeRings() *intake.Queue {
-	q.ringsOnce.Do(func() { q.rings = intake.New(q.IntakeShards, q.IntakeDepth) })
-	return q.rings
+	if r := q.rings.Load(); r != nil {
+		return r
+	}
+	r := intake.New(q.IntakeShards, q.IntakeDepth)
+	if q.rings.CompareAndSwap(nil, r) {
+		return r
+	}
+	return q.rings.Load()
 }
 
 // Start launches the pacing goroutine.
@@ -127,27 +149,74 @@ func (q *PacedQueue) Stop() {
 // (unknown class, queue limit) happen asynchronously on the pacing
 // goroutine and are visible through Snapshot, not Submit.
 func (q *PacedQueue) Submit(p *Packet) DropReason {
-	select {
-	case <-q.stop:
+	if q.isStopped() {
 		q.dropStopped.Add(1)
 		return DropStopped
-	default:
 	}
 	if !q.intakeRings().Push(p.Class, p) {
 		return DropIntakeFull // the shard counted the drop
 	}
+	q.kick()
+	return DropNone
+}
+
+// SubmitN is the batch form of Submit: it offers the packets in order and
+// stops at the first refusal, paying one stopped-check and one doorbell
+// ring per batch instead of per packet. It returns how many leading
+// packets were accepted and why the batch stopped (DropNone when all of
+// ps was accepted). Ownership of ps[:accepted] passes to the shaper;
+// ps[accepted:] — including the refused packet itself — stays with the
+// caller, which may retry or Release them. Packets after the first
+// refusal are not attempted, so only the refusal itself is counted in
+// the drop statistics.
+func (q *PacedQueue) SubmitN(ps []*Packet) (accepted int, last DropReason) {
+	if len(ps) == 0 {
+		return 0, DropNone
+	}
+	if q.isStopped() {
+		q.dropStopped.Add(1)
+		return 0, DropStopped
+	}
+	rings := q.intakeRings()
+	for i, p := range ps {
+		if !rings.Push(p.Class, p) { // the shard counted the drop
+			if i > 0 {
+				q.kick()
+			}
+			return i, DropIntakeFull
+		}
+	}
+	q.kick()
+	return len(ps), DropNone
+}
+
+// TrySubmit is Submit with the reason collapsed to a bool, mirroring the
+// Enqueue/Offer split on the Scheduler: true means accepted.
+func (q *PacedQueue) TrySubmit(p *Packet) bool { return q.Submit(p) == DropNone }
+
+// isStopped reports whether Stop has been called.
+func (q *PacedQueue) isStopped() bool {
+	select {
+	case <-q.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// push offers one packet to the intake rings without the stopped-check or
+// doorbell (MultiQueue batches those across shards).
+func (q *PacedQueue) push(p *Packet) bool { return q.intakeRings().Push(p.Class, p) }
+
+// kick rings the doorbell if the pacing goroutine is (about to be) asleep.
+func (q *PacedQueue) kick() {
 	if q.idle.Load() {
 		select {
 		case q.wake <- struct{}{}:
 		default: // doorbell already rung
 		}
 	}
-	return DropNone
 }
-
-// TrySubmit is Submit with the reason collapsed to a bool, mirroring the
-// Enqueue/Offer split on the Scheduler: true means accepted.
-func (q *PacedQueue) TrySubmit(p *Packet) bool { return q.Submit(p) == DropNone }
 
 // PacedStats is a snapshot of the driver's own counters (the scheduler's
 // per-class metrics live in Snapshot). New fields may be added; existing
@@ -172,17 +241,21 @@ type PacedStats struct {
 func (st PacedStats) Drops() uint64 { return st.DropsIntakeFull + st.DropsStopped }
 
 // Stats snapshots the driver counters. Safe from any goroutine; the hot
-// paths it reads are all atomics.
+// paths it reads are all atomics. On a queue that never carried traffic
+// (no Submit, no Start) it returns zero-valued stats without building the
+// intake rings.
 func (q *PacedQueue) Stats() PacedStats {
-	r := q.intakeRings()
-	return PacedStats{
-		SentPackets:     q.sent.Load(),
-		SentBytes:       q.sentBytes.Load(),
-		DropsIntakeFull: r.Drops(),
-		DropsStopped:    q.dropStopped.Load(),
-		IntakeBacklog:   r.Depth(),
-		ShardHighWater:  r.HighWater(),
+	st := PacedStats{
+		SentPackets:  q.sent.Load(),
+		SentBytes:    q.sentBytes.Load(),
+		DropsStopped: q.dropStopped.Load(),
 	}
+	if r := q.rings.Load(); r != nil {
+		st.DropsIntakeFull = r.Drops()
+		st.IntakeBacklog = r.Depth()
+		st.ShardHighWater = r.HighWater()
+	}
+	return st
 }
 
 // syncMetrics publishes the driver-level intake drop totals into the
@@ -192,7 +265,11 @@ func (q *PacedQueue) syncMetrics() {
 	if q.s.agg == nil {
 		return
 	}
-	q.s.agg.RecordIntake(q.intakeRings().Drops(), q.dropStopped.Load(), Now(time.Now()))
+	var full uint64
+	if r := q.rings.Load(); r != nil {
+		full = r.Drops()
+	}
+	q.s.agg.RecordIntake(full, q.dropStopped.Load(), Now(time.Now()))
 }
 
 // Snapshot copies the scheduler's metrics (nil when the scheduler was
@@ -242,9 +319,10 @@ func (q *PacedQueue) loop() {
 		// Steady state sends packet by packet; when the loop is behind
 		// schedule (timer slack, a slow Transmit) it recovers the deficit
 		// with one batched DequeueN call.
+		rate := q.rate.Load()
 		want := 1
 		if behind := now.Sub(linkFree); behind > 0 {
-			if owed := int(uint64(behind) * q.rate / (paceMTU * uint64(time.Second))); owed > 1 {
+			if owed := int(uint64(behind) * rate / (paceMTU * uint64(time.Second))); owed > 1 {
 				want = min(owed, paceMaxBurst)
 			}
 		}
@@ -266,14 +344,16 @@ func (q *PacedQueue) loop() {
 			continue
 		}
 
+		// Read Len before Transmit: ownership passes with the call, and a
+		// pooled packet may be Released (and reused) inside the callback.
 		total := 0
 		for _, p := range burst {
-			q.Transmit(p)
 			total += p.Len
+			q.Transmit(p)
 		}
 		q.sent.Add(uint64(len(burst)))
 		q.sentBytes.Add(int64(total))
-		linkFree = now.Add(time.Duration(int64(total) * int64(time.Second) / int64(q.rate)))
+		linkFree = now.Add(time.Duration(int64(total) * int64(time.Second) / int64(rate)))
 	}
 }
 
