@@ -21,6 +21,7 @@ import (
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/experiments"
+	"github.com/netsched/hfsc/internal/flight"
 	"github.com/netsched/hfsc/internal/metrics"
 	"github.com/netsched/hfsc/internal/pfq"
 	"github.com/netsched/hfsc/internal/pktq"
@@ -420,6 +421,97 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			}
 			p.Crit = 0
 			s.Enqueue(p, now)
+		})
+	})
+	t.Run("flight-enabled", func(t *testing.T) {
+		// The flight recorder teed next to the aggregator — the full
+		// production tracer stack — must also keep the hot path free:
+		// RecordEv is four atomic stores into a preallocated ring.
+		s := core.New(core.Options{
+			Eligible: core.ElAugmentedTree,
+			Tracer:   core.TeeTracer{metrics.NewAggregator(metrics.Options{}), flight.New(0)},
+		})
+		rate := uint64(1_250_000_000) / 256
+		ids := make([]int, 256)
+		for i := range ids {
+			cl, err := s.AddClass(nil, fmt.Sprintf("c%d", i),
+				curve.SC{M1: 2 * rate, D: 10_000_000, M2: rate}, curve.Linear(rate), curve.SC{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = cl.ID()
+		}
+		now := int64(0)
+		for i, id := range ids {
+			s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+		}
+		checkZeroAllocs(t, func() {
+			now += 800
+			p := s.Dequeue(now)
+			if p == nil {
+				t.Fatal("scheduler idled")
+			}
+			p.Crit = 0
+			s.Enqueue(p, now)
+		})
+	})
+	t.Run("public-flight-spans", func(t *testing.T) {
+		// The public wrapper with the recorder and 1-in-64 span sampling
+		// configured: Dequeue/Offer stay free — span bookkeeping is one
+		// int64 stamp on the packet, and the recorder never allocates.
+		s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps, Metrics: true, Flight: true, Spans: 64})
+		cl, err := s.AddClass(nil, "a", hfsc.ClassConfig{
+			RealTime:  hfsc.Linear(hfsc.Mbps),
+			LinkShare: hfsc.Linear(hfsc.Mbps),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &hfsc.Packet{Len: 1000, Class: cl.ID()}
+		now := int64(0)
+		s.Enqueue(p, now)
+		checkZeroAllocs(t, func() {
+			now += 800
+			q := s.Dequeue(now)
+			if q == nil {
+				t.Fatal("scheduler idled")
+			}
+			q.Crit = 0
+			if s.Offer(q, now) != hfsc.DropNone {
+				t.Fatal("offer refused")
+			}
+		})
+		if s.FlightRecorder() == nil || s.FlightRecorder().Recorded() == 0 {
+			t.Fatal("flight recorder captured nothing")
+		}
+	})
+	t.Run("submit-spans", func(t *testing.T) {
+		// Submit with span sampling enabled on a never-started queue: the
+		// intake push and the 1-in-N stamp must not touch the heap. Global
+		// malloc counting (not the calling goroutine's) would catch an
+		// allocation anywhere in the path.
+		s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps, Metrics: true, Flight: true, Spans: 2})
+		cl, err := s.AddClass(nil, "a", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := hfsc.NewPacedQueue(s, func(p *hfsc.Packet) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Never started, so nothing drains the rings: size them to hold
+		// every Submit the warmup plus the measured runs will issue.
+		q.IntakeShards, q.IntakeDepth = 1, 8192
+		pkts := make([]*hfsc.Packet, 64)
+		for i := range pkts {
+			pkts[i] = &hfsc.Packet{Len: 100, Class: cl.ID(), Seq: uint64(i)}
+		}
+		i := 0
+		checkZeroAllocs(t, func() {
+			if r := q.Submit(pkts[i%len(pkts)]); r != hfsc.DropNone {
+				t.Fatalf("submit refused: %v", r)
+			}
+			i++
 		})
 	})
 	t.Run("public-offer-disabled", func(t *testing.T) {

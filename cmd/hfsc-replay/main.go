@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/flight"
 	"github.com/netsched/hfsc/internal/hierarchy"
 	"github.com/netsched/hfsc/internal/pfq"
 	"github.com/netsched/hfsc/internal/sched"
@@ -32,6 +33,7 @@ func main() {
 	algo := flag.String("algo", "hfsc", "scheduler: hfsc, wf2q, sfq")
 	qlen := flag.Int("qlen", 1000, "default per-class queue limit (packets)")
 	tcMode := flag.Bool("tc", false, "parse the spec as Linux tc(8) HFSC commands")
+	events := flag.String("events", "", "write the flight-recorder event stream as JSON lines to this file (hfsc only; - for stdout)")
 	flag.Parse()
 	if *specPath == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hfsc-replay -spec <file> [-algo hfsc|wf2q|sfq] <trace-file|->")
@@ -71,10 +73,20 @@ func main() {
 		s       sched.Scheduler
 		classID func(string) (int, bool)
 		name    = map[int]string{}
+		rec     *flight.Recorder
 	)
 	switch *algo {
 	case "hfsc":
-		sch, byName, err := spec.BuildHFSC(core.Options{DefaultQueueLimit: *qlen})
+		opts := core.Options{DefaultQueueLimit: *qlen}
+		if *events != "" {
+			// Replayed traces report dequeues through the same flight
+			// recorder a live PacedQueue uses, so replay and production
+			// event streams are directly comparable. Size the ring to hold
+			// the whole replay (a handful of events per packet).
+			rec = flight.New(8 * len(recs))
+			opts.Tracer = rec
+		}
+		sch, byName, err := spec.BuildHFSC(opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,12 +120,32 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -algo %q", *algo))
 	}
+	if *events != "" && rec == nil {
+		fatal(fmt.Errorf("-events requires -algo hfsc (the %s baseline has no tracer)", *algo))
+	}
 
 	arr, err := trace.Bind(recs, classID)
 	if err != nil {
 		fatal(err)
 	}
 	res := sim.RunTrace(s, spec.LinkRate, arr, 0)
+
+	if rec != nil {
+		ew := os.Stdout
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			ew = f
+		}
+		err := flight.WriteEvents(ew, rec.Snapshot(nil), func(id int32) string { return name[int(id)] })
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hfsc-replay: %d events recorded (%d overwritten)\n", rec.Recorded(), rec.Dropped())
+	}
 
 	perClass := map[int]*stats.Sample{}
 	bytes := map[int]int64{}

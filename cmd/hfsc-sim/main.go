@@ -7,6 +7,7 @@
 //	hfsc-sim -exp exp1
 //	hfsc-sim -exp all
 //	hfsc-sim -prom -          # OBS-1 metrics in Prometheus text format
+//	hfsc-sim -events -        # OBS-1 flight-recorder event stream (JSON lines)
 //
 // The exit status is nonzero if any executed experiment fails one of its
 // shape checks.
@@ -23,9 +24,10 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id to run, or \"all\"")
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		prom = flag.String("prom", "", "run the OBS-1 workload and write its metrics in Prometheus text format to the given file (\"-\" = stdout)")
+		exp    = flag.String("exp", "all", "experiment id to run, or \"all\"")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		prom   = flag.String("prom", "", "run the OBS-1 workload and write its metrics in Prometheus text format to the given file (\"-\" = stdout)")
+		events = flag.String("events", "", "run the OBS-1 workload and write its flight-recorder event stream as JSON lines to the given file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,24 @@ func main() {
 			out = f
 		}
 		if err := experiments.Obs1Exposition(out); err != nil {
+			fmt.Fprintf(os.Stderr, "hfsc-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *events != "" {
+		out := os.Stdout
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hfsc-sim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.Obs1Events(out); err != nil {
 			fmt.Fprintf(os.Stderr, "hfsc-sim: %v\n", err)
 			os.Exit(1)
 		}

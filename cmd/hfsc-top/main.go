@@ -1,0 +1,143 @@
+// Hfsc-top renders a live per-class view of a running scheduler from its
+// /debug/hfsc/tree introspection endpoint (see examples/hfsc-serve) —
+// top(1) for an H-FSC link: per-class virtual times, backlog, service
+// rates computed from successive cumulative-work snapshots, and drops.
+//
+//	go run ./cmd/hfsc-top -url http://localhost:9153/debug/hfsc/tree
+//	go run ./cmd/hfsc-top -once        # one snapshot, no screen control
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:9153/debug/hfsc/tree", "tree snapshot endpoint")
+	interval := flag.Duration("interval", time.Second, "refresh period")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var prev map[classKey]classRow
+	var prevAt time.Time
+	for {
+		snap, err := fetch(client, *url)
+		now := time.Now()
+		if err != nil {
+			log.Fatalf("hfsc-top: %v", err)
+		}
+		rows := flatten(snap)
+		if !*once {
+			fmt.Print("\033[H\033[2J") // clear screen, cursor home
+		}
+		render(os.Stdout, snap, rows, prev, now.Sub(prevAt))
+		if *once {
+			return
+		}
+		prev = rows
+		prevAt = now
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(c *http.Client, url string) (*hfsc.TreeSnapshot, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var snap hfsc.TreeSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &snap, nil
+}
+
+// classKey identifies a class across snapshots: global ids are unique,
+// but shard roots all carry id -1, so the shard disambiguates.
+type classKey struct {
+	shard int
+	id    int
+	name  string
+}
+
+type classRow struct {
+	shard int
+	cl    hfsc.TreeClass
+}
+
+func flatten(snap *hfsc.TreeSnapshot) map[classKey]classRow {
+	rows := make(map[classKey]classRow)
+	for _, sh := range snap.Shards {
+		for _, cl := range sh.Classes {
+			rows[classKey{sh.Shard, cl.ID, cl.Name}] = classRow{sh.Shard, cl}
+		}
+	}
+	return rows
+}
+
+func render(w *os.File, snap *hfsc.TreeSnapshot, rows, prev map[classKey]classRow, dt time.Duration) {
+	fmt.Fprintf(w, "hfsc-top — link %s, %d shard(s), captured %s\n\n",
+		rate(float64(snap.LinkRateBps)), len(snap.Shards), time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "%-3s %-16s %-5s %10s %12s %14s %8s %10s %8s\n",
+		"SH", "CLASS", "ACT", "RATE", "TOTAL", "VT", "QLEN", "QBYTES", "DROPS")
+	keys := make([]classKey, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].shard != keys[b].shard {
+			return keys[a].shard < keys[b].shard
+		}
+		return keys[a].id < keys[b].id
+	})
+	for _, k := range keys {
+		r := rows[k]
+		c := r.cl
+		// Service rate from the cumulative-work delta between snapshots.
+		rateStr := "-"
+		if p, ok := prev[k]; ok && dt > 0 {
+			delta := c.TotalBytes - p.cl.TotalBytes
+			if delta >= 0 {
+				rateStr = rate(float64(delta) / dt.Seconds())
+			}
+		}
+		act := ""
+		if c.Active {
+			act = "yes"
+		}
+		name := c.Name
+		if !c.Leaf {
+			name += "/"
+		}
+		fmt.Fprintf(w, "%-3d %-16s %-5s %10s %12d %14d %8d %10d %8d\n",
+			r.shard, name, act, rateStr, c.TotalBytes, c.VirtualTime,
+			c.QueuedPackets, c.QueuedBytes, c.Dropped)
+	}
+}
+
+// rate renders bytes/s in human units.
+func rate(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2fGB/s", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2fMB/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1fKB/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0fB/s", bps)
+	}
+}

@@ -1,36 +1,54 @@
 // Hfsc-serve is the observability example: a MultiQueue shaping synthetic
 // traffic in real time, with the scheduler's metrics scraped over HTTP in
-// Prometheus text format — the paper's measurement methodology turned into
-// a production monitoring endpoint.
+// Prometheus text format and its internals — the flight-recorder event
+// stream and the live class tree — served as JSON debug endpoints. The
+// paper's measurement methodology turned into production monitoring.
 //
 // Run it and scrape:
 //
 //	go run ./examples/hfsc-serve -listen :9153
-//	curl localhost:9153/metrics
+//	curl localhost:9153/metrics              # Prometheus counters + histograms
+//	curl localhost:9153/debug/hfsc/tree      # live class tree (virtual times, curves, backlog)
+//	curl 'localhost:9153/debug/hfsc/events?n=50'  # newest flight-recorder events
+//
+// With -debug, Go's pprof profiles and expvar process stats come up too:
+//
+//	go run ./examples/hfsc-serve -debug
+//	curl localhost:9153/debug/vars
+//	go tool pprof localhost:9153/debug/pprof/profile
 //
 // The built-in load keeps three classes busy: a 64 Kb/s CBR "voice" class
 // with a real-time curve, a greedy "bulk" class with a short queue (so
 // queue-limit drops show up), and an upper-limited "capped" class (so
 // deferral events show up). Watch hfsc_deadline_slack_seconds stay
 // positive for voice while hfsc_drops_total climbs for bulk. The classes
-// spread across scheduler shards; /metrics reports them merged under
-// their global ids.
+// spread across scheduler shards; /metrics and /debug/hfsc/* report them
+// merged under their global ids.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"time"
 
 	hfsc "github.com/netsched/hfsc"
 )
 
 func main() {
-	listen := flag.String("listen", ":9153", "HTTP listen address for /metrics")
+	listen := flag.String("listen", ":9153", "HTTP listen address")
 	rate := flag.Uint64("rate", 1, "link rate in Mb/s")
 	shards := flag.Int("shards", 0, "scheduler shards (0 = one per CPU)")
+	dbg := flag.Bool("debug", false, "expose net/http/pprof and expvar under /debug")
+	spans := flag.Int("spans", 64, "sample 1-in-N packets for lifecycle spans (0 = off)")
+	records := flag.Int("flight-records", 0, "flight recorder ring size per shard (0 = default)")
 	flag.Parse()
 
 	link := *rate * hfsc.Mbps
@@ -39,6 +57,9 @@ func main() {
 			LinkRate:          link,
 			DefaultQueueLimit: 1000,
 			Metrics:           true,
+			Flight:            true,
+			FlightRecords:     *records,
+			Spans:             *spans,
 		},
 		Shards: *shards,
 	}, func(p *hfsc.Packet) {
@@ -109,12 +130,70 @@ func main() {
 		}
 	}()
 
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := m.WriteMetrics(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	log.Printf("serving metrics on %s/metrics (link %d Mb/s, %d shards)", *listen, *rate, m.NumShards())
-	log.Fatal(http.ListenAndServe(*listen, nil))
+
+	// /debug/hfsc/tree: the live class tree — curves, virtual times,
+	// eligible/deadline times, backlog — captured by each shard's pacing
+	// goroutine between scheduling passes.
+	mux.HandleFunc("/debug/hfsc/tree", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m.DumpTree()); err != nil {
+			log.Printf("tree dump: %v", err)
+		}
+	})
+
+	// /debug/hfsc/events: the merged flight-recorder stream as a JSON
+	// array, newest last. ?n=K limits to the K newest events (default
+	// 256, capped at the rings' capacity).
+	mux.HandleFunc("/debug/hfsc/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		recs := m.FlightEvents(nil)
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+		out := make([]hfsc.FlightEvent, len(recs))
+		for i, rec := range recs {
+			out[i] = hfsc.FlightEventJSON(rec, func(id int32) string { return m.ClassName(int(id)) })
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			log.Printf("event dump: %v", err)
+		}
+	})
+
+	if *dbg {
+		start := time.Now()
+		expvar.Publish("hfsc.shards", expvar.Func(func() any { return m.NumShards() }))
+		expvar.Publish("hfsc.uptime_seconds", expvar.Func(func() any { return time.Since(start).Seconds() }))
+		expvar.Publish("hfsc.goroutines", expvar.Func(func() any { return runtime.NumGoroutine() }))
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			expvar.NewString("hfsc.build").Set(bi.Main.Path + " " + bi.GoVersion)
+		}
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	log.Printf("serving on %s: /metrics /debug/hfsc/tree /debug/hfsc/events (link %d Mb/s, %d shards, debug=%v)",
+		*listen, *rate, m.NumShards(), *dbg)
+	log.Fatal(http.ListenAndServe(*listen, mux))
 }

@@ -35,10 +35,12 @@ package hfsc
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/flight"
 	"github.com/netsched/hfsc/internal/metrics"
 	"github.com/netsched/hfsc/internal/pktq"
 )
@@ -119,6 +121,23 @@ type Config struct {
 	// MetricsWindow is the EWMA time constant for the service-rate
 	// estimators (default one second). Ignored unless Metrics is set.
 	MetricsWindow time.Duration
+	// Flight enables the always-on flight recorder: a fixed-size lock-free
+	// ring capturing every scheduler event (enqueue, drop, dequeue with
+	// slack, activation, deferral, transmit) with timestamps and packet
+	// identity, readable concurrently via FlightRecorder(). The write path
+	// is a handful of atomic stores per event — cheap enough to leave on
+	// in production.
+	Flight bool
+	// FlightRecords sizes the recorder ring in records (rounded up to a
+	// power of two; 0 = 4096). Ignored unless Flight is set.
+	FlightRecords int
+	// Spans samples 1-in-N submitted packets for a full lifecycle span:
+	// submit → intake drain → dequeue → transmit, decomposed into intake
+	// wait, queueing delay and pacing delay histograms on the metrics
+	// snapshot. 0 disables sampling; it also requires Metrics (the span
+	// histograms live on the aggregator) and a PacedQueue driver (the
+	// stamping happens at Submit/Transmit).
+	Spans int
 }
 
 // Class is a node in the link-sharing hierarchy.
@@ -178,6 +197,7 @@ type Scheduler struct {
 	cfg     Config
 	core    *core.Scheduler
 	agg     *metrics.Aggregator // nil unless Config.Metrics
+	rec     *flight.Recorder    // nil unless Config.Flight
 	byName  map[string]*Class
 	wrapped map[*core.Class]*Class
 }
@@ -197,8 +217,46 @@ func New(cfg Config) *Scheduler {
 		s.agg = metrics.NewAggregator(metrics.Options{Window: cfg.MetricsWindow})
 		opts.Tracer = s.agg
 	}
+	if cfg.Flight {
+		s.rec = flight.New(cfg.FlightRecords)
+		if s.agg != nil {
+			opts.Tracer = core.TeeTracer{s.agg, s.rec}
+		} else {
+			opts.Tracer = s.rec
+		}
+	}
 	s.core = core.New(opts)
 	return s
+}
+
+// FlightRecord is one flight-recorder entry; see FlightRecorder.
+type FlightRecord = flight.Record
+
+// FlightEvent is the JSON wire form of a FlightRecord, as served by the
+// /debug/hfsc/events endpoint in examples/hfsc-serve.
+type FlightEvent = flight.EventJSON
+
+// FlightRecorder is the lock-free event ring enabled by Config.Flight.
+// Its read side (ReadSince, Snapshot, Recorded, Dropped) is safe from any
+// goroutine, concurrently with scheduling.
+type FlightRecorder = flight.Recorder
+
+// FlightRecorder returns the scheduler's event ring, or nil when
+// Config.Flight is off. Class ids in its records are this scheduler's
+// local ids (use MultiQueue.FlightEvents for the merged, global-id view).
+func (s *Scheduler) FlightRecorder() *FlightRecorder { return s.rec }
+
+// FlightEventJSON converts a flight record to its JSON wire form. nameFn,
+// if non-nil, resolves a class id to a display name ("" to omit); pass
+// MultiQueue.ClassName for records from FlightEvents.
+func FlightEventJSON(rec FlightRecord, nameFn func(class int32) string) FlightEvent {
+	return flight.ToJSON(rec, nameFn)
+}
+
+// WriteFlightEvents writes records as JSON lines (one event per line) —
+// the stream format produced by hfsc-replay/-sim -events.
+func WriteFlightEvents(w io.Writer, recs []FlightRecord, nameFn func(class int32) string) error {
+	return flight.WriteEvents(w, recs, nameFn)
 }
 
 func (s *Scheduler) wrap(c *core.Class) *Class {

@@ -141,6 +141,30 @@ func (c *Class) QueueBytes() int64 { return c.queue.Bytes() }
 // Dropped returns the number of packets this leaf's queue has rejected.
 func (c *Class) Dropped() uint64 { return c.queue.Dropped() }
 
+// EligibleAt returns the leaf's current eligible time (diagnostic; stale
+// once the head packet changes).
+func (c *Class) EligibleAt() int64 { return c.e }
+
+// DeadlineAt returns the leaf's current real-time deadline (diagnostic).
+func (c *Class) DeadlineAt() int64 { return c.d }
+
+// FitAt returns the class's upper-limit fit time, and false when no
+// upper-limit curve constrains it.
+func (c *Class) FitAt() (int64, bool) {
+	if c.f == noFit {
+		return 0, false
+	}
+	return c.f, true
+}
+
+// RTCumulative returns the bytes counted against this leaf's real-time
+// curve (cumul in the paper's eligible/deadline computation).
+func (c *Class) RTCumulative() int64 { return c.cumul }
+
+// ActiveChildren returns the number of currently active children of an
+// interior class (always 0 for leaves).
+func (c *Class) ActiveChildren() int { return c.nactive }
+
 // Active reports whether the class is active (has a backlogged leaf in its
 // subtree).
 func (c *Class) Active() bool {

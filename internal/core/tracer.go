@@ -28,7 +28,21 @@ const (
 	// carries the earliest future fit time (0 if none). The class is the
 	// root.
 	EvUlimitDefer
+	// EvTransmit: a driver handed the packet to its transmit callback. The
+	// scheduler core never emits this event; real-time drivers (the public
+	// PacedQueue) report it into the flight recorder so the event stream
+	// covers the full packet lifecycle. Aux carries the pacing delay
+	// (transmit − dequeue, ns).
+	EvTransmit
+
+	// evSentinel bounds the declared events; it must stay last. Tests use
+	// it to assert every event renders a real String.
+	evSentinel
 )
+
+// EventCount is the number of declared tracer events; Event values in
+// [0, EventCount) are valid.
+const EventCount = int(evSentinel)
 
 func (e Event) String() string {
 	switch e {
@@ -48,6 +62,8 @@ func (e Event) String() string {
 		return "deadline-miss"
 	case EvUlimitDefer:
 		return "ulimit-defer"
+	case EvTransmit:
+		return "transmit"
 	default:
 		return "unknown"
 	}
@@ -109,5 +125,17 @@ type Tracer interface {
 func (s *Scheduler) trace(ev Event, cl *Class, p *pktq.Packet, now, aux int64) {
 	if s.opts.Tracer != nil {
 		s.opts.Tracer.Trace(ev, cl, p, now, aux)
+	}
+}
+
+// TeeTracer fans one event stream out to several tracers in order (e.g.
+// the metrics aggregator plus a flight recorder). The zero-length tee is
+// valid and drops every event.
+type TeeTracer []Tracer
+
+// Trace implements Tracer.
+func (t TeeTracer) Trace(ev Event, cl *Class, p *pktq.Packet, now, aux int64) {
+	for _, tr := range t {
+		tr.Trace(ev, cl, p, now, aux)
 	}
 }

@@ -103,6 +103,47 @@ func TestTracerCriterionAgreement(t *testing.T) {
 	}
 }
 
+// Every declared event must render a real string: an "unknown" here means
+// someone added an event without a String case, which would make flight
+// recorder dumps unreadable.
+func TestEventStringsComplete(t *testing.T) {
+	seen := map[string]core.Event{}
+	for i := 0; i < core.EventCount; i++ {
+		ev := core.Event(i)
+		s := ev.String()
+		if s == "unknown" || s == "" {
+			t.Fatalf("event %d has no String case", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("events %d and %d share the string %q", prev, ev, s)
+		}
+		seen[s] = ev
+	}
+	if core.Event(core.EventCount).String() != "unknown" {
+		t.Fatal("sentinel should render unknown")
+	}
+}
+
+// TeeTracer must deliver each event to every member, in order.
+func TestTeeTracer(t *testing.T) {
+	a, b := &recTracer{}, &recTracer{}
+	tee := core.TeeTracer{a, b}
+	s := core.New(core.Options{Tracer: tee})
+	cl := mustAdd(t, s, nil, "a", lin(mbps), lin(mbps), curve.SC{})
+	s.Enqueue(&pktq.Packet{Len: 100, Class: cl.ID()}, 0)
+	if s.Dequeue(0) == nil {
+		t.Fatal("dequeue failed")
+	}
+	if len(a.events) == 0 || len(a.events) != len(b.events) {
+		t.Fatalf("tee fan-out mismatch: %d vs %d events", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			t.Fatalf("tee order mismatch at %d: %v vs %v", i, a.events[i], b.events[i])
+		}
+	}
+}
+
 // traceFn adapts a function to the Tracer interface.
 type traceFn func(core.Event, *core.Class, *pktq.Packet, int64, int64)
 

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/flight"
 	"github.com/netsched/hfsc/internal/hierarchy"
 	"github.com/netsched/hfsc/internal/metrics"
 	"github.com/netsched/hfsc/internal/sim"
@@ -117,4 +118,33 @@ func Obs1() *Report {
 func Obs1Exposition(w io.Writer) error {
 	agg, _, _, _ := obs1Run()
 	return metrics.WritePrometheus(w, agg.Snapshot())
+}
+
+// Obs1Events runs the OBS-1 workload with a flight recorder teed next to
+// the aggregator and writes the full event stream as JSON lines — the
+// artifact behind hfsc-sim's -events flag. Dequeue reporting flows
+// through the same recorder a live PacedQueue uses, so simulated and
+// production event streams are directly comparable.
+func Obs1Events(w io.Writer) error {
+	agg := metrics.NewAggregator(metrics.Options{})
+	spec := hierarchy.MustParse(obs1Spec)
+	// Room for the whole run: ~2 s of events at a few events per packet.
+	rec := flight.New(1 << 17)
+	sch, byName, err := spec.BuildHFSC(core.Options{Tracer: core.TeeTracer{agg, rec}})
+	if err != nil {
+		return err
+	}
+	const end = 2 * sec
+	link, _ := hierarchy.ParseRate("10Mbit")
+	trace := source.Merge(
+		source.CBR(byName["audio"].ID(), 1, 160, 20*ms, 0, end),
+		source.Greedy(byName["bulk"].ID(), 2, 1500, link, 0, end),
+		source.CBRRate(byName["capped"].ID(), 3, 1500, link/5, 0, end),
+	)
+	run(sch, link, trace, 0)
+	names := make(map[int32]string, len(byName))
+	for n, c := range byName {
+		names[int32(c.ID())] = n
+	}
+	return flight.WriteEvents(w, rec.Snapshot(nil), func(id int32) string { return names[id] })
 }

@@ -1,0 +1,278 @@
+// Package flight implements the always-on flight recorder: a fixed-size
+// lock-free ring of typed event records written by the scheduling
+// goroutine and read concurrently by debug endpoints.
+//
+// Design constraints (see DESIGN.md §5e):
+//
+//   - Writes happen on the hot path, so they must be allocation-free and
+//     cheap: one record is four machine words stored with atomic writes,
+//     then a single cursor publish. No locks, no channels.
+//   - There is exactly one writer per Recorder (the shard's pacing
+//     goroutine / scheduler owner), but any number of readers. Readers
+//     never block the writer; the writer never waits for readers. A slow
+//     reader simply loses the oldest records (counted in Dropped).
+//   - Records must survive the race detector: every shared word is an
+//     atomic.Uint64, so concurrent read/write of a slot being overwritten
+//     is a well-defined (if stale) value, never a torn mixed-epoch record.
+//     Readers detect overwritten slots by re-reading the cursor after the
+//     copy and discarding records that fell out of the validity window.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// DefaultRecords is the per-shard ring capacity when the caller does not
+// choose one. At ~1 Mpps a shard overwrites this window in ~4 ms — enough
+// to capture the events around any anomaly a reader reacts to.
+const DefaultRecords = 4096
+
+// minRecords bounds tiny rings: below this the validity window is too
+// narrow for a reader to copy anything before it is overwritten.
+const minRecords = 64
+
+// wordsPerRecord is the ring storage cost of one record: timestamp, aux,
+// packet seq, and a packed ev/class/len word.
+const wordsPerRecord = 4
+
+// Record is one flight-recorder entry, decoded from the ring.
+type Record struct {
+	// Seq is the global record sequence number (monotone per recorder,
+	// starting at 1). Gaps never occur in a single ReadSince result; a gap
+	// between successive reads means the ring wrapped past the reader.
+	Seq uint64
+	// TS is the event's scheduler clock (monotonic ns).
+	TS int64
+	// Ev is the traced event.
+	Ev core.Event
+	// Class is the event's class id (shard-local as written; drivers that
+	// merge shards remap it to the global id). -1 when the event carried
+	// no class.
+	Class int32
+	// Len is the packet length in bytes (0 when the event carried no
+	// packet).
+	Len int32
+	// PktSeq is the packet's sequence number (0 when no packet).
+	PktSeq uint64
+	// Aux is the event-specific payload: deadline slack for dequeue-rt,
+	// drop reason for drop, fit time for ulimit-defer, pacing delay for
+	// transmit.
+	Aux int64
+	// Shard is filled in by multi-shard readers (FlightEvents); single
+	// recorders leave it 0.
+	Shard int32
+}
+
+// Recorder is a single-writer, multi-reader ring of Records.
+type Recorder struct {
+	// cursor is the number of records ever written; record i (1-based)
+	// lives in slot (i-1)&mask until overwritten. Readers treat it as the
+	// publish point: slots for records ≤ cursor are fully stored.
+	cursor atomic.Uint64
+	mask   uint64
+	// store holds size*wordsPerRecord atomic words:
+	// [ts, aux, pktseq, packed] per slot. Per-word atomics keep the race
+	// detector happy while costing only plain XCHG stores on amd64/arm64.
+	store []atomic.Uint64
+}
+
+// New returns a Recorder holding the given number of records, rounded up
+// to a power of two. size <= 0 selects DefaultRecords.
+func New(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRecords
+	}
+	if size < minRecords {
+		size = minRecords
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{
+		mask:  uint64(n - 1),
+		store: make([]atomic.Uint64, n*wordsPerRecord),
+	}
+}
+
+// Capacity returns the ring size in records.
+func (r *Recorder) Capacity() int { return int(r.mask) + 1 }
+
+// Recorded returns the number of records ever written.
+func (r *Recorder) Recorded() uint64 { return r.cursor.Load() }
+
+// Dropped returns the number of records that have been overwritten (no
+// longer readable). It is derived, not separately counted: the ring keeps
+// exactly the last Capacity records.
+func (r *Recorder) Dropped() uint64 {
+	c := r.cursor.Load()
+	size := r.mask + 1
+	if c <= size {
+		return 0
+	}
+	return c - size
+}
+
+// packed word layout: ev in bits 56..63, class in bits 32..55 (biased by
+// one so -1 encodes as 0), len in bits 0..31.
+const (
+	packEvShift    = 56
+	packClassShift = 32
+	packClassMask  = (1 << 24) - 1
+	packLenMask    = (1 << 32) - 1
+)
+
+func pack(ev core.Event, class int32, length int32) uint64 {
+	return uint64(ev)<<packEvShift |
+		(uint64(class+1)&packClassMask)<<packClassShift |
+		uint64(uint32(length))
+}
+
+func unpack(w uint64) (ev core.Event, class int32, length int32) {
+	ev = core.Event(w >> packEvShift)
+	class = int32((w>>packClassShift)&packClassMask) - 1
+	length = int32(uint32(w & packLenMask))
+	return
+}
+
+// RecordEv writes one record. Only the recorder's single writer (the
+// goroutine that owns the scheduler) may call it. It never allocates.
+func (r *Recorder) RecordEv(ev core.Event, class int32, pktSeq uint64, length int32, now, aux int64) {
+	c := r.cursor.Load() // single writer: plain read-modify-write is safe
+	base := (c & r.mask) * wordsPerRecord
+	r.store[base].Store(uint64(now))
+	r.store[base+1].Store(uint64(aux))
+	r.store[base+2].Store(pktSeq)
+	r.store[base+3].Store(pack(ev, class, length))
+	r.cursor.Store(c + 1) // publish
+}
+
+// Trace implements core.Tracer, recording every scheduler event. The
+// class id recorded is the scheduler-local id (root = 0); nil classes
+// record -1.
+func (r *Recorder) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, aux int64) {
+	class := int32(-1)
+	if cl != nil {
+		class = int32(cl.ID())
+	}
+	var seq uint64
+	var length int32
+	if p != nil {
+		seq = p.Seq
+		length = int32(p.Len)
+	}
+	r.RecordEv(ev, class, seq, length, now, aux)
+}
+
+// ReadSince copies records with Seq > since into buf (appending) and
+// returns the extended slice plus the newest Seq observed. Records the
+// writer overwrote mid-copy are discarded, so every returned record is
+// consistent; a gap between `since` and the first returned Seq means the
+// ring wrapped past the reader. Safe for any number of concurrent
+// callers. Pass the returned cursor back as `since` to tail the stream.
+// Once the ring has wrapped, at most Capacity-1 records are readable:
+// the slot the writer will fill next must be assumed mid-overwrite.
+func (r *Recorder) ReadSince(since uint64, buf []Record) ([]Record, uint64) {
+	c1 := r.cursor.Load()
+	if c1 == 0 || c1 <= since {
+		return buf, c1
+	}
+	// The writer may already be overwriting the slot for record c1+1, so
+	// the oldest possibly-intact record is c1-size+2, not c1-size+1.
+	size := r.mask + 1
+	lo := since + 1
+	if c1+1 > size && lo < c1+1-size+1 {
+		lo = c1 + 1 - size + 1
+	}
+	start := len(buf)
+	for seq := lo; seq <= c1; seq++ {
+		base := ((seq - 1) & r.mask) * wordsPerRecord
+		ts := int64(r.store[base].Load())
+		aux := int64(r.store[base+1].Load())
+		pktSeq := r.store[base+2].Load()
+		ev, class, length := unpack(r.store[base+3].Load())
+		buf = append(buf, Record{
+			Seq: seq, TS: ts, Ev: ev,
+			Class: class, Len: length, PktSeq: pktSeq, Aux: aux,
+		})
+	}
+	// Re-read the cursor: anything the writer advanced past during the
+	// copy may be torn across epochs, and the slot for the in-flight
+	// record c2+1 may be mid-overwrite. Keep only records still inside
+	// the validity window [c2+1-size+1, c2].
+	c2 := r.cursor.Load()
+	if c2+1 > size {
+		valid := c2 + 1 - size + 1
+		keep := buf[start:]
+		out := keep[:0]
+		for _, rec := range keep {
+			if rec.Seq >= valid {
+				out = append(out, rec)
+			}
+		}
+		buf = buf[:start+len(out)]
+	}
+	return buf, c1
+}
+
+// Snapshot appends the full readable window to buf and returns it — a
+// one-shot ReadSince from the beginning.
+func (r *Recorder) Snapshot(buf []Record) []Record {
+	out, _ := r.ReadSince(0, buf)
+	return out
+}
+
+// EventJSON is the wire form of a Record for debug endpoints.
+type EventJSON struct {
+	Seq    uint64 `json:"seq"`
+	TS     int64  `json:"ts_ns"`
+	Event  string `json:"event"`
+	Class  int32  `json:"class"`
+	Name   string `json:"name,omitempty"`
+	Shard  int32  `json:"shard"`
+	PktSeq uint64 `json:"pkt_seq,omitempty"`
+	Len    int32  `json:"len,omitempty"`
+	Aux    int64  `json:"aux,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ToJSON converts a Record to its wire form. nameFn, if non-nil, maps a
+// class id to a display name ("" to omit).
+func ToJSON(rec Record, nameFn func(class int32) string) EventJSON {
+	e := EventJSON{
+		Seq:    rec.Seq,
+		TS:     rec.TS,
+		Event:  rec.Ev.String(),
+		Class:  rec.Class,
+		Shard:  rec.Shard,
+		PktSeq: rec.PktSeq,
+		Len:    rec.Len,
+		Aux:    rec.Aux,
+	}
+	if nameFn != nil && rec.Class >= 0 {
+		e.Name = nameFn(rec.Class)
+	}
+	if rec.Ev == core.EvDrop {
+		e.Reason = core.DropReason(rec.Aux).String()
+	}
+	return e
+}
+
+// WriteEvents writes records as JSON lines (one event object per line),
+// the format tailed by hfsc-replay/-sim -events and the debug endpoint's
+// streaming mode.
+func WriteEvents(w io.Writer, recs []Record, nameFn func(class int32) string) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(ToJSON(rec, nameFn)); err != nil {
+			return fmt.Errorf("flight: write events: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package flight_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/flight"
+)
+
+func TestSizing(t *testing.T) {
+	if got := flight.New(0).Capacity(); got != flight.DefaultRecords {
+		t.Fatalf("default capacity = %d", got)
+	}
+	if got := flight.New(100).Capacity(); got != 128 {
+		t.Fatalf("round-up capacity = %d, want 128", got)
+	}
+	if got := flight.New(1).Capacity(); got != 64 {
+		t.Fatalf("min capacity = %d, want 64", got)
+	}
+}
+
+func TestReadSinceBasic(t *testing.T) {
+	r := flight.New(64)
+	for i := 0; i < 10; i++ {
+		r.RecordEv(core.EvEnqueue, int32(i), uint64(100+i), 1500, int64(i*10), 0)
+	}
+	recs, cur := r.ReadSince(0, nil)
+	if cur != 10 || len(recs) != 10 {
+		t.Fatalf("got %d recs, cursor %d", len(recs), cur)
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) || rec.Class != int32(i) || rec.PktSeq != uint64(100+i) ||
+			rec.Len != 1500 || rec.TS != int64(i*10) || rec.Ev != core.EvEnqueue {
+			t.Fatalf("record %d mismatch: %+v", i, rec)
+		}
+	}
+	// Tailing: no new records → empty, same cursor.
+	recs2, cur2 := r.ReadSince(cur, nil)
+	if len(recs2) != 0 || cur2 != cur {
+		t.Fatalf("tail read got %d recs, cursor %d", len(recs2), cur2)
+	}
+	// Partial tail.
+	r.RecordEv(core.EvDrop, 3, 0, 0, 99, int64(core.DropQueueLimit))
+	recs3, _ := r.ReadSince(cur, nil)
+	if len(recs3) != 1 || recs3[0].Ev != core.EvDrop || recs3[0].Aux != int64(core.DropQueueLimit) {
+		t.Fatalf("tail read: %+v", recs3)
+	}
+}
+
+func TestWrapKeepsNewest(t *testing.T) {
+	r := flight.New(64)
+	const total = 1000
+	for i := 0; i < total; i++ {
+		r.RecordEv(core.EvEnqueue, 1, uint64(i), 100, int64(i), 0)
+	}
+	if r.Recorded() != total {
+		t.Fatalf("recorded = %d", r.Recorded())
+	}
+	if want := uint64(total - 64); r.Dropped() != want {
+		t.Fatalf("dropped = %d, want %d", r.Dropped(), want)
+	}
+	// Once wrapped, the readable window is capacity-1: the reader must
+	// assume the slot of the next (in-flight) record is being dirtied.
+	recs := r.Snapshot(nil)
+	if len(recs) != 63 {
+		t.Fatalf("snapshot holds %d records, want 63", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(total - 63 + i + 1); rec.Seq != want {
+			t.Fatalf("record %d seq = %d, want %d", i, rec.Seq, want)
+		}
+		if rec.TS != int64(rec.Seq-1) {
+			t.Fatalf("record %d payload desynced from seq", i)
+		}
+	}
+}
+
+func TestNegativeAuxAndNilClass(t *testing.T) {
+	r := flight.New(64)
+	r.Trace(core.EvDeadlineMiss, nil, nil, 5, -123456)
+	recs := r.Snapshot(nil)
+	if len(recs) != 1 || recs[0].Aux != -123456 || recs[0].Class != -1 || recs[0].Len != 0 {
+		t.Fatalf("record: %+v", recs[0])
+	}
+}
+
+func TestZeroAllocWrite(t *testing.T) {
+	r := flight.New(256)
+	n := testing.AllocsPerRun(1000, func() {
+		r.RecordEv(core.EvDequeueRT, 7, 42, 1500, 1000, 50)
+	})
+	if n != 0 {
+		t.Fatalf("RecordEv allocates %.1f/op", n)
+	}
+}
+
+// Concurrent readers during sustained writes: every record a reader gets
+// back must be internally consistent (payload fields derived from its
+// seq), even while the writer laps the ring. Run with -race.
+func TestConcurrentReaders(t *testing.T) {
+	r := flight.New(128)
+	const total = 200_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for reader := 0; reader < 4; reader++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var since uint64
+			buf := make([]flight.Record, 0, 256)
+			for {
+				buf = buf[:0]
+				var recs []flight.Record
+				recs, since = r.ReadSince(since, buf)
+				for _, rec := range recs {
+					// The writer stamps TS=seq-1, PktSeq=seq, Aux=-int64(seq):
+					// any mismatch is a torn read.
+					if rec.TS != int64(rec.Seq-1) || rec.PktSeq != rec.Seq || rec.Aux != -int64(rec.Seq) {
+						t.Errorf("torn record: %+v", rec)
+						return
+					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := uint64(1); i <= total; i++ {
+		r.RecordEv(core.EvEnqueue, int32(i%1000), i, int32(i%9000), int64(i-1), -int64(i))
+	}
+	close(stop)
+	wg.Wait()
+	if r.Recorded() != total {
+		t.Fatalf("recorded = %d", r.Recorded())
+	}
+}
+
+func TestWriteEventsJSON(t *testing.T) {
+	r := flight.New(64)
+	r.RecordEv(core.EvDequeueRT, 2, 7, 1500, 1000, 250)
+	r.RecordEv(core.EvDrop, 3, 8, 100, 2000, int64(core.DropQueueLimit))
+	var buf bytes.Buffer
+	names := map[int32]string{2: "voice", 3: "bulk"}
+	err := flight.WriteEvents(&buf, r.Snapshot(nil), func(c int32) string { return names[c] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var ev flight.EventJSON
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Event != "dequeue-rt" || ev.Name != "voice" || ev.Aux != 250 || ev.Len != 1500 {
+		t.Fatalf("line 0: %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Event != "drop" || ev.Reason != "queue-limit" || ev.Name != "bulk" {
+		t.Fatalf("line 1: %+v", ev)
+	}
+}

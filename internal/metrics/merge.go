@@ -24,6 +24,12 @@ func MergeSnapshots(snaps []*Snapshot, remap func(shard, id int) (int, bool)) *S
 		out.DropsBadPacket += s.DropsBadPacket
 		out.DropsIntakeFull += s.DropsIntakeFull
 		out.DropsStopped += s.DropsStopped
+		out.SpansSampled += s.SpansSampled
+		out.FlightRecorded += s.FlightRecorded
+		out.FlightDropped += s.FlightDropped
+		mergeHist(&out.SpanIntakeWait, s.SpanIntakeWait)
+		mergeHist(&out.SpanQueueDelay, s.SpanQueueDelay)
+		mergeHist(&out.SpanPacingDelay, s.SpanPacingDelay)
 		for _, c := range s.Classes {
 			if remap != nil {
 				id, ok := remap(i, c.ID)
@@ -37,4 +43,42 @@ func MergeSnapshots(snaps []*Snapshot, remap func(shard, id int) (int, bool)) *S
 	}
 	sort.Slice(out.Classes, func(a, b int) bool { return out.Classes[a].ID < out.Classes[b].ID })
 	return out
+}
+
+// mergeHist folds src into dst. The first non-empty histogram is copied
+// (never aliased — shard snapshots stay immutable); later ones add
+// elementwise when the bucket bounds agree. Zero-value histograms (a
+// never-started shard) merge as no-ops, and mismatched bounds — shards
+// configured with different buckets — fold into Sum/Count only, so the
+// totals stay right even when the buckets cannot line up.
+func mergeHist(dst *HistogramSnapshot, src HistogramSnapshot) {
+	if src.Count == 0 && len(src.Bounds) == 0 {
+		return
+	}
+	if dst.Counts == nil {
+		dst.Bounds = src.Bounds // bounds are immutable; sharing is safe
+		dst.Counts = append([]uint64(nil), src.Counts...)
+		dst.Sum = src.Sum
+		dst.Count = src.Count
+		return
+	}
+	if len(dst.Bounds) == len(src.Bounds) && len(dst.Counts) == len(src.Counts) {
+		same := true
+		for i := range dst.Bounds {
+			if dst.Bounds[i] != src.Bounds[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i := range src.Counts {
+				dst.Counts[i] += src.Counts[i]
+			}
+			dst.Sum += src.Sum
+			dst.Count += src.Count
+			return
+		}
+	}
+	dst.Sum += src.Sum
+	dst.Count += src.Count
 }

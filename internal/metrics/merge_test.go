@@ -59,3 +59,69 @@ func TestMergeSnapshots(t *testing.T) {
 		t.Fatalf("reject-all merge kept classes: %+v", none)
 	}
 }
+
+func spanHist(bounds []int64, counts []uint64, sum int64, n uint64) HistogramSnapshot {
+	return HistogramSnapshot{Bounds: bounds, Counts: counts, Sum: sum, Count: n}
+}
+
+func TestMergeSnapshotsSpanAndFlight(t *testing.T) {
+	bounds := []int64{10, 100}
+	a := &Snapshot{
+		SpansSampled:    4,
+		FlightRecorded:  100,
+		FlightDropped:   5,
+		SpanIntakeWait:  spanHist(bounds, []uint64{1, 2, 1}, 300, 4),
+		SpanQueueDelay:  spanHist(bounds, []uint64{4, 0, 0}, 20, 4),
+		SpanPacingDelay: spanHist(bounds, []uint64{0, 0, 4}, 4000, 4),
+	}
+	b := &Snapshot{
+		SpansSampled:    2,
+		FlightRecorded:  50,
+		FlightDropped:   0,
+		SpanIntakeWait:  spanHist(bounds, []uint64{2, 0, 0}, 10, 2),
+		SpanQueueDelay:  spanHist(bounds, []uint64{0, 2, 0}, 100, 2),
+		SpanPacingDelay: spanHist(bounds, []uint64{1, 1, 0}, 60, 2),
+	}
+	// zero is the never-started-queue path: Stats/Snapshot on a queue that
+	// never ran yields a fully zero-valued Snapshot (nil histogram fields).
+	zero := &Snapshot{}
+
+	m := MergeSnapshots([]*Snapshot{a, zero, b}, nil)
+	if m.SpansSampled != 6 || m.FlightRecorded != 150 || m.FlightDropped != 5 {
+		t.Fatalf("span/flight counters: %+v", m)
+	}
+	iw := m.SpanIntakeWait
+	if iw.Count != 6 || iw.Sum != 310 {
+		t.Fatalf("intake-wait totals: %+v", iw)
+	}
+	for i, want := range []uint64{3, 2, 1} {
+		if iw.Counts[i] != want {
+			t.Fatalf("intake-wait counts = %v", iw.Counts)
+		}
+	}
+	if m.SpanPacingDelay.Counts[0] != 1 || m.SpanPacingDelay.Counts[2] != 4 {
+		t.Fatalf("pacing counts = %v", m.SpanPacingDelay.Counts)
+	}
+
+	// Merging must not alias shard snapshots: the input histograms stay
+	// untouched.
+	if a.SpanIntakeWait.Counts[0] != 1 || b.SpanIntakeWait.Counts[0] != 2 {
+		t.Fatal("merge mutated an input snapshot")
+	}
+
+	// All-zero inputs stay zero-valued (no phantom buckets).
+	z := MergeSnapshots([]*Snapshot{zero, {}}, nil)
+	if z.SpanIntakeWait.Counts != nil || z.SpansSampled != 0 || z.FlightRecorded != 0 {
+		t.Fatalf("zero merge produced state: %+v", z)
+	}
+
+	// Mismatched bounds degrade to Sum/Count-only folding.
+	c := &Snapshot{SpanIntakeWait: spanHist([]int64{5}, []uint64{3, 0}, 9, 3)}
+	mm := MergeSnapshots([]*Snapshot{a, c}, nil)
+	if mm.SpanIntakeWait.Count != 7 || mm.SpanIntakeWait.Sum != 309 {
+		t.Fatalf("mismatched-bounds merge: %+v", mm.SpanIntakeWait)
+	}
+	if len(mm.SpanIntakeWait.Counts) != 3 || mm.SpanIntakeWait.Counts[0] != 1 {
+		t.Fatalf("mismatched-bounds merge corrupted buckets: %v", mm.SpanIntakeWait.Counts)
+	}
+}

@@ -254,6 +254,19 @@ type Aggregator struct {
 	// incrementally by CountDrop.
 	dropIntakeFull uint64
 	dropStopped    uint64
+
+	// Sampled packet-lifecycle spans (ObserveSpan): the latency
+	// decomposition of 1-in-N packets into intake wait, queueing delay,
+	// and pacing delay.
+	spansSampled uint64
+	spanIntake   *Histogram
+	spanQueue    *Histogram
+	spanPacing   *Histogram
+
+	// Flight-recorder totals, published monotonically by RecordFlight
+	// (like RecordIntake: counted lock-free upstream, synced on snapshot).
+	flightRecorded uint64
+	flightDropped  uint64
 }
 
 // NewAggregator creates an aggregator.
@@ -267,7 +280,13 @@ func NewAggregator(opts Options) *Aggregator {
 	if opts.DelayBuckets == nil {
 		opts.DelayBuckets = DelayBuckets
 	}
-	return &Aggregator{opts: opts, tau: float64(opts.Window.Nanoseconds())}
+	return &Aggregator{
+		opts:       opts,
+		tau:        float64(opts.Window.Nanoseconds()),
+		spanIntake: NewHistogram(opts.DelayBuckets),
+		spanQueue:  NewHistogram(opts.DelayBuckets),
+		spanPacing: NewHistogram(opts.DelayBuckets),
+	}
 }
 
 // state returns (creating on first use) the per-class aggregate.
@@ -387,6 +406,50 @@ func (a *Aggregator) RecordIntake(intakeFull, stopped uint64, now int64) {
 	a.mu.Unlock()
 }
 
+// ObserveSpan folds one sampled packet-lifecycle span into the latency
+// decomposition: intake wait (submit → intake drain), queueing delay
+// (enqueue → dequeue), pacing delay (dequeue → transmit), all ns.
+// Negative components (possible when the stamping clocks are read on
+// different goroutines) clamp to zero rather than corrupting the
+// histograms.
+func (a *Aggregator) ObserveSpan(intake, queue, pacing, now int64) {
+	if intake < 0 {
+		intake = 0
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if pacing < 0 {
+		pacing = 0
+	}
+	a.mu.Lock()
+	if now > a.lastEvent {
+		a.lastEvent = now
+	}
+	a.spansSampled++
+	a.spanIntake.Observe(intake)
+	a.spanQueue.Observe(queue)
+	a.spanPacing.Observe(pacing)
+	a.mu.Unlock()
+}
+
+// RecordFlight publishes a flight recorder's cumulative totals (records
+// written and records overwritten before any reader saw them). Monotone,
+// like RecordIntake: drivers sync the absolute values on snapshot.
+func (a *Aggregator) RecordFlight(recorded, dropped uint64, now int64) {
+	a.mu.Lock()
+	if now > a.lastEvent {
+		a.lastEvent = now
+	}
+	if recorded > a.flightRecorded {
+		a.flightRecorded = recorded
+	}
+	if dropped > a.flightDropped {
+		a.flightDropped = dropped
+	}
+	a.mu.Unlock()
+}
+
 // ClassSnapshot is an immutable copy of one class's metrics.
 type ClassSnapshot struct {
 	ID   int
@@ -440,6 +503,20 @@ type Snapshot struct {
 	// Stop. Like the admission drops they never reached a leaf queue.
 	DropsIntakeFull uint64
 	DropsStopped    uint64
+	// SpansSampled counts packet-lifecycle spans folded into the
+	// decomposition histograms below (1-in-N sampling; see Config.Spans).
+	SpansSampled uint64
+	// SpanIntakeWait / SpanQueueDelay / SpanPacingDelay decompose sampled
+	// packets' end-to-end latency: submit → intake drain, enqueue →
+	// dequeue, and dequeue → transmit (all ns). Zero-valued (nil bounds)
+	// when the driver never started or sampling is off.
+	SpanIntakeWait  HistogramSnapshot
+	SpanQueueDelay  HistogramSnapshot
+	SpanPacingDelay HistogramSnapshot
+	// FlightRecorded / FlightDropped are the flight recorder's cumulative
+	// totals: records written, and records overwritten (ring wrap).
+	FlightRecorded uint64
+	FlightDropped  uint64
 	// Classes holds one entry per class that has produced events, in class
 	// id (creation) order.
 	Classes []ClassSnapshot
@@ -467,6 +544,12 @@ func (a *Aggregator) Snapshot() *Snapshot {
 		DropsBadPacket:    a.dropBadPkt,
 		DropsIntakeFull:   a.dropIntakeFull,
 		DropsStopped:      a.dropStopped,
+		SpansSampled:      a.spansSampled,
+		SpanIntakeWait:    a.spanIntake.snapshot(),
+		SpanQueueDelay:    a.spanQueue.snapshot(),
+		SpanPacingDelay:   a.spanPacing.snapshot(),
+		FlightRecorded:    a.flightRecorded,
+		FlightDropped:     a.flightDropped,
 	}
 	for _, st := range a.classes {
 		if st == nil {

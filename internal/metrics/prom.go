@@ -111,6 +111,30 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		histogram(b, "hfsc_queue_delay_seconds", lbl("class", c.Name), c.QueueDelay)
 	}
 
+	family(b, "hfsc_spans_sampled_total", "counter",
+		"Packet-lifecycle spans folded into the latency decomposition (1-in-N sampled).")
+	counter(b, "hfsc_spans_sampled_total", "", float64(s.SpansSampled))
+
+	family(b, "hfsc_span_seconds", "histogram",
+		"Sampled per-packet latency decomposition by stage: intake_wait (submit to intake drain), queue (enqueue to dequeue), pacing (dequeue to transmit).")
+	if s.SpanIntakeWait.Counts != nil {
+		histogram(b, "hfsc_span_seconds", lbl("stage", "intake_wait"), s.SpanIntakeWait)
+	}
+	if s.SpanQueueDelay.Counts != nil {
+		histogram(b, "hfsc_span_seconds", lbl("stage", "queue"), s.SpanQueueDelay)
+	}
+	if s.SpanPacingDelay.Counts != nil {
+		histogram(b, "hfsc_span_seconds", lbl("stage", "pacing"), s.SpanPacingDelay)
+	}
+
+	family(b, "hfsc_flight_records_total", "counter",
+		"Events written to the flight recorder rings.")
+	counter(b, "hfsc_flight_records_total", "", float64(s.FlightRecorded))
+
+	family(b, "hfsc_flight_dropped_total", "counter",
+		"Flight-recorder records overwritten by ring wrap before the window closed.")
+	counter(b, "hfsc_flight_dropped_total", "", float64(s.FlightDropped))
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }

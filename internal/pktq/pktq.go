@@ -43,6 +43,11 @@ type Packet struct {
 	Deadline int64
 	Crit     Criterion
 
+	// SubmitAt is the driver-side submit timestamp (ns), stamped only on
+	// span-sampled packets (see hfsc.Config.Spans) and zeroed again before
+	// the packet leaves through Transmit. Zero means not sampled.
+	SubmitAt int64
+
 	// Payload carries application data for real-datapath uses (e.g. the
 	// UDP shaper example); simulators leave it nil.
 	Payload []byte

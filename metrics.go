@@ -75,7 +75,18 @@ func (s *Scheduler) Snapshot() *Snapshot {
 	if s.agg == nil {
 		return nil
 	}
+	s.syncFlight()
 	return s.agg.Snapshot()
+}
+
+// syncFlight publishes the flight recorder's cumulative totals into the
+// aggregator so snapshots and /metrics report ring pressure. Monotone and
+// idempotent, like the intake-drop sync.
+func (s *Scheduler) syncFlight() {
+	if s.agg == nil || s.rec == nil {
+		return
+	}
+	s.agg.RecordFlight(s.rec.Recorded(), s.rec.Dropped(), 0)
 }
 
 // WriteMetrics renders the current metrics in the Prometheus text
@@ -86,6 +97,7 @@ func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	if s.agg == nil {
 		return ErrMetricsDisabled
 	}
+	s.syncFlight()
 	return metrics.WritePrometheus(w, s.agg.Snapshot())
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/intake"
 )
 
@@ -52,6 +53,17 @@ type PacedQueue struct {
 	sent        atomic.Uint64
 	sentBytes   atomic.Int64
 	dropStopped atomic.Uint64
+
+	// Span sampling (Config.Spans): every spanEvery-th submitted packet is
+	// stamped with its submit clock; the transmit side turns the stamps
+	// into a latency decomposition. spanCtr is shared by all producers.
+	spanEvery uint64
+	spanCtr   atomic.Uint64
+
+	// Inspect support: closures for the pacing goroutine to run between
+	// scheduling passes, with a cheap pending flag the loop polls.
+	inspectQ       chan func()
+	inspectPending atomic.Int32
 }
 
 const (
@@ -80,6 +92,10 @@ func NewPacedQueue(s *Scheduler, transmit func(*Packet)) (*PacedQueue, error) {
 		s:        s,
 		stop:     make(chan struct{}),
 		wake:     make(chan struct{}, 1),
+		inspectQ: make(chan func(), 8),
+	}
+	if s.cfg.Spans > 0 && s.agg != nil {
+		q.spanEvery = uint64(s.cfg.Spans)
 	}
 	q.rate.Store(s.cfg.LinkRate)
 	return q, nil
@@ -153,11 +169,24 @@ func (q *PacedQueue) Submit(p *Packet) DropReason {
 		q.dropStopped.Add(1)
 		return DropStopped
 	}
+	q.maybeSpan(p)
 	if !q.intakeRings().Push(p.Class, p) {
 		return DropIntakeFull // the shard counted the drop
 	}
 	q.kick()
 	return DropNone
+}
+
+// maybeSpan stamps every spanEvery-th packet with its submit clock; the
+// transmit side turns the stamp into a lifecycle span. Costs one
+// predictable branch per Submit when sampling is off.
+func (q *PacedQueue) maybeSpan(p *Packet) {
+	if q.spanEvery == 0 {
+		return
+	}
+	if q.spanCtr.Add(1)%q.spanEvery == 0 {
+		p.SubmitAt = Now(time.Now())
+	}
 }
 
 // SubmitN is the batch form of Submit: it offers the packets in order and
@@ -179,6 +208,7 @@ func (q *PacedQueue) SubmitN(ps []*Packet) (accepted int, last DropReason) {
 	}
 	rings := q.intakeRings()
 	for i, p := range ps {
+		q.maybeSpan(p)
 		if !rings.Push(p.Class, p) { // the shard counted the drop
 			if i > 0 {
 				q.kick()
@@ -206,7 +236,10 @@ func (q *PacedQueue) isStopped() bool {
 
 // push offers one packet to the intake rings without the stopped-check or
 // doorbell (MultiQueue batches those across shards).
-func (q *PacedQueue) push(p *Packet) bool { return q.intakeRings().Push(p.Class, p) }
+func (q *PacedQueue) push(p *Packet) bool {
+	q.maybeSpan(p)
+	return q.intakeRings().Push(p.Class, p)
+}
 
 // kick rings the doorbell if the pacing goroutine is (about to be) asleep.
 func (q *PacedQueue) kick() {
@@ -270,7 +303,12 @@ func (q *PacedQueue) syncMetrics() {
 		full = r.Drops()
 	}
 	q.s.agg.RecordIntake(full, q.dropStopped.Load(), Now(time.Now()))
+	q.s.syncFlight()
 }
+
+// FlightRecorder returns the underlying scheduler's event ring, or nil
+// when Config.Flight is off. Reading it is safe while the queue runs.
+func (q *PacedQueue) FlightRecorder() *FlightRecorder { return q.s.rec }
 
 // Snapshot copies the scheduler's metrics (nil when the scheduler was
 // created without Config.Metrics), after folding in the driver's intake
@@ -293,6 +331,10 @@ func (q *PacedQueue) WriteMetrics(w io.Writer) error {
 
 func (q *PacedQueue) loop() {
 	defer q.done.Done()
+	// Serve inspections that arrived too late for the loop body: any
+	// Inspect that enqueued before Stop flipped stopped (both under q.mu)
+	// has its closure in the channel by the time the loop exits.
+	defer q.serveInspect()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	rings := q.intakeRings()
@@ -304,6 +346,9 @@ func (q *PacedQueue) loop() {
 	buf := make([]*Packet, 0, paceDrainBatch)
 
 	for {
+		if q.inspectPending.Load() > 0 {
+			q.serveInspect()
+		}
 		now := time.Now()
 		nowNs := Now(now)
 		buf, _ = q.drainIntake(rings, buf, nowNs, drainCap)
@@ -344,16 +389,91 @@ func (q *PacedQueue) loop() {
 			continue
 		}
 
-		// Read Len before Transmit: ownership passes with the call, and a
-		// pooled packet may be Released (and reused) inside the callback.
+		// Read Len (and span/flight identity) before Transmit: ownership
+		// passes with the call, and a pooled packet may be Released (and
+		// reused) inside the callback. txNs is read once per burst, only
+		// when something consumes it.
 		total := 0
+		var txNs int64
+		rec := q.s.rec
+		if rec != nil {
+			txNs = Now(time.Now())
+		}
 		for _, p := range burst {
 			total += p.Len
+			if p.SubmitAt != 0 {
+				if txNs == 0 {
+					txNs = Now(time.Now())
+				}
+				q.observeSpan(p, nowNs, txNs)
+			}
+			if rec != nil {
+				rec.RecordEv(core.EvTransmit, int32(p.Class), p.Seq, int32(p.Len), txNs, txNs-nowNs)
+			}
 			q.Transmit(p)
 		}
 		q.sent.Add(uint64(len(burst)))
 		q.sentBytes.Add(int64(total))
 		linkFree = now.Add(time.Duration(int64(total) * int64(time.Second) / int64(rate)))
+	}
+}
+
+// observeSpan folds one sampled packet's lifecycle into the aggregator's
+// latency decomposition and clears the stamp before ownership passes to
+// Transmit: intake wait (submit → intake drain, the Arrival stamp), queue
+// delay (enqueue → dequeue, including pacing-induced waiting), pacing
+// delay (dequeue → hand-off within the burst).
+func (q *PacedQueue) observeSpan(p *Packet, nowNs, txNs int64) {
+	submitAt := p.SubmitAt
+	p.SubmitAt = 0
+	if q.s.agg == nil {
+		return
+	}
+	q.s.agg.ObserveSpan(p.Arrival-submitAt, nowNs-p.Arrival, txNs-nowNs, txNs)
+}
+
+// Inspect runs fn with exclusive access to the underlying Scheduler: on a
+// running queue the pacing goroutine executes it between scheduling
+// passes (Inspect blocks until done); on a queue that is not running it
+// runs inline after any previous run has fully wound down. This is how
+// live tree snapshots (DumpTree) read virtual times and backlogs without
+// a data race. fn must not call back into the PacedQueue and must be
+// quick — the link is stalled while it runs. Inspect must not be called
+// concurrently with Start.
+func (q *PacedQueue) Inspect(fn func(s *Scheduler)) {
+	q.mu.Lock()
+	if !q.started || q.stopped {
+		q.mu.Unlock()
+		q.done.Wait() // a stopped loop may still be winding down
+		fn(q.s)
+		return
+	}
+	done := make(chan struct{})
+	q.inspectPending.Add(1)
+	// Send under q.mu: this orders the send before any Stop (which also
+	// takes q.mu), so the loop's exit drain is guaranteed to see it. A
+	// full channel blocks here, but an earlier Inspect has then already
+	// rung the doorbell, so the loop is on its way to drain.
+	q.inspectQ <- func() {
+		fn(q.s)
+		close(done)
+	}
+	q.mu.Unlock()
+	q.kick()
+	<-done
+}
+
+// serveInspect runs every queued inspection closure. Called only from the
+// pacing goroutine (loop body and exit path).
+func (q *PacedQueue) serveInspect() {
+	for {
+		select {
+		case fn := <-q.inspectQ:
+			q.inspectPending.Add(-1)
+			fn()
+		default:
+			return
+		}
 	}
 }
 
