@@ -40,9 +40,11 @@ bench-intake:
 bench-json:
 	$(GO) run ./cmd/hfsc-bench -json BENCH_overhead.json
 
-# Regression gate: re-run the TBL-O1 overhead rows and fail if any
-# ns_per_pkt regresses more than 15% against the frozen baseline section
-# of BENCH_overhead.json. Fewer ops than a full run — the gate catches
+# Regression gate: re-run the TBL-O1 overhead rows and the TBL-O4
+# saturation sweep; fail if any ns_per_pkt regresses more than 15%
+# against the frozen baseline section of BENCH_overhead.json, or if the
+# shard-scaling knee returns (multiqueue-s8 costing more per packet than
+# multiqueue-s1). Fewer ops than a full run — the gate catches
 # step-change regressions, not noise.
 bench-check:
 	$(GO) run ./cmd/hfsc-bench -ops 100000 -check

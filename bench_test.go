@@ -375,6 +375,26 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			s.Enqueue(p, now)
 		})
 	})
+	t.Run("flat-calendar", func(t *testing.T) {
+		// The calendar eligible list must match the rbtree gate: entries
+		// come from the calendar's free list and the deadline heap stores
+		// positions in the class itself, so churn through both structures
+		// (future e -> sweep -> heap -> service) allocates nothing.
+		s, ids := buildFlat(t, 256, core.ElCalendar)
+		now := int64(0)
+		for i, id := range ids {
+			s.Enqueue(&pktq.Packet{Len: 1000, Class: id, Seq: uint64(i)}, now)
+		}
+		checkZeroAllocs(t, func() {
+			now += 800
+			p := s.Dequeue(now)
+			if p == nil {
+				t.Fatal("scheduler idled")
+			}
+			p.Crit = 0
+			s.Enqueue(p, now)
+		})
+	})
 	t.Run("deep", func(t *testing.T) {
 		s, ids := buildDeep(t, 64, 4)
 		now := int64(0)

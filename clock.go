@@ -1,6 +1,9 @@
 package hfsc
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // The clock contract
 //
@@ -22,6 +25,36 @@ import "time"
 //
 //	s.Enqueue(p, hfsc.Now(time.Now()))
 func Now(t time.Time) int64 { return t.UnixNano() }
+
+// coarseClock is a shared monotone nanosecond clock, published by the
+// pacing goroutine(s) and read by producers. Each pacing pass makes one
+// time.Now() call and advances the clock with it; everything else in the
+// hot path — span stamps on Submit, arrival stamps at intake drain,
+// transmit stamps — reads the cached value instead of taking its own
+// vDSO round trip. The cost is granularity (stamps quantize to pacing
+// passes, microseconds under load), never monotonicity: advance is a
+// CAS-max, so with several pacing goroutines racing on one clock
+// (MultiQueue shares one across shards) the published value only moves
+// forward even when their time.Now() reads arrive out of order.
+type coarseClock struct {
+	ns atomic.Int64
+}
+
+// advance publishes ts if it is ahead of the current published time.
+func (c *coarseClock) advance(ts int64) {
+	for {
+		cur := c.ns.Load()
+		if ts <= cur {
+			return
+		}
+		if c.ns.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// now returns the latest published time, or 0 before the first advance.
+func (c *coarseClock) now() int64 { return c.ns.Load() }
 
 // At converts a scheduler clock value back to a time.Time under the same
 // Unix-epoch convention. At(Now(t)) == t up to the monotonic reading.

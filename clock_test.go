@@ -1,0 +1,53 @@
+package hfsc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCoarseClockMonotone hammers advance from several goroutines feeding
+// deliberately out-of-order timestamps — the MultiQueue situation, where
+// every shard's pacing pass races to publish its own time.Now() read —
+// and asserts the published value never moves backwards and ends at the
+// maximum ever offered.
+func TestCoarseClockMonotone(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var clk coarseClock
+	if clk.now() != 0 {
+		t.Fatalf("zero clock reads %d, want 0", clk.now())
+	}
+	var regressed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Interleave ascending runs with stale re-offers so CAS-max
+			// sees both fresh and out-of-date timestamps.
+			for i := 1; i <= perW; i++ {
+				ts := int64(i*writers + w)
+				clk.advance(ts)
+				clk.advance(ts - int64(writers)) // stale: must be a no-op
+				a := clk.now()
+				if a < ts {
+					regressed.Store(true)
+				}
+				if b := clk.now(); b < a {
+					regressed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if regressed.Load() {
+		t.Fatal("coarse clock ran backwards")
+	}
+	want := int64(perW*writers + writers - 1)
+	if got := clk.now(); got != want {
+		t.Fatalf("final clock %d, want max offered %d", got, want)
+	}
+}

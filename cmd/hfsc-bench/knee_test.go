@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestKnee is an iteration harness for the TBL-O4 scaling sweep: the
+// full `-check` run spends minutes in TBL-O1 before reaching the shard
+// sweep, this reruns just the sweep in well under a second. Skipped
+// unless KNEE=1; KNEE_S=<n> narrows it to one shard count with more
+// packets and repetitions (the shape worth profiling:
+// `KNEE=1 KNEE_S=8 go test ./cmd/hfsc-bench -run Knee -cpuprofile ...`).
+func TestKnee(t *testing.T) {
+	if os.Getenv("KNEE") == "" {
+		t.Skip("set KNEE=1 to run the shard sweep")
+	}
+	if s := os.Getenv("KNEE_S"); s != "" {
+		var sh int
+		fmt.Sscanf(s, "%d", &sh)
+		best := 0.0
+		for i := 0; i < 5; i++ {
+			if r := measureMulti(sh, 16, 1024, 400000); r > best {
+				best = r
+			}
+		}
+		fmt.Printf("s=%d  %.2fM pps  %.0f ns/pkt\n", sh, best/1e6, 1e9/best)
+		return
+	}
+	rates := shardSweep(16, 100000, 3)
+	for _, s := range []int{1, 2, 4, 8} {
+		fmt.Printf("s=%d  %.2fM pps  %.0f ns/pkt\n", s, rates[s]/1e6, 1e9/rates[s])
+	}
+}

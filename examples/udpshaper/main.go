@@ -44,7 +44,78 @@ func (c *classFlag) Set(s string) error { c.specs = append(c.specs, s); return n
 
 // batchSize bounds one SubmitN call; a reader flushes earlier whenever
 // the socket goes momentarily quiet, so batching never adds idle latency.
+// On Linux it is also the recvmmsg burst: one syscall per batch.
 const batchSize = 16
+
+// egressBurst bounds one sendmmsg call on the egress side.
+const egressBurst = 32
+
+// egress serializes departing packets from every shard's pacing
+// goroutine onto the output socket, batching them into sendmmsg bursts
+// on Linux (one Write per packet elsewhere). A full channel back-
+// pressures the pacing goroutines exactly like a slow blocking Write
+// did before; the opportunistic drain below means a lone packet is
+// flushed immediately, so batching adds no idle latency.
+type egress struct {
+	ch   chan *hfsc.Packet
+	send func([]*hfsc.Packet) error
+	done chan struct{}
+}
+
+func newEgress(out *net.UDPConn) *egress {
+	e := &egress{ch: make(chan *hfsc.Packet, 4*egressBurst), done: make(chan struct{})}
+	if w, ok := newMmsgWriter(out, egressBurst); ok {
+		e.send = w.write
+	} else {
+		e.send = func(ps []*hfsc.Packet) error {
+			for _, p := range ps {
+				if _, err := out.Write(p.Payload[:p.Len]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	go e.run()
+	return e
+}
+
+// transmit is the MultiQueue callback: hand the packet to the egress
+// goroutine.
+func (e *egress) transmit(p *hfsc.Packet) { e.ch <- p }
+
+// stop flushes and terminates the egress goroutine. Call only after the
+// shaper has stopped (no more transmit calls).
+func (e *egress) stop() {
+	close(e.ch)
+	<-e.done
+}
+
+func (e *egress) run() {
+	defer close(e.done)
+	batch := make([]*hfsc.Packet, 0, egressBurst)
+	for p := range e.ch {
+		batch = append(batch[:0], p)
+	fill:
+		for len(batch) < egressBurst {
+			select {
+			case p, ok := <-e.ch:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, p)
+			default:
+				break fill
+			}
+		}
+		if err := e.send(batch); err != nil {
+			log.Printf("forward: %v", err)
+		}
+		for _, p := range batch {
+			p.Release()
+		}
+	}
+}
 
 func main() {
 	var classes classFlag
@@ -72,18 +143,16 @@ func main() {
 	}
 	defer out.Close()
 
-	// The shard pacing goroutines own their schedulers; with more than one
-	// shard the transmit callback runs concurrently, which a UDP write
-	// tolerates. Readers only ever touch the intake rings.
+	// The shard pacing goroutines own their schedulers; their transmit
+	// callbacks all feed the egress batcher, which owns the output socket
+	// and coalesces departures into sendmmsg bursts. Readers only ever
+	// touch the intake rings.
+	eg := newEgress(out)
+	defer eg.stop()
 	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
 		Config: hfsc.Config{LinkRate: rate, DefaultQueueLimit: 200},
 		Shards: *shards,
-	}, func(p *hfsc.Packet) {
-		if _, err := out.Write(p.Payload); err != nil {
-			log.Printf("forward: %v", err)
-		}
-		p.Release()
-	})
+	}, eg.transmit)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,10 +209,16 @@ func main() {
 	}
 }
 
-// read pulls datagrams off one socket and batch-submits them: the first
-// read of a batch blocks, the rest use an immediate deadline so a burst
-// coalesces into one SubmitN while a lone packet is flushed at once.
+// read pulls datagrams off one socket and batch-submits them. On Linux
+// the whole burst arrives through one recvmmsg call; elsewhere the first
+// read of a batch blocks and the rest use an immediate deadline, so
+// either way a burst coalesces into one SubmitN while a lone packet is
+// flushed at once.
 func read(conn net.PacketConn, m *hfsc.MultiQueue, class int, rejected *atomic.Uint64) {
+	if r, ok := newMmsgReader(conn, batchSize, 64<<10); ok {
+		readMmsg(r, m, class, rejected)
+		return
+	}
 	buf := make([]byte, 64<<10)
 	batch := make([]*hfsc.Packet, 0, batchSize)
 	var zero time.Time
@@ -169,6 +244,30 @@ func read(conn net.PacketConn, m *hfsc.MultiQueue, class int, rejected *atomic.U
 			batch = append(batch, p)
 			// Drain whatever already sits in the socket buffer, no waiting.
 			conn.SetReadDeadline(time.Unix(1, 0))
+		}
+		if !submit(m, batch, rejected) {
+			return
+		}
+	}
+}
+
+// readMmsg is the Linux read loop: one recvmmsg per burst, one SubmitN
+// per burst. Exits when the socket is closed or the shaper stops.
+func readMmsg(r *mmsgReader, m *hfsc.MultiQueue, class int, rejected *atomic.Uint64) {
+	batch := make([]*hfsc.Packet, 0, batchSize)
+	for {
+		n, err := r.read()
+		if err != nil {
+			return
+		}
+		batch = batch[:0]
+		for i := 0; i < n; i++ {
+			b := r.datagram(i)
+			p := hfsc.GetPacket()
+			p.Len = len(b)
+			p.Class = class
+			p.Payload = append(p.Payload[:0], b...) // reuse pooled capacity
+			batch = append(batch, p)
 		}
 		if !submit(m, batch, rejected) {
 			return

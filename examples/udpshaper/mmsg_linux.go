@@ -1,0 +1,174 @@
+//go:build linux && amd64
+
+package main
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+// Batched UDP I/O via recvmmsg(2)/sendmmsg(2), raw syscalls on the
+// net-package file descriptors (no new dependencies). One syscall moves a
+// whole burst of datagrams, so the per-packet kernel crossing — which
+// dominates a userspace forwarder's budget once the scheduler itself is
+// a few hundred nanoseconds — is amortized batchSize ways. The RawConn
+// read/write callbacks keep the netpoller integration: EAGAIN parks the
+// goroutine on the poller exactly like the net package's own I/O.
+
+// The amd64 syscall numbers. recvmmsg is in the frozen syscall package's
+// table but sendmmsg (Linux 3.0) postdates it, so both are pinned here —
+// which is also why this file is gated on amd64, not linux alone: the
+// numbers are per-architecture.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)
+
+// mmsghdr mirrors struct mmsghdr. Go's struct rules reproduce the C
+// layout: the trailing msg_len is padded to the Msghdr alignment, giving
+// the kernel's 64-byte stride.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	mlen uint32
+}
+
+// mmsgReader reads datagram bursts from one UDP socket: up to len(hdrs)
+// datagrams per recvmmsg call, each into its own preallocated buffer.
+type mmsgReader struct {
+	rc   syscall.RawConn
+	bufs [][]byte
+	iovs []syscall.Iovec
+	hdrs []mmsghdr
+}
+
+// newMmsgReader builds a reader over conn; ok is false when conn is not
+// a UDP socket exposing a raw fd (the caller falls back to ReadFrom).
+func newMmsgReader(conn net.PacketConn, n, size int) (*mmsgReader, bool) {
+	uc, isUDP := conn.(*net.UDPConn)
+	if !isUDP {
+		return nil, false
+	}
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil, false
+	}
+	r := &mmsgReader{
+		rc:   rc,
+		bufs: make([][]byte, n),
+		iovs: make([]syscall.Iovec, n),
+		hdrs: make([]mmsghdr, n),
+	}
+	for i := range r.bufs {
+		r.bufs[i] = make([]byte, size)
+		r.iovs[i].Base = &r.bufs[i][0]
+		r.iovs[i].SetLen(size)
+		r.hdrs[i].hdr.Iov = &r.iovs[i]
+		r.hdrs[i].hdr.Iovlen = 1
+	}
+	return r, true
+}
+
+// read blocks until the socket is readable, then returns how many of the
+// reader's buffers one recvmmsg filled. The socket is nonblocking (the
+// net package's doing), so a drained socket parks on the netpoller
+// rather than spinning.
+func (r *mmsgReader) read() (int, error) {
+	var n int
+	var serr error
+	err := r.rc.Read(func(fd uintptr) bool {
+		for {
+			rn, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&r.hdrs[0])), uintptr(len(r.hdrs)),
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch e {
+			case 0:
+				n = int(rn)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park on the poller until readable
+			default:
+				serr = e
+				return true
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, serr
+}
+
+// datagram returns the i-th datagram of the last read, valid until the
+// next read call.
+func (r *mmsgReader) datagram(i int) []byte { return r.bufs[i][:r.hdrs[i].mlen] }
+
+// mmsgWriter sends packet bursts on a connected UDP socket, one sendmmsg
+// per burst (no msg_name: the socket is connected).
+type mmsgWriter struct {
+	rc   syscall.RawConn
+	iovs []syscall.Iovec
+	hdrs []mmsghdr
+}
+
+// newMmsgWriter builds a writer over the connected socket; ok is false
+// when the fd is unavailable (the caller falls back to Write).
+func newMmsgWriter(conn *net.UDPConn, n int) (*mmsgWriter, bool) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, false
+	}
+	return &mmsgWriter{
+		rc:   rc,
+		iovs: make([]syscall.Iovec, n),
+		hdrs: make([]mmsghdr, n),
+	}, true
+}
+
+// write transmits every packet in ps (at most the writer's burst size),
+// looping over partial sends. Packet payloads must stay untouched until
+// it returns.
+func (w *mmsgWriter) write(ps []*hfsc.Packet) error {
+	if len(ps) > len(w.hdrs) {
+		ps = ps[:len(w.hdrs)]
+	}
+	for i, p := range ps {
+		w.iovs[i].Base = &p.Payload[0]
+		w.iovs[i].SetLen(p.Len)
+		w.hdrs[i].hdr.Iov = &w.iovs[i]
+		w.hdrs[i].hdr.Iovlen = 1
+	}
+	off := 0
+	for off < len(ps) {
+		var serr error
+		err := w.rc.Write(func(fd uintptr) bool {
+			for off < len(ps) {
+				n, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+					uintptr(unsafe.Pointer(&w.hdrs[off])), uintptr(len(ps)-off),
+					syscall.MSG_DONTWAIT, 0, 0)
+				switch e {
+				case 0:
+					off += int(n)
+				case syscall.EINTR:
+				case syscall.EAGAIN:
+					return false // park until writable
+				default:
+					serr = e
+					return true
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if serr != nil {
+			return serr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+//go:build !(linux && amd64)
+
+package main
+
+import (
+	"net"
+
+	hfsc "github.com/netsched/hfsc"
+)
+
+// recvmmsg/sendmmsg are Linux-only; elsewhere the constructors report
+// unavailable and the forwarder stays on the portable per-datagram path.
+
+type mmsgReader struct{}
+
+func newMmsgReader(net.PacketConn, int, int) (*mmsgReader, bool) { return nil, false }
+func (*mmsgReader) read() (int, error)                           { return 0, nil }
+func (*mmsgReader) datagram(int) []byte                          { return nil }
+
+type mmsgWriter struct{}
+
+func newMmsgWriter(*net.UDPConn, int) (*mmsgWriter, bool) { return nil, false }
+func (*mmsgWriter) write([]*hfsc.Packet) error            { return nil }

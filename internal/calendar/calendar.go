@@ -9,12 +9,15 @@
 package calendar
 
 // Entry is the handle returned by Insert; it stays valid until the entry is
-// removed or swept.
+// removed or swept. Removed entries are recycled on the queue's free list,
+// so a later Insert may return the same handle again (the rbtree package's
+// contract); the Value of a removed entry stays readable until that reuse.
 type Entry[T any] struct {
 	Value  T
 	key    int64
-	bucket int // index into q.buckets, -1 when not queued
-	pos    int // position within the bucket slice
+	bucket int       // index into q.buckets, -1 when not queued
+	pos    int       // position within the bucket slice
+	next   *Entry[T] // free-list link while recycled
 }
 
 // Key returns the entry's key (eligible time, ns).
@@ -30,6 +33,7 @@ type Queue[T any] struct {
 	mask    int64
 	cur     int64 // absolute index of the earliest bucket that may hold due entries
 	size    int
+	free    *Entry[T] // recycled entries; steady-state Insert allocates nothing
 }
 
 // New returns a calendar queue with the given bucket width (ns) and bucket
@@ -60,7 +64,14 @@ func (q *Queue[T]) Insert(key int64, value T) *Entry[T] {
 		q.cur = abs
 	}
 	bi := int(abs & q.mask)
-	e := &Entry[T]{Value: value, key: key, bucket: bi}
+	e := q.free
+	if e != nil {
+		q.free = e.next
+		e.next = nil
+		e.Value, e.key, e.bucket = value, key, bi
+	} else {
+		e = &Entry[T]{Value: value, key: key, bucket: bi}
+	}
 	e.pos = len(q.buckets[bi])
 	q.buckets[bi] = append(q.buckets[bi], e)
 	q.size++
@@ -69,6 +80,12 @@ func (q *Queue[T]) Insert(key int64, value T) *Entry[T] {
 
 // Remove removes the entry. The handle becomes invalid.
 func (q *Queue[T]) Remove(e *Entry[T]) {
+	q.detach(e)
+	q.recycle(e)
+}
+
+// detach unlinks the entry from its bucket without recycling it.
+func (q *Queue[T]) detach(e *Entry[T]) {
 	if e.bucket < 0 {
 		panic("calendar: Remove of entry not in queue")
 	}
@@ -83,6 +100,14 @@ func (q *Queue[T]) Remove(e *Entry[T]) {
 	q.buckets[e.bucket] = b[:last]
 	e.bucket = -1
 	q.size--
+}
+
+// recycle pushes a detached entry onto the free list. Value is deliberately
+// kept until the next Insert overwrites it, so a handle stays readable
+// between removal and reuse.
+func (q *Queue[T]) recycle(e *Entry[T]) {
+	e.next = q.free
+	q.free = e
 }
 
 // SweepUpTo removes every entry with key <= now and calls fn on it, in
@@ -105,15 +130,29 @@ func (q *Queue[T]) SweepUpTo(now int64, fn func(e *Entry[T])) {
 				i++
 				continue
 			}
-			q.Remove(e)
+			// Detach first, recycle only after fn returns: fn may Insert
+			// into this queue, and must not be handed back the very entry
+			// it is still reading.
+			q.detach(e)
 			fn(e)
-			b = q.buckets[bi] // Remove compacted the slice in place
+			q.recycle(e)
+			b = q.buckets[bi] // detach compacted the slice in place
 		}
 		if q.size == 0 {
 			break
 		}
 	}
 	q.cur = target
+}
+
+// Each calls fn on every queued entry, in arbitrary order. fn must not
+// mutate the queue.
+func (q *Queue[T]) Each(fn func(e *Entry[T])) {
+	for _, b := range q.buckets {
+		for _, e := range b {
+			fn(e)
+		}
+	}
 }
 
 // Min returns the smallest key currently queued, scanning forward from the

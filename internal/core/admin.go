@@ -13,7 +13,8 @@ import (
 // algorithm support (tc class del). The class must have no children and an
 // empty queue. Its identifier is retired (ClassByID returns nil). A parent
 // left childless becomes a leaf and may carry traffic again if it has the
-// curves to do so.
+// curves to do so. The class's hot-arena slot is retired with it (the
+// arena never shrinks; one 192-byte record per removed class).
 func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl == nil || cl == s.root {
 		return fmt.Errorf("core: cannot remove the root class: %w", ErrRootClass)
@@ -24,8 +25,9 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl.queue.Len() > 0 {
 		return fmt.Errorf("core: class %q still has queued packets: %w", cl.name, ErrClassActive)
 	}
-	if cl.vtnode != nil || cl.cfnode != nil || cl.fitnode != nil ||
-		cl.elHandle.node != nil || cl.elHandle.cal != nil || cl.elHandle.hp != nil {
+	h := cl.hot
+	if h.vtnode != nil || h.cfnode != nil || h.fitnode != nil ||
+		h.elnode != nil || h.elcal != nil || h.hpi != 0 {
 		return fmt.Errorf("core: class %q: %w", cl.name, ErrClassActive)
 	}
 	p := cl.parent
@@ -34,6 +36,9 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 			p.child = append(p.child[:i], p.child[i+1:]...)
 			break
 		}
+	}
+	if len(p.child) == 0 {
+		p.hot.leaf = true
 	}
 	s.classes[cl.id] = nil
 	cl.parent = nil
@@ -69,10 +74,11 @@ func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) erro
 			return fmt.Errorf("core: interior class %q cannot take a real-time curve", cl.name)
 		}
 	}
+	h := cl.hot
 	cl.rsc, cl.fsc, cl.usc = rsc, fsc, usc
 	cl.hasRSC, cl.hasFSC, cl.hasUSC = !rsc.IsZero(), !fsc.IsZero(), !usc.IsZero()
 	if cl.hasRSC {
-		cl.deadline.Init(rsc, now, cl.cumul)
+		cl.deadline.Init(rsc, now, h.cumul)
 		cl.eligible = cl.deadline
 		if rsc.M1 <= rsc.M2 {
 			cl.eligible.Dx = 0
@@ -80,11 +86,12 @@ func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) erro
 		}
 	}
 	if cl.hasFSC {
-		cl.virtual.Init(fsc, cl.vt, cl.total)
+		cl.virtual.Init(fsc, h.vt, h.total)
 	}
 	if cl.hasUSC {
-		cl.ulimit.Init(usc, now, cl.total)
+		cl.ulimit.Init(usc, now, h.total)
 	}
+	s.maybeFallBack(rsc)
 	return nil
 }
 
@@ -104,9 +111,14 @@ func (s *Scheduler) CheckInvariants() error {
 			if c.queue.Len() > 0 {
 				active = 1
 			}
+			h := c.hot
+			// The leaf flag mirrors the child slice for the minVT walk.
+			if !h.leaf {
+				return 0, fmt.Errorf("leaf %q has hot.leaf unset", c.name)
+			}
 			// A backlogged leaf with an rsc must be in the eligible list;
 			// an idle one must not.
-			inEl := c.elHandle.node != nil || c.elHandle.cal != nil || c.elHandle.hp != nil
+			inEl := h.elnode != nil || h.elcal != nil || h.hpi != 0
 			if c.hasRSC && c != s.root {
 				if active == 1 && !inEl {
 					return 0, fmt.Errorf("backlogged rt leaf %q not in eligible list", c.name)
@@ -116,12 +128,15 @@ func (s *Scheduler) CheckInvariants() error {
 				}
 			}
 			if c.hasFSC && c != s.root {
-				inVT := c.vtnode != nil
+				inVT := h.vtnode != nil
 				if (active == 1) != inVT {
 					return 0, fmt.Errorf("leaf %q active=%v but vttree membership=%v", c.name, active == 1, inVT)
 				}
 			}
 			return active, nil
+		}
+		if c.hot.leaf {
+			return 0, fmt.Errorf("interior %q has hot.leaf set", c.name)
 		}
 		activeChildren := 0
 		totalActiveLeaves := 0
@@ -131,44 +146,49 @@ func (s *Scheduler) CheckInvariants() error {
 			if err != nil {
 				return 0, err
 			}
+			hc := ch.hot
 			totalActiveLeaves += n
-			childTotals += ch.total
+			childTotals += hc.total
 			isActive := false
 			if ch.IsLeaf() {
 				isActive = ch.queue.Len() > 0
 			} else {
-				isActive = ch.nactive > 0
+				isActive = hc.nactive > 0
 			}
 			if isActive {
 				activeChildren++
 			}
-			if (ch.vtnode != nil) != isActive && (ch.hasFSC || !ch.IsLeaf()) {
-				return 0, fmt.Errorf("class %q active=%v but vttree membership=%v", ch.name, isActive, ch.vtnode != nil)
+			if (hc.vtnode != nil) != isActive && (ch.hasFSC || !ch.IsLeaf()) {
+				return 0, fmt.Errorf("class %q active=%v but vttree membership=%v", ch.name, isActive, hc.vtnode != nil)
 			}
-			if (ch.vtnode != nil) != (ch.cfnode != nil) {
+			if (hc.vtnode != nil) != (hc.cfnode != nil) {
 				return 0, fmt.Errorf("class %q vttree/cftree membership disagree", ch.name)
+			}
+			// The hot record must point back at its class (arena wiring).
+			if hc.cl != ch || int(hc.id) != ch.id {
+				return 0, fmt.Errorf("class %q hot record mislinked (cl=%p id=%d)", ch.name, hc.cl, hc.id)
 			}
 			// The global fit index holds exactly the active classes with a
 			// real fit time.
-			wantFit := ch.vtnode != nil && ch.f != noFit
-			if (ch.fitnode != nil) != wantFit {
+			wantFit := hc.vtnode != nil && hc.f != noFit
+			if (hc.fitnode != nil) != wantFit {
 				return 0, fmt.Errorf("class %q fit-index membership=%v want %v (f=%d)",
-					ch.name, ch.fitnode != nil, wantFit, ch.f)
+					ch.name, hc.fitnode != nil, wantFit, hc.f)
 			}
-			if ch.fitnode != nil {
+			if hc.fitnode != nil {
 				fitMembers++
 			}
 			// The effective fit time is max of own and children's minimum.
-			wantF := ch.myf
-			if ch.cfmin > wantF && ch.vtnode != nil {
-				wantF = ch.cfmin
+			wantF := hc.myf
+			if hc.cfmin > wantF && hc.vtnode != nil {
+				wantF = hc.cfmin
 			}
-			if ch.vtnode != nil && ch.f != wantF {
-				return 0, fmt.Errorf("class %q f=%d want max(myf=%d, cfmin=%d)", ch.name, ch.f, ch.myf, ch.cfmin)
+			if hc.vtnode != nil && hc.f != wantF {
+				return 0, fmt.Errorf("class %q f=%d want max(myf=%d, cfmin=%d)", ch.name, hc.f, hc.myf, hc.cfmin)
 			}
 		}
-		if c.nactive != activeChildren {
-			return 0, fmt.Errorf("class %q nactive=%d but %d active children", c.name, c.nactive, activeChildren)
+		if int(c.hot.nactive) != activeChildren {
+			return 0, fmt.Errorf("class %q nactive=%d but %d active children", c.name, c.hot.nactive, activeChildren)
 		}
 		if c.vttree.Len() != activeChildren || c.cftree.Len() != activeChildren {
 			return 0, fmt.Errorf("class %q tree sizes %d/%d vs %d active children",
@@ -176,26 +196,26 @@ func (s *Scheduler) CheckInvariants() error {
 		}
 		// An interior class's total equals the sum of its children's
 		// totals (service is only ever charged through leaves).
-		if c != s.root && c.total != childTotals {
-			return 0, fmt.Errorf("class %q total %d != children sum %d", c.name, c.total, childTotals)
+		if c != s.root && c.hot.total != childTotals {
+			return 0, fmt.Errorf("class %q total %d != children sum %d", c.name, c.hot.total, childTotals)
 		}
 		// cfmin consistency (noFit when no active child is constrained).
 		wantCfmin := int64(noFit)
 		if n := c.cftree.Min(); n != nil {
 			wantCfmin = n.Item.f
 		}
-		if c.cfmin != wantCfmin {
-			return 0, fmt.Errorf("class %q cfmin %d != tree min %d", c.name, c.cfmin, wantCfmin)
+		if c.hot.cfmin != wantCfmin {
+			return 0, fmt.Errorf("class %q cfmin %d != tree min %d", c.name, c.hot.cfmin, wantCfmin)
 		}
 		// vt-tree augmentation: every node's Aug is the minimum f in its
 		// subtree (firstFit's search invariant).
-		var checkAug func(n *rbtree.Node[*Class]) (int64, error)
-		checkAug = func(n *rbtree.Node[*Class]) (int64, error) {
+		var checkAug func(n *rbtree.Node[*hot]) (int64, error)
+		checkAug = func(n *rbtree.Node[*hot]) (int64, error) {
 			if n == nil {
 				return int64(fixpt.MaxInt64), nil
 			}
 			m := n.Item.f
-			for _, side := range []*rbtree.Node[*Class]{n.Left(), n.Right()} {
+			for _, side := range []*rbtree.Node[*hot]{n.Left(), n.Right()} {
 				sm, err := checkAug(side)
 				if err != nil {
 					return 0, err
@@ -206,7 +226,7 @@ func (s *Scheduler) CheckInvariants() error {
 			}
 			if n.Aug != m {
 				return 0, fmt.Errorf("class %q vttree aug %d != subtree min f %d at %q",
-					c.name, n.Aug, m, n.Item.name)
+					c.name, n.Aug, m, n.Item.cl.name)
 			}
 			return m, nil
 		}

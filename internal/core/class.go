@@ -22,56 +22,95 @@
 package core
 
 import (
+	"unsafe"
+
+	"github.com/netsched/hfsc/internal/calendar"
 	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/pktq"
 	"github.com/netsched/hfsc/internal/rbtree"
 )
 
+// hot is the per-class state touched on every enqueue and dequeue, split
+// out of Class into index-addressed records owned by the scheduler's arena
+// (see Scheduler.allocHot). Every container on the hot path — the vt/cf
+// trees, the eligible list, the fit index — stores *hot rather than *Class,
+// so tree comparisons and the selection walks touch only these densely
+// packed lines and never chase into the cold Class (names, curve specs,
+// child slices, statistics).
+//
+// The layout is three cache lines, grouped by access pattern:
+//
+//	line 1 — comparator fields: everything the tree orderings (vt, e, d, f)
+//	         and the firstFit/minDeadline descents read;
+//	line 2 — accounting updated by the service cascades (totals, periods,
+//	         virtual-time watermarks) plus the back-pointer to the Class;
+//	line 3 — container handles (tree nodes, calendar entry, heap position).
+//
+// The size is asserted to stay a multiple of 64 so records never straddle
+// line boundaries within a block.
+type hot struct {
+	// Line 1: selection state.
+	vt      int64 // virtual time (virtual start of head packet)
+	e       int64 // eligible time of the head packet
+	d       int64 // deadline of the head packet
+	f       int64 // effective fit time: max(myf, cfmin), or noFit
+	myf     int64 // own fit time from the upper-limit curve, or noFit
+	cfmin   int64 // min f among active children (parents), or noFit
+	vtadj   int64 // monotonicity adjustment (see updateVF)
+	id      int32 // class id, the deterministic tie-break everywhere
+	nactive int32 // number of active children (for a leaf: 0/1)
+
+	// Line 2: service accounting and backlog-period state.
+	total        int64  // bytes served under both criteria
+	cumul        int64  // bytes served under the real-time criterion
+	cvtmin       int64  // watermark: largest vt selected this period
+	cvtoff       int64  // vt offset for the next backlog period
+	parentPeriod uint64 // parent's period seen at last fresh activation
+	period       uint64 // backlog-period sequence number
+	cl           *Class // the cold half
+	cvtminSet    bool   // whether any selection happened this period
+	leaf         bool   // mirrors len(cl.child) == 0 for the minVT walk
+	_            [6]byte
+
+	// Line 3: container handles.
+	vtnode  *rbtree.Node[*hot]    // position in parent's vt tree
+	cfnode  *rbtree.Node[*hot]    // position in parent's cf tree
+	fitnode *rbtree.Node[*hot]    // position in the scheduler's fit index
+	elnode  *rbtree.Node[*hot]    // eligible list: augmented-tree node
+	elcal   *calendar.Entry[*hot] // eligible list: calendar entry (future e)
+	hpi     int32                 // eligible list: deadline-heap position + 1; 0 = out
+	_       [20]byte
+}
+
+// Compile-time assertion: hot must stay a multiple of the cache-line size.
+const _ = -(unsafe.Sizeof(hot{}) % 64)
+
 // Class is one node of the link-sharing hierarchy. Create classes with
-// Scheduler.AddClass; all fields are managed by the scheduler.
+// Scheduler.AddClass; all fields are managed by the scheduler. The state
+// touched per packet lives in the hot record; Class keeps the identity,
+// configuration, queue and statistics.
 type Class struct {
 	id     int
 	name   string
 	parent *Class
 	child  []*Class
+	hot    *hot
 
 	rsc, fsc, usc          curve.SC
 	hasRSC, hasFSC, hasUSC bool
 
 	queue pktq.FIFO // leaf classes only
 
-	// Real-time state (leaf classes with rsc).
+	// Runtime curves (refined at every activation with the Fig. 8
+	// min-update).
 	eligible curve.RTSC // E: bounds service claimable via the RT criterion
 	deadline curve.RTSC // D: service the guarantees require over time
-	e, d     int64      // eligible time and deadline of the head packet
-	cumul    int64      // bytes served under the real-time criterion
-	elHandle elhandle   // position in the scheduler's eligible list
-
-	// Link-sharing state (classes with fsc).
-	total        int64      // bytes served under both criteria
-	virtual      curve.RTSC // V: maps virtual time to total service
-	vt           int64      // virtual time (virtual start of head packet)
-	vtadj        int64      // monotonicity adjustment (see updateVF)
-	parentPeriod uint64     // parent's period seen at last fresh activation
-	vtnode       *rbtree.Node[*Class]
+	virtual  curve.RTSC // V: maps virtual time to total service
+	ulimit   curve.RTSC // U: caps total service over time
 
 	// State as a parent of active children.
-	vttree    *rbtree.Tree[*Class] // active children ordered by vt, Aug = min f in subtree
-	nactive   int                  // number of active children (for a leaf: 0/1)
-	cvtmin    int64                // watermark: largest vt selected this period
-	cvtminSet bool                 // whether any selection happened this period
-	cvtoff    int64                // vt offset for the next backlog period
-	period    uint64               // backlog-period sequence number
-
-	// Upper-limit state. Fit times use noFit ("fits at any time") when no
-	// upper-limit curve constrains the class; see scheduler.go.
-	myf     int64 // own fit time from the upper-limit curve, or noFit
-	f       int64 // effective fit time: max(myf, cfmin), or noFit
-	cfmin   int64 // min f among active children (parents), or noFit
-	ulimit  curve.RTSC
-	cfnode  *rbtree.Node[*Class]
-	cftree  *rbtree.Tree[*Class] // active children ordered by f
-	fitnode *rbtree.Node[*Class] // position in the scheduler's global fit index
+	vttree *rbtree.Tree[*hot] // active children ordered by vt, Aug = min f in subtree
+	cftree *rbtree.Tree[*hot] // active children ordered by f
 
 	// Statistics.
 	rtWork  int64 // bytes served by the real-time criterion
@@ -107,7 +146,7 @@ func (c *Class) FSC() curve.SC { return c.fsc }
 func (c *Class) USC() curve.SC { return c.usc }
 
 // Total returns the bytes this class (subtree) has been served in total.
-func (c *Class) Total() int64 { return c.total }
+func (c *Class) Total() int64 { return c.hot.total }
 
 // RealTimeWork returns the bytes served to this leaf under the real-time
 // criterion.
@@ -119,7 +158,7 @@ func (c *Class) LinkShareWork() int64 { return c.lsWork }
 
 // VirtualTime returns the class's current virtual time (diagnostic; only
 // meaningful relative to active siblings).
-func (c *Class) VirtualTime() int64 { return c.vt }
+func (c *Class) VirtualTime() int64 { return c.hot.vt }
 
 // SentPackets returns the number of packets this leaf has transmitted.
 func (c *Class) SentPackets() uint64 { return c.sentPkt }
@@ -143,27 +182,27 @@ func (c *Class) Dropped() uint64 { return c.queue.Dropped() }
 
 // EligibleAt returns the leaf's current eligible time (diagnostic; stale
 // once the head packet changes).
-func (c *Class) EligibleAt() int64 { return c.e }
+func (c *Class) EligibleAt() int64 { return c.hot.e }
 
 // DeadlineAt returns the leaf's current real-time deadline (diagnostic).
-func (c *Class) DeadlineAt() int64 { return c.d }
+func (c *Class) DeadlineAt() int64 { return c.hot.d }
 
 // FitAt returns the class's upper-limit fit time, and false when no
 // upper-limit curve constrains it.
 func (c *Class) FitAt() (int64, bool) {
-	if c.f == noFit {
+	if c.hot.f == noFit {
 		return 0, false
 	}
-	return c.f, true
+	return c.hot.f, true
 }
 
 // RTCumulative returns the bytes counted against this leaf's real-time
 // curve (cumul in the paper's eligible/deadline computation).
-func (c *Class) RTCumulative() int64 { return c.cumul }
+func (c *Class) RTCumulative() int64 { return c.hot.cumul }
 
 // ActiveChildren returns the number of currently active children of an
 // interior class (always 0 for leaves).
-func (c *Class) ActiveChildren() int { return c.nactive }
+func (c *Class) ActiveChildren() int { return int(c.hot.nactive) }
 
 // Active reports whether the class is active (has a backlogged leaf in its
 // subtree).
@@ -171,12 +210,12 @@ func (c *Class) Active() bool {
 	if c.IsLeaf() {
 		return c.queue.Len() > 0
 	}
-	return c.nactive > 0
+	return c.hot.nactive > 0
 }
 
 // vtLess orders active siblings by virtual time, breaking ties by id so
 // the order is deterministic.
-func vtLess(a, b *Class) bool {
+func vtLess(a, b *hot) bool {
 	if a.vt != b.vt {
 		return a.vt < b.vt
 	}
@@ -184,7 +223,7 @@ func vtLess(a, b *Class) bool {
 }
 
 // cfLess orders active siblings by fit time.
-func cfLess(a, b *Class) bool {
+func cfLess(a, b *hot) bool {
 	if a.f != b.f {
 		return a.f < b.f
 	}
@@ -195,7 +234,7 @@ func cfLess(a, b *Class) bool {
 // in each node's subtree. It lets firstFit descend directly to the
 // smallest-vt child whose fit time has arrived, and prunes whole subtrees
 // whose every member is deferred by an upper limit.
-func vtAug(n *rbtree.Node[*Class]) {
+func vtAug(n *rbtree.Node[*hot]) {
 	m := n.Item.f
 	if l := n.Left(); l != nil && l.Aug < m {
 		m = l.Aug
@@ -207,7 +246,7 @@ func vtAug(n *rbtree.Node[*Class]) {
 }
 
 // elLess orders leaves by eligible time in the eligible tree.
-func elLess(a, b *Class) bool {
+func elLess(a, b *hot) bool {
 	if a.e != b.e {
 		return a.e < b.e
 	}

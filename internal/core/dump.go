@@ -19,7 +19,7 @@ func (s *Scheduler) DumpTree(w io.Writer) error {
 		}
 		if c == s.root {
 			if _, err := fmt.Fprintf(w, "%sroot [%s] total=%dB active-children=%d\n",
-				indent, state, c.total, c.nactive); err != nil {
+				indent, state, c.hot.total, c.hot.nactive); err != nil {
 				return err
 			}
 		} else {
@@ -38,13 +38,13 @@ func (s *Scheduler) DumpTree(w io.Writer) error {
 			}
 			if c.IsLeaf() {
 				if _, err := fmt.Fprintf(w, "%s  sent=%d total=%dB rt=%dB ls=%dB queued=%d/%dB dropped=%d\n",
-					indent, c.sentPkt, c.total, c.rtWork, c.lsWork,
+					indent, c.sentPkt, c.hot.total, c.rtWork, c.lsWork,
 					c.queue.Len(), c.queue.Bytes(), c.queue.Dropped()); err != nil {
 					return err
 				}
 			} else {
 				if _, err := fmt.Fprintf(w, "%s  total=%dB active-children=%d\n",
-					indent, c.total, c.nactive); err != nil {
+					indent, c.hot.total, c.hot.nactive); err != nil {
 					return err
 				}
 			}

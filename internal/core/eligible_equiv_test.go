@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// TestEligibleStructureEquivalence runs the augmented-tree and the
+// calendar-queue eligible lists in lockstep over randomized hierarchies and
+// demands bit-identical selections. Both structures resolve deadline ties
+// by (d, id), so every Dequeue, criterion tag, deadline stamp and NextReady
+// answer must agree exactly — this is the equivalence proof behind letting
+// ElAuto pick the calendar by default.
+//
+// The "tiny" configuration shrinks the calendar far below the workload's
+// eligible-time horizon (16 buckets of 100µs against deadline offsets up to
+// 10ms), forcing heavy day collisions: correctness must never depend on the
+// calendar's sizing, only the constant factor may.
+func TestEligibleStructureEquivalence(t *testing.T) {
+	configs := []struct {
+		name    string
+		width   int64
+		buckets int
+	}{
+		{name: "default"},
+		{name: "tiny", width: 100_000, buckets: 16},
+	}
+	for _, cfg := range configs {
+		for _, uscOn := range []bool{false, true} {
+			for seed := int64(1); seed <= 6; seed++ {
+				t.Run(fmt.Sprintf("%s/usc=%v/seed=%d", cfg.name, uscOn, seed), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed))
+					specs := randHierarchy(rng, uscOn)
+
+					tr := New(Options{Eligible: ElAugmentedTree})
+					cal := New(Options{Eligible: ElCalendar, CalendarWidth: cfg.width, CalendarBuckets: cfg.buckets})
+					leavesT := buildGolden(t, tr, specs)
+					leavesC := buildGolden(t, cal, specs)
+					if len(leavesT) != len(leavesC) {
+						t.Fatal("leaf sets differ")
+					}
+
+					now := int64(0)
+					for step := 0; step < 4000; step++ {
+						now += int64(rng.Intn(3)) * int64(rng.Intn(200_000))
+						for k := rng.Intn(3); k > 0; k-- {
+							li := rng.Intn(len(leavesT))
+							ln := 64 + rng.Intn(1436)
+							okT := tr.Enqueue(&pktq.Packet{Len: ln, Class: leavesT[li]}, now)
+							okC := cal.Enqueue(&pktq.Packet{Len: ln, Class: leavesC[li]}, now)
+							if okT != okC {
+								t.Fatalf("step %d: enqueue accept mismatch %v/%v", step, okT, okC)
+							}
+						}
+						for i := rng.Intn(4); i > 0; i-- {
+							pt := tr.Dequeue(now)
+							pc := cal.Dequeue(now)
+							if (pt == nil) != (pc == nil) {
+								t.Fatalf("step %d: tree=%v calendar=%v", step, pt, pc)
+							}
+							if pt == nil {
+								break
+							}
+							if pt.Class != pc.Class || pt.Crit != pc.Crit || pt.Deadline != pc.Deadline {
+								t.Fatalf("step %d: tree {cl=%d %v d=%d} vs calendar {cl=%d %v d=%d}",
+									step, pt.Class, pt.Crit, pt.Deadline, pc.Class, pc.Crit, pc.Deadline)
+							}
+						}
+						tt, okT := tr.NextReady(now)
+						tc, okC := cal.NextReady(now)
+						if okT != okC || (okT && tt != tc) {
+							t.Fatalf("step %d: NextReady tree=(%d,%v) calendar=(%d,%v)", step, tt, okT, tc, okC)
+						}
+						if step%200 == 0 {
+							for name, s := range map[string]*Scheduler{"tree": tr, "calendar": cal} {
+								if err := s.CheckInvariants(); err != nil {
+									t.Fatalf("step %d: %s invariants: %v", step, name, err)
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"math"
 
 	"github.com/netsched/hfsc/internal/calendar"
-	"github.com/netsched/hfsc/internal/heap"
+	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/rbtree"
 )
 
@@ -19,93 +19,208 @@ import (
 //     the minimum deadline of their subtree (O(log n) per query), and
 //   - a calendar queue of future eligible times feeding a deadline heap of
 //     currently eligible classes (amortized O(log n), often faster).
+//
+// Both implementations resolve deadline ties by class id, so they select
+// bit-identically on every workload — that equivalence is what lets the
+// scheduler pick between them (ElAuto) on curve shape alone.
 type eligibleList interface {
 	// insert adds a class (not currently in the list).
-	insert(cl *Class, now int64)
+	insert(h *hot, now int64)
 	// remove takes the class out of the list.
-	remove(cl *Class)
+	remove(h *hot)
 	// update repositions the class after its e and/or d changed.
-	update(cl *Class, now int64)
+	update(h *hot, now int64)
 	// minDeadline returns the eligible (e <= now) class with the smallest
-	// deadline, or nil.
-	minDeadline(now int64) *Class
+	// (deadline, id), or nil.
+	minDeadline(now int64) *hot
 	// minE returns the smallest eligible time in the list.
 	minE() (int64, bool)
 }
 
-// elhandle stores a class's position in whichever eligibleList
-// implementation is active.
-type elhandle struct {
-	node *rbtree.Node[*Class]    // augmented-tree node
-	cal  *calendar.Entry[*Class] // calendar entry (future e)
-	hp   *heap.Item[*Class]      // deadline-heap item (already eligible)
+// calendarMaxPkt is the packet size the admissibility rule assumes when
+// bounding how far one service can push an eligible time into the future.
+const calendarMaxPkt = 2048
+
+// calendarAdmissible reports whether a real-time curve keeps its eligible
+// times within the calendar's horizon (bucket width × bucket count). One
+// real-time service advances the eligible time by at most the curve offset
+// plus the time the slope-m2 tail needs to absorb a packet; curves whose
+// bound exceeds the horizon would park entries in far-future "days", which
+// stays correct (sweeps filter by day) but costs a revisit per calendar
+// rotation — so ElAuto falls back to the augmented tree for them.
+func calendarAdmissible(rsc curve.SC, width int64, buckets int) bool {
+	if rsc.IsZero() {
+		return true
+	}
+	if rsc.M2 == 0 {
+		return false
+	}
+	adv := rsc.D + int64(calendarMaxPkt*1_000_000_000/rsc.M2)
+	return adv <= width*int64(buckets)
 }
 
-func (h *elhandle) clear() { h.node, h.cal, h.hp = nil, nil, nil }
+// dLess is the deadline order shared by both eligible structures:
+// (deadline, id) lexicographic, so ties are deterministic and identical
+// across the heap and the augmented tree.
+func dLess(a, b *hot) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.id < b.id
+}
+
+// dheap is an indexed binary min-heap of eligible classes ordered by
+// (deadline, id). Positions are stored in the hot record itself (hpi), so
+// the heap holds only the slice — no per-item allocation, and the slice
+// stops allocating once it reaches its high-water mark.
+type dheap struct {
+	items []*hot
+}
+
+func (h *dheap) len() int { return len(h.items) }
+
+func (h *dheap) min() *hot {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *dheap) push(x *hot) {
+	h.items = append(h.items, x)
+	x.hpi = int32(len(h.items))
+	h.up(len(h.items) - 1)
+}
+
+func (h *dheap) remove(x *hot) {
+	i := int(x.hpi) - 1
+	n := len(h.items) - 1
+	if i < 0 || i > n || h.items[i] != x {
+		panic("core: dheap remove of class not in heap")
+	}
+	h.swap(i, n)
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	x.hpi = 0
+}
+
+func (h *dheap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].hpi = int32(i + 1)
+	h.items[j].hpi = int32(j + 1)
+}
+
+func (h *dheap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !dLess(h.items[i], h.items[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *dheap) down(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return moved
+		}
+		small := l
+		if r := l + 1; r < n && dLess(h.items[r], h.items[l]) {
+			small = r
+		}
+		if !dLess(h.items[small], h.items[i]) {
+			return moved
+		}
+		h.swap(i, small)
+		i = small
+		moved = true
+	}
+}
 
 // elAugTree is the augmented red-black tree eligible list. Keys are
-// eligible times; the augmentation is the minimum deadline in the subtree.
+// eligible times; the augmentation is the minimum (deadline, id) pair in
+// the subtree — Aug holds the deadline, Aug2 the id of the class achieving
+// it, so minDeadline resolves ties in one descent instead of re-walking
+// tied subtrees (with thousands of equal-rate classes the tie group can be
+// the whole tree).
 type elAugTree struct {
-	tree *rbtree.Tree[*Class]
+	tree *rbtree.Tree[*hot]
 	// refImpl disables the in-place update fast path (golden-trace tests).
 	refImpl bool
 }
 
 func newElAugTree(refImpl bool) *elAugTree {
-	return &elAugTree{refImpl: refImpl, tree: rbtree.New(elLess, func(n *rbtree.Node[*Class]) {
-		m := n.Item.d
-		if l := n.Left(); l != nil && l.Aug < m {
-			m = l.Aug
+	return &elAugTree{refImpl: refImpl, tree: rbtree.New(elLess, func(n *rbtree.Node[*hot]) {
+		d, id := n.Item.d, int64(n.Item.id)
+		if l := n.Left(); l != nil && (l.Aug < d || (l.Aug == d && l.Aug2 < id)) {
+			d, id = l.Aug, l.Aug2
 		}
-		if r := n.Right(); r != nil && r.Aug < m {
-			m = r.Aug
+		if r := n.Right(); r != nil && (r.Aug < d || (r.Aug == d && r.Aug2 < id)) {
+			d, id = r.Aug, r.Aug2
 		}
-		n.Aug = m
+		n.Aug, n.Aug2 = d, id
 	})}
 }
 
-func (t *elAugTree) insert(cl *Class, _ int64) { cl.elHandle.node = t.tree.Insert(cl) }
+func (t *elAugTree) insert(h *hot, _ int64) { h.elnode = t.tree.Insert(h) }
 
-func (t *elAugTree) remove(cl *Class) {
-	t.tree.Delete(cl.elHandle.node)
-	cl.elHandle.clear()
+func (t *elAugTree) remove(h *hot) {
+	t.tree.Delete(h.elnode)
+	h.elnode = nil
 }
 
-func (t *elAugTree) update(cl *Class, _ int64) {
+func (t *elAugTree) update(h *hot, _ int64) {
 	// e is the tree key. If the new eligible time still sorts between the
 	// in-order neighbors the node can stay put, and only the min-deadline
 	// augmentation on its root path needs recomputing (d changed too).
-	n := cl.elHandle.node
+	n := h.elnode
 	if !t.refImpl {
 		prev := t.tree.Prev(n)
 		next := t.tree.Next(n)
-		if (prev == nil || elLess(prev.Item, cl)) && (next == nil || elLess(cl, next.Item)) {
+		if (prev == nil || elLess(prev.Item, h)) && (next == nil || elLess(h, next.Item)) {
 			t.tree.Update(n)
 			return
 		}
 	}
 	// Reposition; Insert refreshes the augmentation along both paths.
 	t.tree.Delete(n)
-	cl.elHandle.node = t.tree.Insert(cl)
+	h.elnode = t.tree.Insert(h)
 }
 
-func (t *elAugTree) minDeadline(now int64) *Class {
+// minDeadline finds the eligible class minimizing (deadline, id) — the
+// same order the calendar's deadline heap uses, so the two structures
+// select identically. One descent along the e <= now boundary collects the
+// best (Aug, Aug2) pair among qualifying left subtrees and boundary nodes;
+// if a subtree wins, a second descent chases the exact pair. O(log n)
+// regardless of deadline ties.
+func (t *elAugTree) minDeadline(now int64) *hot {
 	var (
 		bestD    int64 = math.MaxInt64
-		bestNode *Class
-		bestSub  *rbtree.Node[*Class]
+		bestID   int64 = math.MaxInt64
+		bestNode *hot
+		bestSub  *rbtree.Node[*hot]
 	)
-	// Descend along the boundary e <= now. Every node on the qualifying
-	// side contributes itself and its entire left subtree.
+	// Every node on the qualifying side of the boundary contributes itself
+	// and its entire left subtree.
 	for n := t.tree.Root(); n != nil; {
 		if n.Item.e <= now {
-			if l := n.Left(); l != nil && l.Aug < bestD {
-				bestD = l.Aug
+			if l := n.Left(); l != nil && (l.Aug < bestD || (l.Aug == bestD && l.Aug2 < bestID)) {
+				bestD, bestID = l.Aug, l.Aug2
 				bestSub = l
 				bestNode = nil
 			}
-			if n.Item.d < bestD {
-				bestD = n.Item.d
+			if d, id := n.Item.d, int64(n.Item.id); d < bestD || (d == bestD && id < bestID) {
+				bestD, bestID = d, id
 				bestNode = n.Item
 				bestSub = nil
 			}
@@ -120,14 +235,15 @@ func (t *elAugTree) minDeadline(now int64) *Class {
 	if bestSub == nil {
 		return nil
 	}
-	// Descend the winning subtree to the node achieving its Aug. All of it
-	// qualifies (e <= now), so no boundary checks are needed.
+	// Descend the winning subtree to the node achieving its (Aug, Aug2).
+	// All of it qualifies (e <= now), so no boundary checks are needed,
+	// and the id makes the target unique: a single chase path.
 	n := bestSub
 	for {
-		if n.Item.d == n.Aug {
+		if n.Item.d == bestD && int64(n.Item.id) == bestID {
 			return n.Item
 		}
-		if l := n.Left(); l != nil && l.Aug == n.Aug {
+		if l := n.Left(); l != nil && l.Aug == bestD && l.Aug2 == bestID {
 			n = l
 			continue
 		}
@@ -145,58 +261,87 @@ func (t *elAugTree) minE() (int64, bool) {
 
 // elCalendar is the calendar-queue + deadline-heap eligible list.
 type elCalendar struct {
-	cal *calendar.Queue[*Class] // classes with e in the future
-	hp  heap.Heap[*Class]       // classes already eligible, keyed by d
+	cal *calendar.Queue[*hot] // classes with e in the future
+	hp  dheap                 // classes already eligible, ordered by (d, id)
 }
 
 func newElCalendar(width int64, buckets int) *elCalendar {
-	return &elCalendar{cal: calendar.New[*Class](width, buckets)}
+	return &elCalendar{cal: calendar.New[*hot](width, buckets)}
 }
 
-func (c *elCalendar) insert(cl *Class, now int64) {
-	if cl.e <= now {
-		cl.elHandle.hp = c.hp.Push(cl.d, cl)
+func (c *elCalendar) insert(h *hot, now int64) {
+	if h.e <= now {
+		c.hp.push(h)
 	} else {
-		cl.elHandle.cal = c.cal.Insert(cl.e, cl)
+		h.elcal = c.cal.Insert(h.e, h)
 	}
 }
 
-func (c *elCalendar) remove(cl *Class) {
-	if cl.elHandle.hp != nil {
-		c.hp.Remove(cl.elHandle.hp)
-	} else if cl.elHandle.cal != nil {
-		c.cal.Remove(cl.elHandle.cal)
+func (c *elCalendar) remove(h *hot) {
+	if h.hpi != 0 {
+		c.hp.remove(h)
+	} else if h.elcal != nil {
+		c.cal.Remove(h.elcal)
+		h.elcal = nil
 	}
-	cl.elHandle.clear()
 }
 
-func (c *elCalendar) update(cl *Class, now int64) {
-	c.remove(cl)
-	c.insert(cl, now)
+func (c *elCalendar) update(h *hot, now int64) {
+	c.remove(h)
+	c.insert(h, now)
 }
 
 // sweep moves classes whose eligible time has arrived into the deadline
 // heap.
 func (c *elCalendar) sweep(now int64) {
-	c.cal.SweepUpTo(now, func(e *calendar.Entry[*Class]) {
-		cl := e.Value
-		cl.elHandle.cal = nil
-		cl.elHandle.hp = c.hp.Push(cl.d, cl)
+	c.cal.SweepUpTo(now, func(e *calendar.Entry[*hot]) {
+		h := e.Value
+		h.elcal = nil
+		c.hp.push(h)
 	})
 }
 
-func (c *elCalendar) minDeadline(now int64) *Class {
+func (c *elCalendar) minDeadline(now int64) *hot {
 	c.sweep(now)
-	if it := c.hp.Min(); it != nil {
-		return it.Value
-	}
-	return nil
+	return c.hp.min()
 }
 
 func (c *elCalendar) minE() (int64, bool) {
-	if c.hp.Len() > 0 {
+	if c.hp.len() > 0 {
 		// Something is already eligible; its e has passed.
-		return c.hp.Min().Value.e, true
+		return c.hp.min().e, true
 	}
 	return c.cal.Min()
+}
+
+// drainInto moves every member into the augmented tree: the ElAuto
+// fallback path when an inadmissible real-time curve arrives. Selection
+// stays identical before and after (the structures are equivalent), so the
+// migration is invisible to the trace.
+func (c *elCalendar) drainInto(t *elAugTree) {
+	for _, h := range c.hp.items {
+		h.hpi = 0
+		t.insert(h, 0)
+	}
+	c.hp.items = c.hp.items[:0]
+	c.cal.Each(func(e *calendar.Entry[*hot]) {
+		h := e.Value
+		h.elcal = nil
+		t.insert(h, 0)
+	})
+}
+
+// maybeFallBack switches an ElAuto scheduler from the calendar to the
+// augmented tree when a newly configured real-time curve is hostile to the
+// calendar horizon. The switch happens at most once and migrates any
+// entries already queued.
+func (s *Scheduler) maybeFallBack(rsc curve.SC) {
+	if !s.calendarOK || calendarAdmissible(rsc, s.calendarWidth(), s.calendarBuckets()) {
+		return
+	}
+	s.calendarOK = false
+	old := s.el.(*elCalendar)
+	tree := newElAugTree(s.opts.refImpl)
+	old.drainInto(tree)
+	s.el = tree
 }

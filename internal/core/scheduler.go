@@ -31,9 +31,14 @@ const (
 type EligibleStructure uint8
 
 const (
-	// ElAugmentedTree uses the augmented red-black tree (default).
-	ElAugmentedTree EligibleStructure = iota
-	// ElCalendar uses a calendar queue plus a deadline heap.
+	// ElAuto (the default) starts on the calendar queue and falls back to
+	// the augmented tree if a class arrives whose real-time curve is
+	// hostile to the calendar's horizon (see calendarAdmissible). The two
+	// structures select bit-identically, so the switch is invisible.
+	ElAuto EligibleStructure = iota
+	// ElAugmentedTree forces the augmented red-black tree.
+	ElAugmentedTree
+	// ElCalendar forces the calendar queue plus deadline heap.
 	ElCalendar
 )
 
@@ -41,13 +46,12 @@ const (
 type Options struct {
 	// VTPolicy is the system-virtual-time policy (default VTMean).
 	VTPolicy VTPolicy
-	// Eligible selects the eligible-list structure (default augmented
-	// tree).
+	// Eligible selects the eligible-list structure (default ElAuto).
 	Eligible EligibleStructure
-	// CalendarWidth is the bucket width (ns) when Eligible == ElCalendar;
-	// 0 means 1 ms.
+	// CalendarWidth is the bucket width (ns) for the calendar eligible
+	// list; 0 means 1 ms.
 	CalendarWidth int64
-	// CalendarBuckets is the bucket count for ElCalendar; 0 means 256.
+	// CalendarBuckets is the bucket count for the calendar; 0 means 256.
 	CalendarBuckets int
 	// DefaultQueueLimit bounds each leaf queue in packets; 0 = unbounded.
 	DefaultQueueLimit int
@@ -68,6 +72,11 @@ type Options struct {
 // NextReady's earliest-future-fit query.
 const noFit = math.MinInt64
 
+// hotBlockSize is the arena block granularity: blocks are allocated at
+// fixed capacity and appended to in place, so &block[i] stays stable for
+// the scheduler's lifetime (hot records are referenced by tree nodes).
+const hotBlockSize = 64
+
 // Scheduler is the H-FSC packet scheduler over one link.
 type Scheduler struct {
 	opts    Options
@@ -78,36 +87,67 @@ type Scheduler struct {
 	// fittree indexes every active class with a real fit time (f != noFit)
 	// by f, so NextReady answers "earliest fit time beyond now" with one
 	// O(log n) successor query instead of walking all active classes.
-	fittree *rbtree.Tree[*Class]
+	fittree *rbtree.Tree[*hot]
+	// hotBlocks is the arena of hot records: fixed-capacity chunks, never
+	// reallocated, handed out by allocHot in creation order. Flat,
+	// index-adjacent records keep the tree comparisons and selection walks
+	// on a handful of cache lines.
+	hotBlocks [][]hot
+	// calendarOK is false once a class's real-time curve was found hostile
+	// to the calendar horizon (ElAuto only; see maybeFallBack).
+	calendarOK bool
 }
 
 // New creates a scheduler with an implicit root class.
 func New(opts Options) *Scheduler {
 	s := &Scheduler{opts: opts}
 	switch opts.Eligible {
-	case ElCalendar:
-		w := opts.CalendarWidth
-		if w <= 0 {
-			w = 1_000_000 // 1 ms
-		}
-		b := opts.CalendarBuckets
-		if b <= 0 {
-			b = 256
-		}
-		s.el = newElCalendar(w, b)
-	default:
+	case ElAugmentedTree:
 		s.el = newElAugTree(opts.refImpl)
+	case ElCalendar:
+		s.el = newElCalendar(s.calendarWidth(), s.calendarBuckets())
+	default: // ElAuto: calendar until an inadmissible curve shows up
+		s.el = newElCalendar(s.calendarWidth(), s.calendarBuckets())
+		s.calendarOK = true
 	}
-	s.fittree = rbtree.New[*Class](cfLess, nil)
-	s.root = &Class{id: 0, name: "root", myf: noFit, f: noFit, cfmin: noFit}
+	s.fittree = rbtree.New[*hot](cfLess, nil)
+	s.root = &Class{id: 0, name: "root"}
+	s.root.hot = s.allocHot(s.root)
 	s.initParentTrees(s.root)
 	s.classes = []*Class{s.root}
 	return s
 }
 
+func (s *Scheduler) calendarWidth() int64 {
+	if s.opts.CalendarWidth > 0 {
+		return s.opts.CalendarWidth
+	}
+	return 1_000_000 // 1 ms
+}
+
+func (s *Scheduler) calendarBuckets() int {
+	if s.opts.CalendarBuckets > 0 {
+		return s.opts.CalendarBuckets
+	}
+	return 256
+}
+
+// allocHot hands out the next arena slot, initialized for cl.
+func (s *Scheduler) allocHot(cl *Class) *hot {
+	if n := len(s.hotBlocks); n == 0 || len(s.hotBlocks[n-1]) == cap(s.hotBlocks[n-1]) {
+		s.hotBlocks = append(s.hotBlocks, make([]hot, 0, hotBlockSize))
+	}
+	bi := len(s.hotBlocks) - 1
+	s.hotBlocks[bi] = append(s.hotBlocks[bi], hot{
+		cl: cl, id: int32(cl.id), leaf: true,
+		myf: noFit, f: noFit, cfmin: noFit,
+	})
+	return &s.hotBlocks[bi][len(s.hotBlocks[bi])-1]
+}
+
 func (s *Scheduler) initParentTrees(c *Class) {
 	c.vttree = rbtree.New(vtLess, vtAug)
-	c.cftree = rbtree.New[*Class](cfLess, nil)
+	c.cftree = rbtree.New[*hot](cfLess, nil)
 }
 
 // Root returns the implicit root class.
@@ -156,7 +196,7 @@ func (s *Scheduler) AddClass(parent *Class, name string, rsc, fsc, usc curve.SC)
 	// A leaf that already carried traffic cannot become an interior class
 	// (its queue and runtime-curve state would be orphaned); adding more
 	// children to the root or to an existing interior is fine at any time.
-	if parent != s.root && parent.IsLeaf() && (parent.queue.Len() > 0 || parent.total > 0) {
+	if parent != s.root && parent.IsLeaf() && (parent.queue.Len() > 0 || parent.hot.total > 0) {
 		return nil, fmt.Errorf("core: cannot add children to class %q after it carried traffic", parent.name)
 	}
 	for _, sc := range []curve.SC{rsc, fsc, usc} {
@@ -173,8 +213,8 @@ func (s *Scheduler) AddClass(parent *Class, name string, rsc, fsc, usc curve.SC)
 		parent: parent,
 		rsc:    rsc, fsc: fsc, usc: usc,
 		hasRSC: !rsc.IsZero(), hasFSC: !fsc.IsZero(), hasUSC: !usc.IsZero(),
-		myf: noFit, f: noFit, cfmin: noFit,
 	}
+	cl.hot = s.allocHot(cl)
 	cl.queue.PktLimit = s.opts.DefaultQueueLimit
 	// Seed the runtime curves from the specifications at the origin; every
 	// later activation refines them with the Fig. 8 min-update, which
@@ -191,7 +231,9 @@ func (s *Scheduler) AddClass(parent *Class, name string, rsc, fsc, usc curve.SC)
 	}
 	s.initParentTrees(cl)
 	parent.child = append(parent.child, cl)
+	parent.hot.leaf = false
 	s.classes = append(s.classes, cl)
+	s.maybeFallBack(rsc)
 	return cl, nil
 }
 
@@ -257,12 +299,12 @@ func (s *Scheduler) DequeueN(now int64, max int, out []*pktq.Packet) []*pktq.Pac
 // backlog.
 func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 	realtime := false
-	cl := s.el.minDeadline(now)
-	if cl != nil {
+	h := s.el.minDeadline(now)
+	if h != nil {
 		realtime = true
 	} else {
-		cl = s.minVT(now)
-		if cl == nil {
+		h = s.minVT(now)
+		if h == nil {
 			// Nothing fits (upper limits) or only future-eligible RT
 			// traffic. If active link-sharing classes exist, the refusal is
 			// an upper-limit deferral — an observable non-work-conserving
@@ -274,15 +316,16 @@ func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 			return nil
 		}
 	}
+	cl := h.cl
 
 	p := cl.queue.Pop()
 	s.backlog--
 	length := int64(p.Len)
 	if realtime {
 		p.Crit = pktq.ByRealTime
-		p.Deadline = cl.d
+		p.Deadline = h.d
 		cl.rtWork += length
-		slack := cl.d - now
+		slack := h.d - now
 		s.trace(EvDequeueRT, cl, p, now, slack)
 		if slack < 0 {
 			s.trace(EvDeadlineMiss, cl, p, now, slack)
@@ -296,7 +339,7 @@ func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 
 	s.updateVF(cl, length, now, cl.queue.Len() == 0)
 	if realtime {
-		cl.cumul += length
+		h.cumul += length
 	}
 
 	if cl.queue.Len() > 0 {
@@ -311,7 +354,7 @@ func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 	} else if cl.hasRSC {
 		// The class went passive; the link-sharing side was detached by
 		// updateVF's cascade.
-		s.el.remove(cl)
+		s.el.remove(h)
 	}
 	return p
 }
@@ -367,7 +410,7 @@ func (s *Scheduler) minFitAfterRef(now int64) (int64, bool) {
 			if ch.f != noFit && ch.f > now && ch.f < best {
 				best, found = ch.f, true
 			}
-			walk(ch)
+			walk(ch.cl)
 		}
 	}
 	walk(s.root)
@@ -377,7 +420,8 @@ func (s *Scheduler) minFitAfterRef(now int64) (int64, bool) {
 // initED establishes the eligible and deadline curves when a leaf becomes
 // active (the paper's Fig. 5(a) update_ed at activation).
 func (s *Scheduler) initED(cl *Class, nextLen, now int64) {
-	cl.deadline.Min(cl.rsc, now, cl.cumul)
+	h := cl.hot
+	cl.deadline.Min(cl.rsc, now, h.cumul)
 	// The eligible curve equals the deadline curve for concave curves;
 	// for convex (or linear) ones it is the slope-m2 line through the
 	// deadline curve's anchor (Section IV-B).
@@ -386,17 +430,18 @@ func (s *Scheduler) initED(cl *Class, nextLen, now int64) {
 		cl.eligible.Dx = 0
 		cl.eligible.Dy = 0
 	}
-	cl.e = cl.eligible.Y2X(cl.cumul)
-	cl.d = cl.deadline.Y2X(cl.cumul + nextLen)
-	s.el.insert(cl, now)
+	h.e = cl.eligible.Y2X(h.cumul)
+	h.d = cl.deadline.Y2X(h.cumul + nextLen)
+	s.el.insert(h, now)
 }
 
 // updateED recomputes the eligible time and deadline after real-time
 // service.
 func (s *Scheduler) updateED(cl *Class, nextLen, now int64) {
-	cl.e = cl.eligible.Y2X(cl.cumul)
-	cl.d = cl.deadline.Y2X(cl.cumul + nextLen)
-	s.el.update(cl, now)
+	h := cl.hot
+	h.e = cl.eligible.Y2X(h.cumul)
+	h.d = cl.deadline.Y2X(h.cumul + nextLen)
+	s.el.update(h, now)
 }
 
 // updateD recomputes only the deadline after link-sharing service: cumul
@@ -404,8 +449,9 @@ func (s *Scheduler) updateED(cl *Class, nextLen, now int64) {
 // never pushes future deadlines out), but the new head packet may have a
 // different length (the paper's Fig. 5(b)).
 func (s *Scheduler) updateD(cl *Class, nextLen, now int64) {
-	cl.d = cl.deadline.Y2X(cl.cumul + nextLen)
-	s.el.update(cl, now)
+	h := cl.hot
+	h.d = cl.deadline.Y2X(h.cumul + nextLen)
+	s.el.update(h, now)
 }
 
 // initVF runs the activation cascade up the hierarchy (the paper's Fig. 6
@@ -415,14 +461,15 @@ func (s *Scheduler) updateD(cl *Class, nextLen, now int64) {
 func (s *Scheduler) initVF(cl *Class, now int64) {
 	goActive := true
 	for ; cl.parent != nil; cl = cl.parent {
-		if cl.parent == s.root && goActive && cl.nactive == 0 {
+		h := cl.hot
+		if cl.parent == s.root && goActive && h.nactive == 0 {
 			// The chain will newly activate this top-level class; count it
 			// at the root too (diagnostics only — the root has no curves).
-			s.root.nactive++
+			s.root.hot.nactive++
 		}
 		if goActive {
-			wasActive := cl.nactive > 0
-			cl.nactive++
+			wasActive := h.nactive > 0
+			h.nactive++
 			goActive = false
 			if !wasActive {
 				goActive = true // propagate activation to the parent
@@ -437,6 +484,8 @@ func (s *Scheduler) initVF(cl *Class, now int64) {
 // activate performs the per-class part of the activation cascade.
 func (s *Scheduler) activate(cl *Class, now int64) {
 	p := cl.parent
+	ph := p.hot
+	h := cl.hot
 	if maxN := p.vttree.Max(); maxN != nil {
 		// Siblings are active: derive the system virtual time.
 		var vt int64
@@ -447,45 +496,45 @@ func (s *Scheduler) activate(cl *Class, now int64) {
 			vt = maxN.Item.vt
 		default: // VTMean — the paper's (vmin+vmax)/2
 			vt = maxN.Item.vt
-			if p.cvtminSet {
-				vt = midpoint(p.cvtmin, vt)
+			if ph.cvtminSet {
+				vt = midpoint(ph.cvtmin, vt)
 			}
 		}
 		// Never move the class backwards within the same parent backlog
 		// period: that would let it reclaim service it already used.
-		if cl.parentPeriod != p.period || vt > cl.vt {
-			cl.vt = vt
+		if h.parentPeriod != ph.period || vt > h.vt {
+			h.vt = vt
 		}
 	} else {
 		// First child of a new parent backlog period: resume above every
 		// virtual time reached in previous periods so vt stays monotone.
-		cl.vt = p.cvtoff
-		p.cvtmin = 0
-		p.cvtminSet = false
-		p.period++
+		h.vt = ph.cvtoff
+		ph.cvtmin = 0
+		ph.cvtminSet = false
+		ph.period++
 	}
 
-	cl.virtual.Min(cl.fsc, cl.vt, cl.total)
-	cl.vtadj = 0
-	cl.parentPeriod = p.period
+	cl.virtual.Min(cl.fsc, h.vt, h.total)
+	h.vtadj = 0
+	h.parentPeriod = ph.period
 
 	if cl.hasUSC {
-		cl.ulimit.Min(cl.usc, now, cl.total)
-		cl.myf = cl.ulimit.Y2X(cl.total)
+		cl.ulimit.Min(cl.usc, now, h.total)
+		h.myf = cl.ulimit.Y2X(h.total)
 	} else {
-		cl.myf = noFit
+		h.myf = noFit
 	}
 	// Children activated earlier in this cascade may already constrain us.
-	cl.f = cl.myf
-	if cl.cfmin > cl.f {
-		cl.f = cl.cfmin
+	h.f = h.myf
+	if h.cfmin > h.f {
+		h.f = h.cfmin
 	}
 
-	cl.vtnode = p.vttree.Insert(cl)
-	cl.cfnode = p.cftree.Insert(cl)
+	h.vtnode = p.vttree.Insert(h)
+	h.cfnode = p.cftree.Insert(h)
 	updateCfmin(p)
-	if cl.f != noFit {
-		cl.fitnode = s.fittree.Insert(cl)
+	if h.f != noFit {
+		h.fitnode = s.fittree.Insert(h)
 	}
 	s.trace(EvActivate, cl, nil, now, 0)
 }
@@ -496,46 +545,48 @@ func (s *Scheduler) activate(cl *Class, now int64) {
 // subtrees drained go passive.
 func (s *Scheduler) updateVF(cl *Class, length, now int64, leafEmptied bool) {
 	goPassive := leafEmptied && cl.hasFSC
-	s.root.total += length
+	s.root.hot.total += length
 	for ; cl.parent != nil; cl = cl.parent {
-		if cl.parent == s.root && goPassive && cl.nactive == 1 {
+		h := cl.hot
+		if cl.parent == s.root && goPassive && h.nactive == 1 {
 			// This top-level class is about to detach from the root's
 			// trees; keep the root's diagnostic counter in step.
-			s.root.nactive--
+			s.root.hot.nactive--
 		}
-		cl.total += length
-		if !cl.hasFSC || cl.nactive == 0 {
+		h.total += length
+		if !cl.hasFSC || h.nactive == 0 {
 			continue
 		}
 		if goPassive {
-			cl.nactive--
-			goPassive = cl.nactive == 0
+			h.nactive--
+			goPassive = h.nactive == 0
 		}
 		p := cl.parent
+		ph := p.hot
 
-		cl.vt = cl.virtual.Y2X(cl.total) + cl.vtadj
+		h.vt = cl.virtual.Y2X(h.total) + h.vtadj
 		// A class served by the real-time criterion while not being the
 		// virtual-time minimum can fall behind the selection watermark;
 		// pull it forward so sibling order remains meaningful.
-		if p.cvtminSet && cl.vt < p.cvtmin {
-			cl.vtadj += p.cvtmin - cl.vt
-			cl.vt = p.cvtmin
+		if ph.cvtminSet && h.vt < ph.cvtmin {
+			h.vtadj += ph.cvtmin - h.vt
+			h.vt = ph.cvtmin
 		}
 
 		if goPassive {
 			// Going passive: remember how far this class got so the next
 			// backlog period resumes beyond it, then detach.
-			if cl.vt > p.cvtoff {
-				p.cvtoff = cl.vt
+			if h.vt > ph.cvtoff {
+				ph.cvtoff = h.vt
 			}
-			p.vttree.Delete(cl.vtnode)
-			cl.vtnode = nil
-			p.cftree.Delete(cl.cfnode)
-			cl.cfnode = nil
+			p.vttree.Delete(h.vtnode)
+			h.vtnode = nil
+			p.cftree.Delete(h.cfnode)
+			h.cfnode = nil
 			updateCfmin(p)
-			if cl.fitnode != nil {
-				s.fittree.Delete(cl.fitnode)
-				cl.fitnode = nil
+			if h.fitnode != nil {
+				s.fittree.Delete(h.fitnode)
+				h.fitnode = nil
 			}
 			s.trace(EvPassive, cl, nil, now, 0)
 			continue
@@ -544,29 +595,30 @@ func (s *Scheduler) updateVF(cl *Class, length, now int64, leafEmptied bool) {
 		s.repositionVT(cl)
 
 		if cl.hasUSC {
-			cl.myf = cl.ulimit.Y2X(cl.total)
+			h.myf = cl.ulimit.Y2X(h.total)
 		}
 		s.refreshF(cl)
 	}
 }
 
-// repositionVT re-sorts cl in its parent's vt tree after cl.vt advanced.
+// repositionVT re-sorts cl in its parent's vt tree after cl's vt advanced.
 // When the in-order neighbors still bracket the new virtual time — the
 // common case in steady state, since all active siblings advance together —
 // the node stays in place and no rebalancing happens at all (vt does not
 // feed the tree's min-fit augmentation, so there is nothing to fix up).
 func (s *Scheduler) repositionVT(cl *Class) {
 	p := cl.parent
-	n := cl.vtnode
+	h := cl.hot
+	n := h.vtnode
 	if !s.opts.refImpl {
 		prev := p.vttree.Prev(n)
 		next := p.vttree.Next(n)
-		if (prev == nil || vtLess(prev.Item, cl)) && (next == nil || vtLess(cl, next.Item)) {
+		if (prev == nil || vtLess(prev.Item, h)) && (next == nil || vtLess(h, next.Item)) {
 			return
 		}
 	}
 	p.vttree.Delete(n)
-	cl.vtnode = p.vttree.Insert(cl)
+	h.vtnode = p.vttree.Insert(h)
 }
 
 // refreshF recomputes a class's effective fit time from its own upper
@@ -574,76 +626,81 @@ func (s *Scheduler) repositionVT(cl *Class) {
 // parent's cftree (and its cached minimum), the vt tree's min-fit
 // augmentation, and the scheduler-wide fit index.
 func (s *Scheduler) refreshF(cl *Class) {
-	f := cl.myf
-	if cl.cfmin > f {
-		f = cl.cfmin
+	h := cl.hot
+	f := h.myf
+	if h.cfmin > f {
+		f = h.cfmin
 	}
-	if f == cl.f {
+	if f == h.f {
 		return
 	}
-	cl.f = f
-	if cl.cfnode == nil {
+	h.f = f
+	if h.cfnode == nil {
 		return
 	}
 	p := cl.parent
-	n := cl.cfnode
+	n := h.cfnode
 	inPlace := false
 	if !s.opts.refImpl {
 		prev := p.cftree.Prev(n)
 		next := p.cftree.Next(n)
-		inPlace = (prev == nil || cfLess(prev.Item, cl)) && (next == nil || cfLess(cl, next.Item))
+		inPlace = (prev == nil || cfLess(prev.Item, h)) && (next == nil || cfLess(h, next.Item))
 	}
 	if !inPlace {
 		p.cftree.Delete(n)
-		cl.cfnode = p.cftree.Insert(cl)
+		h.cfnode = p.cftree.Insert(h)
 	}
 	updateCfmin(p)
 	// The fit time feeds the vt tree's subtree-minimum augmentation.
-	p.vttree.Update(cl.vtnode)
+	p.vttree.Update(h.vtnode)
 	switch {
 	case f == noFit:
-		if cl.fitnode != nil {
-			s.fittree.Delete(cl.fitnode)
-			cl.fitnode = nil
+		if h.fitnode != nil {
+			s.fittree.Delete(h.fitnode)
+			h.fitnode = nil
 		}
-	case cl.fitnode == nil:
-		cl.fitnode = s.fittree.Insert(cl)
+	case h.fitnode == nil:
+		h.fitnode = s.fittree.Insert(h)
 	default:
-		s.fittree.Delete(cl.fitnode)
-		cl.fitnode = s.fittree.Insert(cl)
+		s.fittree.Delete(h.fitnode)
+		h.fitnode = s.fittree.Insert(h)
 	}
 }
 
 func updateCfmin(p *Class) {
 	if n := p.cftree.Min(); n != nil {
-		p.cfmin = n.Item.f
+		p.hot.cfmin = n.Item.f
 	} else {
-		p.cfmin = noFit
+		p.hot.cfmin = noFit
 	}
 }
 
 // minVT implements the link-sharing criterion: a top-down walk selecting at
 // each level the active child with the smallest virtual time whose fit time
-// has arrived.
-func (s *Scheduler) minVT(now int64) *Class {
+// has arrived. The walk reads only hot records (the leaf flag replaces the
+// child-slice check), descending into the cold Class solely for the next
+// level's vt tree.
+func (s *Scheduler) minVT(now int64) *hot {
 	cl := s.root
-	if cl.cfmin > now {
+	h := cl.hot
+	if h.cfmin > now {
 		return nil
 	}
-	for !cl.IsLeaf() {
+	for !h.leaf {
 		next := s.firstFit(cl, now)
 		if next == nil {
 			return nil
 		}
 		// Raise the selection watermark: newly activating siblings must
 		// not start behind classes already selected this period.
-		if !cl.cvtminSet || next.vt > cl.cvtmin {
-			cl.cvtmin = next.vt
-			cl.cvtminSet = true
+		if !h.cvtminSet || next.vt > h.cvtmin {
+			h.cvtmin = next.vt
+			h.cvtminSet = true
 		}
-		cl = next
+		h = next
+		cl = next.cl
 	}
-	return cl
+	return h
 }
 
 // firstFit returns the active child with the smallest virtual time among
@@ -653,7 +710,7 @@ func (s *Scheduler) minVT(now int64) *Class {
 // node, else the right subtree. One root-to-leaf walk, O(log n), versus
 // the linear in-order scan of the reference implementation whenever upper
 // limits defer the low-vt siblings.
-func (s *Scheduler) firstFit(p *Class, now int64) *Class {
+func (s *Scheduler) firstFit(p *Class, now int64) *hot {
 	if s.opts.refImpl {
 		return firstFitRef(p, now)
 	}
@@ -677,7 +734,7 @@ func (s *Scheduler) firstFit(p *Class, now int64) *Class {
 
 // firstFitRef is the pre-augmentation linear scan, kept as the golden
 // reference for firstFit.
-func firstFitRef(p *Class, now int64) *Class {
+func firstFitRef(p *Class, now int64) *hot {
 	for n := p.vttree.Min(); n != nil; n = p.vttree.Next(n) {
 		if n.Item.f <= now {
 			return n.Item

@@ -26,6 +26,7 @@ package intake
 import (
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/netsched/hfsc/internal/pktq"
 )
@@ -49,22 +50,40 @@ type slot struct {
 
 // Shard is one bounded MPSC ring buffer. Any goroutine may Push; exactly
 // one goroutine may Drain.
+//
+// Layout: every mutable hot word sits on its own cache line, and the
+// struct size is a multiple of the line size (asserted below), so
+// adjacent shards in a []Shard never share a line either. Without the
+// trailing pads, shard i's consumer-written head and high-water words
+// shared a line with shard i+1's slots header and mask — fields every
+// one of i+1's producers reads on every push — so a 16-producer burst
+// across shards ping-ponged lines that are logically independent.
 type Shard struct {
+	// Ring topology: immutable after init, read by producers on every
+	// push. Padded so the writable lines below never invalidate it.
 	slots []slot
 	mask  uint64
+	_     [cacheLine - (unsafe.Sizeof([]slot(nil))+8)%cacheLine]byte
 
-	_     [cacheLine]byte // keep the producer-hot tail off the slots' lines
-	tail  atomic.Uint64   // next ticket to reserve (producers, CAS)
+	tail  atomic.Uint64 // next ticket to reserve (producers, CAS)
 	_     [cacheLine - 8]byte
 	drops atomic.Uint64 // pushes refused because the ring was full
 	_     [cacheLine - 8]byte
 
 	// Consumer-side state. head is advanced only by the consumer (Drain),
 	// but read by anyone through Depth; hw is written by the consumer and
-	// read by anyone (Stats).
+	// read by anyone (Stats), so each gets its own line — a Stats poll
+	// must not stall the drain loop's head advance.
 	head atomic.Uint64
+	_    [cacheLine - 8]byte
 	hw   atomic.Int64
+	_    [cacheLine - 8]byte
 }
+
+// The padding arithmetic above must keep the struct an exact number of
+// cache lines; a one-byte slip would push every array element off
+// alignment and quietly reintroduce the sharing.
+const _ = -(unsafe.Sizeof(Shard{}) % cacheLine)
 
 func (s *Shard) init(depth int) {
 	s.slots = make([]slot, depth)

@@ -1,0 +1,156 @@
+package intake
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// TestShardLayout pins the false-sharing contract the struct comments
+// promise: each mutable hot word on its own cache line, struct size a
+// line multiple so []Shard elements stay disjoint.
+func TestShardLayout(t *testing.T) {
+	if sz := unsafe.Sizeof(Shard{}); sz%cacheLine != 0 {
+		t.Fatalf("Shard size %d is not a multiple of %d", sz, cacheLine)
+	}
+	offs := map[string]uintptr{
+		"slots": unsafe.Offsetof(Shard{}.slots),
+		"tail":  unsafe.Offsetof(Shard{}.tail),
+		"drops": unsafe.Offsetof(Shard{}.drops),
+		"head":  unsafe.Offsetof(Shard{}.head),
+		"hw":    unsafe.Offsetof(Shard{}.hw),
+	}
+	lines := map[uintptr]string{}
+	for name, off := range offs {
+		line := off / cacheLine
+		if other, clash := lines[line]; clash {
+			t.Fatalf("%s and %s share cache line %d", name, other, line)
+		}
+		lines[line] = name
+	}
+}
+
+// unpaddedShard re-implements the Shard ring with the pads stripped —
+// the counterfactual the false-sharing benchmark measures against. The
+// algorithm is identical (Vyukov sequence ring, drop-tail, high-water
+// sampling); only the memory layout differs.
+type unpaddedShard struct {
+	slots []slot
+	mask  uint64
+	tail  atomic.Uint64
+	drops atomic.Uint64
+	head  atomic.Uint64
+	hw    atomic.Int64
+}
+
+func (s *unpaddedShard) init(depth int) {
+	s.slots = make([]slot, depth)
+	s.mask = uint64(depth - 1)
+	for i := range s.slots {
+		s.slots[i].seq.Store(uint64(i))
+	}
+}
+
+func (s *unpaddedShard) push(p *pktq.Packet) bool {
+	pos := s.tail.Load()
+	for {
+		sl := &s.slots[pos&s.mask]
+		seq := sl.seq.Load()
+		switch {
+		case seq == pos:
+			if s.tail.CompareAndSwap(pos, pos+1) {
+				sl.p = p
+				sl.seq.Store(pos + 1)
+				return true
+			}
+			pos = s.tail.Load()
+		case int64(seq-pos) < 0:
+			s.drops.Add(1)
+			return false
+		default:
+			pos = s.tail.Load()
+		}
+	}
+}
+
+func (s *unpaddedShard) drain(out []*pktq.Packet, max int) []*pktq.Packet {
+	head := s.head.Load()
+	if depth := int64(s.tail.Load() - head); depth > s.hw.Load() {
+		s.hw.Store(depth)
+	}
+	for n := 0; n < max; n++ {
+		sl := &s.slots[head&s.mask]
+		if sl.seq.Load() != head+1 {
+			break
+		}
+		p := sl.p
+		sl.p = nil
+		sl.seq.Store(head + s.mask + 1)
+		out = append(out, p)
+		head++
+	}
+	s.head.Store(head)
+	return out
+}
+
+// fsWorkers is the producer count of the false-sharing benchmark; 16
+// matches the contention point the scaling table (TBL-O4) measures at.
+const fsWorkers = 16
+
+// benchFalseSharing runs fsWorkers goroutines, each owning exactly one
+// shard of a contiguous array: worker w pushes to and drains shard w, so
+// there is zero algorithmic contention — every cycle the two variants
+// spend differently is cache-line traffic between logically independent
+// neighbors.
+func benchFalseSharing(b *testing.B, push func(w int, p *pktq.Packet) bool, drain func(w int, out []*pktq.Packet) []*pktq.Packet) {
+	per := b.N/fsWorkers + 1
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < fsWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &pktq.Packet{Len: 1000, Class: w}
+			out := make([]*pktq.Packet, 0, 64)
+			for i := 0; i < per; i++ {
+				for !push(w, p) {
+					out = drain(w, out[:0])
+				}
+				if i&63 == 63 {
+					out = drain(w, out[:0])
+				}
+			}
+			drain(w, out[:0])
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkShardFalseSharing quantifies what the Shard padding buys: the
+// padded/ sub-benchmark uses the real layout, unpadded/ the stripped
+// shadow above. On multicore hardware the unpadded variant pays for its
+// neighbors' writes; the delta is the false-sharing cost the pads remove.
+func BenchmarkShardFalseSharing(b *testing.B) {
+	b.Run("padded", func(b *testing.B) {
+		shards := make([]Shard, fsWorkers)
+		for i := range shards {
+			shards[i].init(256)
+		}
+		benchFalseSharing(b,
+			func(w int, p *pktq.Packet) bool { return shards[w].Push(p) },
+			func(w int, out []*pktq.Packet) []*pktq.Packet { return shards[w].Drain(out, 256) })
+	})
+	b.Run("unpadded", func(b *testing.B) {
+		shards := make([]unpaddedShard, fsWorkers)
+		for i := range shards {
+			shards[i].init(256)
+		}
+		benchFalseSharing(b,
+			func(w int, p *pktq.Packet) bool { return shards[w].push(p) },
+			func(w int, out []*pktq.Packet) []*pktq.Packet { return shards[w].drain(out, 256) })
+	})
+}

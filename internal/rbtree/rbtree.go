@@ -26,7 +26,12 @@ type Node[T any] struct {
 	// Aug is the augmented value for the subtree rooted at this node,
 	// recomputed by the tree's Update callback. Its meaning is defined by
 	// the caller (e.g. minimum deadline in subtree).
-	Aug                 int64
+	Aug int64
+	// Aug2 is an optional secondary augmented value maintained by the same
+	// callback — typically the tie-break of the element achieving Aug
+	// (e.g. the id of the minimum-deadline class), letting searches chase
+	// an exact (Aug, Aug2) pair instead of re-walking tied subtrees.
+	Aug2                int64
 	left, right, parent *Node[T]
 	red                 bool
 }
@@ -180,7 +185,7 @@ func (t *Tree[T]) newNode(item T) *Node[T] {
 	if z := t.free; z != nil {
 		t.free = z.right
 		z.Item = item
-		z.Aug = 0
+		z.Aug, z.Aug2 = 0, 0
 		z.left, z.right, z.parent = nil, nil, nil
 		z.red = true
 		return z

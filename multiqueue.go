@@ -24,10 +24,13 @@ type MultiConfig struct {
 	// CPU rounded up to a power of two; values are clamped to [1, 64].
 	Shards int
 
-	// IntakeShards and IntakeDepth tune each shard's intake rings (see
+	// IntakeShards and IntakeDepth tune each shard's intake rings, and
+	// DrainHighWater each shard's scheduler-side backlog cap (see
 	// PacedQueue); zero picks the defaults.
 	IntakeShards int
 	IntakeDepth  int
+
+	DrainHighWater int
 
 	// RebalanceEvery is the excess-bandwidth rebalancing period: how often
 	// the measured per-shard demand re-divides the line rate beyond the
@@ -171,6 +174,10 @@ func NewMultiQueue(cfg MultiConfig, transmit func(*Packet)) (*MultiQueue, error)
 		sentBuf:  make([]int64, n),
 		backBuf:  make([]int64, n),
 	}
+	// All shards publish to and read from one coarse clock: any shard's
+	// pacing pass freshens the stamp every producer sees, and the CAS-max
+	// advance keeps it monotone across the racing pacing goroutines.
+	clk := &coarseClock{}
 	for i := 0; i < n; i++ {
 		sh := &mqShard{globalOf: []int{-1}} // local id 0 is the shard's root
 		sh.sched = New(cfg.Config)
@@ -183,6 +190,8 @@ func NewMultiQueue(cfg MultiConfig, transmit func(*Packet)) (*MultiQueue, error)
 		}
 		q.IntakeShards = cfg.IntakeShards
 		q.IntakeDepth = cfg.IntakeDepth
+		q.DrainHighWater = cfg.DrainHighWater
+		q.clk = clk
 		sh.q = q
 		m.shards = append(m.shards, sh)
 	}

@@ -197,6 +197,152 @@ func TestMultiQueueConservation(t *testing.T) {
 	}
 }
 
+// TestMultiQueueCoarseClockSpans stresses the coarse-clock stamp paths
+// the plain conservation test leaves cold: with span sampling on, 16
+// producers read the shared clock on every Submit while 4 shard pacing
+// goroutines race to advance it. Run under -race by make check; asserts
+// conservation, intra-class FIFO, and that sampled spans made it into
+// the merged metrics.
+func TestMultiQueueCoarseClockSpans(t *testing.T) {
+	const (
+		producers = 16
+		perProd   = 1000
+		batch     = 8
+	)
+	var mu sync.Mutex
+	lastSeq := make(map[int]uint64, producers)
+	var transmitted uint64
+	reordered := false
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{
+			LinkRate: 400_000_000 * hfsc.Bps,
+			Metrics:  true,
+			Spans:    4,
+		},
+		Shards:         4,
+		IntakeDepth:    128,
+		RebalanceEvery: 2 * time.Millisecond,
+	}, func(p *hfsc.Packet) {
+		mu.Lock()
+		if last, ok := lastSeq[p.Class]; ok && p.Seq <= last {
+			reordered = true
+		}
+		lastSeq[p.Class] = p.Seq
+		transmitted++
+		mu.Unlock()
+		p.Release()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := make([]int, producers)
+	for i := range classes {
+		cl, err := m.AddClass(nil, fmt.Sprintf("c%d", i), hfsc.ClassConfig{
+			LinkShare: hfsc.Linear(400_000_000 / producers),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[i] = cl.ID()
+	}
+	m.Start()
+	defer m.Stop()
+
+	var accepted, dropped [producers]uint64
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			ps := make([]*hfsc.Packet, 0, batch)
+			seq := uint64(1)
+			for seq <= perProd {
+				ps = ps[:0]
+				for len(ps) < batch && seq <= perProd {
+					p := hfsc.GetPacket()
+					p.Len = 200
+					p.Class = classes[pr]
+					p.Seq = seq
+					seq++
+					ps = append(ps, p)
+				}
+				rest := ps
+				for len(rest) > 0 {
+					n, r := m.SubmitN(rest)
+					accepted[pr] += uint64(n)
+					rest = rest[n:]
+					switch r {
+					case hfsc.DropNone:
+					case hfsc.DropIntakeFull:
+						dropped[pr]++
+						rest[0].Release()
+						rest = rest[1:]
+					default:
+						t.Errorf("producer %d: unexpected reason %v", pr, r)
+						return
+					}
+				}
+			}
+		}(pr)
+	}
+	wg.Wait()
+
+	var totalAccepted uint64
+	for pr := 0; pr < producers; pr++ {
+		if accepted[pr]+dropped[pr] != perProd {
+			t.Fatalf("producer %d: %d accepted + %d dropped != %d", pr, accepted[pr], dropped[pr], perProd)
+		}
+		totalAccepted += accepted[pr]
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := m.Stats()
+		if st.SentPackets == totalAccepted {
+			break
+		}
+		if st.SentPackets > totalAccepted {
+			t.Fatalf("sent %d > accepted %d (duplication)", st.SentPackets, totalAccepted)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: sent %d of %d accepted", st.SentPackets, totalAccepted)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if reordered {
+		t.Fatal("intra-class reordering observed")
+	}
+	if transmitted != totalAccepted {
+		t.Fatalf("transmit saw %d packets, accepted %d", transmitted, totalAccepted)
+	}
+	snap := m.Snapshot()
+	if snap == nil {
+		t.Fatal("metrics enabled but Snapshot is nil")
+	}
+	if snap.SpansSampled == 0 {
+		t.Fatal("span sampling on but no spans recorded")
+	}
+	// Coarse stamps are taken from a monotone clock ordered before the
+	// drain pass, so the decomposition components are genuinely
+	// non-negative (not merely clamped); each histogram must have folded
+	// in every sampled span.
+	for name, h := range map[string]hfsc.HistogramSnapshot{
+		"intake_wait":  snap.SpanIntakeWait,
+		"queue_delay":  snap.SpanQueueDelay,
+		"pacing_delay": snap.SpanPacingDelay,
+	} {
+		if h.Count != snap.SpansSampled {
+			t.Fatalf("span %s histogram count %d, want %d", name, h.Count, snap.SpansSampled)
+		}
+		if h.Sum < 0 {
+			t.Fatalf("span %s histogram sum %d < 0", name, h.Sum)
+		}
+	}
+}
+
 func TestMultiQueueClassManagement(t *testing.T) {
 	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
 		Config: hfsc.Config{LinkRate: hfsc.Mbps},

@@ -3,6 +3,7 @@ package hfsc
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,8 +37,28 @@ type PacedQueue struct {
 	IntakeShards int
 	IntakeDepth  int
 
+	// DrainHighWater caps the scheduler-side backlog the drain builds: once
+	// Backlog() reaches it, arrivals stay in the bounded intake rings and
+	// producers feel backpressure (DropIntakeFull) there. Without a cap a
+	// producer flood inflates the unbounded per-class FIFOs faster than the
+	// link drains them — every packet a fresh pool miss, the whole backlog
+	// live heap for the collector to scan. Class queue limits still apply
+	// on top; this is a memory bound on the stage between intake and the
+	// per-class queues. The cap is also the scheduler's fairness window
+	// under sustained overload: link-sharing is computed over the packets
+	// it holds, so hierarchies with more congested leaves than the cap
+	// should raise it (and take the memory hit). Zero picks the default
+	// (256 packets); negative disables the cap. Set before Start.
+	DrainHighWater int
+
 	s    *Scheduler
 	rate atomic.Uint64 // pacing rate in bytes/s; see SetRate
+
+	// clk is the coarse clock the pacing loop publishes once per pass.
+	// Producers stamp spans from it and MultiQueue shares one instance
+	// across all shards, so a whole multi-shard shaper pays one time.Now()
+	// per pacing pass per shard rather than several per packet.
+	clk *coarseClock
 
 	rings atomic.Pointer[intake.Queue] // built lazily on first Submit/Start
 
@@ -76,6 +97,27 @@ const (
 	// burst budget; underestimating the count is safe (the loop comes
 	// straight back).
 	paceMTU = 1500
+	// paceSpinWait is the longest pacing gap burned with a yield instead
+	// of a timer park: Go timers cannot resolve waits this short, and at
+	// multi-gigabit slice rates the inter-packet gap is well under it, so
+	// parking would cost more than the wait itself.
+	paceSpinWait = 50 * time.Microsecond
+	// paceIdleSpin is how many yields an empty pass spends before arming
+	// the timer + doorbell park, granted only while passes are carrying
+	// traffic. Producers feeding a multi-shard shaper land a few packets
+	// per shard per batch; without the spin every such sliver pays a full
+	// park/unpark plus timer churn, which is exactly the per-shard edge
+	// cost that makes sharding a loss on few cores. A drained queue
+	// exhausts the budget in microseconds and parks as before.
+	paceIdleSpin = 128
+	// paceDrainHighWater is the default DrainHighWater: eight full bursts —
+	// enough backlog to keep the link busy through any pacing gap, small
+	// enough that the working set of queued packets stays cache-resident
+	// and pool-recycled. Measured on the saturation sweep (TBL-O4), this
+	// is where multi-shard throughput stops paying collector tax: at 4096
+	// the 8-shard point costs ~1.6x the per-packet cost of one shard; at
+	// 256 the 4- and 8-shard points come in ahead of it.
+	paceDrainHighWater = 256
 )
 
 // NewPacedQueue wraps the scheduler. After Start, the Scheduler must not
@@ -90,6 +132,7 @@ func NewPacedQueue(s *Scheduler, transmit func(*Packet)) (*PacedQueue, error) {
 	q := &PacedQueue{
 		Transmit: transmit,
 		s:        s,
+		clk:      &coarseClock{},
 		stop:     make(chan struct{}),
 		wake:     make(chan struct{}, 1),
 		inspectQ: make(chan func(), 8),
@@ -179,13 +222,21 @@ func (q *PacedQueue) Submit(p *Packet) DropReason {
 
 // maybeSpan stamps every spanEvery-th packet with its submit clock; the
 // transmit side turns the stamp into a lifecycle span. Costs one
-// predictable branch per Submit when sampling is off.
+// predictable branch per Submit when sampling is off. The stamp comes
+// from the coarse clock (one atomic load, no time.Now() on the producer
+// path); before the pacing loop's first pass publishes a value it falls
+// back to the real clock. A coarse stamp is never ahead of the drain
+// pass that picks the packet up, so span components stay non-negative.
 func (q *PacedQueue) maybeSpan(p *Packet) {
 	if q.spanEvery == 0 {
 		return
 	}
 	if q.spanCtr.Add(1)%q.spanEvery == 0 {
-		p.SubmitAt = Now(time.Now())
+		if ts := q.clk.now(); ts != 0 {
+			p.SubmitAt = ts
+		} else {
+			p.SubmitAt = Now(time.Now())
+		}
 	}
 }
 
@@ -344,18 +395,35 @@ func (q *PacedQueue) loop() {
 	linkFree := time.Now()
 	burst := make([]*Packet, 0, paceMaxBurst)
 	buf := make([]*Packet, 0, paceDrainBatch)
+	spin := 0 // idle yields left before the loop parks
 
 	for {
+		// The spin paths below bypass sleep — the only other place the
+		// stop signal is observed — so a loaded loop must poll it here.
+		if q.isStopped() {
+			return
+		}
 		if q.inspectPending.Load() > 0 {
 			q.serveInspect()
 		}
+		// The pass's single clock read: everything this pass stamps —
+		// arrivals, spans, flight events, transmits — uses this value.
 		now := time.Now()
 		nowNs := Now(now)
-		buf, _ = q.drainIntake(rings, buf, nowNs, drainCap)
+		q.clk.advance(nowNs)
+		var drained int
+		buf, drained = q.drainIntake(rings, buf, nowNs, drainCap)
+		if drained > 0 {
+			spin = paceIdleSpin
+		}
 
 		// Respect the transmission time of what already left.
 		if now.Before(linkFree) {
-			if !q.sleep(timer, linkFree.Sub(now), rings, &buf, false) {
+			if linkFree.Sub(now) < paceSpinWait {
+				runtime.Gosched()
+				continue
+			}
+			if !q.sleep(timer, linkFree.Sub(now), rings, &buf, nowNs, false) {
 				return
 			}
 			continue
@@ -376,6 +444,14 @@ func (q *PacedQueue) loop() {
 			// Idle (empty or upper-limit bound): an idle link accrues no
 			// transmission credit.
 			linkFree = now
+			if spin > 0 {
+				// Recent passes carried traffic; odds are another sliver
+				// of a batch is a yield away. Parking here would charge a
+				// full park/unpark to the next few packets.
+				spin--
+				runtime.Gosched()
+				continue
+			}
 			wait := time.Hour
 			if t, ok := q.s.NextReady(nowNs); ok {
 				wait = time.Duration(t - nowNs)
@@ -383,28 +459,23 @@ func (q *PacedQueue) loop() {
 					wait = time.Microsecond
 				}
 			}
-			if !q.sleep(timer, wait, rings, &buf, true) {
+			if !q.sleep(timer, wait, rings, &buf, nowNs, true) {
 				return
 			}
 			continue
 		}
+		spin = paceIdleSpin
 
 		// Read Len (and span/flight identity) before Transmit: ownership
 		// passes with the call, and a pooled packet may be Released (and
-		// reused) inside the callback. txNs is read once per burst, only
-		// when something consumes it.
+		// reused) inside the callback. The transmit stamp is pass-granular:
+		// the pass's one clock read, not a fresh time.Now() per burst.
 		total := 0
-		var txNs int64
+		txNs := nowNs
 		rec := q.s.rec
-		if rec != nil {
-			txNs = Now(time.Now())
-		}
 		for _, p := range burst {
 			total += p.Len
 			if p.SubmitAt != 0 {
-				if txNs == 0 {
-					txNs = Now(time.Now())
-				}
 				q.observeSpan(p, nowNs, txNs)
 			}
 			if rec != nil {
@@ -481,6 +552,11 @@ func (q *PacedQueue) serveInspect() {
 // arrival clock (unless the submitter already did) so queueing-delay
 // metrics measure from intake. At most cap packets per call.
 func (q *PacedQueue) drainIntake(rings *intake.Queue, buf []*Packet, nowNs int64, limit int) ([]*Packet, int) {
+	if hw := q.drainHW(); hw > 0 {
+		if room := hw - q.s.Backlog(); room < limit {
+			limit = room
+		}
+	}
 	drained := 0
 	for drained < limit {
 		buf = rings.Drain(buf[:0], min(paceDrainBatch, limit-drained))
@@ -498,14 +574,28 @@ func (q *PacedQueue) drainIntake(rings *intake.Queue, buf []*Packet, nowNs int64
 	return buf, drained
 }
 
+// drainHW resolves the DrainHighWater setting: 0 → default, <0 → no cap.
+func (q *PacedQueue) drainHW() int {
+	switch hw := q.DrainHighWater; {
+	case hw > 0:
+		return hw
+	case hw < 0:
+		return 0
+	default:
+		return paceDrainHighWater
+	}
+}
+
 // sleep parks the pacing goroutine for at most d, waking early on Stop or
 // on a Submit doorbell. Before parking it re-drains the rings: a producer
 // that pushed before observing the idle flag rings no doorbell, so the
 // final drain (sequenced after the flag store) is what catches it. When
 // bailOnArrival is set (the scheduler was idle) a late arrival returns
 // immediately instead of parking; otherwise (the link is busy) arrivals
-// are enqueued and the wait continues. Returns false on Stop.
-func (q *PacedQueue) sleep(timer *time.Timer, d time.Duration, rings *intake.Queue, buf *[]*Packet, bailOnArrival bool) bool {
+// are enqueued and the wait continues. Arrivals caught by the pre-park
+// drain are stamped with the caller's pass clock (nowNs) — no extra
+// time.Now(). Returns false on Stop.
+func (q *PacedQueue) sleep(timer *time.Timer, d time.Duration, rings *intake.Queue, buf *[]*Packet, nowNs int64, bailOnArrival bool) bool {
 	if !timer.Stop() {
 		select {
 		case <-timer.C:
@@ -520,7 +610,7 @@ func (q *PacedQueue) sleep(timer *time.Timer, d time.Duration, rings *intake.Que
 	q.idle.Store(true)
 	defer q.idle.Store(false)
 	var drained int
-	*buf, drained = q.drainIntake(rings, *buf, Now(time.Now()), rings.Cap())
+	*buf, drained = q.drainIntake(rings, *buf, nowNs, rings.Cap())
 	if bailOnArrival && drained > 0 {
 		return true
 	}
