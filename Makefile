@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint fmt vet build test bench bench-smoke bench-intake bench-json bench-check
+.PHONY: check lint fmt vet build test stress bench bench-smoke bench-intake bench-json bench-check
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests
 ## and a short benchmark smoke run to catch perf-path compile/runtime rot.
@@ -21,6 +21,14 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Repeated runs of the admission-middleware concurrency stress (16
+# tenants hammering one Limiter) and the SLO-tiered acceptance test
+# under the race detector: the paths these sweep — gate resolution vs
+# abandon, tenant auto-creation vs stats, close vs in-flight waiters —
+# only race under scheduling jitter, so one -race pass is not enough.
+stress:
+	$(GO) test -race -count=3 -run='TestSixteenTenantRaceStress|TestSLOTieredAdmission' ./hfscmw/
 
 # A handful of iterations of each benchmark: verifies the bench harnesses
 # still run (panics in priming/steady-state loops fail the target) without

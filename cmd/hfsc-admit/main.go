@@ -3,15 +3,22 @@
 // under the link curve, Section II) and prints the per-leaf worst-case
 // delay bounds implied by Theorems 1 and 2.
 //
+// With -serve, the command instead stays up as an admission-control
+// service: the spec's real-time leaves seed a capacity ledger and
+// reserve/commit/release JSON endpoints answer "does this guarantee
+// fit" for external placement systems (see newLedgerServer).
+//
 // Usage:
 //
 //	hfsc-admit [-lmax bytes] spec-file    (or - for stdin)
+//	hfsc-admit -serve :8080 spec-file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 
 	"github.com/netsched/hfsc/internal/curve"
@@ -23,6 +30,7 @@ import (
 func main() {
 	lmax := flag.Int64("lmax", 1500, "maximum packet size in bytes (for the Theorem-2 slack)")
 	tcMode := flag.Bool("tc", false, "parse the input as Linux tc(8) HFSC commands instead of the native spec")
+	serve := flag.String("serve", "", "serve reserve/commit/release admission endpoints on this address instead of printing the one-shot report")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hfsc-admit [-lmax bytes] <spec-file|->")
@@ -52,6 +60,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hfsc-admit: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *serve != "" {
+		h, err := newLedgerServer(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hfsc-admit: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hfsc-admit: serving admission ledger on %s (link %s)\n",
+			*serve, stats.FmtRate(float64(spec.LinkRate)))
+		if err := http.ListenAndServe(*serve, h); err != nil {
+			fmt.Fprintf(os.Stderr, "hfsc-admit: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Admissibility: Σ leaf rsc ≤ link curve.

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/netsched/hfsc/hfscmw"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/hierarchy"
+)
+
+// ledgerServer exposes a capacity ledger over HTTP so admission control
+// can run as a standing service: orchestrators ask whether a guarantee
+// fits before placing a tenant (reserve), confirm placement (commit),
+// and return capacity on teardown (release). The two-phase shape exists
+// so a scheduler can hold a reservation across its own placement
+// pipeline without a competing request stealing the capacity in between.
+type ledgerServer struct {
+	ledger *hfscmw.Ledger
+}
+
+// newLedgerServer seeds a ledger with the spec's real-time leaves (each
+// committed under its class name — the running hierarchy owns its
+// guarantees from the start) and returns the HTTP handler.
+//
+// Endpoints (request and response bodies are JSON):
+//
+//	GET  /v1/ledger   → {"capacity": .., "entries": [{"id","curve","committed"}..]}
+//	POST /v1/reserve  {"id": .., "curve": {"M1":..,"D":..,"M2":..}} → {"admitted": bool}
+//	POST /v1/commit   {"id": ..}
+//	POST /v1/release  {"id": ..}
+//
+// Reserve answers 200 with admitted=false (not an HTTP error) when the
+// curve does not fit: "does this fit" is the service's question, and a
+// no is a successful answer. Commit/release of an unknown id is 404.
+func newLedgerServer(spec *hierarchy.Spec) (http.Handler, error) {
+	l := hfscmw.NewLedger(spec.LinkRate)
+	interior := map[string]bool{}
+	for _, c := range spec.Classes {
+		interior[c.Parent] = true
+	}
+	for _, c := range spec.Classes {
+		if interior[c.Name] || c.RT.IsZero() {
+			continue
+		}
+		if err := l.Acquire(c.Name, c.RT); err != nil {
+			return nil, fmt.Errorf("seeding leaf %q: %w", c.Name, err)
+		}
+	}
+	s := &ledgerServer{ledger: l}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ledger", s.handleLedger)
+	mux.HandleFunc("/v1/reserve", s.handleReserve)
+	mux.HandleFunc("/v1/commit", s.handleMutate(s.ledger.Commit))
+	mux.HandleFunc("/v1/release", s.handleMutate(s.ledger.Release))
+	return mux, nil
+}
+
+type reserveRequest struct {
+	ID    string   `json:"id"`
+	Curve curve.SC `json:"curve"`
+}
+
+type idRequest struct {
+	ID string `json:"id"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *ledgerServer) handleLedger(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.ledger.Capacity(),
+		"entries":  s.ledger.Entries(),
+	})
+}
+
+func (s *ledgerServer) handleReserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req reserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing id"))
+		return
+	}
+	if req.Curve.IsZero() {
+		writeError(w, http.StatusBadRequest, errors.New("missing curve"))
+		return
+	}
+	err := s.ledger.Reserve(req.ID, req.Curve)
+	if errors.Is(err, hfscmw.ErrInadmissible) {
+		writeJSON(w, http.StatusOK, map[string]any{"admitted": false})
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"admitted": true})
+}
+
+func (s *ledgerServer) handleMutate(op func(id string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req idRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.ID == "" {
+			writeError(w, http.StatusBadRequest, errors.New("missing id"))
+			return
+		}
+		if err := op(req.ID); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, hfscmw.ErrUnknownReservation) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/hierarchy"
+)
+
+func testSpec() *hierarchy.Spec {
+	return &hierarchy.Spec{
+		LinkRate: 1000,
+		Classes: []hierarchy.ClassSpec{
+			{Name: "agg", Parent: "root", LS: curve.Linear(1000)},
+			{Name: "voice", Parent: "agg", RT: curve.Linear(400), LS: curve.Linear(400)},
+			{Name: "bulk", Parent: "agg", LS: curve.Linear(600)},
+		},
+	}
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 && strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code, out
+}
+
+func TestLedgerServer(t *testing.T) {
+	h, err := newLedgerServer(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The spec's one real-time leaf is pre-committed.
+	code, got := do(t, h, http.MethodGet, "/v1/ledger", "")
+	if code != http.StatusOK || got["capacity"].(float64) != 1000 {
+		t.Fatalf("GET /v1/ledger = %d %v", code, got)
+	}
+	entries := got["entries"].([]any)
+	if len(entries) != 1 || entries[0].(map[string]any)["id"] != "voice" {
+		t.Fatalf("seed entries = %v", entries)
+	}
+
+	// 500 fits next to voice's 400 under 1000.
+	code, got = do(t, h, http.MethodPost, "/v1/reserve",
+		`{"id":"video","curve":{"M1":500,"M2":500}}`)
+	if code != http.StatusOK || got["admitted"] != true {
+		t.Fatalf("reserve video = %d %v", code, got)
+	}
+	// Another 200 does not (400+500+200 > 1000) — a clean no, not an error.
+	code, got = do(t, h, http.MethodPost, "/v1/reserve",
+		`{"id":"extra","curve":{"M1":200,"M2":200}}`)
+	if code != http.StatusOK || got["admitted"] != false {
+		t.Fatalf("reserve extra = %d %v", code, got)
+	}
+
+	if code, _ := do(t, h, http.MethodPost, "/v1/commit", `{"id":"video"}`); code != http.StatusOK {
+		t.Fatalf("commit video = %d", code)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/v1/commit", `{"id":"video"}`); code != http.StatusNotFound {
+		t.Fatalf("double commit = %d, want 404", code)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/v1/release", `{"id":"video"}`); code != http.StatusOK {
+		t.Fatalf("release video = %d", code)
+	}
+	// With video gone the 200 fits now.
+	code, got = do(t, h, http.MethodPost, "/v1/reserve",
+		`{"id":"extra","curve":{"M1":200,"M2":200}}`)
+	if code != http.StatusOK || got["admitted"] != true {
+		t.Fatalf("re-reserve extra = %d %v", code, got)
+	}
+
+	// Malformed and wrong-method requests.
+	if code, _ := do(t, h, http.MethodPost, "/v1/reserve", `{"id":"x"}`); code != http.StatusBadRequest {
+		t.Fatalf("curveless reserve = %d, want 400", code)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/v1/reserve", `{"curve":{"M1":1,"M2":1}}`); code != http.StatusBadRequest {
+		t.Fatalf("idless reserve = %d, want 400", code)
+	}
+	if code, _ := do(t, h, http.MethodGet, "/v1/reserve", ""); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reserve = %d, want 405", code)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/v1/ledger", ""); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST ledger = %d, want 405", code)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/v1/release", `{"id":"ghost"}`); code != http.StatusNotFound {
+		t.Fatalf("release unknown = %d, want 404", code)
+	}
+}
+
+func TestLedgerServerOversubscribedSpec(t *testing.T) {
+	spec := &hierarchy.Spec{
+		LinkRate: 100,
+		Classes: []hierarchy.ClassSpec{
+			{Name: "a", Parent: "root", RT: curve.Linear(80)},
+			{Name: "b", Parent: "root", RT: curve.Linear(80)},
+		},
+	}
+	if _, err := newLedgerServer(spec); err == nil {
+		t.Fatal("oversubscribed spec seeded a ledger")
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	hfsc "github.com/netsched/hfsc"
+	"github.com/netsched/hfsc/hfscmw"
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/flight"
@@ -158,14 +160,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		requestRows(*ops, record)
 		if err := checkBaseline(*jsonPath, results, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		if nsOf[8] > nsOf[1] {
-			fmt.Fprintf(os.Stderr, "hfsc-bench -check: scaling knee: multiqueue-s8 %.0f ns/pkt > multiqueue-s1 %.0f ns/pkt\n",
-				nsOf[8], nsOf[1])
-			os.Exit(1)
+			// The shape assertion needs actual parallelism: on one CPU
+			// eight shards are pure context-switch overhead and s8 > s1
+			// is the only possible outcome, so the per-row baseline gate
+			// above is all that can be checked.
+			if runtime.GOMAXPROCS(0) == 1 {
+				fmt.Println("\nnote: GOMAXPROCS=1 — skipping the shard-scaling shape assertion (s8 vs s1 needs parallelism)")
+			} else {
+				fmt.Fprintf(os.Stderr, "hfsc-bench -check: scaling knee: multiqueue-s8 %.0f ns/pkt > multiqueue-s1 %.0f ns/pkt\n",
+					nsOf[8], nsOf[1])
+				os.Exit(1)
+			}
 		}
 		if *jsonPath != "" {
 			if err := mergeJSON(*jsonPath, results); err != nil {
@@ -222,6 +233,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	requestRows(*ops, record)
+
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -692,6 +705,112 @@ func checkBaseline(path string, results []Result, tolerance float64) error {
 		return fmt.Errorf("%s", msg)
 	}
 	return nil
+}
+
+// measureRequestBare measures the scheduler core in request mode: n
+// tenant leaves, cost-denominated items (Cost = estimated service ns)
+// and a completion-time Correct on every other item — one admission
+// decision plus its reconciliation, without the middleware around it.
+func measureRequestBare(n, ops int) (nsPerReq, allocsPerReq float64) {
+	s := core.New(core.Options{})
+	seat := uint64(time.Second) // 1e9 cost units per second of capacity
+	rate := 8 * seat / uint64(n)
+	for i := 0; i < n; i++ {
+		if _, err := s.AddClass(nil, fmt.Sprintf("t%d", i),
+			curve.SC{M1: 2 * rate, D: 10_000_000, M2: rate}, curve.Linear(rate), curve.SC{}); err != nil {
+			panic(err)
+		}
+	}
+	const est = int64(25_000_000) // 25 ms of estimated service
+	now := int64(0)
+	for _, id := range leaves(s) {
+		s.Enqueue(&pktq.Packet{Cost: uint64(est), Class: id}, now)
+	}
+	step := est / 8 // one item's link time on the 8-seat budget
+	for i := 0; i < 2*n; i++ {
+		now += step
+		p := s.Dequeue(now)
+		if p == nil {
+			panic("request-bare idled during warmup")
+		}
+		p.Crit = 0
+		s.Enqueue(p, now)
+	}
+	return clock(ops, func(i int) {
+		now += step
+		p := s.Dequeue(now)
+		if p == nil {
+			panic("request-bare idled unexpectedly")
+		}
+		actual := est + est/5 - int64(i%2)*(2*est/5) // ±20% estimation error
+		s.Correct(s.ClassByID(p.Class), est, actual, p.Crit, now)
+		p.Crit = 0
+		s.Enqueue(p, now)
+	})
+}
+
+// measureRequestMW measures the full middleware path — Admit through the
+// paced scheduler, Ticket completion with correction — as aggregate wall
+// time per admitted request under `producers` concurrent callers spread
+// over `tenants` auto-created tenants. The estimate is kept tiny so the
+// admission pipeline, not the paced link, is what saturates.
+func measureRequestMW(tenants, producers, ops int) float64 {
+	l, err := hfscmw.New(hfscmw.Config{
+		Concurrency:     producers,
+		DefaultEstimate: time.Microsecond,
+		MaxPending:      ops,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	per := ops / producers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < per; i++ {
+				tk, err := l.Admit(ctx, names[(pr+i)%tenants], "bench")
+				if err != nil {
+					panic(err)
+				}
+				tk.Finish(time.Duration(800 + i%400))
+			}
+		}(pr)
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(per*producers)
+}
+
+// requestRows measures the request-scheduling overhead rows (TBL-O5) and
+// folds them into the results: ns per admission decision at the core and
+// ns per admitted request through the hfscmw middleware.
+func requestRows(ops int, record func(name string, classes int, ns, allocs float64)) {
+	const producers = 16
+	rtbl := &stats.Table{Header: []string{"tenants", "core ns/req", "middleware ns/req"}}
+	for _, n := range []int{16, 256} {
+		bare, aBare := measureRequestBare(n, ops)
+		mw := measureRequestMW(n, producers, ops)
+		record("request-bare", n, bare, aBare)
+		record("request-mw", n, mw, 0)
+		rtbl.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f ns/req", bare),
+			fmt.Sprintf("%.0f ns/req", mw))
+	}
+	fmt.Println()
+	fmt.Printf("TBL-O5: request-mode overhead (cost-denominated items; core = enqueue+dequeue+correct, middleware = Admit..Finish, %d callers)\n", producers)
+	fmt.Println()
+	if err := rtbl.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // measureNextReady measures the retry-time query with every class deferred.

@@ -38,4 +38,9 @@ var (
 	// ErrClassActive: the class is active (queued packets or in-tree state);
 	// RemoveClass and SetCurves require a passive class.
 	ErrClassActive = core.ErrClassActive
+	// ErrClassRemoved: the *Class was already removed from the hierarchy;
+	// stale references held across RemoveClass cannot be operated on (and,
+	// in particular, cannot corrupt the name registry of a class re-added
+	// under the same name).
+	ErrClassRemoved = core.ErrClassRemoved
 )

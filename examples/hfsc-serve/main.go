@@ -11,6 +11,15 @@
 //	curl localhost:9153/debug/hfsc/tree      # live class tree (virtual times, curves, backlog)
 //	curl 'localhost:9153/debug/hfsc/events?n=50'  # newest flight-recorder events
 //
+// With -requests N the same binary demos request scheduling instead:
+// an hfscmw.Limiter admission-controls a synthetic HTTP endpoint over N
+// concurrency seats for three tenant tiers under 2x offered load
+// (see requests.go):
+//
+//	go run ./examples/hfsc-serve -requests 8
+//	curl localhost:9153/work -H 'X-Tenant: interactive'
+//	curl localhost:9153/admission/stats
+//
 // With -debug, Go's pprof profiles and expvar process stats come up too:
 //
 //	go run ./examples/hfsc-serve -debug
@@ -49,7 +58,13 @@ func main() {
 	dbg := flag.Bool("debug", false, "expose net/http/pprof and expvar under /debug")
 	spans := flag.Int("spans", 64, "sample 1-in-N packets for lifecycle spans (0 = off)")
 	records := flag.Int("flight-records", 0, "flight recorder ring size per shard (0 = default)")
+	requests := flag.Int("requests", 0, "request mode: admission-control a demo HTTP endpoint with this many concurrency seats instead of shaping packets")
 	flag.Parse()
+
+	if *requests > 0 {
+		runRequestMode(*listen, *requests)
+		return
+	}
 
 	link := *rate * hfsc.Mbps
 	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+	"github.com/netsched/hfsc/hfscmw"
+)
+
+// runRequestMode is hfsc-serve with requests instead of packets: an
+// hfscmw.Limiter arbitrates `seats` concurrency seats between three
+// tenant tiers, a synthetic open-loop load drives the admission path at
+// roughly 2x the budget, and the same observability surface comes up —
+// scheduler metrics on /metrics, per-tenant admission counters on
+// /admission/stats, the capacity ledger on /admission/ledger, and the
+// live class tree (tenants are leaf classes) on /debug/hfsc/tree.
+//
+//	go run ./examples/hfsc-serve -requests 8
+//	curl localhost:9153/work -H 'X-Tenant: interactive'
+//	curl localhost:9153/admission/stats
+func runRequestMode(listen string, seats int) {
+	const est = 25 * time.Millisecond
+	l, err := hfscmw.New(hfscmw.Config{
+		Concurrency:     seats,
+		DefaultEstimate: est,
+		Metrics:         true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+
+	// Interactive holds a guaranteed seat with a tight latency target,
+	// standard a burstier but smaller guarantee, batch rides best-effort
+	// on the link-share leftovers.
+	for _, t := range []struct {
+		name string
+		slo  hfscmw.SLO
+	}{
+		{"interactive", hfscmw.SLO{Burst: 2, Latency: 10 * time.Millisecond, Sustained: 1}},
+		{"standard", hfscmw.SLO{Burst: 3, Latency: 50 * time.Millisecond, Sustained: 2}},
+		{"batch", hfscmw.SLO{}},
+	} {
+		guaranteed, err := l.AddTenant(t.name, t.slo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("tenant %s: guaranteed=%v", t.name, guaranteed)
+	}
+
+	// The admission-controlled endpoint: the handler "serves" for about
+	// the estimate, and the middleware reports the actual duration back
+	// for correction.
+	work := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(est/2 + time.Duration(rand.Int63n(int64(est))))
+		fmt.Fprintln(w, "ok")
+	}))
+
+	// Synthetic open-loop load at ~2x the seat budget: interactive
+	// conforms to its guarantee, standard and batch flood.
+	for _, g := range []struct {
+		tenant string
+		perSec int
+	}{
+		{"interactive", 40},      // × 25 ms ≈ 1 seat
+		{"standard", 30 * seats}, // flood
+		{"batch", 30 * seats},    // flood
+	} {
+		go func(tenant string, perSec int) {
+			for range time.Tick(time.Second / time.Duration(perSec)) {
+				go func() {
+					req := httptest.NewRequest(http.MethodGet, "/work", nil)
+					req.Header.Set("X-Tenant", tenant)
+					work.ServeHTTP(httptest.NewRecorder(), req)
+				}()
+			}
+		}(g.tenant, g.perSec)
+	}
+
+	go func() {
+		for range time.Tick(10 * time.Second) {
+			for name, st := range l.Stats() {
+				log.Printf("tenant %s: admitted=%d shed=%d canceled=%d pending=%d",
+					name, st.Admitted, st.Shed, st.Canceled, st.Pending)
+			}
+		}
+	}()
+
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			log.Printf("encode: %v", err)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/work", work)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := l.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/admission/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, l.Stats())
+	})
+	mux.HandleFunc("/admission/ledger", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"capacity": l.Ledger().Capacity(),
+			"entries":  l.Ledger().Entries(),
+		})
+	})
+	mux.HandleFunc("/debug/hfsc/tree", func(w http.ResponseWriter, r *http.Request) {
+		var tree any
+		l.Inspect(func(s *hfsc.Scheduler) { tree = s.DumpTree() })
+		writeJSON(w, tree)
+	})
+
+	log.Printf("serving request mode on %s: /work /metrics /admission/stats /admission/ledger (%d seats)",
+		listen, seats)
+	log.Fatal(http.ListenAndServe(listen, mux))
+}

@@ -53,10 +53,28 @@ const (
 	Gbps        = 1000 * Mbps // 1 gigabit per second
 )
 
-// Packet is the unit of scheduling. Set Len, Class (a leaf class ID) and
-// Arrival before enqueueing; the scheduler fills Deadline and Crit on
-// dequeue.
+// Packet is the unit of scheduling — one work item. Set Len (or Cost, for
+// non-packet work), Class (a leaf class ID) and Arrival before enqueueing;
+// the scheduler fills Deadline and Crit on dequeue. The quantity charged
+// against the service curves is Packet.Work: the explicit Cost when set,
+// else the wire length Len — so packet datapaths are unchanged while
+// request datapaths schedule estimated costs and reconcile at completion
+// via Correct.
 type Packet = pktq.Packet
+
+// Criterion says which scheduling criterion released a work item
+// (Packet.Crit): real-time or link-sharing.
+type Criterion = pktq.Criterion
+
+// Criterion values, re-exported for Correct callers.
+const (
+	// ByNone: the item has not been dequeued.
+	ByNone = pktq.ByNone
+	// ByRealTime: served under the real-time criterion.
+	ByRealTime = pktq.ByRealTime
+	// ByLinkShare: served under the link-sharing criterion.
+	ByLinkShare = pktq.ByLinkShare
+)
 
 // SC is a two-piece linear service curve: slope M1 (bytes/s) for the first
 // D nanoseconds of a backlogged period, slope M2 afterwards.
@@ -310,7 +328,10 @@ func (s *Scheduler) AddClass(parent *Class, name string, cfg ClassConfig) (*Clas
 }
 
 // RemoveClass deletes a passive leaf class (dynamic reconfiguration, like
-// tc class del). A parent left childless becomes a leaf again.
+// tc class del). A parent left childless becomes a leaf again. Removing a
+// class already removed returns ErrClassRemoved; a stale *Class held
+// across RemoveClass can never displace a class later re-added under the
+// same name (Class(name) keeps resolving to the live one).
 func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl == nil {
 		return ErrNilClass
@@ -318,7 +339,11 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 	if err := s.core.RemoveClass(cl.c); err != nil {
 		return err
 	}
-	delete(s.byName, cl.c.Name())
+	// Drop the name binding only if it still points at this wrapper: a
+	// same-named class re-added after an earlier removal owns the entry.
+	if s.byName[cl.c.Name()] == cl {
+		delete(s.byName, cl.c.Name())
+	}
 	delete(s.wrapped, cl.c)
 	return nil
 }
@@ -332,9 +357,34 @@ func (s *Scheduler) SetCurves(cl *Class, cfg ClassConfig, now int64) error {
 }
 
 // Enqueue offers a packet at the given clock (ns); false means dropped.
-// It is Offer with the reason collapsed to a bool; use Offer when the
-// caller needs to distinguish queue-limit drops from invalid packets.
+//
+// Deprecated: Enqueue is a thin wrapper over Offer that collapses the
+// DropReason to a bool, kept for the package's original signature. New
+// code should call Offer and branch on the reason (queue-limit versus
+// unknown class versus malformed item); drivers should use
+// PacedQueue.Submit / MultiQueue.Submit, which share the same reasons.
 func (s *Scheduler) Enqueue(p *Packet, now int64) bool { return s.Offer(p, now) == DropNone }
+
+// Correct reconciles a completed work item's actual cost with the
+// estimate it was scheduled under (see Packet.Cost): the signed
+// difference is charged to — or refunded from — the class's service-curve
+// accounts as if the item had been that size, clamped so no account goes
+// negative. crit is the criterion that served the item (Packet.Crit after
+// dequeue). It returns the delta actually applied, in cost units.
+//
+// Correct must be serialized with Enqueue/Dequeue like every Scheduler
+// method; driver-owned schedulers expose PacedQueue.Correct /
+// MultiQueue.Correct, which queue the adjustment to the pacing goroutine
+// instead. Correcting a removed class is a no-op.
+func (s *Scheduler) Correct(cl *Class, estimated, actual int64, crit Criterion, now int64) int64 {
+	if cl == nil || !cl.c.IsLeaf() || cl.c == s.core.Root() {
+		return 0
+	}
+	if estimated < 0 || actual < 0 {
+		return 0
+	}
+	return s.core.Correct(cl.c, estimated, actual, crit, now)
+}
 
 // Dequeue returns the next packet to send at the given clock, or nil.
 func (s *Scheduler) Dequeue(now int64) *Packet { return s.core.Dequeue(now) }

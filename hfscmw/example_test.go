@@ -1,0 +1,75 @@
+package hfscmw_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"github.com/netsched/hfsc/hfscmw"
+)
+
+// A Limiter arbitrates a shared concurrency budget between tenants with
+// service-curve SLOs: Admit blocks until the scheduler grants a seat,
+// and the Ticket reports the actual service time back so link-sharing
+// converges on real, not estimated, cost.
+func Example() {
+	l, err := hfscmw.New(hfscmw.Config{
+		Concurrency:     4,                     // seats shared by every tenant
+		DefaultEstimate: 10 * time.Millisecond, // per-request cost estimate
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+
+	// Two burst seats, a 20 ms latency target, one seat sustained —
+	// guaranteed (admitted against the capacity ledger) if it fits.
+	guaranteed, err := l.AddTenant("interactive", hfscmw.SLO{
+		Burst:     2,
+		Latency:   20 * time.Millisecond,
+		Sustained: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("guaranteed:", guaranteed)
+
+	tk, err := l.Admit(context.Background(), "interactive", "GET /search")
+	if err != nil {
+		panic(err)
+	}
+	// ... serve the request ...
+	tk.Finish(3 * time.Millisecond) // actual cost: corrects the estimate
+
+	fmt.Println("admitted:", l.Stats()["interactive"].Admitted)
+	// Output:
+	// guaranteed: true
+	// admitted: 1
+}
+
+// Middleware wraps an http.Handler: tenants resolve from the request
+// (X-Tenant by default), overload answers 429 with Retry-After.
+func ExampleLimiter_Middleware() {
+	l, err := hfscmw.New(hfscmw.Config{
+		Concurrency:     8,
+		DefaultEstimate: 5 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+
+	req := httptest.NewRequest(http.MethodGet, "/work", nil)
+	req.Header.Set("X-Tenant", "acme")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	fmt.Println(rec.Code, l.Stats()["acme"].Admitted)
+	// Output:
+	// 200 1
+}

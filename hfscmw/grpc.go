@@ -1,0 +1,98 @@
+package hfscmw
+
+// gRPC admission interceptors. The container this package builds in must
+// not grow dependencies, so instead of importing google.golang.org/grpc
+// the interceptor signatures are declared structurally — the same shapes
+// grpc uses, with `any` where grpc has `interface{}`. Wiring them into a
+// real grpc.Server is a three-line adapter in the application, which is
+// the only place the real types are in scope:
+//
+//	grpc.UnaryInterceptor(func(ctx context.Context, req any,
+//		info *grpc.UnaryServerInfo, h grpc.UnaryHandler) (any, error) {
+//		return mwUnary(ctx, req, &hfscmw.UnaryServerInfo{FullMethod: info.FullMethod}, h)
+//	})
+//
+// Shed requests return ErrOverloaded (wrapped); the adapter should map
+// it to codes.ResourceExhausted, and ErrClosed to codes.Unavailable.
+
+import "context"
+
+// UnaryServerInfo mirrors grpc.UnaryServerInfo.
+type UnaryServerInfo struct {
+	// Server is the service implementation the handler is bound to.
+	Server any
+	// FullMethod is the full RPC method string, "/package.service/method".
+	FullMethod string
+}
+
+// UnaryHandler mirrors grpc.UnaryHandler.
+type UnaryHandler func(ctx context.Context, req any) (any, error)
+
+// UnaryServerInterceptor mirrors grpc.UnaryServerInterceptor.
+type UnaryServerInterceptor func(ctx context.Context, req any, info *UnaryServerInfo, handler UnaryHandler) (any, error)
+
+// ServerStream is the slice of grpc.ServerStream the interceptor needs;
+// any grpc stream satisfies it.
+type ServerStream interface {
+	Context() context.Context
+}
+
+// StreamServerInfo mirrors grpc.StreamServerInfo.
+type StreamServerInfo struct {
+	FullMethod     string
+	IsClientStream bool
+	IsServerStream bool
+}
+
+// StreamHandler mirrors grpc.StreamHandler.
+type StreamHandler func(srv any, stream ServerStream) error
+
+// StreamServerInterceptor mirrors grpc.StreamServerInterceptor.
+type StreamServerInterceptor func(srv any, ss ServerStream, info *StreamServerInfo, handler StreamHandler) error
+
+// GRPCTenantFunc resolves the tenant of an RPC from its context and full
+// method — typically from metadata (authority, an API key, an mTLS
+// identity). An empty return falls back to "default".
+type GRPCTenantFunc func(ctx context.Context, fullMethod string) string
+
+// grpcTenant applies the resolver with the "default" fallback.
+func grpcTenant(fn GRPCTenantFunc, ctx context.Context, fullMethod string) string {
+	if fn != nil {
+		if t := fn(ctx, fullMethod); t != "" {
+			return t
+		}
+	}
+	return "default"
+}
+
+// UnaryInterceptor returns an interceptor that admits each unary RPC
+// through the limiter before invoking the handler. The RPC's full method
+// is the estimator's op; the measured handler time is reconciled against
+// the estimate when the handler returns.
+func (l *Limiter) UnaryInterceptor(tenant GRPCTenantFunc) UnaryServerInterceptor {
+	return func(ctx context.Context, req any, info *UnaryServerInfo, handler UnaryHandler) (any, error) {
+		tk, err := l.Admit(ctx, grpcTenant(tenant, ctx, info.FullMethod), info.FullMethod)
+		if err != nil {
+			return nil, err
+		}
+		defer tk.Done()
+		return handler(ctx, req)
+	}
+}
+
+// StreamInterceptor returns an interceptor that admits each stream
+// open through the limiter. The estimate should cover expected stream
+// service time; long-lived streams dominated by idle time are better
+// estimated at the cost of their setup, since a stream occupies a seat
+// only in proportion to the service time charged for it.
+func (l *Limiter) StreamInterceptor(tenant GRPCTenantFunc) StreamServerInterceptor {
+	return func(srv any, ss ServerStream, info *StreamServerInfo, handler StreamHandler) error {
+		ctx := ss.Context()
+		tk, err := l.Admit(ctx, grpcTenant(tenant, ctx, info.FullMethod), info.FullMethod)
+		if err != nil {
+			return err
+		}
+		defer tk.Done()
+		return handler(srv, ss)
+	}
+}

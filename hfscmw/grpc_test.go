@@ -1,0 +1,95 @@
+package hfscmw_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/netsched/hfsc/hfscmw"
+)
+
+type fakeStream struct{ ctx context.Context }
+
+func (s fakeStream) Context() context.Context { return s.ctx }
+
+func TestUnaryInterceptor(t *testing.T) {
+	l, err := hfscmw.New(hfscmw.Config{Concurrency: 2, DefaultEstimate: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	intercept := l.UnaryInterceptor(func(ctx context.Context, fullMethod string) string {
+		return "rpc-tenant"
+	})
+	info := &hfscmw.UnaryServerInfo{FullMethod: "/pkg.Svc/Get"}
+	got, err := intercept(context.Background(), "req", info,
+		func(ctx context.Context, req any) (any, error) { return "resp", nil })
+	if err != nil || got != "resp" {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if st := l.Stats()["rpc-tenant"]; st.Admitted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Handler errors pass through after admission.
+	boom := errors.New("boom")
+	if _, err := intercept(context.Background(), "req", info,
+		func(ctx context.Context, req any) (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("handler error lost: %v", err)
+	}
+
+	// Nil resolver: the default tenant.
+	def := l.UnaryInterceptor(nil)
+	if _, err := def(context.Background(), "req", info,
+		func(ctx context.Context, req any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Stats()["default"]; !ok {
+		t.Fatal("nil resolver did not use the default tenant")
+	}
+
+	l.Close()
+	if _, err := intercept(context.Background(), "req", info,
+		func(ctx context.Context, req any) (any, error) { return nil, nil }); !errors.Is(err, hfscmw.ErrClosed) {
+		t.Fatalf("post-close RPC returned %v, want ErrClosed", err)
+	}
+}
+
+func TestStreamInterceptor(t *testing.T) {
+	l, err := hfscmw.New(hfscmw.Config{Concurrency: 2, DefaultEstimate: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	intercept := l.StreamInterceptor(func(ctx context.Context, fullMethod string) string {
+		return "streamer"
+	})
+	info := &hfscmw.StreamServerInfo{FullMethod: "/pkg.Svc/Watch", IsServerStream: true}
+	var gotStream hfscmw.ServerStream
+	err = intercept("srv", fakeStream{ctx: context.Background()}, info,
+		func(srv any, stream hfscmw.ServerStream) error {
+			gotStream = stream
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStream == nil || gotStream.Context() == nil {
+		t.Fatal("stream not forwarded")
+	}
+	if st := l.Stats()["streamer"]; st.Admitted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A canceled stream context fails admission with the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = intercept("srv", fakeStream{ctx: ctx}, info,
+		func(srv any, stream hfscmw.ServerStream) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled stream admission returned %v", err)
+	}
+}

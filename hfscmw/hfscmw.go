@@ -1,0 +1,513 @@
+// Package hfscmw is a tenant-facing admission layer over the hfsc
+// scheduler: an HTTP middleware and gRPC-shaped interceptors that shape
+// *requests* instead of packets.
+//
+// Nothing in H-FSC's math requires the scheduled unit to be a network
+// packet — the guarantees are stated over service received for work of a
+// given size. This package maps each tenant to a leaf class
+// (auto-created on first request), expresses the tenant's SLO as a
+// two-piece service curve over a shared concurrency budget, and submits
+// one cost-denominated work item per request, where the cost is the
+// estimated service time in nanoseconds. The pacing loop then admits
+// requests exactly as it would pace packets onto a link whose rate is
+// the concurrency budget: Config.Concurrency "seats" supply
+// Concurrency seconds of service time per second.
+//
+// The request lifecycle is estimate → admit → serve → correct: a request
+// blocks until its work item is released by the scheduler (the admission
+// decision), runs, and finally reports its measured service time, which
+// is reconciled against the estimate through the scheduler's completion
+// correction (Scheduler.Correct) so tenants neither gain nor lose from
+// estimation error. Guaranteed SLOs (real-time curves) are admitted
+// against a capacity Ledger using the same SCED admissibility check the
+// scheduler's own admission control uses; tenants whose guarantee does
+// not fit degrade to link-sharing weight only.
+package hfscmw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netsched/hfsc"
+)
+
+// Seat is the cost-unit rate of one concurrency seat: one second of
+// estimated service time per second, in the nanosecond cost units
+// requests are denominated in.
+const Seat = uint64(time.Second)
+
+// DefaultEstimate is the per-request service-time estimate used when the
+// configuration provides none.
+const DefaultEstimate = 25 * time.Millisecond
+
+// DefaultMaxPending bounds how many requests one tenant may have queued
+// for admission at once when Config.MaxPending is zero.
+const DefaultMaxPending = 1024
+
+// Sentinel errors returned by Admit (and mapped to transport responses
+// by the middleware).
+var (
+	// ErrOverloaded: the request was shed — the tenant's pending-admission
+	// bound or the intake rings are full. HTTP responds 429 with a
+	// Retry-After header; gRPC adapters should map it to
+	// ResourceExhausted.
+	ErrOverloaded = errors.New("hfscmw: overloaded, retry later")
+	// ErrClosed: the limiter was closed.
+	ErrClosed = errors.New("hfscmw: limiter closed")
+)
+
+// SLO expresses one tenant's service-level objective as the three
+// parameters of a two-piece service curve over the concurrency budget:
+// a burst of Burst concurrent seats for Latency, then Sustained seats.
+// Following the paper's decoupling argument, Burst/Latency bound how
+// much queueing a conforming burst sees while Sustained is the long-run
+// share — the two are independent knobs.
+//
+// The zero SLO means "no guarantee": the tenant gets a link-sharing
+// fair share of one seat and no real-time curve.
+type SLO struct {
+	// Burst is the concurrency (seats) the tenant may claim at once.
+	Burst float64
+	// Latency is how long a conforming burst may have to wait — the d of
+	// the service curve, and the knee where Burst gives way to Sustained.
+	Latency time.Duration
+	// Sustained is the long-run concurrency share (seats).
+	Sustained float64
+}
+
+// IsZero reports whether the SLO is the zero "no guarantee" value.
+func (s SLO) IsZero() bool { return s == SLO{} }
+
+// Curve renders the SLO as a service curve in cost units per second:
+// m1 = Burst seats, d = Latency, m2 = Sustained seats.
+func (s SLO) Curve() hfsc.SC {
+	return hfsc.Curve(seats(s.Burst), s.Latency, seats(s.Sustained))
+}
+
+// seats converts a seat count to a cost-unit rate.
+func seats(n float64) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64(n * float64(Seat))
+}
+
+// Config configures a Limiter.
+type Config struct {
+	// Concurrency is the shared budget in seats — the capacity every
+	// tenant curve is admitted against and the aggregate rate requests
+	// are admitted at. Required.
+	Concurrency int
+
+	// DefaultSLO is the SLO for tenants auto-created on first request.
+	// The zero value grants no guarantee: a link-sharing fair share of
+	// one seat. Use AddTenant for per-tenant SLOs.
+	DefaultSLO SLO
+
+	// Estimate predicts the service time of one request; op is the
+	// transport operation (HTTP "METHOD /path", gRPC full method). A nil
+	// func or non-positive result falls back to DefaultEstimate, then to
+	// the package default of 25ms. Estimation error is reconciled at
+	// completion via the scheduler's correction mechanism, so estimates
+	// need to be in the right ballpark, not exact.
+	Estimate func(tenant, op string) time.Duration
+
+	// DefaultEstimate overrides the package-default service-time
+	// estimate.
+	DefaultEstimate time.Duration
+
+	// MaxPending bounds each tenant's requests queued for admission;
+	// beyond it requests are shed immediately (ErrOverloaded). Zero
+	// means DefaultMaxPending; negative disables the bound.
+	MaxPending int
+
+	// Block makes a full intake ring wait with backoff (until ctx is
+	// done) instead of shedding. The per-tenant MaxPending bound still
+	// sheds.
+	Block bool
+
+	// RetryAfter is the hint sent with shed responses (HTTP Retry-After).
+	// Zero means one second.
+	RetryAfter time.Duration
+
+	// Tenant resolves the tenant of an HTTP request for Middleware. Nil
+	// uses the X-Tenant header, falling back to "default". The gRPC
+	// interceptors take their own resolver since metadata access differs
+	// per transport.
+	Tenant func(r *http.Request) string
+
+	// Metrics enables the scheduler's metrics pipeline (Snapshot,
+	// WriteMetrics) on the underlying scheduler.
+	Metrics bool
+}
+
+// tenant is the limiter-side state of one leaf class.
+type tenant struct {
+	name       string
+	class      int
+	slo        SLO
+	guaranteed bool // the SLO's real-time curve was admitted by the ledger
+
+	pending  atomic.Int64 // requests queued for admission
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	canceled atomic.Uint64
+}
+
+// Limiter schedules request admission across tenants over a shared
+// concurrency budget. Create one with New, wrap handlers with
+// Middleware / UnaryInterceptor / StreamInterceptor, or drive it
+// directly with Admit.
+type Limiter struct {
+	cfg    Config
+	sched  *hfsc.Scheduler
+	q      *hfsc.PacedQueue
+	ledger *Ledger
+
+	mu      sync.Mutex // tenants map and class creation
+	tenants map[string]*tenant
+	byClass sync.Map // class id -> *tenant; read by the transmit callback
+
+	closed     chan struct{}
+	closeOnce  sync.Once
+	maxPending int64
+}
+
+// New builds and starts a Limiter over cfg.Concurrency seats.
+func New(cfg Config) (*Limiter, error) {
+	if cfg.Concurrency <= 0 {
+		return nil, fmt.Errorf("hfscmw: Config.Concurrency must be positive, got %d", cfg.Concurrency)
+	}
+	capacity := uint64(cfg.Concurrency) * Seat
+	l := &Limiter{
+		cfg:     cfg,
+		ledger:  NewLedger(capacity),
+		tenants: map[string]*tenant{},
+		closed:  make(chan struct{}),
+	}
+	switch {
+	case cfg.MaxPending > 0:
+		l.maxPending = int64(cfg.MaxPending)
+	case cfg.MaxPending < 0:
+		l.maxPending = 0 // unbounded
+	default:
+		l.maxPending = DefaultMaxPending
+	}
+	l.sched = hfsc.New(hfsc.Config{
+		LinkRate: capacity,
+		Metrics:  cfg.Metrics,
+	})
+	q, err := hfsc.NewPacedQueue(l.sched, l.transmit)
+	if err != nil {
+		return nil, err
+	}
+	// Requests are bounded per tenant by MaxPending, not by the drain
+	// watermark (sized for packet floods, it would strand admissions in
+	// the intake rings where per-class order is the only order).
+	q.DrainHighWater = -1
+	l.q = q
+	q.Start()
+	return l, nil
+}
+
+// Close stops admission: waiting requests fail with ErrClosed and the
+// pacing goroutine is stopped. Close is idempotent.
+func (l *Limiter) Close() {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.q.Stop()
+	})
+}
+
+// Ledger returns the capacity ledger guarantees are admitted against —
+// shared with control planes (cmd/hfsc-admit) so the admission check and
+// the datapath use one code path.
+func (l *Limiter) Ledger() *Ledger { return l.ledger }
+
+// Snapshot returns the underlying scheduler's metrics snapshot (nil
+// without Config.Metrics). Tenant classes appear under their tenant
+// names.
+func (l *Limiter) Snapshot() *hfsc.Snapshot { return l.q.Snapshot() }
+
+// WriteMetrics renders the underlying scheduler's metrics in Prometheus
+// text format.
+func (l *Limiter) WriteMetrics(w io.Writer) error { return l.q.WriteMetrics(w) }
+
+// Inspect runs fn with exclusive access to the underlying scheduler (on
+// the pacing goroutine); see PacedQueue.Inspect.
+func (l *Limiter) Inspect(fn func(*hfsc.Scheduler)) { l.q.Inspect(fn) }
+
+// DelayBound returns the worst-case admission latency of a conforming
+// burst of u estimated service time against slo's curve (Theorems 1/2:
+// the curve's inverse at u plus one maximum work item at the budget
+// rate). This is the bound the SLO acceptance tests assert p99 against.
+func (l *Limiter) DelayBound(slo SLO, u, lmax time.Duration) (time.Duration, error) {
+	return l.sched.DelayBound(slo.Curve(), int(u.Nanoseconds()), int(lmax.Nanoseconds()))
+}
+
+// TenantStats are one tenant's admission counters.
+type TenantStats struct {
+	// Class is the tenant's leaf class id in the underlying scheduler.
+	Class int
+	// SLO is the tenant's configured objective.
+	SLO SLO
+	// Guaranteed reports whether the SLO's real-time curve was admitted
+	// against the capacity ledger (false = link-sharing weight only).
+	Guaranteed bool
+	// Admitted / Shed / Canceled count requests by outcome; Pending is
+	// the current queued-for-admission gauge.
+	Admitted uint64
+	Shed     uint64
+	Canceled uint64
+	Pending  int64
+}
+
+// Stats snapshots every tenant's counters, keyed by tenant name.
+func (l *Limiter) Stats() map[string]TenantStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]TenantStats, len(l.tenants))
+	for name, t := range l.tenants {
+		out[name] = TenantStats{
+			Class:      t.class,
+			SLO:        t.slo,
+			Guaranteed: t.guaranteed,
+			Admitted:   t.admitted.Load(),
+			Shed:       t.shed.Load(),
+			Canceled:   t.canceled.Load(),
+			Pending:    t.pending.Load(),
+		}
+	}
+	return out
+}
+
+// AddTenant creates (or returns) the tenant's leaf class with the given
+// SLO. A non-zero SLO is reserved and committed against the capacity
+// ledger; if the guarantee does not fit alongside existing commitments
+// the tenant is still created with the SLO's curve as link-sharing
+// weight only, and guaranteed reports false. Safe from any goroutine,
+// including while requests flow.
+func (l *Limiter) AddTenant(name string, slo SLO) (guaranteed bool, err error) {
+	t, err := l.getOrCreate(name, slo)
+	if err != nil {
+		return false, err
+	}
+	return t.guaranteed, nil
+}
+
+// getOrCreate resolves a tenant, creating its leaf class on first use.
+func (l *Limiter) getOrCreate(name string, slo SLO) (*tenant, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t := l.tenants[name]; t != nil {
+		return t, nil
+	}
+	var rt, ls hfsc.SC
+	guaranteed := false
+	if slo.IsZero() {
+		ls = hfsc.Linear(Seat) // fair share of one seat, no guarantee
+	} else {
+		ls = slo.Curve()
+		if slo.Sustained > 0 && l.ledger.Acquire(name, ls) == nil {
+			rt = ls
+			guaranteed = true
+		}
+	}
+	var cl *hfsc.Class
+	var err error
+	// The pacing goroutine owns the scheduler; class creation goes
+	// through Inspect like any other structural access. The transmit
+	// callback never takes l.mu, so holding it across Inspect is safe.
+	l.q.Inspect(func(s *hfsc.Scheduler) {
+		cl, err = s.AddClass(nil, name, hfsc.ClassConfig{RealTime: rt, LinkShare: ls})
+	})
+	if err != nil {
+		if guaranteed {
+			l.ledger.Release(name)
+		}
+		return nil, err
+	}
+	t := &tenant{name: name, class: cl.ID(), slo: slo, guaranteed: guaranteed}
+	l.tenants[name] = t
+	l.byClass.Store(t.class, t)
+	return t, nil
+}
+
+// estimate resolves the service-time estimate for one request.
+func (l *Limiter) estimate(tenant, op string) time.Duration {
+	if l.cfg.Estimate != nil {
+		if d := l.cfg.Estimate(tenant, op); d > 0 {
+			return d
+		}
+	}
+	if l.cfg.DefaultEstimate > 0 {
+		return l.cfg.DefaultEstimate
+	}
+	return DefaultEstimate
+}
+
+// Gate states: a request waits on its gate until the scheduler releases
+// its work item (admission) or the wait is abandoned.
+const (
+	gateWaiting int32 = iota
+	gateAdmitted
+	gateAbandoned
+	gateClosed
+)
+
+// gate is the per-request admission handle carried through the scheduler
+// in Packet.Handle.
+type gate struct {
+	ch    chan struct{}
+	state atomic.Int32
+	crit  hfsc.Criterion // set before ch closes when admitted
+}
+
+// transmit is the PacedQueue's Transmit callback: the scheduler decided
+// to serve this work item, i.e. the request is admitted. Runs on the
+// pacing goroutine.
+func (l *Limiter) transmit(p *hfsc.Packet) {
+	g, _ := p.Handle.(*gate)
+	class, cost, crit := p.Class, int64(p.Cost), p.Crit
+	p.Release()
+	if t, ok := l.byClass.Load(class); ok {
+		t.(*tenant).pending.Add(-1)
+	}
+	if g == nil {
+		return
+	}
+	g.crit = crit
+	if g.state.CompareAndSwap(gateWaiting, gateAdmitted) {
+		close(g.ch)
+		return
+	}
+	// The waiter abandoned (context done) before admission: the item's
+	// estimated cost was charged for work that will never run — refund
+	// it so the tenant's virtual time reflects reality.
+	l.q.Correct(class, cost, 0, crit)
+}
+
+// Ticket is an admitted request: the holder may run the work, then must
+// call Done (or Finish) exactly once to reconcile the measured service
+// time with the estimate the request was admitted under.
+type Ticket struct {
+	l         *Limiter
+	t         *tenant
+	est       int64
+	crit      hfsc.Criterion
+	admitted  time.Time
+	completed atomic.Bool
+}
+
+// Tenant returns the tenant the ticket was issued to.
+func (tk *Ticket) Tenant() string { return tk.t.name }
+
+// AdmittedAt returns when the scheduler admitted the request.
+func (tk *Ticket) AdmittedAt() time.Time { return tk.admitted }
+
+// Done reports the service completed now, measuring the actual service
+// time since admission. Idempotent.
+func (tk *Ticket) Done() { tk.Finish(time.Since(tk.admitted)) }
+
+// Finish reports the measured service time explicitly and reconciles it
+// with the estimate through the scheduler's completion correction.
+// Idempotent; only the first call counts.
+func (tk *Ticket) Finish(actual time.Duration) {
+	if !tk.completed.CompareAndSwap(false, true) {
+		return
+	}
+	act := actual.Nanoseconds()
+	if act < 0 {
+		act = 0
+	}
+	tk.l.q.Correct(tk.t.class, tk.est, act, tk.crit)
+}
+
+// Admit blocks until the scheduler admits one request for tenant (the
+// service-curve decision over all competing tenants), the request is
+// shed (ErrOverloaded), the limiter closes (ErrClosed), or ctx is done
+// (its error). op names the operation for the estimator. On success the
+// caller runs the work and must complete the returned Ticket.
+func (l *Limiter) Admit(ctx context.Context, tenantName, op string) (*Ticket, error) {
+	select {
+	case <-l.closed:
+		return nil, ErrClosed
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t, err := l.getOrCreate(tenantName, l.cfg.DefaultSLO)
+	if err != nil {
+		return nil, err
+	}
+	est := l.estimate(tenantName, op).Nanoseconds()
+	if est <= 0 {
+		est = 1
+	}
+
+	if l.maxPending > 0 && t.pending.Add(1) > l.maxPending {
+		t.pending.Add(-1)
+		t.shed.Add(1)
+		return nil, fmt.Errorf("%w (tenant %q pending bound)", ErrOverloaded, tenantName)
+	} else if l.maxPending <= 0 {
+		t.pending.Add(1)
+	}
+
+	g := &gate{ch: make(chan struct{})}
+	p := hfsc.GetPacket()
+	p.Cost = uint64(est)
+	p.Class = t.class
+	p.Handle = g
+
+	var r hfsc.DropReason
+	if l.cfg.Block {
+		r = l.q.SubmitCtx(ctx, p)
+	} else {
+		r = l.q.Submit(p)
+	}
+	if r != hfsc.DropNone {
+		t.pending.Add(-1)
+		p.Release()
+		switch r {
+		case hfsc.DropStopped:
+			return nil, ErrClosed
+		case hfsc.DropCanceled:
+			t.canceled.Add(1)
+			return nil, ctx.Err()
+		default: // DropIntakeFull
+			t.shed.Add(1)
+			return nil, fmt.Errorf("%w (intake full)", ErrOverloaded)
+		}
+	}
+
+	select {
+	case <-g.ch:
+		t.admitted.Add(1)
+		return &Ticket{l: l, t: t, est: est, crit: g.crit, admitted: time.Now()}, nil
+	case <-ctx.Done():
+	case <-l.closed:
+	}
+	// Abandon the wait; if the scheduler admitted concurrently, take the
+	// admission and refund it in full (the handler will not run).
+	if g.state.CompareAndSwap(gateWaiting, gateAbandoned) {
+		t.canceled.Add(1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, ErrClosed
+	}
+	<-g.ch
+	t.canceled.Add(1)
+	l.q.Correct(t.class, est, 0, g.crit)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, ErrClosed
+}

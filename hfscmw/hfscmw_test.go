@@ -1,0 +1,241 @@
+package hfscmw_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/netsched/hfsc"
+	"github.com/netsched/hfsc/hfscmw"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestAdmitServeFinish(t *testing.T) {
+	l, err := hfscmw.New(hfscmw.Config{
+		Concurrency:     4,
+		DefaultEstimate: time.Millisecond,
+		Metrics:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	tk, err := l.Admit(context.Background(), "alpha", "GET /items")
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if tk.Tenant() != "alpha" {
+		t.Fatalf("ticket tenant %q", tk.Tenant())
+	}
+	// Report 3x the estimate; the correction must reach the tenant class.
+	tk.Finish(3 * time.Millisecond)
+	tk.Finish(10 * time.Millisecond) // idempotent: only the first counts
+
+	waitFor(t, 2*time.Second, func() bool {
+		snap := l.Snapshot()
+		if snap == nil {
+			return false
+		}
+		for _, cs := range snap.Classes {
+			if cs.Name == "alpha" && cs.Corrections == 1 {
+				return true
+			}
+		}
+		return false
+	}, "correction never reached the alpha class metrics")
+
+	st := l.Stats()["alpha"]
+	if st.Admitted != 1 || st.Shed != 0 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Guaranteed {
+		t.Fatal("zero-SLO tenant reported a guarantee")
+	}
+}
+
+func TestAddTenantGuaranteeAndLedger(t *testing.T) {
+	l, err := hfscmw.New(hfscmw.Config{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	g, err := l.AddTenant("gold", hfscmw.SLO{Burst: 2, Latency: 10 * time.Millisecond, Sustained: 2})
+	if err != nil || !g {
+		t.Fatalf("gold: guaranteed=%v err=%v", g, err)
+	}
+	// 2 + 3 = 5 sustained seats > 4: silver's guarantee must not fit, but
+	// the tenant still works with link-sharing weight only.
+	g, err = l.AddTenant("silver", hfscmw.SLO{Burst: 3, Latency: 10 * time.Millisecond, Sustained: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g {
+		t.Fatal("inadmissible guarantee was granted")
+	}
+	if _, err := l.Admit(context.Background(), "silver", "op"); err != nil {
+		t.Fatalf("LS-only tenant refused: %v", err)
+	}
+	// AddTenant is idempotent and keeps the first SLO.
+	if g, _ = l.AddTenant("gold", hfscmw.SLO{}); !g {
+		t.Fatal("re-adding gold lost its guarantee")
+	}
+	if got := len(l.Ledger().Entries()); got != 1 {
+		t.Fatalf("ledger holds %d entries, want 1 (gold)", got)
+	}
+}
+
+// busyLimiter returns a 1-seat limiter whose only seat is pinned for ~1s,
+// so follow-up admissions must queue.
+func busyLimiter(t *testing.T, cfg hfscmw.Config) *hfscmw.Limiter {
+	t.Helper()
+	cfg.Concurrency = 1
+	cfg.DefaultEstimate = time.Second
+	l, err := hfscmw.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := l.Admit(context.Background(), "hog", "op")
+	if err != nil {
+		t.Fatalf("first admission: %v", err)
+	}
+	// The 1s estimated cost was charged at admission: the link is now
+	// busy for ~1s. (Finish with the estimate is a no-op correction.)
+	tk.Finish(time.Second)
+	return l
+}
+
+func TestPendingBoundSheds(t *testing.T) {
+	l := busyLimiter(t, hfscmw.Config{MaxPending: 1})
+	defer l.Close()
+
+	type res struct {
+		tk  *hfscmw.Ticket
+		err error
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	second := make(chan res, 1)
+	go func() {
+		tk, err := l.Admit(ctx, "hog", "op")
+		second <- res{tk, err}
+	}()
+	waitFor(t, 2*time.Second, func() bool {
+		return l.Stats()["hog"].Pending == 1
+	}, "second request never queued")
+
+	// Third request exceeds the tenant's pending bound: shed immediately.
+	if _, err := l.Admit(context.Background(), "hog", "op"); !errors.Is(err, hfscmw.ErrOverloaded) {
+		t.Fatalf("over-bound Admit returned %v, want ErrOverloaded", err)
+	}
+
+	// Canceling the queued request returns its context error and refunds
+	// the admission slot.
+	cancel()
+	r := <-second
+	if !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("canceled Admit returned %v", r.err)
+	}
+	st := l.Stats()["hog"]
+	if st.Canceled != 1 || st.Shed != 1 {
+		t.Fatalf("stats = %+v, want 1 canceled / 1 shed", st)
+	}
+}
+
+func TestCloseFailsWaiters(t *testing.T) {
+	l := busyLimiter(t, hfscmw.Config{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Admit(context.Background(), "hog", "op")
+		done <- err
+	}()
+	waitFor(t, 2*time.Second, func() bool {
+		return l.Stats()["hog"].Pending == 1
+	}, "waiter never queued")
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, hfscmw.ErrClosed) {
+			t.Fatalf("waiter got %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter hung across Close")
+	}
+	// Post-close admissions fail fast.
+	if _, err := l.Admit(context.Background(), "hog", "op"); !errors.Is(err, hfscmw.ErrClosed) {
+		t.Fatalf("post-close Admit returned %v", err)
+	}
+	l.Close() // idempotent
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := hfscmw.New(hfscmw.Config{}); err == nil {
+		t.Fatal("zero Concurrency accepted")
+	}
+	if _, err := hfscmw.New(hfscmw.Config{Concurrency: -1}); err == nil {
+		t.Fatal("negative Concurrency accepted")
+	}
+}
+
+func TestLedger(t *testing.T) {
+	d := hfscmw.NewLedger(10 * hfscmw.Seat)
+	six := hfsc.Linear(6 * hfscmw.Seat)
+	if err := d.Reserve("a", six); err != nil {
+		t.Fatal(err)
+	}
+	// A second 6-seat guarantee exceeds the 10-seat line while "a" holds
+	// its reservation.
+	if err := d.Reserve("b", six); !errors.Is(err, hfscmw.ErrInadmissible) {
+		t.Fatalf("want ErrInadmissible, got %v", err)
+	}
+	if d.Admissible(six) {
+		t.Fatal("Admissible ignored the outstanding reservation")
+	}
+	if !d.Admissible(hfsc.Linear(4 * hfscmw.Seat)) {
+		t.Fatal("4 seats should fit beside the 6-seat reservation")
+	}
+	if err := d.Commit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit("a"); !errors.Is(err, hfscmw.ErrUnknownReservation) {
+		t.Fatalf("double commit: %v", err)
+	}
+	// Re-reserving an id replaces its commitment in the check, so "a" can
+	// shrink itself even at full capacity.
+	if err := d.Reserve("a", hfsc.Linear(2*hfscmw.Seat)); err != nil {
+		t.Fatalf("shrink re-reserve: %v", err)
+	}
+	if err := d.Commit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Acquire("b", six); err != nil {
+		t.Fatalf("6 seats beside the shrunken 2: %v", err)
+	}
+	if err := d.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release("a"); !errors.Is(err, hfscmw.ErrUnknownReservation) {
+		t.Fatalf("double release: %v", err)
+	}
+	entries := d.Entries()
+	if len(entries) != 1 || entries[0].ID != "b" || !entries[0].Committed {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if d.Capacity() != 10*hfscmw.Seat {
+		t.Fatalf("capacity = %d", d.Capacity())
+	}
+}

@@ -1,0 +1,80 @@
+package hfscmw
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DefaultRetryAfter is the shed hint used when Config.RetryAfter is zero.
+const DefaultRetryAfter = time.Second
+
+// retryAfter resolves the configured shed hint.
+func (l *Limiter) retryAfter() time.Duration {
+	if l.cfg.RetryAfter > 0 {
+		return l.cfg.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
+// retryAfterHeader renders the hint in whole seconds, rounded up, as the
+// Retry-After header wants.
+func (l *Limiter) retryAfterHeader() string {
+	secs := int64((l.retryAfter() + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// httpTenant resolves the tenant of a request: Config.Tenant if set,
+// else the X-Tenant header, else "default".
+func (l *Limiter) httpTenant(r *http.Request) string {
+	if l.cfg.Tenant != nil {
+		if t := l.cfg.Tenant(r); t != "" {
+			return t
+		}
+	}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// Middleware wraps an http.Handler with HFSC admission: each request
+// becomes one cost-denominated work item in its tenant's leaf class and
+// runs only once the scheduler admits it. Shed requests (tenant backlog
+// or intake full) get 429 Too Many Requests with a Retry-After header;
+// requests caught by a closing limiter get 503. The measured handler
+// time is reconciled against the admission estimate when the handler
+// returns.
+func (l *Limiter) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tk, err := l.Admit(r.Context(), l.httpTenant(r), r.Method+" "+r.URL.Path)
+		if err != nil {
+			l.writeHTTPError(w, err)
+			return
+		}
+		defer tk.Done()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeHTTPError maps an Admit error to an HTTP response.
+func (l *Limiter) writeHTTPError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", l.retryAfterHeader())
+		http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone (or out of time); nothing useful to write,
+		// but the status code documents what happened in access logs.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,110 @@
+package hfscmw_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netsched/hfsc/hfscmw"
+)
+
+func TestMiddlewareAdmitsAndCorrects(t *testing.T) {
+	l, err := hfscmw.New(hfscmw.Config{
+		Concurrency:     4,
+		DefaultEstimate: time.Millisecond,
+		Metrics:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var served int
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusNoContent)
+	}))
+
+	req := httptest.NewRequest("GET", "/items", nil)
+	req.Header.Set("X-Tenant", "acme")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNoContent || served != 1 {
+		t.Fatalf("code=%d served=%d", rec.Code, served)
+	}
+	if st, ok := l.Stats()["acme"]; !ok || st.Admitted != 1 {
+		t.Fatalf("tenant stats = %+v", st)
+	}
+	// No X-Tenant header and no resolver: the shared default tenant.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if _, ok := l.Stats()["default"]; !ok {
+		t.Fatal("header-less request did not land on the default tenant")
+	}
+}
+
+func TestMiddlewareCustomTenantResolver(t *testing.T) {
+	l, err := hfscmw.New(hfscmw.Config{
+		Concurrency: 2,
+		Tenant:      func(r *http.Request) string { return r.URL.Query().Get("team") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/?team=blue", nil))
+	if _, ok := l.Stats()["blue"]; !ok {
+		t.Fatal("resolver tenant not used")
+	}
+}
+
+func TestMiddlewareShedsWithRetryAfter(t *testing.T) {
+	l := busyLimiter(t, hfscmw.Config{
+		MaxPending: 1,
+		RetryAfter: 2500 * time.Millisecond,
+	})
+	defer l.Close()
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+
+	// Occupy the single pending slot with a queued request.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		defer wg.Done()
+		req := httptest.NewRequest("GET", "/slow", nil).WithContext(ctx)
+		req.Header.Set("X-Tenant", "hog")
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	waitFor(t, 2*time.Second, func() bool {
+		return l.Stats()["hog"].Pending == 1
+	}, "queued request never became pending")
+
+	// The next request over the bound is shed: 429 + Retry-After in whole
+	// seconds, rounded up.
+	req := httptest.NewRequest("GET", "/slow", nil)
+	req.Header.Set("X-Tenant", "hog")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d, want 429", rec.Code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra != 3 {
+		t.Fatalf("Retry-After = %q, want 3", rec.Header().Get("Retry-After"))
+	}
+	cancel()
+	wg.Wait()
+
+	// A closing limiter answers 503.
+	l.Close()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close code = %d, want 503", rec.Code)
+	}
+}

@@ -1,0 +1,152 @@
+package hfscmw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/netsched/hfsc"
+	"github.com/netsched/hfsc/internal/curve"
+)
+
+// ErrInadmissible: the guarantee does not fit — the sum of committed and
+// reserved real-time curves plus the candidate would exceed the capacity
+// line, violating the SCED schedulability condition the scheduler's own
+// admission control enforces.
+var ErrInadmissible = errors.New("hfscmw: guarantee inadmissible against capacity")
+
+// ErrUnknownReservation: Commit or Release named an id with no
+// outstanding reservation or commitment.
+var ErrUnknownReservation = errors.New("hfscmw: unknown reservation")
+
+// Ledger tracks real-time guarantees against a fixed capacity using the
+// paper's admissibility test: Σ guaranteed curves ≤ the capacity line.
+// It supports a two-phase reserve → commit protocol so an external
+// control plane (cmd/hfsc-admit) can tentatively hold capacity while a
+// client decides, and a one-shot Acquire for in-process use. All methods
+// are safe for concurrent use.
+type Ledger struct {
+	mu        sync.Mutex
+	capacity  uint64 // cost units per second
+	reserved  map[string]hfsc.SC
+	committed map[string]hfsc.SC
+}
+
+// NewLedger creates a ledger over a capacity in cost units per second
+// (seats × Seat for request scheduling, bits per second for links).
+func NewLedger(capacity uint64) *Ledger {
+	return &Ledger{
+		capacity:  capacity,
+		reserved:  map[string]hfsc.SC{},
+		committed: map[string]hfsc.SC{},
+	}
+}
+
+// Capacity returns the capacity the ledger admits against.
+func (d *Ledger) Capacity() uint64 { return d.capacity }
+
+// sumLocked folds every committed and reserved curve, optionally adding
+// a candidate. Callers hold d.mu.
+func (d *Ledger) sumLocked(extra *hfsc.SC) curve.Curve {
+	var sum curve.Curve
+	for _, sc := range d.committed {
+		sum = sum.Add(curve.FromSC(sc))
+	}
+	for _, sc := range d.reserved {
+		sum = sum.Add(curve.FromSC(sc))
+	}
+	if extra != nil {
+		sum = sum.Add(curve.FromSC(*extra))
+	}
+	return sum
+}
+
+// Admissible reports whether rt could be admitted right now alongside
+// every existing commitment and reservation, without holding anything.
+func (d *Ledger) Admissible(rt hfsc.SC) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sumLocked(&rt).LE(curve.LinearCurve(d.capacity))
+}
+
+// Reserve tentatively holds capacity for id's guarantee. The hold counts
+// against every later admissibility check until Commit makes it durable
+// or Release drops it. Reserving an id that already has a reservation or
+// commitment replaces it (the check runs against the replacement, not
+// both). Returns ErrInadmissible, leaving prior state intact, when the
+// guarantee does not fit.
+func (d *Ledger) Reserve(id string, rt hfsc.SC) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prevR, hadR := d.reserved[id]
+	prevC, hadC := d.committed[id]
+	delete(d.reserved, id)
+	delete(d.committed, id)
+	if !d.sumLocked(&rt).LE(curve.LinearCurve(d.capacity)) {
+		if hadR {
+			d.reserved[id] = prevR
+		}
+		if hadC {
+			d.committed[id] = prevC
+		}
+		return fmt.Errorf("%w: %q", ErrInadmissible, id)
+	}
+	d.reserved[id] = rt
+	return nil
+}
+
+// Commit turns id's reservation into a durable commitment.
+func (d *Ledger) Commit(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rt, ok := d.reserved[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownReservation, id)
+	}
+	delete(d.reserved, id)
+	d.committed[id] = rt
+	return nil
+}
+
+// Release drops id's reservation and commitment, freeing its capacity.
+func (d *Ledger) Release(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, hadR := d.reserved[id]
+	_, hadC := d.committed[id]
+	delete(d.reserved, id)
+	delete(d.committed, id)
+	if !hadR && !hadC {
+		return fmt.Errorf("%w: %q", ErrUnknownReservation, id)
+	}
+	return nil
+}
+
+// Acquire is reserve-and-commit in one step, for in-process admission.
+func (d *Ledger) Acquire(id string, rt hfsc.SC) error {
+	if err := d.Reserve(id, rt); err != nil {
+		return err
+	}
+	return d.Commit(id)
+}
+
+// Entry is one ledger row, as reported by Entries.
+type Entry struct {
+	ID        string  `json:"id"`
+	Curve     hfsc.SC `json:"curve"`
+	Committed bool    `json:"committed"`
+}
+
+// Entries snapshots the ledger's rows (order unspecified).
+func (d *Ledger) Entries() []Entry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Entry, 0, len(d.committed)+len(d.reserved))
+	for id, sc := range d.committed {
+		out = append(out, Entry{ID: id, Curve: sc, Committed: true})
+	}
+	for id, sc := range d.reserved {
+		out = append(out, Entry{ID: id, Curve: sc})
+	}
+	return out
+}

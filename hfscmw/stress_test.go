@@ -1,0 +1,149 @@
+package hfscmw_test
+
+// Race stress: 16 tenants hammer one Limiter concurrently with mixed
+// SLOs, short contexts, abandons, corrections and mid-flight snapshots.
+// The test asserts nothing about latency — it exists so the race
+// detector (make test runs with -race) sweeps every cross-goroutine
+// path in the middleware: Admit vs transmit-callback gate resolution,
+// tenant auto-creation vs Stats, and Close vs in-flight waiters.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netsched/hfsc/hfscmw"
+)
+
+func TestSixteenTenantRaceStress(t *testing.T) {
+	l, err := hfscmw.New(hfscmw.Config{
+		Concurrency:     4,
+		DefaultEstimate: 200 * time.Microsecond,
+		MaxPending:      64,
+		Metrics:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Half the tenants get explicit SLOs up front (some guaranteed, some
+	// LS-only); the other half are auto-created on first Admit.
+	for i := 0; i < 8; i++ {
+		slo := hfscmw.SLO{Burst: 2, Latency: 5 * time.Millisecond, Sustained: 0.2}
+		if i%2 == 0 {
+			slo = hfscmw.SLO{} // best-effort
+		}
+		if _, err := l.AddTenant(fmt.Sprintf("tenant-%d", i), slo); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		tenants   = 16
+		perTenant = 200
+	)
+	var wg sync.WaitGroup
+	var admitted, shed, canceled, failed int64
+	var mu sync.Mutex
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tenant-%d", i)
+			var la, ls, lc, lf int64
+			for j := 0; j < perTenant; j++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if j%5 == 0 {
+					// Short deadline: exercises the abandon/refund path.
+					ctx, cancel = context.WithTimeout(ctx, 50*time.Microsecond)
+				}
+				tk, err := l.Admit(ctx, name, "op")
+				cancel()
+				switch {
+				case err == nil:
+					la++
+					if j%3 == 0 {
+						// Completion-time correction: the request turned
+						// out cheaper or dearer than estimated.
+						tk.Finish(time.Duration(j%7) * 100 * time.Microsecond)
+					} else {
+						tk.Done()
+					}
+					tk.Done() // idempotent double-finish
+				case errors.Is(err, hfscmw.ErrOverloaded):
+					ls++
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					lc++
+				default:
+					lf++
+				}
+				if j%50 == 0 {
+					l.Stats()
+					l.Snapshot()
+				}
+			}
+			mu.Lock()
+			admitted += la
+			shed += ls
+			canceled += lc
+			failed += lf
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	if failed != 0 {
+		t.Fatalf("%d admissions failed with unexpected errors", failed)
+	}
+	if admitted == 0 {
+		t.Fatal("no request was ever admitted")
+	}
+	st := l.Stats()
+	if len(st) != tenants {
+		t.Fatalf("stats tracks %d tenants, want %d", len(st), tenants)
+	}
+	var sa, ss, sc uint64
+	for _, s := range st {
+		sa += s.Admitted
+		ss += s.Shed
+		sc += s.Canceled
+	}
+	// Admitted and shed are exact; canceled may undercount callers that
+	// arrived with an already-expired context (fast-failed before any
+	// request was queued, so nothing was abandoned).
+	if int64(sa) != admitted || int64(ss) != shed || int64(sc) > canceled {
+		t.Fatalf("stats admitted/shed/canceled = %d/%d/%d, callers saw %d/%d/%d",
+			sa, ss, sc, admitted, shed, canceled)
+	}
+	// Abandoned packets drain (and are refunded) as the scheduler reaches
+	// them, so pending converges to zero shortly after callers return.
+	waitFor(t, 5*time.Second, func() bool {
+		var pending int64
+		for _, s := range l.Stats() {
+			pending += s.Pending
+		}
+		return pending == 0
+	}, "pending admissions never drained to zero")
+
+	// Close while a fresh wave is in flight: every waiter must resolve.
+	var closeWG sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		closeWG.Add(1)
+		go func(i int) {
+			defer closeWG.Done()
+			for j := 0; j < 20; j++ {
+				if tk, err := l.Admit(context.Background(), fmt.Sprintf("tenant-%d", i), "op"); err == nil {
+					tk.Done()
+				}
+			}
+		}(i)
+	}
+	time.Sleep(time.Millisecond)
+	l.Close()
+	closeWG.Wait()
+}

@@ -19,6 +19,9 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl == nil || cl == s.root {
 		return fmt.Errorf("core: cannot remove the root class: %w", ErrRootClass)
 	}
+	if cl.parent == nil {
+		return fmt.Errorf("core: class %q: %w", cl.name, ErrClassRemoved)
+	}
 	if !cl.IsLeaf() {
 		return fmt.Errorf("core: class %q: %w", cl.name, ErrNotLeaf)
 	}
@@ -53,6 +56,9 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) error {
 	if cl == nil || cl == s.root {
 		return fmt.Errorf("core: cannot set curves on the root class: %w", ErrRootClass)
+	}
+	if cl.parent == nil {
+		return fmt.Errorf("core: class %q: %w", cl.name, ErrClassRemoved)
 	}
 	if cl.Active() {
 		return fmt.Errorf("core: class %q: curves can only change while passive: %w", cl.name, ErrClassActive)

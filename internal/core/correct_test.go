@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/fluid"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// TestCorrectConservesWork is the completion-correction conservation
+// property: under any interleaving of enqueues, dequeues and randomized
+// over/under-estimate corrections, every class's total equals exactly the
+// work dequeued from it plus the correction deltas actually applied, the
+// tree stays consistent (interior totals = Σ children), and no service
+// account is ever driven negative by a refund.
+func TestCorrectConservesWork(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(Options{})
+		p, err := s.AddClass(nil, "p", curve.SC{}, curve.Linear(4e6), curve.SC{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := s.AddClass(p, "a", curve.Linear(1e6), curve.Linear(1e6), curve.SC{})
+		b, _ := s.AddClass(p, "b", curve.SC{M1: 2e6, D: 10_000_000, M2: 1e6}, curve.Linear(2e6), curve.SC{})
+		c, _ := s.AddClass(nil, "c", curve.SC{}, curve.Linear(1e6), curve.SC{})
+		leaves := []*Class{a, b, c}
+
+		served := map[int]int64{}
+		corrected := map[int]int64{}
+		var now int64
+		for op := 0; op < 5000; op++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				cl := leaves[rng.Intn(len(leaves))]
+				s.Enqueue(&pktq.Packet{Cost: uint64(rng.Intn(5000) + 1), Class: cl.ID()}, now)
+			case 2:
+				pkt := s.Dequeue(now)
+				if pkt == nil {
+					now += 1000
+					continue
+				}
+				served[pkt.Class] += pkt.Work()
+				if rng.Intn(2) == 0 {
+					est := pkt.Work()
+					actual := int64(rng.Intn(int(2*est) + 1))
+					corrected[pkt.Class] += s.Correct(s.ClassByID(pkt.Class), est, actual, pkt.Crit, now)
+				}
+			case 3:
+				now += int64(rng.Intn(2000) + 1)
+			}
+			if op%500 == 0 {
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			}
+		}
+
+		var sum int64
+		for _, cl := range leaves {
+			id := cl.ID()
+			if got, want := cl.Total(), served[id]+corrected[id]; got != want {
+				t.Fatalf("seed %d: %s total = %d, want served %d + corrected %d",
+					seed, cl.Name(), got, served[id], corrected[id])
+			}
+			if cl.Total() < 0 || cl.RTCumulative() < 0 || cl.LinkShareWork() < 0 {
+				t.Fatalf("seed %d: %s account went negative: total=%d cumul=%d ls=%d",
+					seed, cl.Name(), cl.Total(), cl.RTCumulative(), cl.LinkShareWork())
+			}
+			sum += cl.Total()
+		}
+		if got := s.Root().Total(); got != sum {
+			t.Fatalf("seed %d: root total %d != Σ leaves %d", seed, got, sum)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+	}
+}
+
+// TestCorrectFluidCrossCheck drives a conforming flow whose estimates are
+// skewed ±50% from the actual service each item needs, corrects every
+// completion, and cross-checks the packetized scheduler against the
+// fluid SCED oracle: both must converge on the same cumulative actual
+// work, and no corrected deadline may be violated along the way (the
+// flow stays conforming to its curve in actual-work terms, so Theorem 1
+// applies throughout).
+func TestCorrectFluidCrossCheck(t *testing.T) {
+	const linkRate = 1_000_000 // units/s
+	sc := curve.Linear(linkRate / 2)
+
+	s := New(Options{})
+	cl, err := s.AddClass(nil, "x", sc, sc, curve.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fluid.New(0)
+	fc, err := f.AddClass(nil, "x", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	var now, sumActual int64
+	misses := 0
+	for i := 0; i < 200; i++ {
+		actual := int64(rng.Intn(4000) + 500)
+		est := int64(float64(actual) * (0.5 + rng.Float64()))
+		if est < 1 {
+			est = 1
+		}
+		s.Enqueue(&pktq.Packet{Cost: uint64(est), Class: cl.ID()}, now)
+		f.Arrive(fc, now, float64(actual))
+
+		var pkt *pktq.Packet
+		for pkt = s.Dequeue(now); pkt == nil; pkt = s.Dequeue(now) {
+			now += 1000
+		}
+		if pkt.Crit == pktq.ByRealTime && pkt.Deadline < now {
+			misses++
+		}
+		s.Correct(cl, est, actual, pkt.Crit, now)
+		sumActual += actual
+		// Next arrival spaced so the flow conforms to its curve in
+		// actual-work terms: one item's actual service at the guaranteed
+		// rate.
+		now += actual * int64(1e9) / (linkRate / 2)
+	}
+
+	if got := cl.Total(); got != sumActual {
+		t.Fatalf("corrected total = %d, want Σ actual %d", got, sumActual)
+	}
+	if got := cl.RTCumulative(); got > sumActual {
+		t.Fatalf("RT cumulative %d exceeds Σ actual %d", got, sumActual)
+	}
+	if misses != 0 {
+		t.Fatalf("%d deadline violations for a conforming corrected flow", misses)
+	}
+
+	// The fluid oracle, fed the actual sizes, must serve the same
+	// cumulative work by a horizon generous enough to drain.
+	f.Run(linkRate, now+int64(5e9))
+	if got := fc.Total(); math.Abs(got-float64(sumActual)) > math.Max(1, 1e-9*float64(sumActual)) {
+		t.Fatalf("fluid served %.3f, scheduler (corrected) %d", got, sumActual)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,4 +17,7 @@ var (
 	// active (backlogged, queued packets, or still linked into the
 	// scheduling trees); such changes require the class to be passive.
 	ErrClassActive = errors.New("class is active")
+	// ErrClassRemoved marks an operation on a class that was already
+	// removed from the hierarchy (a stale *Class held across RemoveClass).
+	ErrClassRemoved = errors.New("class was removed")
 )

@@ -246,8 +246,8 @@ func (s *Scheduler) Enqueue(p *pktq.Packet, now int64) bool {
 	if cl == nil || !cl.IsLeaf() || cl == s.root {
 		panic(fmt.Sprintf("core: enqueue to invalid class %d", p.Class))
 	}
-	if p.Len <= 0 {
-		panic(fmt.Sprintf("core: packet with non-positive length %d", p.Len))
+	if p.Work() <= 0 {
+		panic(fmt.Sprintf("core: work item with non-positive cost %d", p.Work()))
 	}
 	first := cl.queue.Len() == 0
 	if !cl.queue.Push(p) {
@@ -258,7 +258,7 @@ func (s *Scheduler) Enqueue(p *pktq.Packet, now int64) bool {
 	s.backlog++
 	if first {
 		if cl.hasRSC {
-			s.initED(cl, int64(p.Len), now)
+			s.initED(cl, p.Work(), now)
 		}
 		if cl.hasFSC {
 			s.initVF(cl, now)
@@ -320,7 +320,7 @@ func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 
 	p := cl.queue.Pop()
 	s.backlog--
-	length := int64(p.Len)
+	length := p.Work()
 	if realtime {
 		p.Crit = pktq.ByRealTime
 		p.Deadline = h.d
@@ -344,7 +344,7 @@ func (s *Scheduler) dequeueOne(now int64) *pktq.Packet {
 
 	if cl.queue.Len() > 0 {
 		if cl.hasRSC {
-			next := int64(cl.queue.Front().Len)
+			next := cl.queue.Front().Work()
 			if realtime {
 				s.updateED(cl, next, now)
 			} else {

@@ -34,6 +34,11 @@ const (
 	// covers the full packet lifecycle. Aux carries the pacing delay
 	// (transmit − dequeue, ns).
 	EvTransmit
+	// EvCorrect: a completion correction reconciled a work item's actual
+	// cost against the estimate it was scheduled under (Scheduler.Correct).
+	// Aux carries the applied delta in cost units (actual − estimated,
+	// after clamping); the packet is nil.
+	EvCorrect
 
 	// evSentinel bounds the declared events; it must stay last. Tests use
 	// it to assert every event renders a real String.
@@ -64,6 +69,8 @@ func (e Event) String() string {
 		return "ulimit-defer"
 	case EvTransmit:
 		return "transmit"
+	case EvCorrect:
+		return "correct"
 	default:
 		return "unknown"
 	}
@@ -92,6 +99,10 @@ const (
 	// DropStopped: the driver was already stopped. Driver-level, like
 	// DropIntakeFull.
 	DropStopped
+	// DropCanceled: the submitter's context was canceled while the item
+	// blocked for admission (SubmitCtx) or waited in the scheduler. Never
+	// emitted by the scheduler core.
+	DropCanceled
 )
 
 func (r DropReason) String() string {
@@ -108,6 +119,8 @@ func (r DropReason) String() string {
 		return "intake-full"
 	case DropStopped:
 		return "stopped"
+	case DropCanceled:
+		return "canceled"
 	default:
 		return "unknown"
 	}

@@ -165,7 +165,7 @@ func (r *Recorder) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, aux
 	var length int32
 	if p != nil {
 		seq = p.Seq
-		length = int32(p.Len)
+		length = int32(p.Work())
 	}
 	r.RecordEv(ev, class, seq, length, now, aux)
 }

@@ -24,6 +24,7 @@ func MergeSnapshots(snaps []*Snapshot, remap func(shard, id int) (int, bool)) *S
 		out.DropsBadPacket += s.DropsBadPacket
 		out.DropsIntakeFull += s.DropsIntakeFull
 		out.DropsStopped += s.DropsStopped
+		out.DropsCanceled += s.DropsCanceled
 		out.SpansSampled += s.SpansSampled
 		out.FlightRecorded += s.FlightRecorded
 		out.FlightDropped += s.FlightDropped

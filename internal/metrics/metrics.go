@@ -218,6 +218,8 @@ type classState struct {
 	drops         [4]uint64 // indexed by core.DropReason
 	deadlineMiss  uint64
 	activations   uint64
+	corrections   uint64
+	correctedCost int64
 	queuedPkts    int64
 	queuedBytes   int64
 	slack, qdelay *Histogram
@@ -254,6 +256,7 @@ type Aggregator struct {
 	// incrementally by CountDrop.
 	dropIntakeFull uint64
 	dropStopped    uint64
+	dropCanceled   uint64
 
 	// Sampled packet-lifecycle spans (ObserveSpan): the latency
 	// decomposition of 1-in-N packets into intake wait, queueing delay,
@@ -321,9 +324,9 @@ func (a *Aggregator) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, a
 	case core.EvEnqueue:
 		st := a.state(cl)
 		st.enqPkts++
-		st.enqBytes += int64(p.Len)
+		st.enqBytes += p.Work()
 		st.queuedPkts++
-		st.queuedBytes += int64(p.Len)
+		st.queuedBytes += p.Work()
 		st.enqAt.push(now)
 	case core.EvDrop:
 		st := a.state(cl)
@@ -335,14 +338,14 @@ func (a *Aggregator) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, a
 	case core.EvDequeueRT:
 		st := a.state(cl)
 		st.sentRTPkts++
-		st.sentRTBytes += int64(p.Len)
+		st.sentRTBytes += p.Work()
 		st.slack.Observe(aux)
-		st.rateRT.Observe(int64(p.Len), now)
+		st.rateRT.Observe(p.Work(), now)
 		a.dequeued(st, p, now)
 	case core.EvDequeueLS:
 		st := a.state(cl)
 		st.sentLSPkts++
-		st.sentLSBytes += int64(p.Len)
+		st.sentLSBytes += p.Work()
 		a.dequeued(st, p, now)
 	case core.EvDeadlineMiss:
 		a.state(cl).deadlineMiss++
@@ -350,6 +353,10 @@ func (a *Aggregator) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, a
 		a.state(cl).activations++
 	case core.EvUlimitDefer:
 		a.ulimitDefers++
+	case core.EvCorrect:
+		st := a.state(cl)
+		st.corrections++
+		st.correctedCost += aux
 	}
 	a.mu.Unlock()
 }
@@ -357,8 +364,8 @@ func (a *Aggregator) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, a
 // dequeued applies the criterion-independent bookkeeping of a departure.
 func (a *Aggregator) dequeued(st *classState, p *pktq.Packet, now int64) {
 	st.queuedPkts--
-	st.queuedBytes -= int64(p.Len)
-	st.rate.Observe(int64(p.Len), now)
+	st.queuedBytes -= p.Work()
+	st.rate.Observe(p.Work(), now)
 	if at, ok := st.enqAt.pop(); ok && now >= at {
 		st.qdelay.Observe(now - at)
 	}
@@ -380,6 +387,8 @@ func (a *Aggregator) CountDrop(reason core.DropReason, now int64) {
 		a.dropIntakeFull++
 	case core.DropStopped:
 		a.dropStopped++
+	case core.DropCanceled:
+		a.dropCanceled++
 	default:
 		a.dropUnknown++
 	}
@@ -402,6 +411,20 @@ func (a *Aggregator) RecordIntake(intakeFull, stopped uint64, now int64) {
 	}
 	if stopped > a.dropStopped {
 		a.dropStopped = stopped
+	}
+	a.mu.Unlock()
+}
+
+// RecordCanceled publishes a driver's cumulative canceled-submit total
+// (SubmitCtx contexts done while blocked for admission). Monotone, like
+// RecordIntake.
+func (a *Aggregator) RecordCanceled(canceled uint64, now int64) {
+	a.mu.Lock()
+	if now > a.lastEvent {
+		a.lastEvent = now
+	}
+	if canceled > a.dropCanceled {
+		a.dropCanceled = canceled
 	}
 	a.mu.Unlock()
 }
@@ -466,6 +489,11 @@ type ClassSnapshot struct {
 	DropsQueueLimit uint64
 	DeadlineMisses  uint64
 	Activations     uint64
+	// Corrections counts completion corrections applied to the class
+	// (Scheduler.Correct); CorrectedCost is their signed sum in cost units
+	// (positive = under-estimated work charged late, negative = refunds).
+	Corrections   uint64
+	CorrectedCost int64
 
 	// Gauges.
 	QueuedPackets int64
@@ -503,6 +531,10 @@ type Snapshot struct {
 	// Stop. Like the admission drops they never reached a leaf queue.
 	DropsIntakeFull uint64
 	DropsStopped    uint64
+	// DropsCanceled counts work items whose submitter's context was
+	// canceled while blocked for admission (SubmitCtx and the admission
+	// middleware). Driver-level, like the intake drops.
+	DropsCanceled uint64
 	// SpansSampled counts packet-lifecycle spans folded into the
 	// decomposition histograms below (1-in-N sampling; see Config.Spans).
 	SpansSampled uint64
@@ -544,6 +576,7 @@ func (a *Aggregator) Snapshot() *Snapshot {
 		DropsBadPacket:    a.dropBadPkt,
 		DropsIntakeFull:   a.dropIntakeFull,
 		DropsStopped:      a.dropStopped,
+		DropsCanceled:     a.dropCanceled,
 		SpansSampled:      a.spansSampled,
 		SpanIntakeWait:    a.spanIntake.snapshot(),
 		SpanQueueDelay:    a.spanQueue.snapshot(),
@@ -585,6 +618,8 @@ func (a *Aggregator) snapClass(st *classState) ClassSnapshot {
 		DropsQueueLimit: st.drops[core.DropQueueLimit],
 		DeadlineMisses:  st.deadlineMiss,
 		Activations:     st.activations,
+		Corrections:     st.corrections,
+		CorrectedCost:   st.correctedCost,
 		QueuedPackets:   st.queuedPkts,
 		QueuedBytes:     st.queuedBytes,
 		RateBps:         st.rate.Rate(a.lastEvent),

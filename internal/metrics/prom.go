@@ -52,6 +52,7 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "bad_packet"), float64(s.DropsBadPacket))
 	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "intake_full"), float64(s.DropsIntakeFull))
 	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "stopped"), float64(s.DropsStopped))
+	counter(b, "hfsc_enqueue_rejects_total", lbl("reason", "canceled"), float64(s.DropsCanceled))
 
 	family(b, "hfsc_deadline_misses_total", "counter",
 		"Real-time dequeues that departed after their service-curve deadline.")
@@ -65,6 +66,20 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	for i := range s.Classes {
 		c := &s.Classes[i]
 		counter(b, "hfsc_activations_total", lbl("class", c.Name), float64(c.Activations))
+	}
+
+	family(b, "hfsc_corrections_total", "counter",
+		"Completion corrections applied per class (actual cost reconciled against the estimate).")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		counter(b, "hfsc_corrections_total", lbl("class", c.Name), float64(c.Corrections))
+	}
+
+	family(b, "hfsc_corrected_cost_units", "gauge",
+		"Signed sum of applied correction deltas per class, in cost units (positive = work charged after the fact).")
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		gauge(b, "hfsc_corrected_cost_units", lbl("class", c.Name), float64(c.CorrectedCost))
 	}
 
 	family(b, "hfsc_ulimit_defers_total", "counter",

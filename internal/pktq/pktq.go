@@ -1,5 +1,12 @@
-// Package pktq provides the packet representation and the per-class FIFO
-// queue shared by every scheduler in this repository.
+// Package pktq provides the work-item representation (historically the
+// packet) and the per-class FIFO queue shared by every scheduler in this
+// repository.
+//
+// Nothing in the service-curve math requires the scheduled unit to be a
+// network packet: the guarantees are stated over service received for work
+// of a given size. A Packet is therefore one *work item* whose scheduled
+// quantity is its Cost (see Packet.Cost and Packet.Work); for wire packets
+// the cost is simply the length in bytes, which remains the default.
 package pktq
 
 // Criterion records which scheduling criterion released a packet; it is
@@ -28,15 +35,26 @@ func (c Criterion) String() string {
 }
 
 // Packet is one unit of work. Times are nanoseconds on the simulation (or
-// wall) clock; Len is the wire length in bytes and is what every scheduler
-// charges for.
+// wall) clock. The quantity every scheduler charges for is Work(): the
+// explicit Cost when one is set, else the wire length Len — so packet
+// datapaths keep writing Len alone while request datapaths set Cost to
+// their estimated service cost (the middleware uses estimated service
+// nanoseconds) and leave Len zero.
 type Packet struct {
-	Len     int    // wire length in bytes
+	Len     int    // wire length in bytes (the cost when Cost is 0)
 	Class   int    // leaf class index within the scheduler
 	Flow    int    // originating flow, for statistics
 	Seq     uint64 // global arrival sequence number
 	Arrival int64  // ns, time the last bit arrived (paper's convention)
 	Depart  int64  // ns, time the last bit was transmitted; set by the link
+
+	// Cost is the scheduled quantity in abstract cost units. Zero means
+	// "the cost is Len bytes", keeping packet producers unchanged; a
+	// non-zero Cost takes precedence and Len becomes wire metadata the
+	// scheduler never charges for. Cost must not change while the item is
+	// queued (completion-time differences are reconciled through the
+	// scheduler's Correct entry point instead).
+	Cost uint64
 
 	// Deadline and Crit are diagnostics filled in by curve-based
 	// schedulers when the packet is dequeued.
@@ -48,17 +66,33 @@ type Packet struct {
 	// the packet leaves through Transmit. Zero means not sampled.
 	SubmitAt int64
 
+	// Handle carries the submitter's per-item state through the scheduler
+	// untouched — e.g. the admission gate a request blocks on until the
+	// item reappears in the Transmit callback. Cleared by Release.
+	Handle any
+
 	// Payload carries application data for real-datapath uses (e.g. the
 	// UDP shaper example); simulators leave it nil.
 	Payload []byte
 }
 
+// Work returns the scheduled quantity of the item: Cost when set,
+// otherwise the wire length. This is what every scheduler in the
+// repository charges against the service curves.
+func (p *Packet) Work() int64 {
+	if p.Cost != 0 {
+		return int64(p.Cost)
+	}
+	return int64(p.Len)
+}
+
 // FIFO is a bounded first-in first-out packet queue with drop-tail
 // semantics. The zero FIFO is unbounded; set PktLimit and/or ByteLimit to
-// bound it.
+// bound it. Size accounting is in cost units (Packet.Work) — identical to
+// bytes for wire packets.
 type FIFO struct {
 	PktLimit  int   // maximum packets held, 0 = unlimited
-	ByteLimit int64 // maximum bytes held, 0 = unlimited
+	ByteLimit int64 // maximum cost units held, 0 = unlimited
 
 	buf     []*Packet
 	head    int
@@ -70,7 +104,7 @@ type FIFO struct {
 // Len returns the number of queued packets.
 func (q *FIFO) Len() int { return q.count }
 
-// Bytes returns the number of queued bytes.
+// Bytes returns the queued cost units (bytes, for wire packets).
 func (q *FIFO) Bytes() int64 { return q.bytes }
 
 // Dropped returns the count of packets rejected by Push.
@@ -83,7 +117,7 @@ func (q *FIFO) Push(p *Packet) bool {
 		q.dropped++
 		return false
 	}
-	if q.ByteLimit > 0 && q.count > 0 && q.bytes+int64(p.Len) > q.ByteLimit {
+	if q.ByteLimit > 0 && q.count > 0 && q.bytes+p.Work() > q.ByteLimit {
 		q.dropped++
 		return false
 	}
@@ -92,7 +126,7 @@ func (q *FIFO) Push(p *Packet) bool {
 	}
 	q.buf[(q.head+q.count)%len(q.buf)] = p
 	q.count++
-	q.bytes += int64(p.Len)
+	q.bytes += p.Work()
 	return true
 }
 
@@ -113,7 +147,7 @@ func (q *FIFO) Pop() *Packet {
 	q.buf[q.head] = nil
 	q.head = (q.head + 1) % len(q.buf)
 	q.count--
-	q.bytes -= int64(p.Len)
+	q.bytes -= p.Work()
 	return p
 }
 

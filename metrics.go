@@ -32,13 +32,17 @@ const (
 	// DropUnknownClass: Packet.Class named no leaf class (unknown id,
 	// interior class, or the root).
 	DropUnknownClass = core.DropUnknownClass
-	// DropBadPacket: the packet was nil or had a non-positive length.
+	// DropBadPacket: the packet was nil or had a non-positive cost
+	// (Packet.Work: Cost when set, else Len).
 	DropBadPacket = core.DropBadPacket
 	// DropIntakeFull: a PacedQueue intake shard was full (driver-level;
 	// returned by PacedQueue.Submit, never by Offer).
 	DropIntakeFull = core.DropIntakeFull
 	// DropStopped: the PacedQueue was already stopped (driver-level).
 	DropStopped = core.DropStopped
+	// DropCanceled: the submitter's context was done while blocked for
+	// admission (SubmitCtx; driver-level, like DropStopped).
+	DropCanceled = core.DropCanceled
 )
 
 // Offer offers a packet at the given clock (ns) and reports exactly what
@@ -48,7 +52,7 @@ const (
 // untrusted classification. When metrics are enabled every refusal is
 // counted under its reason.
 func (s *Scheduler) Offer(p *Packet, now int64) DropReason {
-	if p == nil || p.Len <= 0 {
+	if p == nil || p.Work() <= 0 {
 		if s.agg != nil {
 			s.agg.CountDrop(core.DropBadPacket, now)
 		}

@@ -1,6 +1,7 @@
 package hfsc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/bits"
@@ -378,7 +379,7 @@ func (m *MultiQueue) classRef(id int) (*mqShard, int, bool) {
 // otherwise the shard's verdict. On any refusal the packet — with
 // Packet.Class unchanged — stays owned by the caller.
 func (m *MultiQueue) Submit(p *Packet) DropReason {
-	if p == nil || p.Len <= 0 {
+	if p == nil || p.Work() <= 0 {
 		return DropBadPacket
 	}
 	sh, local, ok := m.classRef(p.Class)
@@ -397,6 +398,38 @@ func (m *MultiQueue) Submit(p *Packet) DropReason {
 
 // TrySubmit is Submit with the reason collapsed to a bool.
 func (m *MultiQueue) TrySubmit(p *Packet) bool { return m.Submit(p) == DropNone }
+
+// SubmitCtx is Submit for producers that would rather wait than shed: a
+// full intake shard blocks with backoff until the packet is accepted, the
+// queue stops, or ctx is done (see PacedQueue.SubmitCtx). On any refusal
+// the packet — with Packet.Class unchanged — stays owned by the caller.
+func (m *MultiQueue) SubmitCtx(ctx context.Context, p *Packet) DropReason {
+	if p == nil || p.Work() <= 0 {
+		return DropBadPacket
+	}
+	sh, local, ok := m.classRef(p.Class)
+	if !ok {
+		m.dropUnknown.Add(1)
+		return DropUnknownClass
+	}
+	global := p.Class
+	p.Class = local
+	if r := sh.q.SubmitCtx(ctx, p); r != DropNone {
+		p.Class = global
+		return r
+	}
+	return DropNone
+}
+
+// Correct reconciles a completed work item's actual cost with its
+// estimate on the shard owning the class (see Scheduler.Correct). class
+// is the global class id; unknown ids are ignored. Safe from any
+// goroutine; applied asynchronously by the shard's pacing goroutine.
+func (m *MultiQueue) Correct(class int, estimated, actual int64, crit Criterion) {
+	if sh, local, ok := m.classRef(class); ok {
+		sh.q.Correct(local, estimated, actual, crit)
+	}
+}
 
 // SubmitN is the batch form of Submit with PacedQueue.SubmitN's prefix
 // contract: packets are routed to their shards in order, stopping at the
@@ -420,7 +453,7 @@ func (m *MultiQueue) SubmitN(ps []*Packet) (accepted int, last DropReason) {
 		}
 	}
 	for i, p := range ps {
-		if p == nil || p.Len <= 0 {
+		if p == nil || p.Work() <= 0 {
 			kick()
 			return i, DropBadPacket
 		}
@@ -476,6 +509,7 @@ func (m *MultiQueue) Stats() MultiStats {
 		out.SentBytes += st.SentBytes
 		out.DropsIntakeFull += st.DropsIntakeFull
 		out.DropsStopped += st.DropsStopped
+		out.DropsCanceled += st.DropsCanceled
 		out.IntakeBacklog += st.IntakeBacklog
 		out.ShardHighWater = append(out.ShardHighWater, st.ShardHighWater...)
 	}

@@ -1,6 +1,7 @@
 package hfsc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -71,9 +72,17 @@ type PacedQueue struct {
 	started bool
 	stopped bool
 
-	sent        atomic.Uint64
-	sentBytes   atomic.Int64
-	dropStopped atomic.Uint64
+	sent         atomic.Uint64
+	sentBytes    atomic.Int64
+	dropStopped  atomic.Uint64
+	dropCanceled atomic.Uint64
+
+	// Completion corrections queued for the pacing goroutine (Correct):
+	// appended under corrMu from any goroutine, drained between scheduling
+	// passes like inspections, with an atomic flag the loop polls.
+	corrMu      sync.Mutex
+	corrQ       []correction
+	corrPending atomic.Bool
 
 	// Span sampling (Config.Spans): every spanEvery-th submitted packet is
 	// stamped with its submit clock; the transmit side turns the stamps
@@ -93,9 +102,11 @@ const (
 	paceMaxBurst = 32
 	// paceDrainBatch sizes one intake drain call.
 	paceDrainBatch = 64
-	// paceMTU is the packet size used to convert schedule deficit into a
-	// burst budget; underestimating the count is safe (the loop comes
-	// straight back).
+	// paceMTU seeds the running average work per item used to convert
+	// schedule deficit into a burst budget; underestimating the count is
+	// safe (the loop comes straight back). The average adapts so that
+	// cost-denominated work items — whose cost dwarfs an MTU — do not
+	// turn microseconds of timer slack into a link-time-sized burst.
 	paceMTU = 1500
 	// paceSpinWait is the longest pacing gap burned with a yield instead
 	// of a timer park: Go timers cannot resolve waits this short, and at
@@ -275,6 +286,117 @@ func (q *PacedQueue) SubmitN(ps []*Packet) (accepted int, last DropReason) {
 // Enqueue/Offer split on the Scheduler: true means accepted.
 func (q *PacedQueue) TrySubmit(p *Packet) bool { return q.Submit(p) == DropNone }
 
+// submitCtxBackoff bounds the retry backoff of SubmitCtx: start at 50µs
+// (about one pacing pass) and double to at most 5ms, so a briefly full
+// ring is retried promptly while sustained overload doesn't spin.
+const (
+	submitCtxBackoffMin = 50 * time.Microsecond
+	submitCtxBackoffMax = 5 * time.Millisecond
+)
+
+// SubmitCtx is Submit for producers that would rather wait than shed:
+// when the packet's intake shard is full it blocks with exponential
+// backoff (50µs doubling to 5ms) and retries until the packet is
+// accepted, the queue stops, or ctx is done — returning DropNone,
+// DropStopped or DropCanceled respectively. The packet stays owned by
+// the caller unless DropNone is returned. Each full-ring retry round is
+// counted as an intake-full refusal in the stats (the pressure was real
+// even when a later retry succeeds).
+func (q *PacedQueue) SubmitCtx(ctx context.Context, p *Packet) DropReason {
+	if err := ctx.Err(); err != nil {
+		q.countCanceled()
+		return DropCanceled
+	}
+	backoff := submitCtxBackoffMin
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		if r := q.Submit(p); r != DropIntakeFull {
+			return r
+		}
+		if timer == nil {
+			timer = time.NewTimer(backoff)
+		} else {
+			timer.Reset(backoff)
+		}
+		select {
+		case <-ctx.Done():
+			q.countCanceled()
+			return DropCanceled
+		case <-q.stop:
+			q.dropStopped.Add(1)
+			return DropStopped
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > submitCtxBackoffMax {
+			backoff = submitCtxBackoffMax
+		}
+	}
+}
+
+// countCanceled records one DropCanceled in the driver counter (synced
+// into the metrics aggregator like the other intake drops).
+func (q *PacedQueue) countCanceled() { q.dropCanceled.Add(1) }
+
+// correction is one queued Correct call.
+type correction struct {
+	class     int
+	estimated int64
+	actual    int64
+	crit      Criterion
+}
+
+// Correct reconciles a completed work item's actual cost with the
+// estimate it was scheduled (and paced) under — see Scheduler.Correct for
+// the semantics. class is the leaf class id the item was submitted to and
+// crit the criterion that served it (Packet.Crit at Transmit). Safe from
+// any goroutine: the adjustment is queued and applied by the pacing
+// goroutine between scheduling passes, so it is asynchronous — Snapshot
+// may lag a Correct by one pass. On a queue that is not running the
+// adjustment is applied inline (callers must then serialize with other
+// direct Scheduler use, as with Inspect). Unknown and removed classes are
+// ignored.
+func (q *PacedQueue) Correct(class int, estimated, actual int64, crit Criterion) {
+	if estimated < 0 || actual < 0 || estimated == actual {
+		return
+	}
+	q.corrMu.Lock()
+	q.corrQ = append(q.corrQ, correction{class, estimated, actual, crit})
+	q.corrPending.Store(true)
+	q.corrMu.Unlock()
+	q.mu.Lock()
+	running := q.started && !q.stopped
+	q.mu.Unlock()
+	if running {
+		q.kick()
+		return
+	}
+	q.done.Wait() // a stopped loop may still be winding down
+	q.serveCorrections(Now(time.Now()))
+}
+
+// serveCorrections applies every queued correction at clock nowNs. Called
+// from the pacing goroutine (loop body and exit path), and inline by
+// Correct on a queue that is not running; corrMu is held across the
+// scheduler calls so inline callers serialize with each other.
+func (q *PacedQueue) serveCorrections(nowNs int64) {
+	q.corrMu.Lock()
+	defer q.corrMu.Unlock()
+	q.corrPending.Store(false)
+	for _, c := range q.corrQ {
+		cl := q.s.core.ClassByID(c.class)
+		if cl == nil || !cl.IsLeaf() {
+			continue
+		}
+		q.s.core.Correct(cl, c.estimated, c.actual, c.crit, nowNs)
+	}
+	q.corrQ = q.corrQ[:0]
+}
+
 // isStopped reports whether Stop has been called.
 func (q *PacedQueue) isStopped() bool {
 	select {
@@ -313,6 +435,9 @@ type PacedStats struct {
 	// shard was full; DropsStopped counts Submits after Stop.
 	DropsIntakeFull uint64
 	DropsStopped    uint64
+	// DropsCanceled counts SubmitCtx calls abandoned because the caller's
+	// context was done while blocked for intake admission.
+	DropsCanceled uint64
 	// IntakeBacklog is the number of packets currently buffered in the
 	// intake rings (approximate while producers are active).
 	IntakeBacklog int
@@ -322,7 +447,9 @@ type PacedStats struct {
 }
 
 // Drops returns the total packets refused at intake, all reasons.
-func (st PacedStats) Drops() uint64 { return st.DropsIntakeFull + st.DropsStopped }
+func (st PacedStats) Drops() uint64 {
+	return st.DropsIntakeFull + st.DropsStopped + st.DropsCanceled
+}
 
 // Stats snapshots the driver counters. Safe from any goroutine; the hot
 // paths it reads are all atomics. On a queue that never carried traffic
@@ -330,9 +457,10 @@ func (st PacedStats) Drops() uint64 { return st.DropsIntakeFull + st.DropsStoppe
 // intake rings.
 func (q *PacedQueue) Stats() PacedStats {
 	st := PacedStats{
-		SentPackets:  q.sent.Load(),
-		SentBytes:    q.sentBytes.Load(),
-		DropsStopped: q.dropStopped.Load(),
+		SentPackets:   q.sent.Load(),
+		SentBytes:     q.sentBytes.Load(),
+		DropsStopped:  q.dropStopped.Load(),
+		DropsCanceled: q.dropCanceled.Load(),
 	}
 	if r := q.rings.Load(); r != nil {
 		st.DropsIntakeFull = r.Drops()
@@ -354,6 +482,7 @@ func (q *PacedQueue) syncMetrics() {
 		full = r.Drops()
 	}
 	q.s.agg.RecordIntake(full, q.dropStopped.Load(), Now(time.Now()))
+	q.s.agg.RecordCanceled(q.dropCanceled.Load(), Now(time.Now()))
 	q.s.syncFlight()
 }
 
@@ -384,8 +513,14 @@ func (q *PacedQueue) loop() {
 	defer q.done.Done()
 	// Serve inspections that arrived too late for the loop body: any
 	// Inspect that enqueued before Stop flipped stopped (both under q.mu)
-	// has its closure in the channel by the time the loop exits.
+	// has its closure in the channel by the time the loop exits. Pending
+	// corrections are flushed first so inspections see reconciled state.
 	defer q.serveInspect()
+	defer func() {
+		if q.corrPending.Load() {
+			q.serveCorrections(Now(time.Now()))
+		}
+	}()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	rings := q.intakeRings()
@@ -393,6 +528,10 @@ func (q *PacedQueue) loop() {
 	// sustained producer flood cannot starve the transmit side.
 	drainCap := rings.Cap()
 	linkFree := time.Now()
+	// Running average work per transmitted item (cost units), seeded for
+	// MTU-sized packets; the deficit-recovery burst size is derived from
+	// it so the budget tracks what items actually cost on this queue.
+	avgWork := int64(paceMTU)
 	burst := make([]*Packet, 0, paceMaxBurst)
 	buf := make([]*Packet, 0, paceDrainBatch)
 	spin := 0 // idle yields left before the loop parks
@@ -411,6 +550,9 @@ func (q *PacedQueue) loop() {
 		now := time.Now()
 		nowNs := Now(now)
 		q.clk.advance(nowNs)
+		if q.corrPending.Load() {
+			q.serveCorrections(nowNs)
+		}
 		var drained int
 		buf, drained = q.drainIntake(rings, buf, nowNs, drainCap)
 		if drained > 0 {
@@ -435,7 +577,7 @@ func (q *PacedQueue) loop() {
 		rate := q.rate.Load()
 		want := 1
 		if behind := now.Sub(linkFree); behind > 0 {
-			if owed := int(uint64(behind) * rate / (paceMTU * uint64(time.Second))); owed > 1 {
+			if owed := int(uint64(behind) * rate / (uint64(avgWork) * uint64(time.Second))); owed > 1 {
 				want = min(owed, paceMaxBurst)
 			}
 		}
@@ -466,26 +608,41 @@ func (q *PacedQueue) loop() {
 		}
 		spin = paceIdleSpin
 
-		// Read Len (and span/flight identity) before Transmit: ownership
-		// passes with the call, and a pooled packet may be Released (and
-		// reused) inside the callback. The transmit stamp is pass-granular:
-		// the pass's one clock read, not a fresh time.Now() per burst.
-		total := 0
+		// Read the cost (and span/flight identity) before Transmit:
+		// ownership passes with the call, and a pooled packet may be
+		// Released (and reused) inside the callback. The transmit stamp is
+		// pass-granular: the pass's one clock read, not a fresh time.Now()
+		// per burst.
+		var total int64
 		txNs := nowNs
 		rec := q.s.rec
 		for _, p := range burst {
-			total += p.Len
+			total += p.Work()
 			if p.SubmitAt != 0 {
 				q.observeSpan(p, nowNs, txNs)
 			}
 			if rec != nil {
-				rec.RecordEv(core.EvTransmit, int32(p.Class), p.Seq, int32(p.Len), txNs, txNs-nowNs)
+				rec.RecordEv(core.EvTransmit, int32(p.Class), p.Seq, int32(p.Work()), txNs, txNs-nowNs)
 			}
 			q.Transmit(p)
 		}
 		q.sent.Add(uint64(len(burst)))
-		q.sentBytes.Add(int64(total))
-		linkFree = now.Add(time.Duration(int64(total) * int64(time.Second) / int64(rate)))
+		q.sentBytes.Add(total)
+		if per := total / int64(len(burst)); per > 0 {
+			avgWork = (7*avgWork + per) / 8
+		}
+		// Schedule the next transmission from when the link actually
+		// freed, not from now: charging the timer-park overshoot to the
+		// schedule on every pass would shave real capacity (items whose
+		// cost dwarfs the overshoot make the loss visible — want stays 1,
+		// so no burst recovers it). The carried debt is capped at one
+		// recovery burst so a long stall does not release an unpaced
+		// flood.
+		start := linkFree
+		if debtCap := time.Duration(float64(paceMaxBurst) * float64(avgWork) / float64(rate) * float64(time.Second)); now.Sub(linkFree) > debtCap {
+			start = now.Add(-debtCap)
+		}
+		linkFree = start.Add(time.Duration(total * int64(time.Second) / int64(rate)))
 	}
 }
 

@@ -4,7 +4,10 @@ package hfsc
 // wrapped). RemoveClass must clean both, or removed classes leak and stale
 // wrappers resurface when a core class pointer is reused.
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestRemoveClassCleansWrapMaps(t *testing.T) {
 	s := New(Config{})
@@ -41,5 +44,53 @@ func TestRemoveClassCleansWrapMaps(t *testing.T) {
 	}
 	if _, ok := s.wrapped[b.c]; !ok {
 		t.Fatal("failed removal evicted the class from wrapped")
+	}
+}
+
+// Regression: removing a class and re-adding one under the same name must
+// not let the stale first-generation *Class shadow or evict the live one —
+// Class(name) keeps resolving to the re-added class, and a second
+// RemoveClass on the stale wrapper fails with ErrClassRemoved instead of
+// panicking or corrupting byName.
+func TestRemoveClassStaleWrapperAfterReadd(t *testing.T) {
+	s := New(Config{})
+	gen1, err := s.AddClass(nil, "tenant", ClassConfig{LinkShare: Linear(Mbps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveClass(gen1); err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := s.AddClass(nil, "tenant", ClassConfig{LinkShare: Linear(2 * Mbps)})
+	if err != nil {
+		t.Fatalf("re-add under the removed name: %v", err)
+	}
+	if got := s.Class("tenant"); got != gen2 {
+		t.Fatalf("Class(name) returned %p, want the re-added class %p", got, gen2)
+	}
+
+	// Double-remove of the stale wrapper: typed error, no panic, and the
+	// live class keeps its name binding.
+	if err := s.RemoveClass(gen1); !errors.Is(err, ErrClassRemoved) {
+		t.Fatalf("stale RemoveClass returned %v, want ErrClassRemoved", err)
+	}
+	if got := s.Class("tenant"); got != gen2 {
+		t.Fatal("stale RemoveClass evicted the live class from byName")
+	}
+	// SetCurves on the stale wrapper is refused the same way.
+	if err := s.SetCurves(gen1, ClassConfig{LinkShare: Linear(Mbps)}, 0); !errors.Is(err, ErrClassRemoved) {
+		t.Fatalf("stale SetCurves returned %v, want ErrClassRemoved", err)
+	}
+	// Correct on the stale wrapper is a documented no-op.
+	if applied := s.Correct(gen1, 100, 200, ByLinkShare, 0); applied != 0 {
+		t.Fatalf("stale Correct applied %d, want 0", applied)
+	}
+
+	// The live class still schedules under its own curves.
+	if !s.Enqueue(&Packet{Len: 100, Class: gen2.ID()}, 0) {
+		t.Fatal("live class refused traffic")
+	}
+	if p := s.Dequeue(0); p == nil || p.Class != gen2.ID() {
+		t.Fatalf("dequeue got %+v, want the live class's packet", p)
 	}
 }
