@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint fmt vet build test stress bench bench-smoke bench-intake bench-json bench-check
+.PHONY: check lint fmt vet build test stress bench bench-smoke bench-intake bench-json bench-check bench-churn
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests
 ## and a short benchmark smoke run to catch perf-path compile/runtime rot.
@@ -56,3 +56,13 @@ bench-json:
 # step-change regressions, not noise.
 bench-check:
 	$(GO) run ./cmd/hfsc-bench -ops 100000 -check
+	$(GO) run ./cmd/hfsc-bench -churn -ops 100000 -check
+
+# The TBL-O6 class-churn rows alone: admin add/remove latency with 4096
+# and 100k resident classes, and the mostly-idle steady state. With
+# -check (as run from bench-check) the rows are gated three ways: an
+# absolute 10µs budget on add/remove at 100k classes, the 100k-mostly-
+# idle ns/pkt within 10% of a fresh 4096-class all-active figure, and
+# the usual 15% regression gate against the frozen baseline rows.
+bench-churn:
+	$(GO) run ./cmd/hfsc-bench -churn -ops 100000

@@ -23,7 +23,7 @@ import (
 // Now converts a time.Time to the scheduler's nanosecond clock using the
 // Unix-epoch convention (t.UnixNano()). Use with time-of-day clocks:
 //
-//	s.Enqueue(p, hfsc.Now(time.Now()))
+//	s.Offer(p, hfsc.Now(time.Now()))
 func Now(t time.Time) int64 { return t.UnixNano() }
 
 // coarseClock is a shared monotone nanosecond clock, published by the

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	hfsc "github.com/netsched/hfsc"
+	"github.com/netsched/hfsc/hfscmw"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/hierarchy"
+)
+
+// classServer pairs the ledger with a live scheduler built from the spec
+// and exposes the dynamic class lifecycle over HTTP: orchestrators that
+// used reserve/commit/release to answer "does this guarantee fit" can now
+// also act on the answer — create the class, retune its curves, and tear
+// it down — with the ledger kept consistent on every transition. The
+// server is the control-plane face of the same AddClass / SetCurves /
+// RemoveClass surface the in-process lifecycle (ClassTemplate, CollectIdle)
+// drives internally.
+//
+// Endpoints (bodies are JSON; curves are {"M1":..,"D":..,"M2":..} with D
+// in nanoseconds):
+//
+//	GET    /v1/classes         → {"classes": [{"name","parent","leaf","guaranteed"}..]}
+//	POST   /v1/classes         {"name", "parent"?, "rt"?, "ls"?, "ul"?, "qlen"?}
+//	                           → 201 {"admitted": true, "id": ..}
+//	PUT    /v1/classes/{name}  {"rt"?, "ls"?, "ul"?, "qlen"?} (full desired curve set)
+//	PUT    /v1/classes/{name}  → {"admitted": true}
+//	DELETE /v1/classes/{name}  → {"ok": true}
+//
+// As with reserve, a real-time curve that does not fit under the link is
+// answered 200 with admitted=false — a clean no, not an HTTP error; the
+// ledger and the hierarchy are left untouched. Structural refusals map to
+// HTTP errors: unknown class or parent 404, duplicate name 409, a class
+// that cannot change shape right now (busy, has children) 409, malformed
+// bodies 400.
+type classServer struct {
+	mu     sync.Mutex
+	sched  *hfsc.Scheduler
+	ledger *hfscmw.Ledger
+	rt     map[string]curve.SC // current per-class real-time holds
+}
+
+// classBody is the create/update request payload. On update the curves
+// are the full desired set: omitting one drops it (subject to the
+// scheduler's presence rules), not "leave unchanged".
+type classBody struct {
+	Name   string   `json:"name"`
+	Parent string   `json:"parent"`
+	RT     curve.SC `json:"rt"`
+	LS     curve.SC `json:"ls"`
+	UL     curve.SC `json:"ul"`
+	QLen   int      `json:"qlen"`
+}
+
+// newClassServer builds the scheduler from the spec (parents before
+// children, as parsed) and registers the lifecycle routes on mux.
+func newClassServer(spec *hierarchy.Spec, ledger *hfscmw.Ledger, mux *http.ServeMux) (*classServer, error) {
+	s := &classServer{
+		sched:  hfsc.New(hfsc.Config{LinkRate: spec.LinkRate}),
+		ledger: ledger,
+		rt:     map[string]curve.SC{},
+	}
+	for _, c := range spec.Classes {
+		var parent *hfsc.Class
+		if c.Parent != "root" {
+			parent = s.sched.Class(c.Parent)
+		}
+		_, err := s.sched.AddClass(parent, c.Name, hfsc.ClassConfig{
+			RealTime: c.RT, LinkShare: c.LS, UpperLimit: c.UL, QueueLimit: c.QLen,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !c.RT.IsZero() {
+			s.rt[c.Name] = c.RT
+		}
+	}
+	mux.HandleFunc("GET /v1/classes", s.handleList)
+	mux.HandleFunc("POST /v1/classes", s.handleCreate)
+	mux.HandleFunc("PUT /v1/classes/{name}", s.handleUpdate)
+	mux.HandleFunc("DELETE /v1/classes/{name}", s.handleDelete)
+	return s, nil
+}
+
+func (s *classServer) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type row struct {
+		Name       string `json:"name"`
+		Parent     string `json:"parent"`
+		Leaf       bool   `json:"leaf"`
+		Guaranteed bool   `json:"guaranteed"`
+	}
+	rows := []row{}
+	for _, cl := range s.sched.Classes() {
+		p := cl.Parent()
+		if p == nil {
+			continue // the implicit root is not an addressable class
+		}
+		parent := p.Name()
+		if p.Parent() == nil {
+			parent = "root"
+		}
+		_, g := s.rt[cl.Name()]
+		rows = append(rows, row{Name: cl.Name(), Parent: parent, Leaf: cl.IsLeaf(), Guaranteed: g})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"classes": rows})
+}
+
+func (s *classServer) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var b classBody
+	if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if b.Name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing name"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sched.Class(b.Name) != nil {
+		writeError(w, http.StatusConflict, errors.New("class already exists"))
+		return
+	}
+	var parent *hfsc.Class
+	if b.Parent != "" && b.Parent != "root" {
+		if parent = s.sched.Class(b.Parent); parent == nil {
+			writeError(w, http.StatusNotFound, errors.New("unknown parent"))
+			return
+		}
+	}
+	// Admission first: the guarantee must fit under the link before the
+	// class exists to claim it.
+	if !b.RT.IsZero() {
+		err := s.ledger.Acquire(b.Name, b.RT)
+		if errors.Is(err, hfscmw.ErrInadmissible) {
+			writeJSON(w, http.StatusOK, map[string]any{"admitted": false})
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	cl, err := s.sched.AddClass(parent, b.Name, hfsc.ClassConfig{
+		RealTime: b.RT, LinkShare: b.LS, UpperLimit: b.UL, QueueLimit: b.QLen,
+	})
+	if err != nil {
+		if !b.RT.IsZero() {
+			s.ledger.Release(b.Name)
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !b.RT.IsZero() {
+		s.rt[b.Name] = b.RT
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"admitted": true, "id": cl.ID()})
+}
+
+func (s *classServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var b classBody
+	if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl := s.sched.Class(name)
+	if cl == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown class"))
+		return
+	}
+	prev, hadRT := s.rt[name]
+	if !b.RT.IsZero() {
+		// Reserve replaces any existing hold and restores it when the new
+		// curve does not fit, so a failed retune never loses the old
+		// guarantee.
+		err := s.ledger.Acquire(name, b.RT)
+		if errors.Is(err, hfscmw.ErrInadmissible) {
+			writeJSON(w, http.StatusOK, map[string]any{"admitted": false})
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	err := s.sched.SetCurves(cl, hfsc.ClassConfig{
+		RealTime: b.RT, LinkShare: b.LS, UpperLimit: b.UL, QueueLimit: b.QLen,
+	}, hfsc.Now(time.Now()))
+	if err != nil {
+		// Roll the ledger back to the pre-update hold.
+		if !b.RT.IsZero() {
+			if hadRT {
+				s.ledger.Acquire(name, prev)
+			} else {
+				s.ledger.Release(name)
+			}
+		}
+		status := http.StatusBadRequest
+		if errors.Is(err, hfsc.ErrClassBusy) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	if b.RT.IsZero() && hadRT {
+		s.ledger.Release(name)
+		delete(s.rt, name)
+	} else if !b.RT.IsZero() {
+		s.rt[name] = b.RT
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"admitted": true})
+}
+
+func (s *classServer) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl := s.sched.Class(name)
+	if cl == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown class"))
+		return
+	}
+	if err := s.sched.RemoveClass(cl); err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, hfsc.ErrClassBusy), errors.Is(err, hfsc.ErrHasChildren):
+			status = http.StatusConflict
+		case errors.Is(err, hfsc.ErrUnknownClass), errors.Is(err, hfsc.ErrClassRemoved):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	if _, ok := s.rt[name]; ok {
+		s.ledger.Release(name)
+		delete(s.rt, name)
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

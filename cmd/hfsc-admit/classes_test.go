@@ -1,0 +1,124 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+)
+
+// The lifecycle endpoints: create/update/delete keep the hierarchy and
+// the ledger in step, and every refusal maps to the documented status.
+func TestClassLifecycleEndpoints(t *testing.T) {
+	h, err := newLedgerServer(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The spec's three classes are listed, with voice's guarantee marked.
+	code, got := do(t, h, http.MethodGet, "/v1/classes", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/classes = %d %v", code, got)
+	}
+	byName := map[string]map[string]any{}
+	for _, c := range got["classes"].([]any) {
+		m := c.(map[string]any)
+		byName[m["name"].(string)] = m
+	}
+	if len(byName) != 3 || byName["voice"]["guaranteed"] != true || byName["bulk"]["guaranteed"] != false {
+		t.Fatalf("class list = %v", byName)
+	}
+	if byName["agg"]["leaf"] != false || byName["voice"]["parent"] != "agg" {
+		t.Fatalf("class list = %v", byName)
+	}
+
+	// Create a guaranteed leaf under agg: 500 fits next to voice's 400.
+	code, got = do(t, h, http.MethodPost, "/v1/classes",
+		`{"name":"video","parent":"agg","rt":{"M1":500,"M2":500},"ls":{"M1":500,"M2":500}}`)
+	if code != http.StatusCreated || got["admitted"] != true {
+		t.Fatalf("create video = %d %v", code, got)
+	}
+	code, got = do(t, h, http.MethodGet, "/v1/ledger", "")
+	if code != http.StatusOK || len(got["entries"].([]any)) != 2 {
+		t.Fatalf("ledger after create = %d %v", code, got)
+	}
+
+	// Another 200 does not fit (400+500+200 > 1000): a clean no, and
+	// neither the ledger nor the hierarchy gains an entry.
+	code, got = do(t, h, http.MethodPost, "/v1/classes",
+		`{"name":"extra","parent":"agg","rt":{"M1":200,"M2":200}}`)
+	if code != http.StatusOK || got["admitted"] != false {
+		t.Fatalf("create extra = %d %v", code, got)
+	}
+	if code, _ := do(t, h, http.MethodDelete, "/v1/classes/extra", ""); code != http.StatusNotFound {
+		t.Fatalf("delete never-created = %d, want 404", code)
+	}
+
+	// Retune video's guarantee down; the ledger hold follows.
+	code, got = do(t, h, http.MethodPut, "/v1/classes/video",
+		`{"rt":{"M1":100,"M2":100},"ls":{"M1":500,"M2":500}}`)
+	if code != http.StatusOK || got["admitted"] != true {
+		t.Fatalf("retune video = %d %v", code, got)
+	}
+	// Now the 200 fits (400+100+200 ≤ 1000).
+	code, got = do(t, h, http.MethodPost, "/v1/classes",
+		`{"name":"extra","parent":"agg","rt":{"M1":200,"M2":200}}`)
+	if code != http.StatusCreated || got["admitted"] != true {
+		t.Fatalf("create extra after retune = %d %v", code, got)
+	}
+
+	// A retune that does not fit is refused without losing the old hold.
+	code, got = do(t, h, http.MethodPut, "/v1/classes/video",
+		`{"rt":{"M1":900,"M2":900},"ls":{"M1":500,"M2":500}}`)
+	if code != http.StatusOK || got["admitted"] != false {
+		t.Fatalf("oversized retune = %d %v", code, got)
+	}
+	code, got = do(t, h, http.MethodGet, "/v1/ledger", "")
+	entries := got["entries"].([]any)
+	if code != http.StatusOK || len(entries) != 3 {
+		t.Fatalf("ledger after refused retune = %d %v", code, got)
+	}
+
+	// Structural refusals.
+	if code, _ := do(t, h, http.MethodPost, "/v1/classes",
+		`{"name":"video","parent":"agg","ls":{"M1":1,"M2":1}}`); code != http.StatusConflict {
+		t.Fatalf("duplicate create = %d, want 409", code)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/v1/classes",
+		`{"name":"x","parent":"ghost","ls":{"M1":1,"M2":1}}`); code != http.StatusNotFound {
+		t.Fatalf("create under unknown parent = %d, want 404", code)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/v1/classes", `{"parent":"agg"}`); code != http.StatusBadRequest {
+		t.Fatalf("nameless create = %d, want 400", code)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/v1/classes",
+		`{"name":"curveless","parent":"agg"}`); code != http.StatusBadRequest {
+		t.Fatalf("curveless create = %d, want 400", code)
+	}
+	if code, _ := do(t, h, http.MethodDelete, "/v1/classes/agg", ""); code != http.StatusConflict {
+		t.Fatalf("delete interior = %d, want 409", code)
+	}
+	if code, _ := do(t, h, http.MethodPut, "/v1/classes/ghost",
+		`{"ls":{"M1":1,"M2":1}}`); code != http.StatusNotFound {
+		t.Fatalf("retune unknown = %d, want 404", code)
+	}
+
+	// Delete a guaranteed leaf: the hierarchy entry and the hold both go.
+	if code, _ := do(t, h, http.MethodDelete, "/v1/classes/video", ""); code != http.StatusOK {
+		t.Fatalf("delete video = %d", code)
+	}
+	code, got = do(t, h, http.MethodGet, "/v1/ledger", "")
+	if code != http.StatusOK || len(got["entries"].([]any)) != 2 {
+		t.Fatalf("ledger after delete = %d %v", code, got)
+	}
+	code, got = do(t, h, http.MethodGet, "/v1/classes", "")
+	for _, c := range got["classes"].([]any) {
+		if c.(map[string]any)["name"] == "video" {
+			t.Fatalf("video still listed after delete: %v", got)
+		}
+	}
+	// And the name is immediately reusable.
+	code, got = do(t, h, http.MethodPost, "/v1/classes",
+		`{"name":"video","parent":"agg","ls":{"M1":300,"M2":300}}`)
+	if code != http.StatusCreated || got["admitted"] != true {
+		t.Fatalf("re-create video = %d %v", code, got)
+	}
+}

@@ -6,7 +6,10 @@
 // With -serve, the command instead stays up as an admission-control
 // service: the spec's real-time leaves seed a capacity ledger and
 // reserve/commit/release JSON endpoints answer "does this guarantee
-// fit" for external placement systems (see newLedgerServer).
+// fit" for external placement systems (see newLedgerServer). The same
+// server carries the class-lifecycle endpoints — create, retune and
+// delete classes over JSON with the ledger kept consistent on every
+// transition (see classServer).
 //
 // Usage:
 //

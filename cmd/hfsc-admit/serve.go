@@ -32,6 +32,9 @@ type ledgerServer struct {
 //	POST /v1/commit   {"id": ..}
 //	POST /v1/release  {"id": ..}
 //
+// The class-lifecycle routes (GET/POST /v1/classes, PUT/DELETE
+// /v1/classes/{name}) are registered alongside; see classServer.
+//
 // Reserve answers 200 with admitted=false (not an HTTP error) when the
 // curve does not fit: "does this fit" is the service's question, and a
 // no is a successful answer. Commit/release of an unknown id is 404.
@@ -55,6 +58,11 @@ func newLedgerServer(spec *hierarchy.Spec) (http.Handler, error) {
 	mux.HandleFunc("/v1/reserve", s.handleReserve)
 	mux.HandleFunc("/v1/commit", s.handleMutate(s.ledger.Commit))
 	mux.HandleFunc("/v1/release", s.handleMutate(s.ledger.Release))
+	// The class-lifecycle routes share the ledger: creating a guaranteed
+	// class acquires its hold, deleting one releases it (see classServer).
+	if _, err := newClassServer(spec, l, mux); err != nil {
+		return nil, err
+	}
 	return mux, nil
 }
 

@@ -68,8 +68,14 @@ func main() {
 		jsonPath  = flag.String("json", "BENCH_overhead.json", "perf-tracking JSON file to update (empty to disable)")
 		check     = flag.Bool("check", false, "regression gate: re-run the TBL-O1 overhead rows plus the TBL-O4 shard-scaling sweep, fail if ns_per_pkt regresses beyond -tolerance vs the baseline section of -json or if the sweep shows a scaling knee (s8 worse than s1); the measured rows are folded into the file's current section")
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns_per_pkt regression in -check mode")
+		churn     = flag.Bool("churn", false, "measure only the TBL-O6 class-churn rows (admin add/remove latency and mostly-idle steady state); with -check, gate them (absolute admin budget, idle tax vs the 4096-class figure, baseline regression)")
 	)
 	flag.Parse()
+
+	if *churn {
+		churnMain(*ops, *jsonPath, *check, *tolerance)
+		return
+	}
 
 	// multiProducers feeds the MultiQueue rows (TBL-O3 and the -check gate).
 	const multiProducers = 16

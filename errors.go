@@ -26,6 +26,15 @@ var (
 	// ErrMetricsDisabled is returned by WriteMetrics when the scheduler was
 	// created without Config.Metrics.
 	ErrMetricsDisabled = errors.New("hfsc: metrics not enabled in Config")
+	// ErrUnknownTemplate is returned by EnsureClass (and by SubmitTo's
+	// auto-create path) when no registered class template matches the name:
+	// neither Config.AutoClass nor any SetTemplate prefix applies, or the
+	// template's Make hook refused the name.
+	ErrUnknownTemplate = errors.New("hfsc: no class template matches name")
+	// ErrUnknownClass is returned by the name-addressed admin operations
+	// (RemoveClass/SetCurves/Correct by name on PacedQueue and MultiQueue)
+	// when no live class has that name.
+	ErrUnknownClass = errors.New("hfsc: unknown class name")
 )
 
 // Structural errors surfaced from the core scheduler; RemoveClass and
@@ -43,4 +52,16 @@ var (
 	// in particular, cannot corrupt the name registry of a class re-added
 	// under the same name).
 	ErrClassRemoved = core.ErrClassRemoved
+)
+
+// Lifecycle aliases: the name-addressed admin API documents its failure
+// modes under these names; they alias the structural sentinels above so
+// errors.Is matches either spelling.
+var (
+	// ErrClassBusy: RemoveClass on a class that still has queued packets or
+	// in-tree scheduling state, or a curve-presence change on an active
+	// class. Alias of ErrClassActive.
+	ErrClassBusy = ErrClassActive
+	// ErrHasChildren: RemoveClass on an interior class. Alias of ErrNotLeaf.
+	ErrHasChildren = ErrNotLeaf
 )

@@ -75,8 +75,16 @@ func TestErrClassActive(t *testing.T) {
 	if err := s.RemoveClass(a); !errors.Is(err, hfsc.ErrClassActive) {
 		t.Fatalf("RemoveClass(active): want ErrClassActive, got %v", err)
 	}
-	if err := s.SetCurves(a, hfsc.ClassConfig{LinkShare: hfsc.Linear(2 * hfsc.Mbps)}, 0); !errors.Is(err, hfsc.ErrClassActive) {
-		t.Fatalf("SetCurves(active): want ErrClassActive, got %v", err)
+	if err := s.RemoveClass(a); !errors.Is(err, hfsc.ErrClassBusy) {
+		t.Fatalf("ErrClassBusy must alias ErrClassActive, got %v", err)
+	}
+	// Parameter changes apply live; changing curve *presence* (here:
+	// gaining a real-time curve) needs a passive class.
+	if err := s.SetCurves(a, hfsc.ClassConfig{LinkShare: hfsc.Linear(2 * hfsc.Mbps)}, 0); err != nil {
+		t.Fatalf("SetCurves(active, same presence): %v", err)
+	}
+	if err := s.SetCurves(a, hfsc.ClassConfig{RealTime: hfsc.Linear(hfsc.Mbps), LinkShare: hfsc.Linear(hfsc.Mbps)}, 0); !errors.Is(err, hfsc.ErrClassActive) {
+		t.Fatalf("SetCurves(active, presence change): want ErrClassActive, got %v", err)
 	}
 	// Drain; both operations must succeed once the class is passive again.
 	if s.Dequeue(0) == nil {

@@ -23,8 +23,8 @@ func Example() {
 	})
 
 	now := int64(0)
-	s.Enqueue(&hfsc.Packet{Len: 1500, Class: bulk.ID()}, now)
-	s.Enqueue(&hfsc.Packet{Len: 160, Class: voice.ID()}, now)
+	s.Offer(&hfsc.Packet{Len: 1500, Class: bulk.ID()}, now)
+	s.Offer(&hfsc.Packet{Len: 160, Class: voice.ID()}, now)
 
 	for s.Backlog() > 0 {
 		p := s.Dequeue(now)
@@ -85,7 +85,7 @@ func ExampleScheduler_Snapshot() {
 
 	now := int64(0)
 	for i := 0; i < 10; i++ {
-		s.Enqueue(&hfsc.Packet{Len: 1000, Class: voice.ID()}, now)
+		s.Offer(&hfsc.Packet{Len: 1000, Class: voice.ID()}, now)
 		s.Dequeue(now)
 		now += 1_000_000
 	}

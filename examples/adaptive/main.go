@@ -54,12 +54,12 @@ func main() {
 		for len(w.next) > 0 && w.next[0] <= now {
 			w.next = w.next[1:]
 			w.inflight++
-			s.Enqueue(&hfsc.Packet{Len: pkt, Class: w.class, Arrival: now, Seq: seq}, now)
+			s.Offer(&hfsc.Packet{Len: pkt, Class: w.class, Arrival: now, Seq: seq}, now)
 			seq++
 		}
 		// Competitor: CBR at its full fair share from t=400ms.
 		for nextCBR <= now && now >= 400*ms {
-			s.Enqueue(&hfsc.Packet{Len: pkt, Class: cbr.ID(), Arrival: nextCBR, Seq: seq}, nextCBR)
+			s.Offer(&hfsc.Packet{Len: pkt, Class: cbr.ID(), Arrival: nextCBR, Seq: seq}, nextCBR)
 			seq++
 			nextCBR += txTime(pkt) * 2 // half the link
 		}

@@ -53,7 +53,7 @@ func main() {
 		for now < 400*ms {
 			for _, c := range ph.active {
 				for c.Stats().QueuedPackets < 10 {
-					s.Enqueue(&hfsc.Packet{Len: pkt, Class: c.ID(), Seq: seq}, now)
+					s.Offer(&hfsc.Packet{Len: pkt, Class: c.ID(), Seq: seq}, now)
 					seq++
 				}
 			}

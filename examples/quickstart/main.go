@@ -45,10 +45,10 @@ func main() {
 	// Drive the link by hand: enqueue a burst, then transmit at line rate.
 	now := int64(0)
 	for i := 0; i < 4; i++ {
-		s.Enqueue(&hfsc.Packet{Len: 1500, Class: web.ID()}, now)
-		s.Enqueue(&hfsc.Packet{Len: 1500, Class: bulk.ID()}, now)
+		s.Offer(&hfsc.Packet{Len: 1500, Class: web.ID()}, now)
+		s.Offer(&hfsc.Packet{Len: 1500, Class: bulk.ID()}, now)
 	}
-	s.Enqueue(&hfsc.Packet{Len: 160, Class: voice.ID()}, now)
+	s.Offer(&hfsc.Packet{Len: 160, Class: voice.ID()}, now)
 
 	fmt.Println("dequeue order at 10 Mb/s:")
 	for s.Backlog() > 0 {

@@ -56,12 +56,12 @@ func run(concave bool) (maxDelay, maxDeadline time.Duration) {
 	var seq uint64
 	for now < 2*sec {
 		for nextVoice <= now {
-			s.Enqueue(&hfsc.Packet{Len: 160, Class: voice.ID(), Arrival: nextVoice, Seq: seq}, nextVoice)
+			s.Offer(&hfsc.Packet{Len: 160, Class: voice.ID(), Arrival: nextVoice, Seq: seq}, nextVoice)
 			seq++
 			nextVoice += 20 * ms
 		}
 		for bulk.Stats().QueuedPackets < 30 { // keep bulk backlogged
-			s.Enqueue(&hfsc.Packet{Len: 1500, Class: bulk.ID(), Arrival: now, Seq: seq}, now)
+			s.Offer(&hfsc.Packet{Len: 1500, Class: bulk.ID(), Arrival: now, Seq: seq}, now)
 			seq++
 		}
 		p := s.Dequeue(now)

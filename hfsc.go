@@ -19,8 +19,26 @@
 //		RealTime:  hfsc.ForRealTime(1500, 10*time.Millisecond, 2*hfsc.Mbps),
 //		LinkShare: hfsc.Linear(2 * hfsc.Mbps),
 //	})
-//	s.Enqueue(&hfsc.Packet{Len: 1500, Class: video.ID()}, now)
+//	if r := s.Offer(&hfsc.Packet{Len: 1500, Class: video.ID()}, now); r != hfsc.DropNone {
+//		// refused: r says why (queue limit, unknown class, malformed item)
+//	}
 //	p := s.Dequeue(now)
+//
+// Offer is the submit surface; Enqueue survives only as a deprecated
+// bool-returning shim. Multi-producer drivers submit through
+// PacedQueue.Submit / SubmitCtx (or MultiQueue.Submit), which report the
+// same DropReason values.
+//
+// # Dynamic classes
+//
+// The hierarchy is not static: classes can be added, removed and re-curved
+// while the link runs (see AddClass, RemoveClass, SetCurves, and the
+// name-addressed equivalents on PacedQueue and MultiQueue). A ClassTemplate
+// (Config.AutoClass or SetTemplate) goes further and manages leaves
+// automatically: the first submit to an unknown class name creates the
+// leaf from the template, and leaves idle past the template's grace period
+// are garbage-collected on the pacing goroutine — no locks enter the
+// scheduling hot path. See DESIGN.md §5h for the lifecycle state machine.
 //
 // # Concurrency model
 //
@@ -36,6 +54,7 @@ package hfsc
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"github.com/netsched/hfsc/internal/core"
@@ -156,6 +175,12 @@ type Config struct {
 	// histograms live on the aggregator) and a PacedQueue driver (the
 	// stamping happens at Submit/Transmit).
 	Spans int
+	// AutoClass, when set, is the catch-all class template: the first
+	// submit (or EnsureClass) naming an unknown class creates a leaf from
+	// it, and leaves idle past its Grace are garbage-collected. Equivalent
+	// to SetTemplate("", *AutoClass); prefix-scoped templates registered
+	// with SetTemplate take precedence for names they match.
+	AutoClass *ClassTemplate
 }
 
 // Class is a node in the link-sharing hierarchy.
@@ -218,6 +243,15 @@ type Scheduler struct {
 	rec     *flight.Recorder    // nil unless Config.Flight
 	byName  map[string]*Class
 	wrapped map[*core.Class]*Class
+	// tpls are the registered class templates (longest prefix wins); lc
+	// tracks classes enrolled in idle collection. Owner-serialized like
+	// all scheduling state.
+	tpls []tplRule
+	lc   map[int]*lcEntry
+	// names mirrors byName as name → id for lock-free ClassID resolution
+	// from submitter goroutines; it is the only cross-goroutine-readable
+	// piece of Scheduler state.
+	names sync.Map
 }
 
 // New creates a scheduler.
@@ -244,6 +278,9 @@ func New(cfg Config) *Scheduler {
 		}
 	}
 	s.core = core.New(opts)
+	if cfg.AutoClass != nil {
+		s.SetTemplate("", *cfg.AutoClass)
+	}
 	return s
 }
 
@@ -324,6 +361,7 @@ func (s *Scheduler) AddClass(parent *Class, name string, cfg ClassConfig) (*Clas
 	}
 	w := s.wrap(c)
 	s.byName[name] = w
+	s.names.Store(name, c.ID())
 	return w, nil
 }
 
@@ -344,16 +382,30 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 	if s.byName[cl.c.Name()] == cl {
 		delete(s.byName, cl.c.Name())
 	}
+	s.names.CompareAndDelete(cl.c.Name(), cl.c.ID())
+	delete(s.lc, cl.c.ID())
 	delete(s.wrapped, cl.c)
 	return nil
 }
 
-// SetCurves replaces a passive class's curves at the given clock (ns).
+// SetCurves replaces a class's curves at the given clock (ns). Parameter
+// changes apply live, even mid-backlog: the runtime curves are re-anchored
+// at the class's cumulative work so no packet is dropped and conservation
+// holds across the swap. Changing which curves are present (gaining or
+// losing a real-time/link-share/upper-limit curve) still requires a
+// passive class and fails with ErrClassBusy otherwise. A positive
+// QueueLimit in cfg is applied too; zero leaves the limit unchanged.
 func (s *Scheduler) SetCurves(cl *Class, cfg ClassConfig, now int64) error {
 	if cl == nil {
 		return ErrNilClass
 	}
-	return s.core.SetCurves(cl.c, cfg.RealTime, cfg.LinkShare, cfg.UpperLimit, now)
+	if err := s.core.SetCurves(cl.c, cfg.RealTime, cfg.LinkShare, cfg.UpperLimit, now); err != nil {
+		return err
+	}
+	if cfg.QueueLimit > 0 {
+		cl.c.SetQueueLimit(cfg.QueueLimit)
+	}
+	return nil
 }
 
 // Enqueue offers a packet at the given clock (ns); false means dropped.

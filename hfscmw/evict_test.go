@@ -1,0 +1,132 @@
+package hfscmw
+
+// Tenant eviction through the scheduler's class lifecycle: idle tenants
+// are collected after EvictAfter, their ledger holds released, and the
+// next request re-creates them from scratch.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTenantEviction(t *testing.T) {
+	l, err := New(Config{
+		Concurrency: 4,
+		EvictAfter:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	guaranteed, err := l.AddTenant("gold", SLO{Burst: 2, Latency: 10 * time.Millisecond, Sustained: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !guaranteed {
+		t.Fatal("gold SLO not guaranteed against an empty ledger")
+	}
+	if got := len(l.Ledger().Entries()); got != 1 {
+		t.Fatalf("ledger entries = %d, want 1", got)
+	}
+
+	tk, err := l.Admit(context.Background(), "gold", "GET /x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Finish(time.Millisecond)
+
+	// Idle now: the class must be collected, the ledger hold released, and
+	// the tenant gone from Stats.
+	waitFor(t, 5*time.Second, func() bool {
+		_, live := l.Stats()["gold"]
+		return !live
+	}, "gold tenant eviction")
+	waitFor(t, time.Second, func() bool {
+		return len(l.Ledger().Entries()) == 0
+	}, "ledger release on eviction")
+
+	// The next request re-creates the tenant (with DefaultSLO, i.e. no
+	// guarantee) and is served normally.
+	tk, err = l.Admit(context.Background(), "gold", "GET /x")
+	if err != nil {
+		t.Fatalf("admit after eviction: %v", err)
+	}
+	tk.Done()
+	st, ok := l.Stats()["gold"]
+	if !ok {
+		t.Fatal("re-created tenant missing from Stats")
+	}
+	if st.Guaranteed {
+		t.Error("re-created tenant kept its guarantee; want DefaultSLO (none)")
+	}
+	if st.Admitted != 1 {
+		t.Errorf("re-created tenant Admitted = %d, want 1 (counters restart)", st.Admitted)
+	}
+}
+
+// Requests must keep flowing correctly while tenants are evicted and
+// re-created underneath them: every Admit either succeeds (and the ticket
+// completes) or fails with a sentinel, and nothing deadlocks.
+func TestAdmitDuringEvictionChurn(t *testing.T) {
+	l, err := New(Config{
+		Concurrency: 16,
+		EvictAfter:  time.Millisecond, // evict as aggressively as the scan allows
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var admitted, shed int64
+	var mu sync.Mutex
+	stop := time.Now().Add(500 * time.Millisecond)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := []string{"a", "b"}[w%2]
+			for time.Now().Before(stop) {
+				tk, err := l.Admit(context.Background(), name, "op")
+				mu.Lock()
+				if err == nil {
+					admitted++
+				} else if errors.Is(err, ErrOverloaded) {
+					shed++
+				} else {
+					mu.Unlock()
+					t.Errorf("admit: %v", err)
+					return
+				}
+				mu.Unlock()
+				if tk != nil {
+					tk.Finish(0)
+				}
+				// Go idle long enough for the 1ms grace to elapse sometimes.
+				time.Sleep(time.Duration(w%3) * 2 * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if admitted == 0 {
+		t.Fatalf("no request admitted during churn (shed=%d)", shed)
+	}
+	t.Logf("admitted=%d shed=%d", admitted, shed)
+}

@@ -4,8 +4,10 @@
 //
 // Nothing in H-FSC's math requires the scheduled unit to be a network
 // packet — the guarantees are stated over service received for work of a
-// given size. This package maps each tenant to a leaf class
-// (auto-created on first request), expresses the tenant's SLO as a
+// given size. This package maps each tenant to a leaf class —
+// auto-created on first request through the scheduler's class-lifecycle
+// template and, with Config.EvictAfter set, garbage-collected again once
+// idle — expresses the tenant's SLO as a
 // two-piece service curve over a shared concurrency budget, and submits
 // one cost-denominated work item per request, where the cost is the
 // estimated service time in nanoseconds. The pacing loop then admits
@@ -122,6 +124,14 @@ type Config struct {
 	// estimate.
 	DefaultEstimate time.Duration
 
+	// EvictAfter garbage-collects a tenant's leaf class once it has been
+	// idle — no queued, served or dropped requests — for this long: the
+	// class is removed by the scheduler's idle collection, its ledger hold
+	// is released, and the tenant is re-created from scratch (DefaultSLO,
+	// or another AddTenant call) on its next request. Zero disables
+	// eviction: tenants live until Close.
+	EvictAfter time.Duration
+
 	// MaxPending bounds each tenant's requests queued for admission;
 	// beyond it requests are shed immediately (ErrOverloaded). Zero
 	// means DefaultMaxPending; negative disables the bound.
@@ -170,9 +180,22 @@ type Limiter struct {
 	q      *hfsc.PacedQueue
 	ledger *Ledger
 
-	mu      sync.Mutex // tenants map and class creation
-	tenants map[string]*tenant
-	byClass sync.Map // class id -> *tenant; read by the transmit callback
+	// createMu serializes tenant creation (EnsureClass round-trips through
+	// the pacing goroutine); the eviction callback never takes it, so a
+	// creator blocked on the pacing goroutine cannot deadlock with an
+	// eviction running there. tenants and byClass are sync.Maps: Admit's
+	// lookup fast path, Stats, and the pacing-goroutine callbacks all read
+	// them lock-free.
+	createMu sync.Mutex
+	tenants  sync.Map // tenant name -> *tenant
+	byClass  sync.Map // class id -> *tenant; read by the transmit callback
+
+	// pendSLO and pendGuaranteed hand the SLO of the tenant being created
+	// from getOrCreate (holding createMu) to makeTenant on the pacing
+	// goroutine, and the ledger verdict back; the EnsureClass round-trip
+	// provides the happens-before edge in both directions.
+	pendSLO        SLO
+	pendGuaranteed bool
 
 	closed     chan struct{}
 	closeOnce  sync.Once
@@ -186,10 +209,9 @@ func New(cfg Config) (*Limiter, error) {
 	}
 	capacity := uint64(cfg.Concurrency) * Seat
 	l := &Limiter{
-		cfg:     cfg,
-		ledger:  NewLedger(capacity),
-		tenants: map[string]*tenant{},
-		closed:  make(chan struct{}),
+		cfg:    cfg,
+		ledger: NewLedger(capacity),
+		closed: make(chan struct{}),
 	}
 	switch {
 	case cfg.MaxPending > 0:
@@ -203,6 +225,15 @@ func New(cfg Config) (*Limiter, error) {
 		LinkRate: capacity,
 		Metrics:  cfg.Metrics,
 	})
+	// Tenant classes are created — and, with EvictAfter > 0, collected
+	// again — through the scheduler's class-lifecycle template: creation
+	// renders the SLO staged by getOrCreate, eviction releases the ledger
+	// hold and drops the tenant from the registries.
+	l.sched.SetTemplate("", hfsc.ClassTemplate{
+		Make:      l.makeTenant,
+		Grace:     cfg.EvictAfter,
+		OnCollect: l.onEvict,
+	})
 	q, err := hfsc.NewPacedQueue(l.sched, l.transmit)
 	if err != nil {
 		return nil, err
@@ -211,6 +242,10 @@ func New(cfg Config) (*Limiter, error) {
 	// watermark (sized for packet floods, it would strand admissions in
 	// the intake rings where per-class order is the only order).
 	q.DrainHighWater = -1
+	// A tenant evicted between Admit's class lookup and the intake drain
+	// refuses its in-flight work items; resolve their gates so the waiters
+	// can retry against a freshly created class instead of hanging.
+	q.OnReject = l.onReject
 	l.q = q
 	q.Start()
 	return l, nil
@@ -268,13 +303,14 @@ type TenantStats struct {
 	Pending  int64
 }
 
-// Stats snapshots every tenant's counters, keyed by tenant name.
+// Stats snapshots every live tenant's counters, keyed by tenant name.
+// Evicted tenants disappear from the snapshot; their counters restart at
+// zero if the tenant is re-created.
 func (l *Limiter) Stats() map[string]TenantStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make(map[string]TenantStats, len(l.tenants))
-	for name, t := range l.tenants {
-		out[name] = TenantStats{
+	out := map[string]TenantStats{}
+	l.tenants.Range(func(name, v any) bool {
+		t := v.(*tenant)
+		out[name.(string)] = TenantStats{
 			Class:      t.class,
 			SLO:        t.slo,
 			Guaranteed: t.guaranteed,
@@ -283,7 +319,8 @@ func (l *Limiter) Stats() map[string]TenantStats {
 			Canceled:   t.canceled.Load(),
 			Pending:    t.pending.Load(),
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -292,7 +329,9 @@ func (l *Limiter) Stats() map[string]TenantStats {
 // ledger; if the guarantee does not fit alongside existing commitments
 // the tenant is still created with the SLO's curve as link-sharing
 // weight only, and guaranteed reports false. Safe from any goroutine,
-// including while requests flow.
+// including while requests flow. A tenant evicted under Config.EvictAfter
+// forgets its SLO: re-create it with another AddTenant call, or let the
+// next request re-create it with DefaultSLO.
 func (l *Limiter) AddTenant(name string, slo SLO) (guaranteed bool, err error) {
 	t, err := l.getOrCreate(name, slo)
 	if err != nil {
@@ -301,42 +340,80 @@ func (l *Limiter) AddTenant(name string, slo SLO) (guaranteed bool, err error) {
 	return t.guaranteed, nil
 }
 
-// getOrCreate resolves a tenant, creating its leaf class on first use.
+// getOrCreate resolves a tenant, creating its leaf class on first use
+// through the scheduler's lifecycle template, so explicit AddTenant
+// calls, auto-creation on first request, and idle eviction all share one
+// registry and one code path.
 func (l *Limiter) getOrCreate(name string, slo SLO) (*tenant, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if t := l.tenants[name]; t != nil {
-		return t, nil
+	if v, ok := l.tenants.Load(name); ok {
+		return v.(*tenant), nil
 	}
+	l.createMu.Lock()
+	defer l.createMu.Unlock()
+	if v, ok := l.tenants.Load(name); ok {
+		return v.(*tenant), nil
+	}
+	// Stage the SLO for makeTenant (which only receives the class name),
+	// then create through the pacing goroutine. The eviction and transmit
+	// callbacks never take createMu, so blocking on the pacing goroutine
+	// while holding it is safe.
+	l.pendSLO, l.pendGuaranteed = slo, false
+	id, err := l.q.EnsureClass(name)
+	if err != nil {
+		if l.pendGuaranteed {
+			l.ledger.Release(name)
+		}
+		return nil, err
+	}
+	t := &tenant{name: name, class: id, slo: slo, guaranteed: l.pendGuaranteed}
+	l.tenants.Store(name, t)
+	l.byClass.Store(id, t)
+	return t, nil
+}
+
+// makeTenant is the lifecycle template's Make hook: it renders the SLO
+// staged by getOrCreate into a class configuration, admitting any
+// guarantee against the capacity ledger. Runs on the pacing goroutine
+// inside the EnsureClass round-trip.
+func (l *Limiter) makeTenant(name string) (hfsc.ClassConfig, bool) {
+	slo := l.pendSLO
 	var rt, ls hfsc.SC
-	guaranteed := false
 	if slo.IsZero() {
 		ls = hfsc.Linear(Seat) // fair share of one seat, no guarantee
 	} else {
 		ls = slo.Curve()
 		if slo.Sustained > 0 && l.ledger.Acquire(name, ls) == nil {
 			rt = ls
-			guaranteed = true
+			l.pendGuaranteed = true
 		}
 	}
-	var cl *hfsc.Class
-	var err error
-	// The pacing goroutine owns the scheduler; class creation goes
-	// through Inspect like any other structural access. The transmit
-	// callback never takes l.mu, so holding it across Inspect is safe.
-	l.q.Inspect(func(s *hfsc.Scheduler) {
-		cl, err = s.AddClass(nil, name, hfsc.ClassConfig{RealTime: rt, LinkShare: ls})
-	})
-	if err != nil {
-		if guaranteed {
+	return hfsc.ClassConfig{RealTime: rt, LinkShare: ls}, true
+}
+
+// onEvict is the lifecycle template's OnCollect hook: the scheduler has
+// removed an idle tenant's class. Runs on the pacing goroutine and
+// touches only the lock-free registries and the ledger — never createMu,
+// which a goroutine blocked in EnsureClass may hold while waiting on this
+// very goroutine.
+func (l *Limiter) onEvict(name string, id int) {
+	l.byClass.Delete(id)
+	if v, ok := l.tenants.LoadAndDelete(name); ok {
+		if v.(*tenant).guaranteed {
 			l.ledger.Release(name)
 		}
-		return nil, err
 	}
-	t := &tenant{name: name, class: cl.ID(), slo: slo, guaranteed: guaranteed}
-	l.tenants[name] = t
-	l.byClass.Store(t.class, t)
-	return t, nil
+}
+
+// onReject is the PacedQueue's OnReject callback: a submitted work item
+// was refused at drain time because its class was evicted between Admit's
+// lookup and the intake drain. Resolve the gate so the waiter can retry
+// against a freshly created class. Runs on the pacing goroutine.
+func (l *Limiter) onReject(p *hfsc.Packet, _ hfsc.DropReason) {
+	g, _ := p.Handle.(*gate)
+	p.Release()
+	if g != nil && g.state.CompareAndSwap(gateWaiting, gateRejected) {
+		close(g.ch)
+	}
 }
 
 // estimate resolves the service-time estimate for one request.
@@ -359,6 +436,7 @@ const (
 	gateAdmitted
 	gateAbandoned
 	gateClosed
+	gateRejected // work item refused at drain: the class was evicted mid-flight
 )
 
 // gate is the per-request admission handle carried through the scheduler
@@ -443,19 +521,40 @@ func (l *Limiter) Admit(ctx context.Context, tenantName, op string) (*Ticket, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t, err := l.getOrCreate(tenantName, l.cfg.DefaultSLO)
-	if err != nil {
-		return nil, err
-	}
 	est := l.estimate(tenantName, op).Nanoseconds()
 	if est <= 0 {
 		est = 1
 	}
+	// A tenant evicted between the class lookup and the intake drain
+	// refuses its work item (gateRejected); one retry drops the stale
+	// tenant, re-creates the class, and resubmits.
+	for attempt := 0; ; attempt++ {
+		t, err := l.getOrCreate(tenantName, l.cfg.DefaultSLO)
+		if err != nil {
+			return nil, err
+		}
+		tk, rejected, err := l.admitOnce(ctx, t, est)
+		if !rejected {
+			return tk, err
+		}
+		l.tenants.CompareAndDelete(tenantName, t)
+		l.byClass.CompareAndDelete(t.class, t)
+		if attempt > 0 {
+			t.shed.Add(1)
+			return nil, fmt.Errorf("%w (tenant %q evicted)", ErrOverloaded, tenantName)
+		}
+	}
+}
 
+// admitOnce submits one work item for t and waits for the verdict.
+// rejected reports that the scheduler refused the item at drain time —
+// t's class was evicted mid-flight — and the caller may retry with a
+// re-created tenant.
+func (l *Limiter) admitOnce(ctx context.Context, t *tenant, est int64) (tk *Ticket, rejected bool, err error) {
 	if l.maxPending > 0 && t.pending.Add(1) > l.maxPending {
 		t.pending.Add(-1)
 		t.shed.Add(1)
-		return nil, fmt.Errorf("%w (tenant %q pending bound)", ErrOverloaded, tenantName)
+		return nil, false, fmt.Errorf("%w (tenant %q pending bound)", ErrOverloaded, t.name)
 	} else if l.maxPending <= 0 {
 		t.pending.Add(1)
 	}
@@ -477,37 +576,46 @@ func (l *Limiter) Admit(ctx context.Context, tenantName, op string) (*Ticket, er
 		p.Release()
 		switch r {
 		case hfsc.DropStopped:
-			return nil, ErrClosed
+			return nil, false, ErrClosed
 		case hfsc.DropCanceled:
 			t.canceled.Add(1)
-			return nil, ctx.Err()
+			return nil, false, ctx.Err()
 		default: // DropIntakeFull
 			t.shed.Add(1)
-			return nil, fmt.Errorf("%w (intake full)", ErrOverloaded)
+			return nil, false, fmt.Errorf("%w (intake full)", ErrOverloaded)
 		}
 	}
 
 	select {
 	case <-g.ch:
+		if g.state.Load() == gateRejected {
+			t.pending.Add(-1)
+			return nil, true, nil
+		}
 		t.admitted.Add(1)
-		return &Ticket{l: l, t: t, est: est, crit: g.crit, admitted: time.Now()}, nil
+		return &Ticket{l: l, t: t, est: est, crit: g.crit, admitted: time.Now()}, false, nil
 	case <-ctx.Done():
 	case <-l.closed:
 	}
-	// Abandon the wait; if the scheduler admitted concurrently, take the
-	// admission and refund it in full (the handler will not run).
+	// Abandon the wait; if the scheduler resolved the gate concurrently,
+	// honor the resolution: take an admission and refund it in full (the
+	// handler will not run), or absorb a rejection (nothing was charged).
 	if g.state.CompareAndSwap(gateWaiting, gateAbandoned) {
 		t.canceled.Add(1)
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	<-g.ch
 	t.canceled.Add(1)
-	l.q.Correct(t.class, est, 0, g.crit)
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if g.state.Load() == gateRejected {
+		t.pending.Add(-1)
+	} else {
+		l.q.Correct(t.class, est, 0, g.crit)
 	}
-	return nil, ErrClosed
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	return nil, false, ErrClosed
 }

@@ -11,10 +11,14 @@ import (
 // RemoveClass deletes a passive leaf class from the hierarchy, mirroring
 // the dynamic reconfiguration the production implementations of this
 // algorithm support (tc class del). The class must have no children and an
-// empty queue. Its identifier is retired (ClassByID returns nil). A parent
-// left childless becomes a leaf and may carry traffic again if it has the
-// curves to do so. The class's hot-arena slot is retired with it (the
-// arena never shrinks; one 192-byte record per removed class).
+// empty queue. Its identifier is retired (ClassByID returns nil) and is
+// never reused — a queued correction or a stale packet aimed at a removed
+// class can never land on a class created later. A parent left childless
+// becomes a leaf and may carry traffic again if it has the curves to do
+// so. The class's hot-arena slot is recycled onto a free list for the next
+// AddClass, so sustained churn does not grow the arena; the stale *Class
+// is re-pointed at a private zeroed record so accessors held across the
+// removal read zeros instead of another class's live state.
 func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl == nil || cl == s.root {
 		return fmt.Errorf("core: cannot remove the root class: %w", ErrRootClass)
@@ -34,34 +38,46 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 		return fmt.Errorf("core: class %q: %w", cl.name, ErrClassActive)
 	}
 	p := cl.parent
-	for i, c := range p.child {
-		if c == cl {
-			p.child = append(p.child[:i], p.child[i+1:]...)
-			break
-		}
-	}
+	// Swap-remove by the stored slot index: sibling order carries no
+	// scheduling meaning (all ordering lives in the vt/cf trees), so the
+	// last child can take the vacated slot and removal stays O(1) even
+	// under a 100k-wide fanout.
+	i, last := cl.childIdx, len(p.child)-1
+	p.child[i] = p.child[last]
+	p.child[i].childIdx = i
+	p.child[last] = nil
+	p.child = p.child[:last]
 	if len(p.child) == 0 {
 		p.hot.leaf = true
 	}
+	*h = hot{leaf: true, myf: noFit, f: noFit, cfmin: noFit}
+	s.freeHots = append(s.freeHots, h)
+	cl.hot = &hot{cl: cl, id: int32(cl.id), leaf: true, myf: noFit, f: noFit, cfmin: noFit}
 	s.classes[cl.id] = nil
 	cl.parent = nil
 	return nil
 }
 
-// SetCurves replaces a passive class's service curves, re-anchoring the
-// runtime curves at the present time and the class's accumulated service
-// (the behaviour of the reference implementations' class-change path).
+// SetCurves replaces a class's service curves, re-anchoring the runtime
+// curves at the present time and the class's accumulated service (the
+// behaviour of the reference implementations' class-change path).
 // Constraints are as in AddClass: interior classes keep a link-sharing
 // curve; leaves keep a real-time and/or link-sharing curve.
+//
+// Unlike the original passive-only path, parameter changes are applied
+// live: on an active class the eligible time, deadline and fit time are
+// re-derived from the class's cumulative work at the switch point, exactly
+// as if the class had activated under the new curves with its service
+// history intact — no packet is dropped and conservation holds across the
+// swap. What cannot change while active is curve *presence* (which of the
+// three curves are set): gaining or losing a curve flips tree memberships
+// mid-backlog, so that still requires a passive class (ErrClassActive).
 func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) error {
 	if cl == nil || cl == s.root {
 		return fmt.Errorf("core: cannot set curves on the root class: %w", ErrRootClass)
 	}
 	if cl.parent == nil {
 		return fmt.Errorf("core: class %q: %w", cl.name, ErrClassRemoved)
-	}
-	if cl.Active() {
-		return fmt.Errorf("core: class %q: curves can only change while passive: %w", cl.name, ErrClassActive)
 	}
 	for _, sc := range []curve.SC{rsc, fsc, usc} {
 		if err := sc.Validate(); err != nil {
@@ -80,6 +96,10 @@ func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) erro
 			return fmt.Errorf("core: interior class %q cannot take a real-time curve", cl.name)
 		}
 	}
+	active := cl.Active()
+	if active && (cl.hasRSC != !rsc.IsZero() || cl.hasFSC != !fsc.IsZero() || cl.hasUSC != !usc.IsZero()) {
+		return fmt.Errorf("core: class %q: curve presence can only change while passive: %w", cl.name, ErrClassActive)
+	}
 	h := cl.hot
 	cl.rsc, cl.fsc, cl.usc = rsc, fsc, usc
 	cl.hasRSC, cl.hasFSC, cl.hasUSC = !rsc.IsZero(), !fsc.IsZero(), !usc.IsZero()
@@ -90,12 +110,32 @@ func (s *Scheduler) SetCurves(cl *Class, rsc, fsc, usc curve.SC, now int64) erro
 			cl.eligible.Dx = 0
 			cl.eligible.Dy = 0
 		}
+		if active && cl.IsLeaf() && cl.queue.Len() > 0 {
+			h.e = cl.eligible.Y2X(h.cumul)
+			h.d = cl.deadline.Y2X(h.cumul + cl.queue.Front().Work())
+			s.el.update(h, now)
+		}
 	}
 	if cl.hasFSC {
+		// Anchoring at (vt, total) leaves the class's virtual time — and so
+		// its position in the parent's vt tree — unchanged; only the slope
+		// ahead of the anchor moves.
 		cl.virtual.Init(fsc, h.vt, h.total)
 	}
 	if cl.hasUSC {
 		cl.ulimit.Init(usc, now, h.total)
+	}
+	if active {
+		if cl.hasUSC {
+			h.myf = cl.ulimit.Y2X(h.total)
+		} else {
+			h.myf = noFit
+		}
+		// The new fit time may loosen or tighten ancestors' cfmin chains;
+		// refreshF no-ops at each level where nothing changed.
+		for c := cl; c.parent != nil; c = c.parent {
+			s.refreshF(c)
+		}
 	}
 	s.maybeFallBack(rsc)
 	return nil

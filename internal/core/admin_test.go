@@ -71,10 +71,17 @@ func TestRemoveInteriorAfterChildren(t *testing.T) {
 func TestSetCurves(t *testing.T) {
 	s := core.New(core.Options{})
 	a := mustAdd(t, s, nil, "a", lin(mbps), lin(mbps), curve.SC{})
-	// Active classes refuse curve changes.
+	// Active classes accept live parameter changes but refuse changes to
+	// which curves are present (here: dropping the real-time curve).
 	s.Enqueue(&pktq.Packet{Len: 100, Class: a.ID()}, 0)
-	if err := s.SetCurves(a, lin(2*mbps), lin(2*mbps), curve.SC{}, 0); err == nil {
-		t.Error("changed curves while active")
+	if err := s.SetCurves(a, lin(2*mbps), lin(2*mbps), curve.SC{}, 0); err != nil {
+		t.Errorf("live parameter change refused: %v", err)
+	}
+	if err := s.SetCurves(a, curve.SC{}, lin(2*mbps), curve.SC{}, 0); err == nil {
+		t.Error("changed curve presence while active")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 	s.Dequeue(0)
 	// Invalid replacements are rejected.

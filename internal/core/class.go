@@ -90,11 +90,12 @@ const _ = -(unsafe.Sizeof(hot{}) % 64)
 // touched per packet lives in the hot record; Class keeps the identity,
 // configuration, queue and statistics.
 type Class struct {
-	id     int
-	name   string
-	parent *Class
-	child  []*Class
-	hot    *hot
+	id       int
+	name     string
+	parent   *Class
+	child    []*Class
+	childIdx int // this class's slot in parent.child (O(1) removal)
+	hot      *hot
 
 	rsc, fsc, usc          curve.SC
 	hasRSC, hasFSC, hasUSC bool
@@ -129,7 +130,8 @@ func (c *Class) Name() string { return c.name }
 func (c *Class) Parent() *Class { return c.parent }
 
 // Children returns the class's children. The returned slice must not be
-// modified.
+// modified. Sibling order is not meaningful — removal of a sibling may
+// reorder it.
 func (c *Class) Children() []*Class { return c.child }
 
 // IsLeaf reports whether the class has no children.

@@ -93,6 +93,10 @@ type Scheduler struct {
 	// index-adjacent records keep the tree comparisons and selection walks
 	// on a handful of cache lines.
 	hotBlocks [][]hot
+	// freeHots recycles the arena slots of removed classes: sustained class
+	// churn reuses slots instead of growing the arena without bound. Class
+	// ids are never reused — only the backing records.
+	freeHots []*hot
 	// calendarOK is false once a class's real-time curve was found hostile
 	// to the calendar horizon (ElAuto only; see maybeFallBack).
 	calendarOK bool
@@ -185,6 +189,9 @@ func (s *Scheduler) AddClass(parent *Class, name string, rsc, fsc, usc curve.SC)
 	if parent == nil {
 		parent = s.root
 	}
+	if parent != s.root && parent.parent == nil {
+		return nil, fmt.Errorf("core: parent %q: %w", parent.name, ErrClassRemoved)
+	}
 	if parent != s.root {
 		if !parent.hasFSC {
 			return nil, fmt.Errorf("core: parent %q has no link-sharing curve", parent.name)
@@ -214,7 +221,14 @@ func (s *Scheduler) AddClass(parent *Class, name string, rsc, fsc, usc curve.SC)
 		rsc:    rsc, fsc: fsc, usc: usc,
 		hasRSC: !rsc.IsZero(), hasFSC: !fsc.IsZero(), hasUSC: !usc.IsZero(),
 	}
-	cl.hot = s.allocHot(cl)
+	if n := len(s.freeHots); n > 0 {
+		h := s.freeHots[n-1]
+		s.freeHots = s.freeHots[:n-1]
+		h.cl, h.id = cl, int32(cl.id)
+		cl.hot = h
+	} else {
+		cl.hot = s.allocHot(cl)
+	}
 	cl.queue.PktLimit = s.opts.DefaultQueueLimit
 	// Seed the runtime curves from the specifications at the origin; every
 	// later activation refines them with the Fig. 8 min-update, which
@@ -229,7 +243,13 @@ func (s *Scheduler) AddClass(parent *Class, name string, rsc, fsc, usc curve.SC)
 	if cl.hasUSC {
 		cl.ulimit.Init(usc, 0, 0)
 	}
-	s.initParentTrees(cl)
+	// Parent trees are allocated on first child, not at creation: a leaf
+	// never uses them, and at 100k churned leaves the two eager tree
+	// allocations per class were pure GC ballast on the admin path.
+	if parent.vttree == nil {
+		s.initParentTrees(parent)
+	}
+	cl.childIdx = len(parent.child)
 	parent.child = append(parent.child, cl)
 	parent.hot.leaf = false
 	s.classes = append(s.classes, cl)
@@ -405,6 +425,9 @@ func (s *Scheduler) minFitAfterRef(now int64) (int64, bool) {
 	best, found := int64(math.MaxInt64), false
 	var walk func(c *Class)
 	walk = func(c *Class) {
+		if c.vttree == nil { // leaf: parent trees are allocated lazily
+			return
+		}
 		for n := c.vttree.Min(); n != nil; n = c.vttree.Next(n) {
 			ch := n.Item
 			if ch.f != noFit && ch.f > now && ch.f < best {

@@ -55,8 +55,8 @@ func DefaultShards() int {
 
 // Placement pins top-level link-sharing subtrees to shards and accounts
 // each shard's admitted real-time guarantee (its floor). Not safe for
-// concurrent use; the owner serializes access (classes are added before
-// traffic starts).
+// concurrent use; the owner serializes access (the MultiQueue takes its
+// table mutex around every placement change, including live add/remove).
 type Placement struct {
 	floors []uint64 // Σ sup-rates of admitted leaf rsc curves, per shard
 	tops   []int    // top-level classes pinned, per shard
@@ -93,7 +93,13 @@ func (p *Placement) Place(guarantee uint64) int {
 // top-level ancestor was pinned to.
 func (p *Placement) Charge(shard int, guarantee uint64) { p.floors[shard] += guarantee }
 
-// Unplace rolls back a Place whose class creation failed afterwards.
+// Uncharge reverses a Charge when a descendant class is removed (or its
+// guarantee changes): the shard keeps its pinned subtree but sheds the
+// leaf's floor contribution.
+func (p *Placement) Uncharge(shard int, guarantee uint64) { p.floors[shard] -= guarantee }
+
+// Unplace rolls back a Place: the top-level class failed to create, was
+// removed, or was garbage-collected.
 func (p *Placement) Unplace(shard int, guarantee uint64) {
 	p.tops[shard]--
 	p.floors[shard] -= guarantee

@@ -63,9 +63,19 @@ const DefaultRebalanceEvery = 250 * time.Millisecond
 //
 // Class identifiers returned by AddClass (and carried in Packet.Class)
 // are global to the MultiQueue; the mapping to shard-local classes is
-// internal. Like the core hierarchy, the class tree must be fully built
-// before Start.
+// internal. The hierarchy is dynamic: classes can be added, removed and
+// re-curved while the shards run (the op is routed to the owning shard's
+// pacing goroutine), and a ClassTemplate (SetTemplate) auto-creates and
+// garbage-collects leaves exactly as on a single PacedQueue. Admin calls
+// must not run concurrently with Start.
 type MultiQueue struct {
+	// OnReject, when set before Start, is invoked for packets accepted at
+	// intake but refused by a shard's scheduler at drain time, with
+	// Packet.Class restored to the global id (see PacedQueue.OnReject).
+	// Runs on the shard's pacing goroutine; it must not block or call back
+	// into the MultiQueue.
+	OnReject func(*Packet, DropReason)
+
 	cfg      MultiConfig
 	line     uint64
 	transmit func(*Packet)
@@ -74,8 +84,22 @@ type MultiQueue struct {
 	place  *multi.Placement
 	rebal  *multi.Rebalancer
 
-	classes []*MultiClass // indexed by global class id
-	byName  map[string]*MultiClass
+	// table maps global class ids to classes, readable lock-free from the
+	// submit path while admin ops add and remove entries; nextID is the
+	// monotone id allocator (ids are never reused — a stale packet or
+	// correction can never land on a class created later). byName is the
+	// authoritative name registry; names mirrors it as name → id for
+	// lock-free SubmitTo resolution.
+	table  classTable
+	nextID int
+	byName map[string]*MultiClass
+	names  sync.Map
+
+	// adminMu serializes the admin operations (add/remove/set-curves/
+	// ensure); it is held across shard Inspect calls, which m.mu — taken
+	// by GC callbacks on pacing goroutines — never may be.
+	adminMu sync.Mutex
+	tpls    []tplRule
 
 	mu       sync.Mutex
 	started  bool
@@ -89,12 +113,64 @@ type MultiQueue struct {
 	dropUnknown atomic.Uint64
 }
 
+// mqChunkBits sizes classTable chunks (1024 entries each).
+const mqChunkBits = 10
+
+type mqChunk [1 << mqChunkBits]atomic.Pointer[MultiClass]
+
+// classTable is the global-id → class index: a spine of fixed chunks.
+// Readers (Submit, classRef) are lock-free — one spine load plus one
+// chunk-entry load; writers hold m.mu and grow the spine copy-on-write
+// (chunks themselves are shared, so an add at 100k classes copies ~100
+// spine pointers, not the table).
+type classTable struct {
+	spine atomic.Pointer[[]*mqChunk]
+}
+
+func (t *classTable) get(id int) *MultiClass {
+	if id < 0 {
+		return nil
+	}
+	sp := t.spine.Load()
+	if sp == nil || id>>mqChunkBits >= len(*sp) {
+		return nil
+	}
+	return (*sp)[id>>mqChunkBits][id&(1<<mqChunkBits-1)].Load()
+}
+
+// set installs (or clears, mc == nil) an entry; callers hold m.mu.
+func (t *classTable) set(id int, mc *MultiClass) {
+	ci := id >> mqChunkBits
+	var cur []*mqChunk
+	if sp := t.spine.Load(); sp != nil {
+		cur = *sp
+	}
+	if ci >= len(cur) {
+		grown := make([]*mqChunk, ci+1)
+		copy(grown, cur)
+		for i := len(cur); i <= ci; i++ {
+			grown[i] = new(mqChunk)
+		}
+		t.spine.Store(&grown)
+		cur = grown
+	}
+	cur[ci][id&(1<<mqChunkBits-1)].Store(mc)
+}
+
 // mqShard is one scheduler shard: a Scheduler owned by a PacedQueue, plus
 // the local→global class id mapping its Transmit wrapper restores.
 type mqShard struct {
-	sched    *Scheduler
-	q        *PacedQueue
-	globalOf []int // local class id → global id; -1 for the root
+	sched *Scheduler
+	q     *PacedQueue
+	// globalOf maps local class ids to global ids (-1 for the root).
+	// Written only by the goroutine owning the shard's Scheduler (the
+	// pacing goroutine after Start), under idMu; cross-goroutine readers
+	// (Snapshot, FlightEvents) take idMu, while same-goroutine readers
+	// (the Transmit wrapper, DumpTree's remap) need no lock. Entries of
+	// removed classes keep their stale global id so late transmits and
+	// rejects still report the retired identity.
+	idMu     sync.Mutex
+	globalOf []int
 }
 
 // MultiClass is a class of a MultiQueue: a shard-local Class plus its
@@ -104,6 +180,11 @@ type MultiClass struct {
 	mq    *MultiQueue
 	shard int
 	id    int
+	// floor is the guarantee (sup-rate) currently charged to the shard's
+	// placement floor, and top whether this class was Placed (top-level)
+	// rather than Charged. Guarded by mq.mu (SetCurves moves floors).
+	floor uint64
+	top   bool
 }
 
 // ID returns the MultiQueue-global identifier to place in Packet.Class.
@@ -120,11 +201,18 @@ func (c *MultiClass) IsLeaf() bool { return c.cl.IsLeaf() }
 
 // Parent returns the parent class, or nil for a top-level class.
 func (c *MultiClass) Parent() *MultiClass {
+	sh := c.mq.shards[c.shard]
 	p := c.cl.Parent()
-	if p == nil || p == c.mq.shards[c.shard].sched.Root() {
+	if p == nil || p == sh.sched.Root() {
 		return nil
 	}
-	return c.mq.classes[c.mq.shards[c.shard].globalOf[p.ID()]]
+	sh.idMu.Lock()
+	gid := -1
+	if p.ID() < len(sh.globalOf) {
+		gid = sh.globalOf[p.ID()]
+	}
+	sh.idMu.Unlock()
+	return c.mq.table.get(gid)
 }
 
 // Stats reports the class's service counters. Like direct Scheduler
@@ -179,15 +267,36 @@ func NewMultiQueue(cfg MultiConfig, transmit func(*Packet)) (*MultiQueue, error)
 	// pacing pass freshens the stamp every producer sees, and the CAS-max
 	// advance keeps it monotone across the racing pacing goroutines.
 	clk := &coarseClock{}
+	// Templates live at the MultiQueue level (they choose a shard at
+	// creation); a shard-local AutoClass would create classes the global
+	// tables never hear about, so it is stripped from the shard config.
+	shCfg := cfg.Config
+	if shCfg.AutoClass != nil {
+		m.tpls = append(m.tpls, tplRule{prefix: "", tpl: *shCfg.AutoClass})
+		shCfg.AutoClass = nil
+	}
 	for i := 0; i < n; i++ {
 		sh := &mqShard{globalOf: []int{-1}} // local id 0 is the shard's root
-		sh.sched = New(cfg.Config)
+		sh.sched = New(shCfg)
 		q, err := NewPacedQueue(sh.sched, func(p *Packet) {
 			p.Class = sh.globalOf[p.Class]
 			transmit(p)
 		})
 		if err != nil {
 			return nil, err
+		}
+		q.OnReject = func(p *Packet, r DropReason) {
+			cb := m.OnReject
+			if cb == nil {
+				return
+			}
+			// Pacing goroutine: globalOf needs no lock here.
+			if g := sh.globalOf; p.Class >= 0 && p.Class < len(g) {
+				p.Class = g[p.Class]
+			} else {
+				p.Class = -1
+			}
+			cb(p, r)
 		}
 		q.IntakeShards = cfg.IntakeShards
 		q.IntakeDepth = cfg.IntakeDepth
@@ -211,49 +320,290 @@ func supRate(sc SC) uint64 {
 	return sc.M2
 }
 
-// AddClass creates a class. A nil parent makes a top-level class, which
-// is pinned to a shard chosen to balance guaranteed load; children land
-// on their parent's shard, so each top-level subtree lives entirely
-// inside one scheduler. Names must be unique across the MultiQueue. The
-// hierarchy must be fully built before Start.
+// AddClass creates a class, before or after Start. A nil parent makes a
+// top-level class, which is pinned to a shard chosen to balance
+// guaranteed load; children land on their parent's shard, so each
+// top-level subtree lives entirely inside one scheduler. Names must be
+// unique across the MultiQueue. On a running MultiQueue the creation is
+// executed by the owning shard's pacing goroutine between scheduling
+// passes.
 func (m *MultiQueue) AddClass(parent *MultiClass, name string, cfg ClassConfig) (*MultiClass, error) {
+	m.adminMu.Lock()
+	defer m.adminMu.Unlock()
+	return m.addClass(parent, name, cfg, nil)
+}
+
+// addClass is the shared creation path (adminMu held). tpl, when
+// non-nil, enrolls the class in the template's idle collection with the
+// MultiQueue-level cleanup chained in front of the template's OnCollect.
+func (m *MultiQueue) addClass(parent *MultiClass, name string, cfg ClassConfig, tpl *ClassTemplate) (*MultiClass, error) {
+	guarantee := supRate(cfg.RealTime)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.started {
-		return nil, fmt.Errorf("hfsc: MultiQueue classes must be added before Start")
-	}
 	if _, dup := m.byName[name]; dup {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("%w %q", ErrDuplicateClass, name)
 	}
-	guarantee := supRate(cfg.RealTime)
+	top := parent == nil
 	var shard int
 	var parentCl *Class
-	if parent == nil {
+	if top {
 		shard = m.place.Place(guarantee)
 	} else {
 		shard = parent.shard
 		parentCl = parent.cl
-	}
-	sh := m.shards[shard]
-	cl, err := sh.sched.AddClass(parentCl, name, cfg)
-	if err != nil {
-		if parent == nil {
-			m.place.Unplace(shard, guarantee)
-		}
-		return nil, err
-	}
-	if parent != nil {
 		m.place.Charge(shard, guarantee)
 	}
-	id := len(m.classes)
-	for len(sh.globalOf) <= cl.ID() {
-		sh.globalOf = append(sh.globalOf, -1)
+	id := m.nextID
+	m.nextID++ // a failed add leaves a gap; ids are never reused anyway
+	m.mu.Unlock()
+
+	sh := m.shards[shard]
+	mc := &MultiClass{mq: m, shard: shard, id: id, floor: guarantee, top: top}
+	var err error
+	sh.q.Inspect(func(s *Scheduler) {
+		var cl *Class
+		if cl, err = s.AddClass(parentCl, name, cfg); err != nil {
+			return
+		}
+		mc.cl = cl
+		if tpl != nil && tpl.Grace > 0 {
+			// Capture the callback by value: the template rule itself may
+			// be replaced via SetTemplate while this class lives.
+			after := tpl.OnCollect
+			s.trackLocked(cl, tpl.Grace, func(string, int) { m.onShardCollect(mc, after) }, Now(time.Now()))
+		}
+		sh.idMu.Lock()
+		for len(sh.globalOf) <= cl.ID() {
+			sh.globalOf = append(sh.globalOf, -1)
+		}
+		sh.globalOf[cl.ID()] = id
+		sh.idMu.Unlock()
+	})
+	m.mu.Lock()
+	if err != nil {
+		if top {
+			m.place.Unplace(shard, guarantee)
+		} else {
+			m.place.Uncharge(shard, guarantee)
+		}
+		m.mu.Unlock()
+		return nil, err
 	}
-	sh.globalOf[cl.ID()] = id
-	mc := &MultiClass{cl: cl, mq: m, shard: shard, id: id}
-	m.classes = append(m.classes, mc)
 	m.byName[name] = mc
+	m.table.set(id, mc)
+	m.mu.Unlock()
+	m.names.Store(name, id)
 	return mc, nil
+}
+
+// onShardCollect is the GC hook for template-created classes: the shard's
+// CollectIdle already removed the class from its Scheduler (on the shard's
+// pacing goroutine); this strips the MultiQueue-level registrations and
+// returns the floor, then hands off to the template's own OnCollect. It
+// takes only m.mu — never adminMu, which an admin op may hold while
+// waiting on this very pacing goroutine.
+func (m *MultiQueue) onShardCollect(mc *MultiClass, after func(string, int)) {
+	name := mc.cl.Name()
+	m.mu.Lock()
+	if m.byName[name] == mc {
+		delete(m.byName, name)
+	}
+	m.table.set(mc.id, nil)
+	if mc.top {
+		m.place.Unplace(mc.shard, mc.floor)
+	} else {
+		m.place.Uncharge(mc.shard, mc.floor)
+	}
+	m.mu.Unlock()
+	m.names.CompareAndDelete(name, mc.id)
+	if after != nil {
+		after(name, mc.id)
+	}
+}
+
+// RemoveClass deletes the named class while the shards run. Fails with
+// ErrUnknownClass for an unknown name, ErrHasChildren for an interior
+// class and ErrClassBusy while the class still holds packets or in-tree
+// scheduling state. The retired global id is never reused; packets for it
+// still in intake are refused at drain time (see OnReject). A removed
+// top-level class frees its placement slot, and the shard's floor drops
+// by the class's guarantee either way (the rebalancer redistributes on
+// its next pass).
+func (m *MultiQueue) RemoveClass(name string) error {
+	m.adminMu.Lock()
+	defer m.adminMu.Unlock()
+	m.mu.Lock()
+	mc := m.byName[name]
+	m.mu.Unlock()
+	if mc == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownClass, name)
+	}
+	sh := m.shards[mc.shard]
+	var err error
+	sh.q.Inspect(func(s *Scheduler) {
+		w := s.Class(name)
+		if w == nil { // collected by the shard GC after the lookup above
+			err = fmt.Errorf("%w: %q", ErrUnknownClass, name)
+			return
+		}
+		err = s.RemoveClass(w)
+	})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.byName[name] == mc {
+		delete(m.byName, name)
+	}
+	m.table.set(mc.id, nil)
+	if mc.top {
+		m.place.Unplace(mc.shard, mc.floor)
+	} else {
+		m.place.Uncharge(mc.shard, mc.floor)
+	}
+	m.mu.Unlock()
+	m.names.CompareAndDelete(name, mc.id)
+	return nil
+}
+
+// SetCurves replaces the named class's curves while the shards run —
+// live, even mid-backlog (see Scheduler.SetCurves). The class's guarantee
+// contribution to its shard's placement floor moves with the new
+// real-time curve, so admissibility accounting and the rebalancer's
+// floors stay truthful.
+func (m *MultiQueue) SetCurves(name string, cfg ClassConfig) error {
+	m.adminMu.Lock()
+	defer m.adminMu.Unlock()
+	m.mu.Lock()
+	mc := m.byName[name]
+	m.mu.Unlock()
+	if mc == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownClass, name)
+	}
+	sh := m.shards[mc.shard]
+	var err error
+	sh.q.Inspect(func(s *Scheduler) {
+		w := s.Class(name)
+		if w == nil {
+			err = fmt.Errorf("%w: %q", ErrUnknownClass, name)
+			return
+		}
+		err = s.SetCurves(w, cfg, Now(time.Now()))
+	})
+	if err != nil {
+		return err
+	}
+	newFloor := supRate(cfg.RealTime)
+	m.mu.Lock()
+	if newFloor != mc.floor {
+		m.place.Uncharge(mc.shard, mc.floor)
+		m.place.Charge(mc.shard, newFloor)
+		mc.floor = newFloor
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// SetTemplate registers (or replaces) the class template for names with
+// the given prefix — the MultiQueue analogue of Scheduler.SetTemplate.
+// Auto-created top-level classes are placed like AddClass ones; OnCollect
+// runs on the owning shard's pacing goroutine after the class and its
+// global id have been retired.
+func (m *MultiQueue) SetTemplate(prefix string, tpl ClassTemplate) {
+	m.adminMu.Lock()
+	defer m.adminMu.Unlock()
+	for i := range m.tpls {
+		if m.tpls[i].prefix == prefix {
+			m.tpls[i].tpl = tpl
+			return
+		}
+	}
+	m.tpls = append(m.tpls, tplRule{prefix: prefix, tpl: tpl})
+}
+
+// EnsureClass resolves the named class, creating it from the matching
+// template if needed (ErrUnknownTemplate when none matches; the
+// template's Parent must name an existing class).
+func (m *MultiQueue) EnsureClass(name string) (*MultiClass, error) {
+	m.adminMu.Lock()
+	defer m.adminMu.Unlock()
+	m.mu.Lock()
+	mc := m.byName[name]
+	m.mu.Unlock()
+	if mc != nil {
+		return mc, nil
+	}
+	tpl, ok := matchTpl(m.tpls, name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTemplate, name)
+	}
+	cfg, err := tpl.config(name)
+	if err != nil {
+		return nil, err
+	}
+	var parent *MultiClass
+	if tpl.Parent != "" {
+		m.mu.Lock()
+		parent = m.byName[tpl.Parent]
+		m.mu.Unlock()
+		if parent == nil {
+			return nil, fmt.Errorf("%w: template parent %q", ErrUnknownClass, tpl.Parent)
+		}
+	}
+	return m.addClass(parent, name, cfg, tpl)
+}
+
+// ClassID resolves a class name to its global id, lock-free from any
+// goroutine (the SubmitTo fast path). The id may be retired concurrently
+// by RemoveClass or the GC; submits to it are then refused.
+func (m *MultiQueue) ClassID(name string) (int, bool) {
+	v, ok := m.names.Load(name)
+	if !ok {
+		return 0, false
+	}
+	return v.(int), true
+}
+
+// SubmitTo submits by class name: one lock-free lookup on top of Submit
+// in the common case, with unknown names auto-created from the matching
+// template first (see PacedQueue.SubmitTo). DropUnknownClass means no
+// template matched or the template refused the name.
+func (m *MultiQueue) SubmitTo(name string, p *Packet) DropReason {
+	if id, ok := m.ClassID(name); ok {
+		p.Class = id
+		return m.Submit(p)
+	}
+	mc, err := m.EnsureClass(name)
+	if err != nil {
+		m.dropUnknown.Add(1)
+		return DropUnknownClass
+	}
+	p.Class = mc.id
+	return m.Submit(p)
+}
+
+// CollectIdle forces an idle-class collection scan on every shard now,
+// returning how many classes were collected (each shard's scan runs on
+// its own pacing goroutine; see Scheduler.CollectIdle).
+func (m *MultiQueue) CollectIdle() int {
+	m.adminMu.Lock()
+	defer m.adminMu.Unlock()
+	n := 0
+	for _, sh := range m.shards {
+		n += sh.q.CollectIdle()
+	}
+	return n
+}
+
+// CorrectClass is Correct addressed by class name; unlike Correct's
+// silent ignore it reports an unknown name with ErrUnknownClass.
+func (m *MultiQueue) CorrectClass(name string, estimated, actual int64, crit Criterion) error {
+	id, ok := m.ClassID(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClass, name)
+	}
+	m.Correct(id, estimated, actual, crit)
+	return nil
 }
 
 // Class returns the class with the given name, or nil.
@@ -263,11 +613,19 @@ func (m *MultiQueue) Class(name string) *MultiClass {
 	return m.byName[name]
 }
 
-// Classes returns every class in creation (global id) order.
+// Classes returns every live class in creation (global id) order;
+// removed and collected classes are excluded.
 func (m *MultiQueue) Classes() []*MultiClass {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]*MultiClass(nil), m.classes...)
+	n := m.nextID
+	m.mu.Unlock()
+	out := make([]*MultiClass, 0, n)
+	for id := 0; id < n; id++ {
+		if mc := m.table.get(id); mc != nil {
+			out = append(out, mc)
+		}
+	}
+	return out
 }
 
 // Admissible verifies the composed schedulability condition: the summed
@@ -364,12 +722,13 @@ func (m *MultiQueue) rebalanceLocked(now int64) {
 }
 
 // classRef resolves a global class id to its shard and local id; ok is
-// false for unknown ids.
+// false for unknown (or removed) ids. Lock-free: one table lookup, then
+// immutable MultiClass fields.
 func (m *MultiQueue) classRef(id int) (*mqShard, int, bool) {
-	if id < 0 || id >= len(m.classes) {
+	c := m.table.get(id)
+	if c == nil {
 		return nil, 0, false
 	}
-	c := m.classes[id]
 	return m.shards[c.shard], c.cl.ID(), true
 }
 
@@ -457,20 +816,21 @@ func (m *MultiQueue) SubmitN(ps []*Packet) (accepted int, last DropReason) {
 			kick()
 			return i, DropBadPacket
 		}
-		sh, local, ok := m.classRef(p.Class)
-		if !ok {
+		mc := m.table.get(p.Class)
+		if mc == nil {
 			m.dropUnknown.Add(1)
 			kick()
 			return i, DropUnknownClass
 		}
+		sh := m.shards[mc.shard]
 		global := p.Class
-		p.Class = local
+		p.Class = mc.cl.ID()
 		if !sh.q.push(p) { // the intake shard counted the drop
 			p.Class = global
 			kick()
 			return i, DropIntakeFull
 		}
-		touched |= 1 << uint(m.classes[global].shard)
+		touched |= 1 << uint(mc.shard)
 	}
 	kick()
 	return len(ps), DropNone
@@ -527,8 +887,16 @@ func (m *MultiQueue) Snapshot() *Snapshot {
 	for i, sh := range m.shards {
 		snaps[i] = sh.q.Snapshot()
 	}
+	// Copy each shard's id map under its lock once, not per remap call:
+	// the pacing goroutines may be growing them concurrently.
+	maps := make([][]int, len(m.shards))
+	for i, sh := range m.shards {
+		sh.idMu.Lock()
+		maps[i] = append([]int(nil), sh.globalOf...)
+		sh.idMu.Unlock()
+	}
 	merged := metrics.MergeSnapshots(snaps, func(shard, id int) (int, bool) {
-		g := m.shards[shard].globalOf
+		g := maps[shard]
 		if id < 0 || id >= len(g) || g[id] < 0 {
 			return 0, false
 		}

@@ -389,8 +389,16 @@ func TestMultiQueueClassManagement(t *testing.T) {
 
 	m.Start()
 	defer m.Stop()
-	if _, err := m.AddClass(nil, "late", hfsc.ClassConfig{LinkShare: hfsc.Linear(1)}); err == nil {
-		t.Fatal("AddClass after Start accepted")
+	// The hierarchy is dynamic: classes can be added while the shards run.
+	late, err := m.AddClass(nil, "late", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	if err != nil {
+		t.Fatalf("AddClass after Start: %v", err)
+	}
+	if !m.TrySubmit(&hfsc.Packet{Len: 100, Class: late.ID()}) {
+		t.Fatal("submit to live-added class refused")
+	}
+	if err := m.RemoveClass("nope"); !errors.Is(err, hfsc.ErrUnknownClass) {
+		t.Fatalf("RemoveClass(unknown) = %v", err)
 	}
 	if r := m.Submit(&hfsc.Packet{Len: 100, Class: 99}); r != hfsc.DropUnknownClass {
 		t.Fatalf("unknown class returned %v", r)

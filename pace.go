@@ -31,6 +31,15 @@ type PacedQueue struct {
 	// link.
 	Transmit func(*Packet)
 
+	// OnReject, when set, is invoked from the pacing goroutine for every
+	// packet that was accepted at intake but refused by the scheduler at
+	// drain time — most commonly DropUnknownClass when the packet's class
+	// was removed (or garbage-collected) between Submit and drain, or
+	// DropQueueLimit on a full class queue. Without it such packets are
+	// only visible as drop counters. Like Transmit it must not block, and
+	// it must not call back into the PacedQueue. Set before Start.
+	OnReject func(*Packet, DropReason)
+
 	// IntakeShards and IntakeDepth tune the intake rings; set them before
 	// the first Submit or Start. Zero picks the defaults (one shard per
 	// CPU rounded up to a power of two, 256 slots per shard); both are
@@ -94,6 +103,10 @@ type PacedQueue struct {
 	// scheduling passes, with a cheap pending flag the loop polls.
 	inspectQ       chan func()
 	inspectPending atomic.Int32
+
+	// gcAt is the clock (ns) of the next idle-class collection scan.
+	// Owned by the pacing goroutine; see Scheduler.CollectIdle.
+	gcAt int64
 }
 
 const (
@@ -553,6 +566,13 @@ func (q *PacedQueue) loop() {
 		if q.corrPending.Load() {
 			q.serveCorrections(nowNs)
 		}
+		// Idle-class collection rides the pacing loop like corrections do:
+		// no lock enters the hot path, and a scan can never interleave with
+		// scheduling. The arm-check is one map-length read.
+		if q.s.lcArmed() && nowNs >= q.gcAt {
+			q.s.CollectIdle(nowNs)
+			q.gcAt = nowNs + q.s.lcPeriod()
+		}
 		var drained int
 		buf, drained = q.drainIntake(rings, buf, nowNs, drainCap)
 		if drained > 0 {
@@ -599,6 +619,16 @@ func (q *PacedQueue) loop() {
 				wait = time.Duration(t - nowNs)
 				if wait <= 0 {
 					wait = time.Microsecond
+				}
+			}
+			// An armed collector bounds the park so idle classes are still
+			// collected on an otherwise silent link.
+			if q.s.lcArmed() {
+				if d := time.Duration(q.gcAt - nowNs); d < wait {
+					if d <= 0 {
+						d = time.Millisecond
+					}
+					wait = d
 				}
 			}
 			if !q.sleep(timer, wait, rings, &buf, nowNs, true) {
@@ -691,6 +721,129 @@ func (q *PacedQueue) Inspect(fn func(s *Scheduler)) {
 	<-done
 }
 
+// The name-addressed admin surface: the same lifecycle operations the
+// Scheduler exposes, made safe on a running queue by routing through the
+// pacing goroutine (Inspect). None of these may be called from Transmit,
+// OnReject or a template's OnCollect — those already run on the pacing
+// goroutine and would deadlock waiting for themselves.
+
+// AddClass creates a class under the named parent ("" = the link root)
+// while the queue runs, returning the new class's id for Packet.Class.
+// Fails with ErrUnknownClass when the parent does not exist and
+// ErrDuplicateClass when the name is taken.
+func (q *PacedQueue) AddClass(parent, name string, cfg ClassConfig) (int, error) {
+	id := -1
+	var err error
+	q.Inspect(func(s *Scheduler) {
+		var p *Class
+		if parent != "" {
+			if p = s.Class(parent); p == nil {
+				err = fmt.Errorf("%w: parent %q", ErrUnknownClass, parent)
+				return
+			}
+		}
+		var w *Class
+		if w, err = s.AddClass(p, name, cfg); err == nil {
+			id = w.ID()
+		}
+	})
+	return id, err
+}
+
+// RemoveClass deletes the named class while the queue runs. Fails with
+// ErrUnknownClass for an unknown name, ErrHasChildren for an interior
+// class and ErrClassBusy while the class still holds packets or in-tree
+// scheduling state. Packets for the retired id still in the intake rings
+// are refused at drain time (see OnReject).
+func (q *PacedQueue) RemoveClass(name string) error {
+	var err error
+	q.Inspect(func(s *Scheduler) {
+		w := s.Class(name)
+		if w == nil {
+			err = fmt.Errorf("%w: %q", ErrUnknownClass, name)
+			return
+		}
+		err = s.RemoveClass(w)
+	})
+	return err
+}
+
+// SetCurves replaces the named class's curves while the queue runs — live,
+// even mid-backlog (see Scheduler.SetCurves for the semantics). Fails with
+// ErrUnknownClass for an unknown name and ErrClassBusy when the change
+// would alter curve presence on an active class.
+func (q *PacedQueue) SetCurves(name string, cfg ClassConfig) error {
+	var err error
+	q.Inspect(func(s *Scheduler) {
+		w := s.Class(name)
+		if w == nil {
+			err = fmt.Errorf("%w: %q", ErrUnknownClass, name)
+			return
+		}
+		err = s.SetCurves(w, cfg, Now(time.Now()))
+	})
+	return err
+}
+
+// SetTemplate registers a class template (see Scheduler.SetTemplate) while
+// the queue runs.
+func (q *PacedQueue) SetTemplate(prefix string, tpl ClassTemplate) {
+	q.Inspect(func(s *Scheduler) { s.SetTemplate(prefix, tpl) })
+}
+
+// EnsureClass resolves the named class, creating it from the matching
+// template if needed, and returns its id. This is SubmitTo's slow path,
+// exposed for callers that want the id (or the error) before submitting.
+func (q *PacedQueue) EnsureClass(name string) (int, error) {
+	id := -1
+	var err error
+	q.Inspect(func(s *Scheduler) {
+		var w *Class
+		if w, err = s.EnsureClass(name, Now(time.Now())); err == nil {
+			id = w.ID()
+		}
+	})
+	return id, err
+}
+
+// CollectIdle forces an idle-class collection scan now, returning how many
+// classes were collected. The pacing goroutine runs scans on its own
+// schedule; this exists for tests and admin endpoints that need a
+// deterministic point-in-time sweep.
+func (q *PacedQueue) CollectIdle() int {
+	n := 0
+	q.Inspect(func(s *Scheduler) { n = s.CollectIdle(Now(time.Now())) })
+	return n
+}
+
+// ClassID resolves a class name to the id to place in Packet.Class. Safe
+// from any goroutine and lock-free — this is the submit-by-name fast path,
+// not an Inspect.
+func (q *PacedQueue) ClassID(name string) (int, bool) { return q.s.ClassID(name) }
+
+// SubmitTo submits by class name: the common case is one lock-free name
+// lookup on top of Submit, and an unknown name is auto-created from the
+// matching template (Config.AutoClass / SetTemplate) before submitting —
+// the first packet of a new flow pays the creation, every later one takes
+// the fast path. DropUnknownClass means no template matched the name (or
+// the template refused it); the packet stays with the caller.
+func (q *PacedQueue) SubmitTo(name string, p *Packet) DropReason {
+	if id, ok := q.s.ClassID(name); ok {
+		p.Class = id
+		return q.Submit(p)
+	}
+	if q.isStopped() { // Inspect on a stopped queue would run inline, unserialized
+		q.dropStopped.Add(1)
+		return DropStopped
+	}
+	id, err := q.EnsureClass(name)
+	if err != nil {
+		return DropUnknownClass
+	}
+	p.Class = id
+	return q.Submit(p)
+}
+
 // serveInspect runs every queued inspection closure. Called only from the
 // pacing goroutine (loop body and exit path).
 func (q *PacedQueue) serveInspect() {
@@ -724,7 +877,9 @@ func (q *PacedQueue) drainIntake(rings *intake.Queue, buf []*Packet, nowNs int64
 			if p.Arrival == 0 {
 				p.Arrival = nowNs
 			}
-			q.s.Enqueue(p, nowNs)
+			if r := q.s.Offer(p, nowNs); r != DropNone && q.OnReject != nil {
+				q.OnReject(p, r)
+			}
 		}
 		drained += len(buf)
 	}

@@ -204,7 +204,9 @@ func (m *MultiQueue) FlightEvents(buf []FlightRecord) []FlightRecord {
 		}
 		from := len(buf)
 		buf = rec.Snapshot(buf)
-		g := sh.globalOf
+		sh.idMu.Lock()
+		g := append([]int(nil), sh.globalOf...)
+		sh.idMu.Unlock()
 		for j := from; j < len(buf); j++ {
 			buf[j].Shard = int32(i)
 			if id := int(buf[j].Class); id >= 0 && id < len(g) {
@@ -219,14 +221,12 @@ func (m *MultiQueue) FlightEvents(buf []FlightRecord) []FlightRecord {
 	return buf
 }
 
-// ClassName resolves a global class id to its name ("" for unknown ids),
-// matching the FlightEvents id space — handy as the name function for
-// flight.WriteEvents/ToJSON.
+// ClassName resolves a global class id to its name ("" for unknown or
+// removed ids), matching the FlightEvents id space — handy as the name
+// function for flight.WriteEvents/ToJSON. Lock-free.
 func (m *MultiQueue) ClassName(id int) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if id < 0 || id >= len(m.classes) {
-		return ""
+	if mc := m.table.get(id); mc != nil {
+		return mc.cl.Name()
 	}
-	return m.classes[id].cl.Name()
+	return ""
 }

@@ -7,6 +7,7 @@ package hfsc
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestRemoveClassCleansWrapMaps(t *testing.T) {
@@ -92,5 +93,45 @@ func TestRemoveClassStaleWrapperAfterReadd(t *testing.T) {
 	}
 	if p := s.Dequeue(0); p == nil || p.Class != gen2.ID() {
 		t.Fatalf("dequeue got %+v, want the live class's packet", p)
+	}
+}
+
+// Lifecycle extension of the wrap-map hygiene regression: classes removed
+// by idle collection (not an explicit RemoveClass call) must scrub every
+// registry too — byName, wrapped, the lock-free name registry, and the
+// collection tracking table itself.
+func TestCollectIdleCleansWrapMaps(t *testing.T) {
+	s := New(Config{})
+	s.SetTemplate("", ClassTemplate{
+		Class: ClassConfig{LinkShare: Linear(Mbps)},
+		Grace: time.Millisecond,
+	})
+	cl, err := s.EnsureClass("ephemeral", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the wrap cache through every accessor that populates it.
+	if cl.Parent() != s.Root() {
+		t.Fatal("parent lookup")
+	}
+	s.Classes()
+	if n := s.CollectIdle(int64(time.Millisecond)); n != 1 {
+		t.Fatalf("collected %d classes, want 1", n)
+	}
+	if got := len(s.byName); got != 0 {
+		t.Fatalf("byName holds %d entries after collection", got)
+	}
+	if _, stale := s.wrapped[cl.c]; stale {
+		t.Fatal("wrapped map still holds the collected class")
+	}
+	if _, ok := s.ClassID("ephemeral"); ok {
+		t.Fatal("name registry still resolves the collected class")
+	}
+	if len(s.lc) != 0 {
+		t.Fatal("collection table still tracks the collected class")
+	}
+	// The name is immediately reusable.
+	if _, err := s.EnsureClass("ephemeral", int64(time.Millisecond)); err != nil {
+		t.Fatalf("re-create after collection: %v", err)
 	}
 }
