@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint fmt vet build test stress bench bench-smoke bench-intake bench-json bench-check bench-churn
+.PHONY: check lint fmt vet build test stress conformance bench bench-smoke bench-intake bench-json bench-check bench-churn
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests
 ## and a short benchmark smoke run to catch perf-path compile/runtime rot.
@@ -27,8 +27,21 @@ test:
 # under the race detector: the paths these sweep — gate resolution vs
 # abandon, tenant auto-creation vs stats, close vs in-flight waiters —
 # only race under scheduling jitter, so one -race pass is not enough.
+# The lifecycle property test rides along: completion corrections racing
+# idle collection and template re-creation of the same names.
 stress:
 	$(GO) test -race -count=3 -run='TestSixteenTenantRaceStress|TestSLOTieredAdmission' ./hfscmw/
+	$(GO) test -race -count=3 -run='TestCorrectCollectIdleRace' .
+
+# The backend conformance/bounds harness: every datapath (hfsc, auto,
+# hls, htb, wf2q, sfq) against the packet-level oracles — conservation
+# and per-class FIFO on randomized hierarchies/traces, work conservation
+# on a saturating burst, the paper's Fig. 2/3 link-sharing shapes against
+# the fluid reference, and real-time delay bounds against the
+# network-calculus envelope (with the non-guaranteeing backends required
+# to refuse the hierarchy).
+conformance:
+	$(GO) test -count=1 -run='TestConformance' ./internal/conformance/
 
 # A handful of iterations of each benchmark: verifies the bench harnesses
 # still run (panics in priming/steady-state loops fail the target) without

@@ -1,0 +1,290 @@
+package hfsc
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func backendPkt(class, length int) *Packet {
+	return &Packet{Class: class, Len: length}
+}
+
+// TestBackendHLSFairness: the HLS datapath behind the public API serves
+// link-sharing weights fairly and keeps the registry view (names, Stats)
+// working.
+func TestBackendHLSFairness(t *testing.T) {
+	s := New(Config{Backend: BackendHLS})
+	if got := s.Backend(); got != "hls" {
+		t.Fatalf("Backend() = %q, want hls", got)
+	}
+	a, err := s.AddClass(nil, "a", ClassConfig{LinkShare: Linear(1 * Mbps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AddClass(nil, "b", ClassConfig{LinkShare: Linear(3 * Mbps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if r := s.Offer(backendPkt(a.ID(), 1000), 0); r != DropNone {
+			t.Fatalf("offer a: %v", r)
+		}
+		if r := s.Offer(backendPkt(b.ID(), 1000), 0); r != DropNone {
+			t.Fatalf("offer b: %v", r)
+		}
+	}
+	served := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		p := s.Dequeue(0)
+		if p == nil {
+			t.Fatal("nil dequeue with backlog")
+		}
+		if p.Crit != ByLinkShare {
+			t.Fatalf("crit = %v, want ByLinkShare", p.Crit)
+		}
+		served[p.Class]++
+	}
+	ratio := float64(served[b.ID()]) / float64(served[a.ID()])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %.2f, want ~3", ratio)
+	}
+	// The registry folds backend counters into Stats.
+	st := a.Stats()
+	if st.SentPackets != uint64(served[a.ID()]) {
+		t.Errorf("Stats.SentPackets = %d, want %d", st.SentPackets, served[a.ID()])
+	}
+	if st.QueuedPackets != 4000-served[a.ID()] {
+		t.Errorf("Stats.QueuedPackets = %d, want %d", st.QueuedPackets, 4000-served[a.ID()])
+	}
+	if s.Backlog() != 8000-4000 {
+		t.Errorf("Backlog = %d, want 4000", s.Backlog())
+	}
+}
+
+// TestBackendHLSRefusesRealTime: a class needing guarantees the fast path
+// cannot carry is refused with the capability sentinel and leaves no
+// half-registered state behind.
+func TestBackendHLSRefusesRealTime(t *testing.T) {
+	s := New(Config{Backend: BackendHLS})
+	rt, err := ForRealTime(1500, 10*time.Millisecond, 2*Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.AddClass(nil, "rt", ClassConfig{RealTime: rt, LinkShare: Linear(2 * Mbps)})
+	if !errors.Is(err, ErrBackendCapability) {
+		t.Fatalf("err = %v, want ErrBackendCapability", err)
+	}
+	if s.Class("rt") != nil || len(s.Classes()) != 1 {
+		t.Fatal("refused class leaked into the registry")
+	}
+	// Same for gaining a curve via SetCurves.
+	ls, err := s.AddClass(nil, "ls", ClassConfig{LinkShare: Linear(1 * Mbps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.SetCurves(ls, ClassConfig{RealTime: rt, LinkShare: Linear(1 * Mbps)}, 0)
+	if !errors.Is(err, ErrBackendCapability) {
+		t.Fatalf("SetCurves err = %v, want ErrBackendCapability", err)
+	}
+}
+
+// TestBackendAutoSwitches: BackendAuto runs HLS while the hierarchy is
+// pure link-sharing, flips to the core when a real-time class arrives on
+// an idle scheduler, refuses the flip under backlog, and returns to the
+// fast path when the last curved class goes away.
+func TestBackendAutoSwitches(t *testing.T) {
+	s := New(Config{Backend: BackendAuto})
+	if got := s.Backend(); got != "hls" {
+		t.Fatalf("initial Backend() = %q, want hls", got)
+	}
+	ls, err := s.AddClass(nil, "ls", ClassConfig{LinkShare: Linear(1 * Mbps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := ForRealTime(1500, 10*time.Millisecond, 2*Mbps)
+
+	// Backlogged: the switch is refused, nothing changes.
+	if r := s.Offer(backendPkt(ls.ID(), 1000), 0); r != DropNone {
+		t.Fatalf("offer: %v", r)
+	}
+	_, err = s.AddClass(nil, "rt", ClassConfig{RealTime: rt, LinkShare: Linear(2 * Mbps)})
+	if !errors.Is(err, ErrBackendBusy) {
+		t.Fatalf("err = %v, want ErrBackendBusy", err)
+	}
+	if got := s.Backend(); got != "hls" {
+		t.Fatalf("Backend() after refused switch = %q, want hls", got)
+	}
+
+	// Drained: the same add flips the datapath to the core.
+	if p := s.Dequeue(0); p == nil || p.Class != ls.ID() {
+		t.Fatal("drain dequeue failed")
+	}
+	rtc, err := s.AddClass(nil, "rt", ClassConfig{RealTime: rt, LinkShare: Linear(2 * Mbps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Backend(); got != "hfsc" {
+		t.Fatalf("Backend() with RT class = %q, want hfsc", got)
+	}
+
+	// The core path serves real-time traffic normally.
+	if r := s.Offer(backendPkt(rtc.ID(), 1000), 0); r != DropNone {
+		t.Fatalf("offer rt: %v", r)
+	}
+	p := s.Dequeue(0)
+	if p == nil || p.Crit != ByRealTime {
+		t.Fatalf("dequeue = %+v, want real-time criterion", p)
+	}
+
+	// Removing the only curved class returns to the fast path, with the
+	// surviving link-sharing class rebuilt into it.
+	if err := s.RemoveClass(rtc); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Backend(); got != "hls" {
+		t.Fatalf("Backend() after RT removal = %q, want hls", got)
+	}
+	if r := s.Offer(backendPkt(ls.ID(), 1000), 0); r != DropNone {
+		t.Fatalf("offer on rebuilt fast path: %v", r)
+	}
+	if p := s.Dequeue(0); p == nil || p.Class != ls.ID() {
+		t.Fatal("rebuilt fast path lost the class")
+	}
+
+	// SetCurves dropping the RT curve also re-resolves (add RT back first).
+	rtc2, err := s.AddClass(nil, "rt2", ClassConfig{RealTime: rt, LinkShare: Linear(2 * Mbps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Backend(); got != "hfsc" {
+		t.Fatalf("Backend() = %q, want hfsc", got)
+	}
+	if err := s.SetCurves(rtc2, ClassConfig{LinkShare: Linear(2 * Mbps)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Backend(); got != "hls" {
+		t.Fatalf("Backend() after curve drop = %q, want hls", got)
+	}
+}
+
+// TestBackendHTBCeil: the HTB datapath honors upper-limit curves as hard
+// caps and reports readiness via NextReady.
+func TestBackendHTBCeil(t *testing.T) {
+	s := New(Config{Backend: BackendHTB})
+	if got := s.Backend(); got != "htb" {
+		t.Fatalf("Backend() = %q, want htb", got)
+	}
+	c, err := s.AddClass(nil, "capped", ClassConfig{
+		LinkShare:  Linear(10 * Mbps),
+		UpperLimit: Linear(20 * Mbps),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		s.Offer(backendPkt(c.ID(), 1000), 0)
+	}
+	var served int64
+	now := int64(0)
+	for now < 100_000_000 { // 100 ms
+		p := s.Dequeue(now)
+		if p == nil {
+			next, ok := s.NextReady(now)
+			if !ok || next <= now {
+				t.Fatalf("backlogged with no usable NextReady at %d", now)
+			}
+			now = next
+			continue
+		}
+		served += int64(p.Len)
+	}
+	// 20 Mbps = 2.5 MB/s → 250 KB in 100 ms, plus the 2 ms burst bucket.
+	if served > 260_000 {
+		t.Errorf("ceil violated: %d bytes in 100ms", served)
+	}
+	if served < 220_000 {
+		t.Errorf("capped class starved: %d bytes in 100ms", served)
+	}
+}
+
+// TestBackendStaticRefusals: WF2Q/SFQ hierarchies are fixed after
+// construction.
+func TestBackendStaticRefusals(t *testing.T) {
+	for _, kind := range []BackendKind{BackendWF2Q, BackendSFQ} {
+		s := New(Config{Backend: kind})
+		if got := s.Backend(); got != kind.String() {
+			t.Fatalf("Backend() = %q, want %q", got, kind)
+		}
+		c, err := s.AddClass(nil, "x", ClassConfig{LinkShare: Linear(1 * Mbps)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RemoveClass(c); !errors.Is(err, ErrBackendStatic) {
+			t.Fatalf("%v RemoveClass err = %v, want ErrBackendStatic", kind, err)
+		}
+		if err := s.SetCurves(c, ClassConfig{LinkShare: Linear(2 * Mbps)}, 0); !errors.Is(err, ErrBackendStatic) {
+			t.Fatalf("%v SetCurves err = %v, want ErrBackendStatic", kind, err)
+		}
+		// The datapath itself works.
+		if r := s.Offer(backendPkt(c.ID(), 500), 0); r != DropNone {
+			t.Fatalf("offer: %v", r)
+		}
+		if p := s.Dequeue(0); p == nil || p.Class != c.ID() {
+			t.Fatal("dequeue failed")
+		}
+	}
+}
+
+// TestBackendLifecycle: template auto-create and idle collection work on
+// the fast path — activity marks come from backend counters.
+func TestBackendLifecycle(t *testing.T) {
+	s := New(Config{
+		Backend: BackendHLS,
+		AutoClass: &ClassTemplate{
+			Class: ClassConfig{LinkShare: Linear(1 * Mbps)},
+			Grace: 10 * time.Millisecond,
+		},
+	})
+	now := int64(0)
+	c, err := s.EnsureClass("tenant-1", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Offer(backendPkt(c.ID(), 1000), now); r != DropNone {
+		t.Fatalf("offer: %v", r)
+	}
+	// Queued: never collected, no matter how long.
+	now += int64(time.Second)
+	if n := s.CollectIdle(now); n != 0 {
+		t.Fatalf("collected %d with a queued packet", n)
+	}
+	if p := s.Dequeue(now); p == nil {
+		t.Fatal("dequeue failed")
+	}
+	// Serving counts as activity: the first scan after it re-arms idle.
+	if n := s.CollectIdle(now); n != 0 {
+		t.Fatalf("collected %d right after service", n)
+	}
+	// Idle past grace: collected.
+	now += int64(time.Second)
+	if n := s.CollectIdle(now); n != 1 {
+		t.Fatalf("collected %d, want 1", n)
+	}
+	if s.Class("tenant-1") != nil {
+		t.Fatal("collected class still resolvable")
+	}
+	// Metrics snapshot path stays functional under a backend.
+	s2 := New(Config{Backend: BackendHLS, Metrics: true})
+	c2, _ := s2.AddClass(nil, "m", ClassConfig{LinkShare: Linear(1 * Mbps)})
+	s2.Offer(backendPkt(c2.ID(), 700), 0)
+	s2.Dequeue(0)
+	snap := s2.Snapshot()
+	if snap == nil {
+		t.Fatal("nil snapshot")
+	}
+	cs := c2.Metrics()
+	if cs.SentPacketsLS != 1 || cs.EnqueuedPackets != 1 {
+		t.Fatalf("metrics sentLS=%d enq=%d, want 1/1", cs.SentPacketsLS, cs.EnqueuedPackets)
+	}
+}

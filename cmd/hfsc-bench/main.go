@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,11 +46,59 @@ type Result struct {
 	// Producers is set on the intake rows: concurrent submitters feeding
 	// one consumer (ns_per_pkt is aggregate wall time per packet).
 	Producers int `json:"producers,omitempty"`
+	// SpreadPct is the min-to-max spread across the best-of-N passes of
+	// rows measured that way ((max−min)/min·100) — the noise context a
+	// cross-machine or cross-run comparison needs to be honest.
+	SpreadPct float64 `json:"spread_pct,omitempty"`
+}
+
+// Meta records the environment a snapshot was measured in; comparing
+// ns_per_pkt across machines or toolchains without it is meaningless.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	Timestamp  string `json:"timestamp"` // UTC, RFC 3339
+}
+
+// runMeta captures the current environment.
+func runMeta() *Meta {
+	return &Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// cpuModel reads the CPU model string where the platform exposes one
+// (/proc/cpuinfo on Linux); best-effort, "" elsewhere.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(name) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
 }
 
 // Snapshot is one full run of every configuration.
 type Snapshot struct {
 	Source  string   `json:"source"`
+	Meta    *Meta    `json:"meta,omitempty"`
 	Results []Result `json:"results"`
 }
 
@@ -84,38 +133,51 @@ func main() {
 	record := func(name string, classes int, ns, allocs float64) {
 		results = append(results, Result{Name: name, Classes: classes, NsPerPkt: ns, AllocsPerPkt: allocs})
 	}
+	recordSpread := func(name string, classes int, ns, allocs, spread float64) {
+		results = append(results, Result{Name: name, Classes: classes, NsPerPkt: ns,
+			AllocsPerPkt: allocs, SpreadPct: spread})
+	}
 
 	tbl := &stats.Table{Header: []string{"classes", "flat rbtree", "+metrics", "+flight", "flat calendar",
 		fmt.Sprintf("depth-%d tree", *depth), fmt.Sprintf("batch n=%d", *burst), "deferred", "nextready"}}
-	// The flat-rbtree and +flight rows feed tight -check gates (15% and 5%),
-	// so they take the best of three runs — min-of-N is the standard way to
-	// keep scheduler noise out of a microbenchmark on a shared box.
-	best3 := func(build func() *core.Scheduler) (float64, float64) {
+	// The flat-rbtree, +metrics and +flight rows feed tight -check gates
+	// (15%, 25%-overhead and 5%), so they take the best of three runs —
+	// min-of-N is the standard way to keep scheduler noise out of a
+	// microbenchmark on a shared box. The min-to-max spread is recorded
+	// per row so the tracking file says how noisy the box was.
+	best3 := func(build func() *core.Scheduler) (float64, float64, float64) {
 		ns, al := measure(build(), *ops)
+		min, max := ns, ns
 		for i := 0; i < 2; i++ {
-			if n2, a2 := measure(build(), *ops); n2 < ns {
-				ns, al = n2, a2
+			n2, a2 := measure(build(), *ops)
+			if n2 < min {
+				min, al = n2, a2
+			}
+			if n2 > max {
+				max = n2
 			}
 		}
-		return ns, al
+		return min, al, 100 * (max - min) / min
 	}
+	metricsOverhead := map[int][2]float64{} // classes → {untraced, +metrics} ns/pkt
 	for _, n := range sizes {
 		n := n
-		flatRB, aRB := best3(func() *core.Scheduler { return buildFlat(n, core.ElAugmentedTree, nil) })
-		flatMet, aMet := measure(buildFlat(n, core.ElAugmentedTree, benchAgg()), *ops)
+		flatRB, aRB, spRB := best3(func() *core.Scheduler { return buildFlat(n, core.ElAugmentedTree, nil) })
+		flatMet, aMet, spMet := best3(func() *core.Scheduler { return buildFlat(n, core.ElAugmentedTree, benchAgg()) })
 		// "+flight" isolates the flight recorder's own cost on top of the
 		// untraced scheduler; the aggregator's cost is the "+metrics"
 		// column. -check gates this row at 5% over the frozen untraced
 		// baseline.
-		flatFlt, aFlt := best3(func() *core.Scheduler { return buildFlat(n, core.ElAugmentedTree, flight.New(0)) })
+		flatFlt, aFlt, spFlt := best3(func() *core.Scheduler { return buildFlat(n, core.ElAugmentedTree, flight.New(0)) })
 		flatCal, aCal := measure(buildFlat(n, core.ElCalendar, nil), *ops)
 		deep, aDeep := measure(buildDeep(n, *depth), *ops)
 		batch, aBatch := measureBatch(buildFlat(n, core.ElAugmentedTree, nil), *ops, *burst)
 		def, aDef := measureDeferred(n, *ops)
 		nr, aNR := measureNextReady(n, *ops)
-		record("flat-rbtree", n, flatRB, aRB)
-		record("flat-rbtree-metrics", n, flatMet, aMet)
-		record("flat-rbtree-flight", n, flatFlt, aFlt)
+		metricsOverhead[n] = [2]float64{flatRB, flatMet}
+		recordSpread("flat-rbtree", n, flatRB, aRB, spRB)
+		recordSpread("flat-rbtree-metrics", n, flatMet, aMet, spMet)
+		recordSpread("flat-rbtree-flight", n, flatFlt, aFlt, spFlt)
 		record("flat-calendar", n, flatCal, aCal)
 		record(fmt.Sprintf("deep-%d", *depth), n, deep, aDeep)
 		record(fmt.Sprintf("batch-%d", *burst), n, batch, aBatch)
@@ -167,6 +229,22 @@ func main() {
 			os.Exit(1)
 		}
 		requestRows(*ops, record)
+		// TBL-O7 backend matrix plus its two same-run gates: the HLS fast
+		// path must hold its ≥2x advantage over the core datapath at scale,
+		// and the metrics pipeline must cost ≤25% on the flat hot path.
+		beRows := backendRows(*ops, recordSpread)
+		if err := checkBackendSpeed(beRows, 2.0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, n := range sizes {
+			rb, met := metricsOverhead[n][0], metricsOverhead[n][1]
+			if met > rb*1.25 {
+				fmt.Fprintf(os.Stderr, "hfsc-bench -check: +metrics overhead %.0f%% at %d classes (%.0f vs %.0f ns/pkt), budget 25%%\n",
+					100*(met/rb-1), n, met, rb)
+				os.Exit(1)
+			}
+		}
 		if err := checkBaseline(*jsonPath, results, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -190,7 +268,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("\nbench-check: no ns_per_pkt regression beyond %.0f%% vs baseline; no shard-scaling knee\n", *tolerance*100)
+		fmt.Printf("\nbench-check: no ns_per_pkt regression beyond %.0f%% vs baseline; no shard-scaling knee; hls >=2x hfsc; +metrics <=25%%\n", *tolerance*100)
 		return
 	}
 
@@ -240,6 +318,7 @@ func main() {
 		os.Exit(1)
 	}
 	requestRows(*ops, record)
+	backendRows(*ops, recordSpread)
 
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, results); err != nil {
@@ -254,7 +333,7 @@ func main() {
 // across runs (seeded from the first run if the file never had one), the
 // current section is replaced.
 func writeJSON(path string, results []Result) error {
-	cur := &Snapshot{Source: "cmd/hfsc-bench " + time.Now().UTC().Format("2006-01-02"), Results: results}
+	cur := &Snapshot{Source: "cmd/hfsc-bench " + time.Now().UTC().Format("2006-01-02"), Meta: runMeta(), Results: results}
 	out := File{
 		Note: "Per-packet scheduler overhead; ns_per_pkt is one enqueue+dequeue " +
 			"(nextready: one NextReady query). The baseline section is frozen at the " +
@@ -277,6 +356,7 @@ func writeJSON(path string, results []Result) error {
 	if out.Baseline == nil {
 		out.Baseline = cur
 	}
+	seedBaseline(out.Baseline, results)
 	raw, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return err
@@ -655,11 +735,33 @@ func mergeJSON(path string, results []Result) error {
 		}
 	}
 	f.Current.Source = "cmd/hfsc-bench " + time.Now().UTC().Format("2006-01-02")
+	f.Current.Meta = runMeta()
+	seedBaseline(f.Baseline, results)
 	out, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// seedBaseline appends freshly measured rows whose (name, classes) key the
+// baseline has never seen — each new workload's first measurement becomes
+// its frozen reference, the same per-row freeze the whole file gets on its
+// first run — without ever touching rows the baseline already holds.
+func seedBaseline(base *Snapshot, results []Result) {
+	if base == nil {
+		return
+	}
+	have := map[string]bool{}
+	for _, r := range base.Results {
+		have[fmt.Sprintf("%s/%d", r.Name, r.Classes)] = true
+	}
+	for _, r := range results {
+		if key := fmt.Sprintf("%s/%d", r.Name, r.Classes); !have[key] {
+			have[key] = true
+			base.Results = append(base.Results, r)
+		}
+	}
 }
 
 // checkBaseline compares freshly measured TBL-O1 rows against the frozen

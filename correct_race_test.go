@@ -1,0 +1,136 @@
+package hfsc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCorrectCollectIdleRace is the lifecycle property test `make stress`
+// runs under the race detector: completion corrections racing template
+// auto-creation and idle collection on the same small set of names — so
+// ids constantly go stale as classes are collected and re-created — must
+// never panic, lose a packet, or land a correction on the wrong class.
+// The property holds on every datapath; the default core and the
+// auto-selected fast path are both exercised.
+func TestCorrectCollectIdleRace(t *testing.T) {
+	for _, kind := range []BackendKind{BackendHFSC, BackendAuto} {
+		t.Run(kind.String(), func(t *testing.T) {
+			var accepted, transmitted, rejected atomic.Uint64
+			s := New(Config{
+				LinkRate: 100 * Gbps,
+				Backend:  kind,
+				AutoClass: &ClassTemplate{
+					Class: ClassConfig{LinkShare: Linear(Mbps)},
+					Grace: 2 * time.Millisecond,
+				},
+			})
+			q, err := NewPacedQueue(s, func(p *Packet) {
+				transmitted.Add(1)
+				p.Release()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q.OnReject = func(p *Packet, _ DropReason) {
+				rejected.Add(1)
+				p.Release()
+			}
+			q.Start()
+
+			// Eight names shared by all producers: a name is created, drains,
+			// sits out its grace, is collected, and is re-created with a fresh
+			// id — while corrections against its previous ids are in flight.
+			names := make([]string, 8)
+			for i := range names {
+				names[i] = fmt.Sprintf("tenant/%d", i)
+			}
+			iters := 3000
+			if testing.Short() {
+				iters = 800
+			}
+
+			const workers = 4
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					var stale []int // ids seen earlier, many collected by now
+					for i := 0; i < iters; i++ {
+						name := names[rng.Intn(len(names))]
+						if id, ok := q.ClassID(name); ok {
+							stale = append(stale, id)
+						}
+						p := GetPacket()
+						p.Len = 256
+						switch r := q.SubmitTo(name, p); r {
+						case DropNone:
+							accepted.Add(1)
+						case DropIntakeFull, DropUnknownClass, DropQueueLimit:
+							p.Release()
+						default:
+							p.Release()
+							t.Errorf("SubmitTo(%s): %v", name, r)
+							return
+						}
+						// Correct a recent id and, half the time, a stale one;
+						// corrections to collected ids must be ignored, never
+						// applied to whatever class inherited the name.
+						if id, ok := q.ClassID(name); ok {
+							q.Correct(id, 1000, 1000+int64(rng.Intn(500))-250, ByLinkShare)
+						}
+						if len(stale) > 0 && rng.Intn(2) == 0 {
+							q.Correct(stale[rng.Intn(len(stale))], 2000, 1000, ByLinkShare)
+						}
+						if rng.Intn(64) == 0 {
+							time.Sleep(3 * time.Millisecond) // let names go idle past the grace
+						}
+					}
+				}(w)
+			}
+			// A dedicated collector hammers point-in-time sweeps on top of the
+			// pacing goroutine's own scheduled scans.
+			stopCollect := make(chan struct{})
+			var collectWG sync.WaitGroup
+			collectWG.Add(1)
+			go func() {
+				defer collectWG.Done()
+				for {
+					q.CollectIdle()
+					select {
+					case <-stopCollect:
+						return
+					case <-time.After(time.Millisecond):
+					}
+				}
+			}()
+			wg.Wait()
+			close(stopCollect)
+			collectWG.Wait()
+
+			deadline := time.Now().Add(10 * time.Second)
+			for transmitted.Load()+rejected.Load() < accepted.Load() {
+				if time.Now().After(deadline) {
+					t.Fatalf("conservation: accepted %d, transmitted %d, rejected %d",
+						accepted.Load(), transmitted.Load(), rejected.Load())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			q.Stop()
+			if got, want := transmitted.Load()+rejected.Load(), accepted.Load(); got != want {
+				t.Fatalf("conservation after stop: served+rejected %d, accepted %d", got, want)
+			}
+			if bl := s.Backlog(); bl != 0 {
+				t.Fatalf("backlog %d after drain and stop", bl)
+			}
+			// Corrections on a stopped queue apply inline; a stale id must
+			// still be ignored without panicking.
+			q.Correct(1<<20, 2000, 1000, ByLinkShare)
+		})
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netsched/hfsc/internal/backend"
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/flight"
@@ -181,6 +182,12 @@ type Config struct {
 	// to SetTemplate("", *AutoClass); prefix-scoped templates registered
 	// with SetTemplate take precedence for names they match.
 	AutoClass *ClassTemplate
+	// Backend selects the scheduler datapath (default BackendHFSC). The
+	// class hierarchy, naming, templates and introspection are identical
+	// across backends; what changes is the packet path and which
+	// guarantees it can carry — see the BackendKind constants and README
+	// "Choosing a backend".
+	Backend BackendKind
 }
 
 // Class is a node in the link-sharing hierarchy.
@@ -211,9 +218,11 @@ func (c *Class) Children() []*Class {
 // IsLeaf reports whether the class has no children.
 func (c *Class) IsLeaf() bool { return c.c.IsLeaf() }
 
-// Stats reports the class's service counters.
+// Stats reports the class's service counters. Under a non-default backend
+// the datapath's counters are folded in, so the totals stay meaningful
+// across BackendAuto switches (all backend service is link-sharing work).
 func (c *Class) Stats() ClassStats {
-	return ClassStats{
+	st := ClassStats{
 		TotalBytes:     c.c.Total(),
 		RealTimeBytes:  c.c.RealTimeWork(),
 		LinkShareBytes: c.c.LinkShareWork(),
@@ -222,6 +231,16 @@ func (c *Class) Stats() ClassStats {
 		QueuedBytes:    c.c.QueueBytes(),
 		Dropped:        c.c.Dropped(),
 	}
+	if be := c.sched.be; be != nil {
+		if b, ok := be.Stats(c.c.ID()); ok {
+			st.QueuedPackets += b.Queued
+			st.SentPackets += b.SentPackets
+			st.Dropped += b.Dropped
+			st.TotalBytes += b.Work
+			st.LinkShareBytes += b.Work
+		}
+	}
+	return st
 }
 
 // ClassStats is a snapshot of one class's counters.
@@ -252,6 +271,16 @@ type Scheduler struct {
 	// from submitter goroutines; it is the only cross-goroutine-readable
 	// piece of Scheduler state.
 	names sync.Map
+	// be is the active datapath; nil means the H-FSC core serves packets
+	// directly (the default — and the zero-overhead path: no extra branch
+	// state beyond one nil check). auto marks BackendAuto mode, where be
+	// flips between an HLS fast path and nil as the hierarchy gains or
+	// loses classes the fast path cannot carry; nonLS counts those
+	// classes (real-time or upper-limit curves present).
+	be     backend.Backend
+	auto   bool
+	nonLS  int
+	tracer core.Tracer
 }
 
 // New creates a scheduler.
@@ -277,7 +306,10 @@ func New(cfg Config) *Scheduler {
 			opts.Tracer = s.rec
 		}
 	}
+	s.tracer = opts.Tracer
 	s.core = core.New(opts)
+	s.be = newBackend(cfg.Backend, cfg.DefaultQueueLimit)
+	s.auto = cfg.Backend == BackendAuto
 	if cfg.AutoClass != nil {
 		s.SetTemplate("", *cfg.AutoClass)
 	}
@@ -356,9 +388,18 @@ func (s *Scheduler) AddClass(parent *Class, name string, cfg ClassConfig) (*Clas
 	if err != nil {
 		return nil, err
 	}
+	pid := 0
+	if pc != nil {
+		pid = pc.ID()
+	}
+	if err := s.beAddClass(c, pid, cfg); err != nil {
+		return nil, err
+	}
 	if cfg.QueueLimit > 0 {
 		c.SetQueueLimit(cfg.QueueLimit)
 	}
+	s.countCurved(cfg.RealTime, cfg.UpperLimit, +1)
+	s.autoResolve()
 	w := s.wrap(c)
 	s.byName[name] = w
 	s.names.Store(name, c.ID())
@@ -374,9 +415,22 @@ func (s *Scheduler) RemoveClass(cl *Class) error {
 	if cl == nil {
 		return ErrNilClass
 	}
+	if s.be != nil {
+		if !s.be.Caps().Has(backend.CapDynamic) {
+			return fmt.Errorf("%w (backend %s)", ErrBackendStatic, s.be.Kind())
+		}
+		if st, ok := s.be.Stats(cl.c.ID()); ok && st.Queued > 0 {
+			return fmt.Errorf("%w %q", ErrClassBusy, cl.c.Name())
+		}
+	}
 	if err := s.core.RemoveClass(cl.c); err != nil {
 		return err
 	}
+	if s.be != nil {
+		s.be.RemoveClass(cl.c.ID())
+	}
+	s.countCurved(cl.c.RSC(), cl.c.USC(), -1)
+	s.autoResolve()
 	// Drop the name binding only if it still points at this wrapper: a
 	// same-named class re-added after an earlier removal owns the entry.
 	if s.byName[cl.c.Name()] == cl {
@@ -399,12 +453,40 @@ func (s *Scheduler) SetCurves(cl *Class, cfg ClassConfig, now int64) error {
 	if cl == nil {
 		return ErrNilClass
 	}
+	switchToCore := false
+	if s.be != nil {
+		if !s.be.Caps().Has(backend.CapDynamic) {
+			return fmt.Errorf("%w (backend %s)", ErrBackendStatic, s.be.Kind())
+		}
+		if needsCore(s.be, cfg.RealTime, cfg.UpperLimit) {
+			if !s.auto {
+				return fmt.Errorf("%w (backend %s)", ErrBackendCapability, s.be.Kind())
+			}
+			if s.be.Backlog() > 0 {
+				return ErrBackendBusy
+			}
+			switchToCore = true
+		}
+	}
+	oldRSC, oldFSC, oldUSC := cl.c.RSC(), cl.c.FSC(), cl.c.USC()
 	if err := s.core.SetCurves(cl.c, cfg.RealTime, cfg.LinkShare, cfg.UpperLimit, now); err != nil {
 		return err
+	}
+	if switchToCore {
+		s.be = nil // idle switch; registry classes are all passive here
+	} else if s.be != nil {
+		if err := s.be.SetCurves(cl.c.ID(), specOf(cfg), now); err != nil {
+			// Roll the registry back so both views stay consistent.
+			s.core.SetCurves(cl.c, oldRSC, oldFSC, oldUSC, now)
+			return err
+		}
 	}
 	if cfg.QueueLimit > 0 {
 		cl.c.SetQueueLimit(cfg.QueueLimit)
 	}
+	s.countCurved(oldRSC, oldUSC, -1)
+	s.countCurved(cfg.RealTime, cfg.UpperLimit, +1)
+	s.autoResolve()
 	return nil
 }
 
@@ -429,17 +511,26 @@ func (s *Scheduler) Enqueue(p *Packet, now int64) bool { return s.Offer(p, now) 
 // MultiQueue.Correct, which queue the adjustment to the pacing goroutine
 // instead. Correcting a removed class is a no-op.
 func (s *Scheduler) Correct(cl *Class, estimated, actual int64, crit Criterion, now int64) int64 {
-	if cl == nil || !cl.c.IsLeaf() || cl.c == s.core.Root() {
+	if cl == nil {
 		return 0
 	}
-	if estimated < 0 || actual < 0 {
-		return 0
-	}
-	return s.core.Correct(cl.c, estimated, actual, crit, now)
+	return s.correctByID(cl.c.ID(), estimated, actual, crit, now)
 }
 
 // Dequeue returns the next packet to send at the given clock, or nil.
-func (s *Scheduler) Dequeue(now int64) *Packet { return s.core.Dequeue(now) }
+func (s *Scheduler) Dequeue(now int64) *Packet {
+	if s.be != nil {
+		p := s.be.Dequeue(now)
+		if p != nil {
+			p.Crit = pktq.ByLinkShare
+			if s.tracer != nil {
+				s.tracer.Trace(core.EvDequeueLS, s.core.ClassByID(p.Class), p, now, 0)
+			}
+		}
+		return p
+	}
+	return s.core.Dequeue(now)
+}
 
 // DequeueN dequeues up to max packets at the given clock, appending them to
 // out (which may be nil) and returning the extended slice. It selects
@@ -448,15 +539,36 @@ func (s *Scheduler) Dequeue(now int64) *Packet { return s.core.Dequeue(now) }
 // burst path allocation-free in steady state. It stops early when nothing
 // more may be sent at now.
 func (s *Scheduler) DequeueN(now int64, max int, out []*Packet) []*Packet {
+	if s.be != nil {
+		start := len(out)
+		out = s.be.DequeueN(now, max, out)
+		for _, p := range out[start:] {
+			p.Crit = pktq.ByLinkShare
+			if s.tracer != nil {
+				s.tracer.Trace(core.EvDequeueLS, s.core.ClassByID(p.Class), p, now, 0)
+			}
+		}
+		return out
+	}
 	return s.core.DequeueN(now, max, out)
 }
 
 // NextReady reports when Dequeue may next succeed after returning nil with
 // a backlog (e.g. under upper limits).
-func (s *Scheduler) NextReady(now int64) (int64, bool) { return s.core.NextReady(now) }
+func (s *Scheduler) NextReady(now int64) (int64, bool) {
+	if s.be != nil {
+		return s.be.NextReady(now)
+	}
+	return s.core.NextReady(now)
+}
 
 // Backlog returns the number of queued packets.
-func (s *Scheduler) Backlog() int { return s.core.Backlog() }
+func (s *Scheduler) Backlog() int {
+	if s.be != nil {
+		return s.be.Backlog()
+	}
+	return s.core.Backlog()
+}
 
 // Admissible verifies the SCED schedulability condition (Section II): the
 // sum of all leaf real-time curves must lie below the link's curve;

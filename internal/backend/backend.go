@@ -1,0 +1,169 @@
+// Package backend defines the pluggable datapath contract every scheduler
+// backend in this repository implements, and adapters that put the
+// existing schedulers (the H-FSC core, the WF2Q+/SFQ packet fair queueing
+// family) behind it.
+//
+// A Backend is the *datapath* half of a scheduler: it moves work items in
+// and out of a class hierarchy it mirrors. The public hfsc.Scheduler keeps
+// the H-FSC core as the authoritative class registry (names, templates,
+// lifecycle, metrics identity) and — when a non-default backend is
+// selected — mirrors every class into the backend and routes the packet
+// path through it. Class ids are therefore caller-assigned: the backend
+// never invents ids, it indexes whatever the registry handed out. Id 0 is
+// always the implicit root.
+//
+// Backends differ in which guarantees they carry, declared via Caps: the
+// H-FSC core honors real-time, link-sharing and upper-limit curves; the
+// HLS round-robin (internal/hls) trades the real-time machinery for
+// near-O(1) link-sharing; HTB (internal/htb) enforces rate/ceil token
+// buckets without deadlines; WF2Q+/SFQ provide classic hierarchical
+// fairness on static hierarchies. The conformance harness
+// (internal/conformance) drives every backend through identical traces
+// and checks exactly the guarantees its Caps claim.
+package backend
+
+import (
+	"errors"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// Caps is the guarantee/capability bitmask a backend declares. The
+// conformance harness checks a guarantee if and only if the backend
+// claims it; the public wrapper refuses class configurations that need a
+// capability the selected backend lacks.
+type Caps uint8
+
+const (
+	// CapRealTime: real-time curves are honored with per-packet deadline
+	// bounds (Theorem 2 of the paper).
+	CapRealTime Caps = 1 << iota
+	// CapUpperLimit: upper-limit (or ceil) curves cap a class's service;
+	// the backend may intentionally idle and NextReady is meaningful.
+	CapUpperLimit
+	// CapDynamic: classes can be removed and re-curved while the backend
+	// runs (the PR 8 lifecycle: templates, idle GC, live retuning).
+	CapDynamic
+	// CapWorkConserving: Dequeue never returns nil while Backlog() > 0,
+	// absent upper-limit idling (which only CapUpperLimit backends do).
+	CapWorkConserving
+)
+
+// Has reports whether all capabilities in want are present.
+func (c Caps) Has(want Caps) bool { return c&want == want }
+
+// ClassSpec is the per-class configuration handed to a backend: the three
+// H-FSC service curves (zero = absent) plus the leaf queue limit in
+// packets (0 = backend default). Backends interpret what they can — the
+// HLS and PFQ backends reduce the link-sharing curve to its steady-state
+// slope, HTB reads rate/ceil from the link-sharing and upper-limit
+// curves — and must reject (not ignore) curves that demand a guarantee
+// they do not carry.
+type ClassSpec struct {
+	RSC, FSC, USC curve.SC
+	QueueLimit    int
+}
+
+// Weight reduces the class's link-sharing curve to a single fair-share
+// weight: the long-term slope M2, falling back to M1 for one-piece curves
+// that only set the first segment. Round-robin backends schedule on this.
+func (s ClassSpec) Weight() uint64 {
+	if s.FSC.M2 > 0 {
+		return s.FSC.M2
+	}
+	return s.FSC.M1
+}
+
+// Sentinel errors shared by the backend implementations. The public
+// wrapper matches these with errors.Is and maps them onto its own
+// vocabulary.
+var (
+	// ErrCapability: the class spec needs a guarantee the backend lacks
+	// (e.g. a real-time curve on a pure link-sharing backend).
+	ErrCapability = errors.New("backend: class curves need a capability this backend lacks")
+	// ErrStatic: the backend does not support removing or re-curving
+	// classes (no CapDynamic).
+	ErrStatic = errors.New("backend: hierarchy is static")
+	// ErrBusy: the operation needs a passive class but packets are queued.
+	ErrBusy = errors.New("backend: class is busy")
+	// ErrUnknownClass: the id names no mirrored class.
+	ErrUnknownClass = errors.New("backend: unknown class id")
+	// ErrDuplicateClass: the id is already mirrored.
+	ErrDuplicateClass = errors.New("backend: duplicate class id")
+	// ErrNotLeaf: the operation applies to leaves only, or the parent
+	// cannot accept children.
+	ErrNotLeaf = errors.New("backend: not a leaf class")
+)
+
+// LeafStats is the per-leaf introspection every backend exports; the
+// public wrapper's Class.Stats and the idle-collection lifecycle read it
+// instead of the core's counters when a backend owns the datapath.
+type LeafStats struct {
+	Queued      int    // packets currently queued
+	SentPackets uint64 // packets dequeued over the backend's lifetime
+	Dropped     uint64 // packets refused by queue limits
+	Work        int64  // cumulative cost units served
+}
+
+// Backend is a pluggable scheduler datapath over one link. All methods
+// take the current clock in nanoseconds and must tolerate repeated calls
+// with the same time but never a decreasing one. Implementations are
+// single-goroutine like the core scheduler: callers serialize access.
+type Backend interface {
+	// Kind returns the backend's short name ("hfsc", "hls", ...).
+	Kind() string
+	// Caps declares the guarantees this backend carries.
+	Caps() Caps
+
+	// AddClass mirrors a class with the caller-assigned id under the
+	// parent id (0 = root). Ids are never reused by callers.
+	AddClass(id, parent int, name string, spec ClassSpec) error
+	// RemoveClass drops a passive leaf (ErrBusy if packets are queued,
+	// ErrStatic without CapDynamic). A parent left childless becomes a
+	// leaf again.
+	RemoveClass(id int) error
+	// SetCurves re-parameterizes a class live. Presence changes that
+	// would alter the guarantee set may require a passive class.
+	SetCurves(id int, spec ClassSpec, now int64) error
+
+	// Enqueue accepts one work item for its leaf class (Packet.Class is
+	// the caller-assigned id); false means a queue limit dropped it.
+	Enqueue(p *pktq.Packet, now int64) bool
+	// Dequeue selects the next item to transmit at now, or nil. A nil
+	// with Backlog() > 0 means intentional idling (non-work-conserving
+	// backends only); NextReady bounds the retry time.
+	Dequeue(now int64) *pktq.Packet
+	// DequeueN dequeues up to max items, appending to out; it selects
+	// exactly what repeated Dequeue calls would.
+	DequeueN(now int64, max int, out []*pktq.Packet) []*pktq.Packet
+	// NextReady reports the earliest future time Dequeue may succeed
+	// after an intentional idle; ok is false if unknown or no backlog.
+	NextReady(now int64) (int64, bool)
+	// Backlog is the number of queued items.
+	Backlog() int
+
+	// Stats reports a leaf's counters; ok is false for unknown ids.
+	Stats(id int) (st LeafStats, ok bool)
+}
+
+// Corrector is the optional cost-reconciliation interface (the PR 7
+// Correct path: charge the difference between an estimated and an actual
+// completion cost back into the schedule). Backends without it accept the
+// estimate as final; the public wrapper then only adjusts counters.
+type Corrector interface {
+	Correct(id int, estimated, actual int64, crit pktq.Criterion, now int64) int64
+}
+
+// DequeueNOf implements DequeueN by repeated Dequeue calls — the shared
+// batched-drain shim for backends without a cheaper batch path.
+func DequeueNOf(b Backend, now int64, max int, out []*pktq.Packet) []*pktq.Packet {
+	for i := 0; i < max; i++ {
+		p := b.Dequeue(now)
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}

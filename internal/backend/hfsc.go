@@ -1,0 +1,164 @@
+package backend
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// HFSC adapts the H-FSC core scheduler to the Backend interface. It is the
+// reference backend: every guarantee, fully dynamic. The public wrapper
+// does not normally route through this adapter — when the default backend
+// is selected it drives the core directly with zero indirection — but the
+// adapter lets the conformance harness and per-subtree selection treat the
+// core like any other backend.
+//
+// The core assigns its own dense class ids, so the adapter keeps a
+// caller-id ↔ core-id mapping and rewrites Packet.Class across the
+// enqueue/dequeue boundary (packets inside the core carry core ids).
+type HFSC struct {
+	s      *core.Scheduler
+	byID   map[int]*core.Class // caller id -> core class
+	caller []int               // core id -> caller id
+}
+
+// NewHFSC creates the adapter over a fresh core scheduler.
+func NewHFSC(opts core.Options) *HFSC {
+	return &HFSC{
+		s:      core.New(opts),
+		byID:   map[int]*core.Class{},
+		caller: []int{0}, // core root (id 0) is caller root (id 0)
+	}
+}
+
+// Core exposes the wrapped scheduler for introspection (DumpTree,
+// CheckInvariants) — not for datapath calls, which must go through the
+// adapter so the id rewrite stays consistent.
+func (a *HFSC) Core() *core.Scheduler { return a.s }
+
+// Kind implements Backend.
+func (a *HFSC) Kind() string { return "hfsc" }
+
+// Caps implements Backend.
+func (a *HFSC) Caps() Caps {
+	return CapRealTime | CapUpperLimit | CapDynamic | CapWorkConserving
+}
+
+// AddClass implements Backend.
+func (a *HFSC) AddClass(id, parent int, name string, spec ClassSpec) error {
+	if _, dup := a.byID[id]; dup || id == 0 {
+		return fmt.Errorf("%w: %d", ErrDuplicateClass, id)
+	}
+	var pcl *core.Class
+	if parent != 0 {
+		pcl = a.byID[parent]
+		if pcl == nil {
+			return fmt.Errorf("%w: parent %d", ErrUnknownClass, parent)
+		}
+	}
+	cl, err := a.s.AddClass(pcl, name, spec.RSC, spec.FSC, spec.USC)
+	if err != nil {
+		return err
+	}
+	if spec.QueueLimit > 0 {
+		cl.SetQueueLimit(spec.QueueLimit)
+	}
+	a.byID[id] = cl
+	for len(a.caller) <= cl.ID() {
+		a.caller = append(a.caller, 0)
+	}
+	a.caller[cl.ID()] = id
+	return nil
+}
+
+// RemoveClass implements Backend.
+func (a *HFSC) RemoveClass(id int) error {
+	cl := a.byID[id]
+	if cl == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownClass, id)
+	}
+	if err := a.s.RemoveClass(cl); err != nil {
+		return err
+	}
+	delete(a.byID, id)
+	return nil
+}
+
+// SetCurves implements Backend.
+func (a *HFSC) SetCurves(id int, spec ClassSpec, now int64) error {
+	cl := a.byID[id]
+	if cl == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownClass, id)
+	}
+	if err := a.s.SetCurves(cl, spec.RSC, spec.FSC, spec.USC, now); err != nil {
+		return err
+	}
+	if spec.QueueLimit > 0 {
+		cl.SetQueueLimit(spec.QueueLimit)
+	}
+	return nil
+}
+
+// Enqueue implements Backend.
+func (a *HFSC) Enqueue(p *pktq.Packet, now int64) bool {
+	cl := a.byID[p.Class]
+	if cl == nil {
+		panic(fmt.Sprintf("backend/hfsc: enqueue to unknown class %d", p.Class))
+	}
+	callerID := p.Class
+	p.Class = cl.ID()
+	if !a.s.Enqueue(p, now) {
+		p.Class = callerID
+		return false
+	}
+	return true
+}
+
+// Dequeue implements Backend.
+func (a *HFSC) Dequeue(now int64) *pktq.Packet {
+	p := a.s.Dequeue(now)
+	if p != nil {
+		p.Class = a.caller[p.Class]
+	}
+	return p
+}
+
+// DequeueN implements Backend.
+func (a *HFSC) DequeueN(now int64, max int, out []*pktq.Packet) []*pktq.Packet {
+	base := len(out)
+	out = a.s.DequeueN(now, max, out)
+	for _, p := range out[base:] {
+		p.Class = a.caller[p.Class]
+	}
+	return out
+}
+
+// NextReady implements Backend.
+func (a *HFSC) NextReady(now int64) (int64, bool) { return a.s.NextReady(now) }
+
+// Backlog implements Backend.
+func (a *HFSC) Backlog() int { return a.s.Backlog() }
+
+// Stats implements Backend.
+func (a *HFSC) Stats(id int) (LeafStats, bool) {
+	cl := a.byID[id]
+	if cl == nil {
+		return LeafStats{}, false
+	}
+	return LeafStats{
+		Queued:      cl.QueueLen(),
+		SentPackets: cl.SentPackets(),
+		Dropped:     cl.Dropped(),
+		Work:        cl.Total(),
+	}, true
+}
+
+// Correct implements Corrector by delegating to the core's reconciliation.
+func (a *HFSC) Correct(id int, estimated, actual int64, crit pktq.Criterion, now int64) int64 {
+	cl := a.byID[id]
+	if cl == nil {
+		return 0
+	}
+	return a.s.Correct(cl, estimated, actual, crit, now)
+}

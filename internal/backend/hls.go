@@ -1,0 +1,98 @@
+package backend
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/hls"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// HLS adapts the hierarchical round-robin scheduler to the Backend
+// interface. It is the link-sharing fast path: no virtual-time trees, no
+// real-time or upper-limit curves, near-O(1) per packet. hls addresses
+// classes by caller id natively, so no id rewrite is needed.
+type HLS struct {
+	s *hls.Sched
+}
+
+// NewHLS creates the adapter with the given default leaf queue limit.
+func NewHLS(qlimit int) *HLS { return &HLS{s: hls.New(qlimit)} }
+
+// Sched exposes the wrapped scheduler for introspection (CheckInvariants).
+func (a *HLS) Sched() *hls.Sched { return a.s }
+
+// Kind implements Backend.
+func (a *HLS) Kind() string { return "hls" }
+
+// Caps implements Backend: dynamic hierarchy, weighted fairness only.
+func (a *HLS) Caps() Caps { return CapDynamic | CapWorkConserving }
+
+func hlsWeight(spec ClassSpec) (int64, error) {
+	if !spec.RSC.IsZero() || !spec.USC.IsZero() {
+		return 0, fmt.Errorf("%w: hls carries only link-sharing weights", ErrCapability)
+	}
+	w := spec.Weight()
+	if w == 0 {
+		return 0, fmt.Errorf("backend/hls: class needs a link-sharing curve")
+	}
+	return int64(w), nil
+}
+
+// AddClass implements Backend.
+func (a *HLS) AddClass(id, parent int, name string, spec ClassSpec) error {
+	w, err := hlsWeight(spec)
+	if err != nil {
+		return err
+	}
+	if err := a.s.AddClass(id, parent, w); err != nil {
+		return err
+	}
+	if spec.QueueLimit > 0 {
+		a.s.SetQueueLimit(id, spec.QueueLimit)
+	}
+	return nil
+}
+
+// RemoveClass implements Backend.
+func (a *HLS) RemoveClass(id int) error { return a.s.RemoveClass(id) }
+
+// SetCurves implements Backend: only the weight and queue limit can move.
+func (a *HLS) SetCurves(id int, spec ClassSpec, now int64) error {
+	w, err := hlsWeight(spec)
+	if err != nil {
+		return err
+	}
+	if err := a.s.SetWeight(id, w); err != nil {
+		return err
+	}
+	if spec.QueueLimit > 0 {
+		a.s.SetQueueLimit(id, spec.QueueLimit)
+	}
+	return nil
+}
+
+// Enqueue implements Backend.
+func (a *HLS) Enqueue(p *pktq.Packet, now int64) bool { return a.s.Enqueue(p, now) }
+
+// Dequeue implements Backend.
+func (a *HLS) Dequeue(now int64) *pktq.Packet { return a.s.Dequeue(now) }
+
+// DequeueN implements Backend.
+func (a *HLS) DequeueN(now int64, max int, out []*pktq.Packet) []*pktq.Packet {
+	return a.s.DequeueN(now, max, out)
+}
+
+// NextReady implements Backend; HLS never idles with backlog.
+func (a *HLS) NextReady(now int64) (int64, bool) { return a.s.NextReady(now) }
+
+// Backlog implements Backend.
+func (a *HLS) Backlog() int { return a.s.Backlog() }
+
+// Stats implements Backend.
+func (a *HLS) Stats(id int) (LeafStats, bool) {
+	queued, sent, dropped, work, ok := a.s.LeafStats(id)
+	if !ok {
+		return LeafStats{}, false
+	}
+	return LeafStats{Queued: queued, SentPackets: sent, Dropped: dropped, Work: work}, true
+}

@@ -1,0 +1,105 @@
+package backend
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/htb"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// HTB adapts the hierarchical token-bucket scheduler to the Backend
+// interface. A class's assured rate is its link-sharing curve's
+// steady-state slope; its ceil is the upper-limit curve's steady-state
+// slope (absent = uncapped). Real-time curves are refused — HTB enforces
+// rates and caps, not deadlines. htb addresses classes by caller id
+// natively, so no id rewrite is needed.
+type HTB struct {
+	s *htb.Sched
+}
+
+// NewHTB creates the adapter with the given default leaf queue limit.
+func NewHTB(qlimit int) *HTB { return &HTB{s: htb.New(qlimit)} }
+
+// Sched exposes the wrapped scheduler for introspection (CheckInvariants).
+func (a *HTB) Sched() *htb.Sched { return a.s }
+
+// Kind implements Backend.
+func (a *HTB) Kind() string { return "htb" }
+
+// Caps implements Backend: caps and dynamism, work conserving where no
+// ceil binds.
+func (a *HTB) Caps() Caps { return CapUpperLimit | CapDynamic | CapWorkConserving }
+
+func htbRates(spec ClassSpec) (rate, ceil uint64, err error) {
+	if !spec.RSC.IsZero() {
+		return 0, 0, fmt.Errorf("%w: htb enforces rates, not deadlines", ErrCapability)
+	}
+	rate = spec.Weight()
+	if rate == 0 {
+		return 0, 0, fmt.Errorf("backend/htb: class needs a link-sharing curve")
+	}
+	ceil = spec.USC.M2
+	if ceil == 0 {
+		ceil = spec.USC.M1
+	}
+	return rate, ceil, nil
+}
+
+// AddClass implements Backend.
+func (a *HTB) AddClass(id, parent int, name string, spec ClassSpec) error {
+	rate, ceil, err := htbRates(spec)
+	if err != nil {
+		return err
+	}
+	if err := a.s.AddClass(id, parent, rate, ceil); err != nil {
+		return err
+	}
+	if spec.QueueLimit > 0 {
+		a.s.SetQueueLimit(id, spec.QueueLimit)
+	}
+	return nil
+}
+
+// RemoveClass implements Backend.
+func (a *HTB) RemoveClass(id int) error { return a.s.RemoveClass(id) }
+
+// SetCurves implements Backend.
+func (a *HTB) SetCurves(id int, spec ClassSpec, now int64) error {
+	rate, ceil, err := htbRates(spec)
+	if err != nil {
+		return err
+	}
+	if err := a.s.SetRate(id, rate, ceil); err != nil {
+		return err
+	}
+	if spec.QueueLimit > 0 {
+		a.s.SetQueueLimit(id, spec.QueueLimit)
+	}
+	return nil
+}
+
+// Enqueue implements Backend.
+func (a *HTB) Enqueue(p *pktq.Packet, now int64) bool { return a.s.Enqueue(p, now) }
+
+// Dequeue implements Backend.
+func (a *HTB) Dequeue(now int64) *pktq.Packet { return a.s.Dequeue(now) }
+
+// DequeueN implements Backend.
+func (a *HTB) DequeueN(now int64, max int, out []*pktq.Packet) []*pktq.Packet {
+	return a.s.DequeueN(now, max, out)
+}
+
+// NextReady implements Backend.
+func (a *HTB) NextReady(now int64) (int64, bool) { return a.s.NextReady(now) }
+
+// Backlog implements Backend.
+func (a *HTB) Backlog() int { return a.s.Backlog() }
+
+// Stats implements Backend.
+func (a *HTB) Stats(id int) (LeafStats, bool) {
+	queued, sent, dropped, work, ok := a.s.LeafStats(id)
+	if !ok {
+		return LeafStats{}, false
+	}
+	return LeafStats{Queued: queued, SentPackets: sent, Dropped: dropped, Work: work}, true
+}

@@ -1,0 +1,144 @@
+package backend
+
+import (
+	"fmt"
+
+	"github.com/netsched/hfsc/internal/pfq"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// PFQ adapts the hierarchical packet fair queueing schedulers (H-WF2Q+,
+// H-SFQ) to the Backend interface. They are pure link-sharing: a class's
+// weight is its link-sharing curve's steady-state slope, real-time and
+// upper-limit curves are refused, and the hierarchy is static (pfq nodes
+// cannot be removed or re-weighted).
+type PFQ struct {
+	h      *pfq.Hier
+	kind   string
+	byID   map[int]*pfq.Node // caller id -> node
+	caller []int             // pfq id -> caller id
+	sent   map[int]*leafAcct // caller id -> dequeue-side counters
+}
+
+// leafAcct carries the counters pfq itself does not track.
+type leafAcct struct {
+	sent uint64
+	work int64
+}
+
+// NewPFQ creates the adapter over a fresh hierarchy running algo.
+func NewPFQ(algo pfq.Algo, qlimit int) *PFQ {
+	kind := "wf2q"
+	if algo == pfq.SFQ {
+		kind = "sfq"
+	}
+	return &PFQ{
+		h:      pfq.New(algo, qlimit),
+		kind:   kind,
+		byID:   map[int]*pfq.Node{},
+		caller: []int{0},
+		sent:   map[int]*leafAcct{},
+	}
+}
+
+// Kind implements Backend.
+func (a *PFQ) Kind() string { return a.kind }
+
+// Caps implements Backend: hierarchical fairness only.
+func (a *PFQ) Caps() Caps { return CapWorkConserving }
+
+// AddClass implements Backend.
+func (a *PFQ) AddClass(id, parent int, name string, spec ClassSpec) error {
+	if _, dup := a.byID[id]; dup || id == 0 {
+		return fmt.Errorf("%w: %d", ErrDuplicateClass, id)
+	}
+	if !spec.RSC.IsZero() || !spec.USC.IsZero() {
+		return fmt.Errorf("%w: %s carries only link-sharing weights", ErrCapability, a.kind)
+	}
+	w := spec.Weight()
+	if w == 0 {
+		return fmt.Errorf("backend/%s: class %q needs a link-sharing curve", a.kind, name)
+	}
+	var pn *pfq.Node
+	if parent != 0 {
+		pn = a.byID[parent]
+		if pn == nil {
+			return fmt.Errorf("%w: parent %d", ErrUnknownClass, parent)
+		}
+	}
+	n, err := a.h.AddNode(pn, name, w)
+	if err != nil {
+		return err
+	}
+	if spec.QueueLimit > 0 {
+		n.SetQueueLimit(spec.QueueLimit)
+	}
+	a.byID[id] = n
+	for len(a.caller) <= n.ID() {
+		a.caller = append(a.caller, 0)
+	}
+	a.caller[n.ID()] = id
+	a.sent[id] = &leafAcct{}
+	return nil
+}
+
+// RemoveClass implements Backend: pfq hierarchies are static.
+func (a *PFQ) RemoveClass(id int) error { return ErrStatic }
+
+// SetCurves implements Backend: pfq hierarchies are static.
+func (a *PFQ) SetCurves(id int, spec ClassSpec, now int64) error { return ErrStatic }
+
+// Enqueue implements Backend.
+func (a *PFQ) Enqueue(p *pktq.Packet, now int64) bool {
+	n := a.byID[p.Class]
+	if n == nil {
+		panic(fmt.Sprintf("backend/%s: enqueue to unknown class %d", a.kind, p.Class))
+	}
+	callerID := p.Class
+	p.Class = n.ID()
+	if !a.h.Enqueue(p, now) {
+		p.Class = callerID
+		return false
+	}
+	return true
+}
+
+// Dequeue implements Backend.
+func (a *PFQ) Dequeue(now int64) *pktq.Packet {
+	p := a.h.Dequeue(now)
+	if p == nil {
+		return nil
+	}
+	p.Class = a.caller[p.Class]
+	if acct := a.sent[p.Class]; acct != nil {
+		acct.sent++
+		acct.work += p.Work()
+	}
+	return p
+}
+
+// DequeueN implements Backend.
+func (a *PFQ) DequeueN(now int64, max int, out []*pktq.Packet) []*pktq.Packet {
+	return DequeueNOf(a, now, max, out)
+}
+
+// NextReady implements Backend; PFQ never idles with backlog.
+func (a *PFQ) NextReady(now int64) (int64, bool) { return 0, false }
+
+// Backlog implements Backend.
+func (a *PFQ) Backlog() int { return a.h.Backlog() }
+
+// Stats implements Backend.
+func (a *PFQ) Stats(id int) (LeafStats, bool) {
+	n := a.byID[id]
+	if n == nil {
+		return LeafStats{}, false
+	}
+	acct := a.sent[id]
+	return LeafStats{
+		Queued:      n.QueueLen(),
+		SentPackets: acct.sent,
+		Dropped:     n.Dropped(),
+		Work:        acct.work,
+	}, true
+}

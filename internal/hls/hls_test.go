@@ -1,0 +1,276 @@
+package hls
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+func pkt(class, length int, seq uint64) *pktq.Packet {
+	return &pktq.Packet{Class: class, Len: length, Seq: seq}
+}
+
+// fill keeps every class saturated with qlen packets of the given length.
+func fill(t *testing.T, s *Sched, classes []int, qlen, length int) uint64 {
+	t.Helper()
+	seq := uint64(0)
+	for _, id := range classes {
+		for i := 0; i < qlen; i++ {
+			seq++
+			if !s.Enqueue(pkt(id, length, seq), 0) {
+				t.Fatalf("enqueue refused for class %d", id)
+			}
+		}
+	}
+	return seq
+}
+
+func TestFlatWeightedFairness(t *testing.T) {
+	s := New(0)
+	weights := []int64{1, 2, 3, 4}
+	for i, w := range weights {
+		if err := s.AddClass(i+1, 0, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const length = 1000
+	served := make([]int64, len(weights)+1)
+	seq := fill(t, s, []int{1, 2, 3, 4}, 4000, length)
+	for i := 0; i < 8000; i++ {
+		p := s.Dequeue(0)
+		if p == nil {
+			t.Fatal("work-conservation violated: nil with backlog")
+		}
+		served[p.Class] += p.Work()
+		// Keep the backlog saturated so shares stay continuous.
+		seq++
+		s.Enqueue(pkt(p.Class, length, seq), 0)
+	}
+	total := served[1] + served[2] + served[3] + served[4]
+	for i, w := range weights {
+		want := float64(total) * float64(w) / 10.0
+		got := float64(served[i+1])
+		if got < want*0.95 || got > want*1.05 {
+			t.Errorf("class %d (weight %d): served %v, want ~%v", i+1, w, got, want)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierarchicalShares is the paper's Fig. 2 shape at round-robin
+// granularity: two agencies split the link 75/25, and within each agency
+// the active children split the agency's share by weight, regardless of
+// how many classes the other agency runs.
+func TestHierarchicalShares(t *testing.T) {
+	s := New(0)
+	// 1 = agency A (w 75), 2 = agency B (w 25); leaves 11,12 under A
+	// (weights 2,1), leaf 21 under B.
+	for _, c := range []struct {
+		id, parent int
+		w          int64
+	}{
+		{1, 0, 75}, {2, 0, 25}, {11, 1, 2}, {12, 1, 1}, {21, 2, 1},
+	} {
+		if err := s.AddClass(c.id, c.parent, c.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const length = 500
+	served := map[int]int64{}
+	seq := fill(t, s, []int{11, 12, 21}, 4000, length)
+	for i := 0; i < 9000; i++ {
+		p := s.Dequeue(0)
+		if p == nil {
+			t.Fatal("nil dequeue with backlog")
+		}
+		served[p.Class] += p.Work()
+		seq++
+		s.Enqueue(pkt(p.Class, length, seq), 0)
+	}
+	total := served[11] + served[12] + served[21]
+	check := func(id int, frac float64) {
+		t.Helper()
+		want := float64(total) * frac
+		got := float64(served[id])
+		if got < want*0.93 || got > want*1.07 {
+			t.Errorf("leaf %d: served %v, want ~%v (%.0f%%)", id, got, want, frac*100)
+		}
+	}
+	check(11, 0.50) // 2/3 of A's 75%
+	check(12, 0.25) // 1/3 of A's 75%
+	check(21, 0.25) // all of B's 25%
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExcessRedistribution: when one subtree goes idle its share flows to
+// the other (hierarchical work conservation), and it regains its share on
+// return without banked credit.
+func TestExcessRedistribution(t *testing.T) {
+	s := New(0)
+	for _, c := range []struct {
+		id, parent int
+		w          int64
+	}{
+		{1, 0, 1}, {2, 0, 1}, {11, 1, 1}, {21, 2, 1},
+	} {
+		if err := s.AddClass(c.id, c.parent, c.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only 11 backlogged: it gets the whole link.
+	seq := fill(t, s, []int{11}, 100, 1000)
+	for i := 0; i < 100; i++ {
+		p := s.Dequeue(0)
+		if p == nil || p.Class != 11 {
+			t.Fatalf("packet %d: got %+v, want class 11", i, p)
+		}
+	}
+	if s.Backlog() != 0 {
+		t.Fatalf("backlog %d after drain", s.Backlog())
+	}
+	// Both backlogged: even split, 11's solo period earns it nothing.
+	served := map[int]int64{}
+	seq = fill(t, s, []int{11, 21}, 2000, 1000) + seq
+	for i := 0; i < 2000; i++ {
+		p := s.Dequeue(0)
+		served[p.Class]++
+	}
+	if diff := served[11] - served[21]; diff < -5 || diff > 5 {
+		t.Errorf("even split violated: 11=%d 21=%d", served[11], served[21])
+	}
+}
+
+// TestPerClassFIFO: packets of one class leave in arrival order even as
+// classes interleave, and mixed sizes never stall the round.
+func TestPerClassFIFO(t *testing.T) {
+	s := New(0)
+	for id := 1; id <= 8; id++ {
+		if err := s.AddClass(id, 0, int64(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	lastSeq := map[int]uint64{}
+	enq, deq := 0, 0
+	seq := uint64(0)
+	for round := 0; round < 2000; round++ {
+		for i := 0; i < rng.Intn(6); i++ {
+			seq++
+			id := 1 + rng.Intn(8)
+			if s.Enqueue(pkt(id, 64+rng.Intn(9000), seq), 0) {
+				enq++
+			}
+		}
+		for i := 0; i < rng.Intn(6); i++ {
+			p := s.Dequeue(0)
+			if p == nil {
+				if s.Backlog() > 0 {
+					t.Fatal("nil dequeue with backlog")
+				}
+				break
+			}
+			deq++
+			if p.Seq <= lastSeq[p.Class] && lastSeq[p.Class] != 0 {
+				t.Fatalf("class %d: seq %d after %d", p.Class, p.Seq, lastSeq[p.Class])
+			}
+			lastSeq[p.Class] = p.Seq
+		}
+		if round%100 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.Backlog() != enq-deq {
+		t.Fatalf("backlog %d, want %d", s.Backlog(), enq-deq)
+	}
+	for s.Dequeue(0) != nil {
+		deq++
+	}
+	if enq != deq {
+		t.Fatalf("conservation: %d in, %d out", enq, deq)
+	}
+}
+
+// TestChurn interleaves traffic with class add/remove/re-weight under the
+// structural invariant checker.
+func TestChurn(t *testing.T) {
+	s := New(32)
+	rng := rand.New(rand.NewSource(42))
+	live := map[int]bool{}
+	nextID := 1
+	seq := uint64(0)
+	for round := 0; round < 3000; round++ {
+		switch rng.Intn(10) {
+		case 0: // add
+			id := nextID
+			nextID++
+			if err := s.AddClass(id, 0, 1+int64(rng.Intn(10))); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = true
+		case 1: // remove (may refuse while backlogged — drain first)
+			for id := range live {
+				if err := s.RemoveClass(id); err == nil {
+					delete(live, id)
+				}
+				break
+			}
+		case 2: // re-weight
+			for id := range live {
+				if err := s.SetWeight(id, 1+int64(rng.Intn(10))); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		for id := range live {
+			if rng.Intn(2) == 0 {
+				seq++
+				s.Enqueue(pkt(id, 100+rng.Intn(1400), seq), 0)
+			}
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			if s.Dequeue(0) == nil && s.Backlog() > 0 {
+				t.Fatal("nil dequeue with backlog")
+			}
+		}
+		if round%50 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+}
+
+func BenchmarkFlatDequeue(b *testing.B) {
+	for _, n := range []int{64, 1024, 4096} {
+		b.Run(map[int]string{64: "64", 1024: "1024", 4096: "4096"}[n], func(b *testing.B) {
+			s := New(0)
+			for id := 1; id <= n; id++ {
+				if err := s.AddClass(id, 0, int64(1+id%7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			seq := uint64(0)
+			for id := 1; id <= n; id++ {
+				for i := 0; i < 4; i++ {
+					seq++
+					s.Enqueue(pkt(id, 1000, seq), 0)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := s.Dequeue(0)
+				seq++
+				p.Seq = seq
+				s.Enqueue(p, 0)
+			}
+		})
+	}
+}

@@ -1,0 +1,418 @@
+// Package htb implements an HTB-style hierarchical token-bucket
+// scheduler: every class has an assured rate and an optional ceil, both
+// in cost units per second. A leaf whose own rate bucket covers its head
+// packet is "green" and is served round-robin among greens; a leaf whose
+// bucket is empty may borrow spare tokens from the nearest ancestor that
+// has them ("yellow", served round-robin after all greens); the implicit
+// root lends freely, so the scheduler is work conserving except where a
+// ceil caps a subtree — ceils are hard: no packet passes a path node
+// whose ceil bucket cannot cover it, and NextReady reports when the
+// tightest bucket will have refilled.
+//
+// The trade against H-FSC: no service curves (a class's guarantee is a
+// single rate, burst-limited by the bucket depth, not a two-piece curve),
+// no per-packet deadlines, and fairness among borrowers is plain
+// round-robin rather than weighted. What it keeps is strict rate
+// isolation with hard caps at every level of the hierarchy — the classic
+// tc-htb contract — behind the same Backend interface.
+package htb
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/fixpt"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// burstNs is the bucket depth in time: a bucket holds burstNs worth of
+// its rate (floored at the largest work unit seen, so one packet always
+// fits a full bucket).
+const burstNs = 2_000_000 // 2 ms
+
+// unstamped marks a node whose buckets have never been refilled.
+const unstamped = math.MinInt64
+
+type node struct {
+	parent *node
+	rate   uint64 // assured, units/s (0 on the root = lends freely)
+	ceil   uint64 // cap, units/s; 0 = uncapped
+
+	tokens  int64 // rate bucket, cost units
+	ctokens int64 // ceil bucket, cost units
+	last    int64 // ns of the last refill; unstamped before first use
+
+	// Intrusive ring of active leaves (leaves only; nil when passive).
+	next, prev *node
+
+	children int
+	fifo     pktq.FIFO
+	sent     uint64
+	work     int64
+}
+
+func (n *node) leaf() bool { return n.children == 0 }
+
+// Sched is the hierarchical token-bucket scheduler over one link.
+type Sched struct {
+	nodes   []*node
+	cur     *node // round-robin position in the active-leaf ring
+	backlog int
+	qlimit  int
+	maxWork int64
+}
+
+// New creates an empty scheduler with an implicit uncapped root (id 0)
+// and the given default per-leaf queue limit in packets (0 = unbounded).
+func New(qlimit int) *Sched {
+	return &Sched{nodes: []*node{{last: unstamped}}, qlimit: qlimit}
+}
+
+func (s *Sched) node(id int) *node {
+	if id < 0 || id >= len(s.nodes) {
+		return nil
+	}
+	return s.nodes[id]
+}
+
+// AddClass creates a class with the caller-assigned id under parent
+// (0 = root) with an assured rate and an optional ceil (0 = uncapped);
+// ceil must be at least rate when set.
+func (s *Sched) AddClass(id, parent int, rate, ceil uint64) error {
+	if id <= 0 {
+		return fmt.Errorf("htb: class id %d must be positive", id)
+	}
+	if s.node(id) != nil {
+		return fmt.Errorf("htb: duplicate class id %d", id)
+	}
+	if rate == 0 {
+		return fmt.Errorf("htb: class %d needs a positive rate", id)
+	}
+	if ceil != 0 && ceil < rate {
+		return fmt.Errorf("htb: class %d ceil %d below rate %d", id, ceil, rate)
+	}
+	p := s.node(parent)
+	if p == nil {
+		return fmt.Errorf("htb: unknown parent %d", parent)
+	}
+	if p.leaf() && p.fifo.Len() > 0 {
+		return fmt.Errorf("htb: parent %d still carries traffic", parent)
+	}
+	n := &node{parent: p, rate: rate, ceil: ceil, last: unstamped}
+	n.fifo.PktLimit = s.qlimit
+	for len(s.nodes) <= id {
+		s.nodes = append(s.nodes, nil)
+	}
+	s.nodes[id] = n
+	p.children++
+	return nil
+}
+
+// RemoveClass deletes a passive leaf; its id is retired.
+func (s *Sched) RemoveClass(id int) error {
+	n := s.node(id)
+	if n == nil || n.parent == nil {
+		return fmt.Errorf("htb: unknown class %d", id)
+	}
+	if !n.leaf() {
+		return fmt.Errorf("htb: class %d has children", id)
+	}
+	if n.fifo.Len() > 0 {
+		return fmt.Errorf("htb: class %d still has queued packets", id)
+	}
+	n.parent.children--
+	n.parent = nil
+	s.nodes[id] = nil
+	return nil
+}
+
+// SetRate re-parameterizes a class live; buckets are clamped to the new
+// depths at the next refill.
+func (s *Sched) SetRate(id int, rate, ceil uint64) error {
+	n := s.node(id)
+	if n == nil || n.parent == nil {
+		return fmt.Errorf("htb: unknown class %d", id)
+	}
+	if rate == 0 {
+		return fmt.Errorf("htb: class %d needs a positive rate", id)
+	}
+	if ceil != 0 && ceil < rate {
+		return fmt.Errorf("htb: class %d ceil %d below rate %d", id, ceil, rate)
+	}
+	n.rate, n.ceil = rate, ceil
+	return nil
+}
+
+// SetQueueLimit bounds a leaf's queue in packets (0 = unlimited).
+func (s *Sched) SetQueueLimit(id, limit int) error {
+	n := s.node(id)
+	if n == nil || n.parent == nil {
+		return fmt.Errorf("htb: unknown class %d", id)
+	}
+	n.fifo.PktLimit = limit
+	return nil
+}
+
+// burst returns the rate bucket's depth.
+func (s *Sched) burst(rate uint64) int64 {
+	b := fixpt.MulDivSat(rate, burstNs, curve.NsPerSec)
+	if b < s.maxWork {
+		b = s.maxWork
+	}
+	return b
+}
+
+// refill brings a node's buckets up to date at now.
+func (s *Sched) refill(n *node, now int64) {
+	if n.last == unstamped {
+		n.tokens = s.burst(n.rate)
+		if n.ceil != 0 {
+			n.ctokens = s.burst(n.ceil)
+		}
+		n.last = now
+		return
+	}
+	elapsed := now - n.last
+	if elapsed <= 0 {
+		return
+	}
+	n.last = now
+	if n.rate != 0 {
+		n.tokens += fixpt.MulDivSat(n.rate, uint64(elapsed), curve.NsPerSec)
+		if b := s.burst(n.rate); n.tokens > b {
+			n.tokens = b
+		}
+	}
+	if n.ceil != 0 {
+		n.ctokens += fixpt.MulDivSat(n.ceil, uint64(elapsed), curve.NsPerSec)
+		if b := s.burst(n.ceil); n.ctokens > b {
+			n.ctokens = b
+		}
+	}
+}
+
+// Backlog returns the number of queued packets.
+func (s *Sched) Backlog() int { return s.backlog }
+
+// Enqueue accepts one work item for leaf class p.Class; false means the
+// leaf's queue limit dropped it.
+func (s *Sched) Enqueue(p *pktq.Packet, now int64) bool {
+	n := s.node(p.Class)
+	if n == nil || n.parent == nil || !n.leaf() {
+		panic(fmt.Sprintf("htb: enqueue to invalid leaf %d", p.Class))
+	}
+	w := p.Work()
+	if w <= 0 {
+		panic(fmt.Sprintf("htb: work item with non-positive cost %d", w))
+	}
+	if !n.fifo.Push(p) {
+		return false
+	}
+	s.backlog++
+	if w > s.maxWork {
+		s.maxWork = w
+	}
+	if n.fifo.Len() == 1 {
+		if s.cur == nil {
+			n.next, n.prev = n, n
+			s.cur = n
+		} else {
+			n.next = s.cur
+			n.prev = s.cur.prev
+			s.cur.prev.next = n
+			s.cur.prev = n
+		}
+	}
+	return true
+}
+
+// ceilOK reports whether every node on the leaf's path can pass cost
+// through its ceil bucket at now (refilling as a side effect).
+func (s *Sched) ceilOK(leaf *node, cost, now int64) bool {
+	for n := leaf; n.parent != nil; n = n.parent {
+		s.refill(n, now)
+		if n.ceil != 0 && n.ctokens < cost {
+			return false
+		}
+	}
+	return true
+}
+
+// chargeCeil debits cost from every ceil bucket on the path.
+func chargeCeil(leaf *node, cost int64) {
+	for n := leaf; n.parent != nil; n = n.parent {
+		if n.ceil != 0 {
+			n.ctokens -= cost
+		}
+	}
+}
+
+// lender returns the nearest path node (the leaf itself first) whose rate
+// bucket covers cost, or nil; the root lends freely and never appears —
+// a nil lender with ceils passing means "borrow from the root".
+func lender(leaf *node, cost int64) *node {
+	for n := leaf; n.parent != nil; n = n.parent {
+		if n.tokens >= cost {
+			return n
+		}
+	}
+	return nil
+}
+
+// serve pops the leaf's head, charges the buckets and maintains the ring.
+func (s *Sched) serve(leaf *node, lend *node, cost int64) *pktq.Packet {
+	p := leaf.fifo.Pop()
+	s.backlog--
+	p.Crit = pktq.ByLinkShare
+	leaf.sent++
+	leaf.work += cost
+	if lend != nil {
+		lend.tokens -= cost
+	}
+	chargeCeil(leaf, cost)
+	// Rotate the round past the served leaf; drop it if drained.
+	s.cur = leaf.next
+	if leaf.fifo.Len() == 0 {
+		if leaf.next == leaf {
+			s.cur = nil
+		} else {
+			leaf.prev.next = leaf.next
+			leaf.next.prev = leaf.prev
+		}
+		leaf.next, leaf.prev = nil, nil
+	}
+	return p
+}
+
+// Dequeue selects the next packet at now: round-robin over green leaves
+// (own rate bucket covers the head), then over borrowers, both gated by
+// every ceil on the path. nil with backlog means every path is ceil-bound.
+func (s *Sched) Dequeue(now int64) *pktq.Packet {
+	if s.backlog == 0 || s.cur == nil {
+		return nil
+	}
+	// Pass 1: greens. Refills happen inside ceilOK, so the green check
+	// reads a fresh bucket.
+	var firstYellow, firstYellowLender *node
+	n := s.cur
+	for {
+		cost := n.fifo.Front().Work()
+		if s.ceilOK(n, cost, now) {
+			if n.tokens >= cost {
+				return s.serve(n, n, cost)
+			}
+			if firstYellow == nil {
+				firstYellow = n
+				firstYellowLender = lender(n, cost)
+			}
+		}
+		n = n.next
+		if n == s.cur {
+			break
+		}
+	}
+	// Pass 2: the first ceil-feasible borrower in round order.
+	if firstYellow != nil {
+		return s.serve(firstYellow, firstYellowLender, firstYellow.fifo.Front().Work())
+	}
+	return nil
+}
+
+// DequeueN dequeues up to max packets, appending to out.
+func (s *Sched) DequeueN(now int64, max int, out []*pktq.Packet) []*pktq.Packet {
+	for i := 0; i < max; i++ {
+		p := s.Dequeue(now)
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// NextReady reports the earliest time any blocked leaf's tightest ceil
+// bucket will have refilled enough for its head packet.
+func (s *Sched) NextReady(now int64) (int64, bool) {
+	if s.cur == nil {
+		return 0, false
+	}
+	best := int64(math.MaxInt64)
+	n := s.cur
+	for {
+		cost := n.fifo.Front().Work()
+		ready := now
+		for c := n; c.parent != nil; c = c.parent {
+			s.refill(c, now)
+			if c.ceil == 0 || c.ctokens >= cost {
+				continue
+			}
+			wait := fixpt.MulDivCeilSat(uint64(cost-c.ctokens), curve.NsPerSec, c.ceil)
+			if t := fixpt.SatAdd(now, wait); t > ready {
+				ready = t
+			}
+		}
+		if ready < best {
+			best = ready
+		}
+		n = n.next
+		if n == s.cur {
+			break
+		}
+	}
+	if best == int64(math.MaxInt64) {
+		return 0, false
+	}
+	return best, true
+}
+
+// LeafStats reports a leaf's counters.
+func (s *Sched) LeafStats(id int) (queued int, sent, dropped uint64, work int64, ok bool) {
+	n := s.node(id)
+	if n == nil || n.parent == nil {
+		return 0, 0, 0, 0, false
+	}
+	return n.fifo.Len(), n.sent, n.fifo.Dropped(), n.work, true
+}
+
+// CheckInvariants validates ring and backlog structure; nil when sound.
+func (s *Sched) CheckInvariants() error {
+	backlog := 0
+	inRing := map[*node]bool{}
+	if s.cur != nil {
+		seen := 0
+		for n := s.cur; ; n = n.next {
+			if !n.leaf() || n.parent == nil {
+				return fmt.Errorf("htb: ring holds a non-leaf")
+			}
+			if n.fifo.Len() == 0 {
+				return fmt.Errorf("htb: ring holds a drained leaf")
+			}
+			if n.next.prev != n {
+				return fmt.Errorf("htb: ring has broken links")
+			}
+			inRing[n] = true
+			seen++
+			if seen > len(s.nodes) {
+				return fmt.Errorf("htb: ring longer than node count")
+			}
+			if n.next == s.cur {
+				break
+			}
+		}
+	}
+	for id, n := range s.nodes {
+		if n == nil || n.parent == nil || !n.leaf() {
+			continue
+		}
+		backlog += n.fifo.Len()
+		if (n.fifo.Len() > 0) != inRing[n] {
+			return fmt.Errorf("htb: leaf %d backlogged=%v but ring membership=%v",
+				id, n.fifo.Len() > 0, inRing[n])
+		}
+	}
+	if backlog != s.backlog {
+		return fmt.Errorf("htb: backlog counter %d != queued packets %d", s.backlog, backlog)
+	}
+	return nil
+}

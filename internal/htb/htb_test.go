@@ -1,0 +1,184 @@
+package htb
+
+import (
+	"testing"
+
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+func pkt(class, length int, seq uint64) *pktq.Packet {
+	return &pktq.Packet{Class: class, Len: length, Seq: seq}
+}
+
+// drive runs a paced link at linkRate units/s for dur ns, dequeuing
+// whenever the link is free, and returns per-class service.
+func drive(t *testing.T, s *Sched, linkRate uint64, dur int64) map[int]int64 {
+	t.Helper()
+	served := map[int]int64{}
+	now, free := int64(0), int64(0)
+	for now < dur {
+		p := s.Dequeue(now)
+		if p == nil {
+			next, ok := s.NextReady(now)
+			if !ok || next <= now {
+				next = now + 10_000
+			}
+			now = next
+			continue
+		}
+		served[p.Class] += p.Work()
+		// Model transmission time at the link rate.
+		tx := p.Work() * 1_000_000_000 / int64(linkRate)
+		if now > free {
+			free = now
+		}
+		free += tx
+		now = free
+	}
+	return served
+}
+
+// TestCeilCaps: a leaf with a ceil gets no more than ceil*T (+burst) even
+// with the link otherwise idle.
+func TestCeilCaps(t *testing.T) {
+	s := New(0)
+	// 10 MB/s assured, capped at 20 MB/s, on a 100 MB/s link.
+	if err := s.AddClass(1, 0, 10_000_000, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	for i := 0; i < 5000; i++ {
+		seq++
+		if !s.Enqueue(pkt(1, 1000, seq), 0) {
+			t.Fatal("enqueue refused")
+		}
+	}
+	const dur = 100_000_000 // 100 ms
+	served := drive(t, s, 100_000_000, dur)
+	// 20 MB/s over 100 ms = 2 MB; allow the 2 ms bucket (40 KB) plus one
+	// packet of slop.
+	limit := int64(2_000_000 + 41_000)
+	if served[1] > limit {
+		t.Errorf("ceil violated: served %d in 100ms, limit %d", served[1], limit)
+	}
+	// And the cap must not throttle below ~90% of ceil while backlogged.
+	if served[1] < 1_800_000 {
+		t.Errorf("ceil-bound class starved: served %d, want ≥ 1.8 MB", served[1])
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreenPriority: an assured-rate class gets its rate even against an
+// aggressive uncapped borrower.
+func TestGreenPriority(t *testing.T) {
+	s := New(0)
+	// Class 1 assured 30 MB/s, class 2 assured 1 MB/s, link 40 MB/s.
+	if err := s.AddClass(1, 0, 30_000_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass(2, 0, 1_000_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	for i := 0; i < 20000; i++ {
+		seq++
+		s.Enqueue(pkt(1, 1000, seq), 0)
+		seq++
+		s.Enqueue(pkt(2, 1000, seq), 0)
+	}
+	served := drive(t, s, 40_000_000, 100_000_000)
+	// Class 1 must see at least ~90% of its 3 MB assurance in 100 ms.
+	if served[1] < 2_700_000 {
+		t.Errorf("assured rate violated: class 1 served %d, want ≥ 2.7 MB", served[1])
+	}
+	// Work conservation: the link ran flat out (4 MB total, minus slop).
+	total := served[1] + served[2]
+	if total < 3_800_000 {
+		t.Errorf("link underused: %d of 4 MB", total)
+	}
+}
+
+// TestHierarchicalCeil: a parent's ceil caps its children's sum while a
+// sibling subtree soaks up the rest.
+func TestHierarchicalCeil(t *testing.T) {
+	s := New(0)
+	// Agency 1 capped at 20 MB/s with two children; leaf 3 uncapped.
+	if err := s.AddClass(1, 0, 10_000_000, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass(11, 1, 5_000_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass(12, 1, 5_000_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass(3, 0, 10_000_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	for i := 0; i < 30000; i++ {
+		for _, id := range []int{11, 12, 3} {
+			seq++
+			s.Enqueue(pkt(id, 1000, seq), 0)
+		}
+	}
+	served := drive(t, s, 100_000_000, 100_000_000)
+	agency := served[11] + served[12]
+	if agency > 2_100_000 {
+		t.Errorf("parent ceil violated: subtree served %d, limit ~2.1 MB", agency)
+	}
+	if served[3] < 7_000_000 {
+		t.Errorf("uncapped sibling should soak the rest: served %d", served[3])
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFIFOAndConservation: per-class order and packet conservation under
+// mixed sizes and caps.
+func TestFIFOAndConservation(t *testing.T) {
+	s := New(0)
+	for id := 1; id <= 4; id++ {
+		if err := s.AddClass(id, 0, 10_000_000, 25_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := uint64(0)
+	enq := 0
+	for i := 0; i < 1000; i++ {
+		for id := 1; id <= 4; id++ {
+			seq++
+			if s.Enqueue(pkt(id, 100+(i%14)*100, seq), 0) {
+				enq++
+			}
+		}
+	}
+	lastSeq := map[int]uint64{}
+	deq := 0
+	now := int64(0)
+	for s.Backlog() > 0 {
+		p := s.Dequeue(now)
+		if p == nil {
+			next, ok := s.NextReady(now)
+			if !ok {
+				t.Fatal("backlogged but no NextReady")
+			}
+			if next <= now {
+				t.Fatalf("NextReady %d not beyond now %d", next, now)
+			}
+			now = next
+			continue
+		}
+		deq++
+		if p.Seq <= lastSeq[p.Class] && lastSeq[p.Class] != 0 {
+			t.Fatalf("class %d: seq %d after %d", p.Class, p.Seq, lastSeq[p.Class])
+		}
+		lastSeq[p.Class] = p.Seq
+	}
+	if enq != deq {
+		t.Fatalf("conservation: %d in, %d out", enq, deq)
+	}
+}

@@ -22,6 +22,7 @@ package metrics
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -60,25 +61,36 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; the last is the overflow bucket
 	sum    int64
 	n      uint64
+	// lut maps bits.Len64(uint64(v)) to the first bucket any value of
+	// that bit length can land in, turning the per-observation bucket
+	// search into one table load plus a tail scan bounded by how many
+	// bounds share a power-of-two decade — ≤2 for the log-spaced default
+	// bucket sets, versus a ~4-step branch-mispredicting binary search.
+	// Index 64 (negative values, two's complement) starts at bucket 0.
+	lut [65]uint16
 }
 
 // NewHistogram creates a histogram over the given ascending upper bounds.
 func NewHistogram(bounds []int64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	for bl := 1; bl <= 63; bl++ {
+		min := int64(1) << (bl - 1) // smallest positive value with bit length bl
+		i := 0
+		for i < len(bounds) && bounds[i] < min {
+			i++
+		}
+		h.lut[bl] = uint16(i)
+	}
+	return h
 }
 
 // Observe adds one value.
 func (h *Histogram) Observe(v int64) {
-	lo, hi := 0, len(h.bounds)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if v <= h.bounds[mid] {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
+	i := int(h.lut[bits.Len64(uint64(v))])
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
 	}
-	h.counts[lo]++
+	h.counts[i]++
 	h.sum += v
 	h.n++
 }
@@ -131,6 +143,13 @@ func (e *EWMA) SetTau(tauNs float64) {
 	e.tau = tauNs
 }
 
+// foldSteps bounds how often Observe pays for a fold: observations landing
+// within tau/foldSteps of the last fold only accumulate. The batch's blend
+// weight is the same to first order (1−exp is near-linear over intervals
+// this small), so the estimate differs by O(1/foldSteps) while the
+// common-case Observe is a counter update instead of a math.Exp.
+const foldSteps = 128
+
 // Observe credits n bytes at clock now (ns).
 func (e *EWMA) Observe(n, now int64) {
 	if !e.init {
@@ -141,7 +160,7 @@ func (e *EWMA) Observe(n, now int64) {
 	}
 	e.pend += n
 	dt := now - e.last
-	if dt <= 0 {
+	if dt <= 0 || float64(dt)*foldSteps < e.tau {
 		return
 	}
 	inst := float64(e.pend) * 1e9 / float64(dt)
@@ -168,7 +187,8 @@ func (e *EWMA) Rate(now int64) float64 {
 }
 
 // ring is a grow-only FIFO of int64 (enqueue timestamps). Steady state is
-// allocation-free once it has grown to the peak queue length.
+// allocation-free once it has grown to the peak queue length. The buffer
+// is always a power of two so the wraparound is a mask, not a division.
 type ring struct {
 	buf   []int64
 	head  int
@@ -183,12 +203,12 @@ func (r *ring) push(v int64) {
 		}
 		nb := make([]int64, n)
 		for i := 0; i < r.count; i++ {
-			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 		}
 		r.buf = nb
 		r.head = 0
 	}
-	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.buf[(r.head+r.count)&(len(r.buf)-1)] = v
 	r.count++
 }
 
@@ -197,7 +217,7 @@ func (r *ring) pop() (int64, bool) {
 		return 0, false
 	}
 	v := r.buf[r.head]
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.count--
 	return v, true
 }

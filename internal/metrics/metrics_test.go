@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"math"
+	"math/rand"
 	"strconv"
 	"strings"
 	"testing"
@@ -472,4 +473,61 @@ func TestPromLabelEscaping(t *testing.T) {
 		t.Fatalf("escaped label %s not found in output", want)
 	}
 	promValidate(t, buf.String())
+}
+
+// TestHistogramIndexingMatchesBinarySearch cross-checks the precomputed
+// bit-length bucket indexing against a reference binary search over the
+// shipped bucket sets, random bounds and adversarial values (bound edges,
+// negatives, extremes).
+func TestHistogramIndexingMatchesBinarySearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	boundSets := [][]int64{
+		metrics.DelayBuckets,
+		metrics.SlackBuckets,
+		{0},
+		{-100, -10, 0, 10, 100},
+	}
+	for i := 0; i < 20; i++ { // random ascending bound sets
+		n := 1 + rng.Intn(30)
+		set := make([]int64, 0, n)
+		v := int64(-1_000_000)
+		for len(set) < n {
+			v += 1 + rng.Int63n(1_000_000_000)
+			set = append(set, v)
+		}
+		boundSets = append(boundSets, set)
+	}
+	ref := func(bounds []int64, v int64) int {
+		lo, hi := 0, len(bounds)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if v <= bounds[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+	for si, bounds := range boundSets {
+		vals := []int64{math.MinInt64, math.MaxInt64, 0, -1, 1}
+		for _, b := range bounds {
+			vals = append(vals, b-1, b, b+1)
+		}
+		for i := 0; i < 2000; i++ {
+			vals = append(vals, rng.Int63n(2_000_000_000_000)-1_000_000_000)
+		}
+		h := metrics.NewHistogram(bounds)
+		want := make([]uint64, len(bounds)+1)
+		for _, v := range vals {
+			h.Observe(v)
+			want[ref(bounds, v)]++
+		}
+		got := metrics.SnapshotHistogram(h).Counts
+		for b := range want {
+			if got[b] != want[b] {
+				t.Fatalf("set %d bucket %d: got %d want %d", si, b, got[b], want[b])
+			}
+		}
+	}
 }

@@ -85,6 +85,10 @@ func (n *Node) QueueLen() int { return n.fifo.Len() }
 // Dropped returns the number of packets rejected at this leaf.
 func (n *Node) Dropped() uint64 { return n.fifo.Dropped() }
 
+// SetQueueLimit bounds this leaf's queue in packets (0 = unlimited),
+// overriding the hierarchy-wide default.
+func (n *Node) SetQueueLimit(limit int) { n.fifo.PktLimit = limit }
+
 func fLess(a, b *Node) bool {
 	if a.f != b.f {
 		return a.f < b.f
@@ -170,8 +174,8 @@ func (h *Hier) Enqueue(p *pktq.Packet, now int64) bool {
 	if p.Class <= 0 || p.Class >= len(h.nodes) || !h.nodes[p.Class].IsLeaf() {
 		panic(fmt.Sprintf("pfq: enqueue to invalid leaf %d", p.Class))
 	}
-	if p.Len <= 0 {
-		panic(fmt.Sprintf("pfq: packet with non-positive length %d", p.Len))
+	if p.Work() <= 0 {
+		panic(fmt.Sprintf("pfq: work item with non-positive cost %d", p.Work()))
 	}
 	leaf := h.nodes[p.Class]
 	if !leaf.fifo.Push(p) {
@@ -230,7 +234,7 @@ func (h *Hier) headLen(n *Node) int64 {
 		n = c
 	}
 	if p := n.fifo.Front(); p != nil {
-		return int64(p.Len)
+		return p.Work()
 	}
 	return 0
 }
@@ -320,7 +324,7 @@ func (h *Hier) Dequeue(now int64) *pktq.Packet {
 	leaf := n
 	p := leaf.fifo.Pop()
 	h.backlog--
-	length := int64(p.Len)
+	length := p.Work()
 	p.Crit = pktq.ByLinkShare
 
 	// SFQ's per-server virtual time is the start time of the packet in

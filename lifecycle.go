@@ -163,8 +163,8 @@ func (s *Scheduler) CollectIdle(now int64) int {
 	n := 0
 	for id, e := range s.lc {
 		c := e.cl.c
-		mark := c.SentPackets() + c.Dropped()
-		if c.QueueLen() > 0 || mark != e.seen {
+		mark, queued := s.beLeafActivity(c)
+		if queued > 0 || mark != e.seen {
 			e.seen = mark
 			e.idleSince = now
 			continue

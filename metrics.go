@@ -65,6 +65,18 @@ func (s *Scheduler) Offer(p *Packet, now int64) DropReason {
 		}
 		return DropUnknownClass
 	}
+	if s.be != nil {
+		if !s.be.Enqueue(p, now) {
+			if s.tracer != nil {
+				s.tracer.Trace(core.EvDrop, cl, p, now, int64(core.DropQueueLimit))
+			}
+			return DropQueueLimit
+		}
+		if s.tracer != nil {
+			s.tracer.Trace(core.EvEnqueue, cl, p, now, 0)
+		}
+		return DropNone
+	}
 	if !s.core.Enqueue(p, now) {
 		return DropQueueLimit // the core traced the drop with its reason
 	}

@@ -401,11 +401,7 @@ func (q *PacedQueue) serveCorrections(nowNs int64) {
 	defer q.corrMu.Unlock()
 	q.corrPending.Store(false)
 	for _, c := range q.corrQ {
-		cl := q.s.core.ClassByID(c.class)
-		if cl == nil || !cl.IsLeaf() {
-			continue
-		}
-		q.s.core.Correct(cl, c.estimated, c.actual, c.crit, nowNs)
+		q.s.correctByID(c.class, c.estimated, c.actual, c.crit, nowNs)
 	}
 	q.corrQ = q.corrQ[:0]
 }
