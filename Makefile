@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint fmt vet build test stress conformance bench bench-smoke bench-intake bench-json bench-check bench-churn
+.PHONY: check lint fmt vet build test stress conformance bench bench-smoke bench-intake bench-json bench-check bench-churn bench-audit
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests
 ## and a short benchmark smoke run to catch perf-path compile/runtime rot.
@@ -28,10 +28,12 @@ test:
 # abandon, tenant auto-creation vs stats, close vs in-flight waiters —
 # only race under scheduling jitter, so one -race pass is not enough.
 # The lifecycle property test rides along: completion corrections racing
-# idle collection and template re-creation of the same names.
+# idle collection and template re-creation of the same names. The audit
+# stress polls merged guarantee verdicts off 4 shards while CollectIdle
+# retires template-created class ids mid-window.
 stress:
 	$(GO) test -race -count=3 -run='TestSixteenTenantRaceStress|TestSLOTieredAdmission' ./hfscmw/
-	$(GO) test -race -count=3 -run='TestCorrectCollectIdleRace' .
+	$(GO) test -race -count=3 -run='TestCorrectCollectIdleRace|TestAuditVerdictCollectIdleRace' .
 
 # The backend conformance/bounds harness: every datapath (hfsc, auto,
 # hls, htb, wf2q, sfq) against the packet-level oracles — conservation
@@ -79,3 +81,11 @@ bench-check:
 # the usual 15% regression gate against the frozen baseline rows.
 bench-churn:
 	$(GO) run ./cmd/hfsc-bench -churn -ops 100000
+
+# The TBL-O8 guarantee-auditor rows alone: the audited hot path against a
+# fresh untraced figure at every size, and the cost of materializing one
+# verdict snapshot, merged into BENCH_overhead.json as audit-* rows. The
+# 5% +audit budget itself is also enforced on every bench-check run via
+# the flat-rbtree-audit row's gate against the untraced baseline.
+bench-audit:
+	$(GO) run ./cmd/hfsc-bench -audit -ops 100000 -check

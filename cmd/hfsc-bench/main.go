@@ -28,6 +28,7 @@ import (
 
 	hfsc "github.com/netsched/hfsc"
 	"github.com/netsched/hfsc/hfscmw"
+	"github.com/netsched/hfsc/internal/audit"
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/flight"
@@ -118,11 +119,16 @@ func main() {
 		check     = flag.Bool("check", false, "regression gate: re-run the TBL-O1 overhead rows plus the TBL-O4 shard-scaling sweep, fail if ns_per_pkt regresses beyond -tolerance vs the baseline section of -json or if the sweep shows a scaling knee (s8 worse than s1); the measured rows are folded into the file's current section")
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns_per_pkt regression in -check mode")
 		churn     = flag.Bool("churn", false, "measure only the TBL-O6 class-churn rows (admin add/remove latency and mostly-idle steady state); with -check, gate them (absolute admin budget, idle tax vs the 4096-class figure, baseline regression)")
+		auditOnly = flag.Bool("audit", false, "measure only the TBL-O8 guarantee-auditor rows (audited hot path vs untraced, verdict-snapshot cost); with -check, gate the +audit overhead at 5% and any frozen audit-* baseline rows")
 	)
 	flag.Parse()
 
 	if *churn {
 		churnMain(*ops, *jsonPath, *check, *tolerance)
+		return
+	}
+	if *auditOnly {
+		auditMain(*ops, *jsonPath, *check, *tolerance)
 		return
 	}
 
@@ -138,7 +144,7 @@ func main() {
 			AllocsPerPkt: allocs, SpreadPct: spread})
 	}
 
-	tbl := &stats.Table{Header: []string{"classes", "flat rbtree", "+metrics", "+flight", "flat calendar",
+	tbl := &stats.Table{Header: []string{"classes", "flat rbtree", "+metrics", "+flight", "+audit", "flat calendar",
 		fmt.Sprintf("depth-%d tree", *depth), fmt.Sprintf("batch n=%d", *burst), "deferred", "nextready"}}
 	// The flat-rbtree, +metrics and +flight rows feed tight -check gates
 	// (15%, 25%-overhead and 5%), so they take the best of three runs —
@@ -169,6 +175,10 @@ func main() {
 		// column. -check gates this row at 5% over the frozen untraced
 		// baseline.
 		flatFlt, aFlt, spFlt := best3(func() *core.Scheduler { return buildFlat(n, core.ElAugmentedTree, flight.New(0)) })
+		// "+audit" is the online guarantee auditor riding the same tracer
+		// hook: per-event conformance checks, margin sampling and burn
+		// accounting. -check gates it at 5% over the untraced baseline.
+		flatAud, aAud, spAud := best3(func() *core.Scheduler { return buildFlat(n, core.ElAugmentedTree, benchAud()) })
 		flatCal, aCal := measure(buildFlat(n, core.ElCalendar, nil), *ops)
 		deep, aDeep := measure(buildDeep(n, *depth), *ops)
 		batch, aBatch := measureBatch(buildFlat(n, core.ElAugmentedTree, nil), *ops, *burst)
@@ -178,6 +188,7 @@ func main() {
 		recordSpread("flat-rbtree", n, flatRB, aRB, spRB)
 		recordSpread("flat-rbtree-metrics", n, flatMet, aMet, spMet)
 		recordSpread("flat-rbtree-flight", n, flatFlt, aFlt, spFlt)
+		recordSpread("flat-rbtree-audit", n, flatAud, aAud, spAud)
 		record("flat-calendar", n, flatCal, aCal)
 		record(fmt.Sprintf("deep-%d", *depth), n, deep, aDeep)
 		record(fmt.Sprintf("batch-%d", *burst), n, batch, aBatch)
@@ -187,6 +198,7 @@ func main() {
 			fmt.Sprintf("%.0f ns/pkt", flatRB),
 			fmt.Sprintf("%.0f ns/pkt", flatMet),
 			fmt.Sprintf("%.0f ns/pkt", flatFlt),
+			fmt.Sprintf("%.0f ns/pkt", flatAud),
 			fmt.Sprintf("%.0f ns/pkt", flatCal),
 			fmt.Sprintf("%.0f ns/pkt", deep),
 			fmt.Sprintf("%.0f ns/pkt", batch),
@@ -366,6 +378,10 @@ func writeJSON(path string, results []Result) error {
 
 // benchAgg builds a metrics aggregator for the traced columns.
 func benchAgg() *metrics.Aggregator { return metrics.NewAggregator(metrics.Options{}) }
+
+// benchAud builds a guarantee auditor for the "+audit" column, at the
+// same 10 Gb/s link rate buildFlat splits among its leaves.
+func benchAud() *audit.Auditor { return audit.New(audit.Options{LinkRate: 1_250_000_000}) }
 
 // buildFlat creates n leaf classes under the root, each with concave rt
 // and linear ls curves; a non-nil tracer attaches the observability
@@ -795,6 +811,16 @@ func checkBaseline(path string, results []Result, tolerance float64) error {
 			// the recorder must stay nearly free.
 			want, ok = base[fmt.Sprintf("flat-rbtree/%d", r.Classes)]
 			tol = 0.05
+		}
+		if r.Name == "flat-rbtree-audit" || r.Name == "audit-flat" {
+			// The guarantee-auditor columns carry the flight recorder's 5%
+			// budget over the untraced baseline unconditionally — frozen row
+			// or not, so later baseline seeding cannot relax the gate. An
+			// auditor that distorts the guarantees it verifies is measuring
+			// itself.
+			if w, k := base[fmt.Sprintf("flat-rbtree/%d", r.Classes)]; k {
+				want, ok, tol = w, true, 0.05
+			}
 		}
 		if !ok || want <= 0 {
 			continue

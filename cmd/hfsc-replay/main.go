@@ -17,7 +17,9 @@ import (
 	"io"
 	"os"
 
+	"github.com/netsched/hfsc/internal/audit"
 	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
 	"github.com/netsched/hfsc/internal/flight"
 	"github.com/netsched/hfsc/internal/hierarchy"
 	"github.com/netsched/hfsc/internal/pfq"
@@ -34,6 +36,7 @@ func main() {
 	qlen := flag.Int("qlen", 1000, "default per-class queue limit (packets)")
 	tcMode := flag.Bool("tc", false, "parse the spec as Linux tc(8) HFSC commands")
 	events := flag.String("events", "", "write the flight-recorder event stream as JSON lines to this file (hfsc only; - for stdout)")
+	auditFlag := flag.Bool("audit", false, "run the online guarantee auditor over the replay and report per-class verdicts (hfsc only)")
 	flag.Parse()
 	if *specPath == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hfsc-replay -spec <file> [-algo hfsc|wf2q|sfq] <trace-file|->")
@@ -74,17 +77,33 @@ func main() {
 		classID func(string) (int, bool)
 		name    = map[int]string{}
 		rec     *flight.Recorder
+		aud     *audit.Auditor
 	)
 	switch *algo {
 	case "hfsc":
 		opts := core.Options{DefaultQueueLimit: *qlen}
+		var trs core.TeeTracer
 		if *events != "" {
 			// Replayed traces report dequeues through the same flight
 			// recorder a live PacedQueue uses, so replay and production
 			// event streams are directly comparable. Size the ring to hold
 			// the whole replay (a handful of events per packet).
 			rec = flight.New(8 * len(recs))
-			opts.Tracer = rec
+			trs = append(trs, rec)
+		}
+		if *auditFlag {
+			// The same online auditor a production scheduler runs
+			// (hfsc.Config.Audit), fed offline — so its verdicts can be
+			// cross-checked against the replay's packet-level statistics.
+			aud = audit.New(audit.Options{LinkRate: spec.LinkRate})
+			trs = append(trs, aud)
+		}
+		switch len(trs) {
+		case 0:
+		case 1:
+			opts.Tracer = trs[0]
+		default:
+			opts.Tracer = trs
 		}
 		sch, byName, err := spec.BuildHFSC(opts)
 		if err != nil {
@@ -122,6 +141,9 @@ func main() {
 	}
 	if *events != "" && rec == nil {
 		fatal(fmt.Errorf("-events requires -algo hfsc (the %s baseline has no tracer)", *algo))
+	}
+	if *auditFlag && aud == nil {
+		fatal(fmt.Errorf("-audit requires -algo hfsc (the %s baseline has no tracer)", *algo))
 	}
 
 	arr, err := trace.Bind(recs, classID)
@@ -174,6 +196,33 @@ func main() {
 	}
 	if err := tbl.Write(os.Stdout); err != nil {
 		fatal(err)
+	}
+
+	if aud != nil {
+		snap := aud.Snapshot()
+		fmt.Printf("\nguarantee audit: link verdict %s\n", snap.Verdict())
+		atbl := &stats.Table{Header: []string{"class", "verdict", "checks", "violations", "worst cause", "min margin", "worst late"}}
+		for _, c := range snap.Classes {
+			if !c.Guaranteed && c.Violations == 0 {
+				continue
+			}
+			worst := "-"
+			var topN uint64
+			for i, n := range c.ViolationsByCause {
+				if n > topN {
+					worst, topN = audit.Cause(i).String(), n
+				}
+			}
+			margin := "-"
+			if c.MinMarginEverNs != curve.Inf {
+				margin = stats.FmtDur(float64(c.MinMarginEverNs))
+			}
+			atbl.AddRow(c.Name, c.Verdict.String(), fmt.Sprintf("%d", c.Checks),
+				fmt.Sprintf("%d", c.Violations), worst, margin, stats.FmtDur(float64(c.WorstLateNs)))
+		}
+		if err := atbl.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

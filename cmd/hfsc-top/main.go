@@ -1,7 +1,10 @@
 // Hfsc-top renders a live per-class view of a running scheduler from its
 // /debug/hfsc/tree introspection endpoint (see examples/hfsc-serve) —
 // top(1) for an H-FSC link: per-class virtual times, backlog, service
-// rates computed from successive cumulative-work snapshots, and drops.
+// rates computed from successive cumulative-work snapshots, drops, and —
+// when the scheduler runs with Config.Audit — each class's guarantee
+// verdict from /debug/hfsc/audit (ok / at-risk / violated, with the
+// dominant violation cause).
 //
 //	go run ./cmd/hfsc-top -url http://localhost:9153/debug/hfsc/tree
 //	go run ./cmd/hfsc-top -once        # one snapshot, no screen control
@@ -15,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	hfsc "github.com/netsched/hfsc"
@@ -22,9 +26,18 @@ import (
 
 func main() {
 	url := flag.String("url", "http://localhost:9153/debug/hfsc/tree", "tree snapshot endpoint")
+	auditURL := flag.String("audit-url", "", "audit snapshot endpoint (default: -url with /tree replaced by /audit; \"off\" disables the verdict column)")
 	interval := flag.Duration("interval", time.Second, "refresh period")
 	once := flag.Bool("once", false, "print one snapshot and exit")
 	flag.Parse()
+
+	aurl := *auditURL
+	if aurl == "" {
+		aurl = strings.TrimSuffix(*url, "/tree") + "/audit"
+	}
+	if aurl == "off" {
+		aurl = ""
+	}
 
 	client := &http.Client{Timeout: 5 * time.Second}
 	var prev map[classKey]classRow
@@ -35,11 +48,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("hfsc-top: %v", err)
 		}
+		// The audit endpoint is best-effort: schedulers without
+		// Config.Audit (or older servers without the endpoint) just lose
+		// the verdict column.
+		var audit *hfsc.AuditJSON
+		if aurl != "" {
+			audit, _ = fetchAudit(client, aurl)
+		}
 		rows := flatten(snap)
 		if !*once {
 			fmt.Print("\033[H\033[2J") // clear screen, cursor home
 		}
-		render(os.Stdout, snap, rows, prev, now.Sub(prevAt))
+		render(os.Stdout, snap, rows, prev, now.Sub(prevAt), audit)
 		if *once {
 			return
 		}
@@ -59,6 +79,22 @@ func fetch(c *http.Client, url string) (*hfsc.TreeSnapshot, error) {
 		return nil, fmt.Errorf("%s: %s", url, resp.Status)
 	}
 	var snap hfsc.TreeSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &snap, nil
+}
+
+func fetchAudit(c *http.Client, url string) (*hfsc.AuditJSON, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var snap hfsc.AuditJSON
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("decode %s: %w", url, err)
 	}
@@ -88,11 +124,19 @@ func flatten(snap *hfsc.TreeSnapshot) map[classKey]classRow {
 	return rows
 }
 
-func render(w *os.File, snap *hfsc.TreeSnapshot, rows, prev map[classKey]classRow, dt time.Duration) {
-	fmt.Fprintf(w, "hfsc-top — link %s, %d shard(s), captured %s\n\n",
-		rate(float64(snap.LinkRateBps)), len(snap.Shards), time.Now().Format("15:04:05"))
-	fmt.Fprintf(w, "%-3s %-16s %-5s %10s %12s %14s %8s %10s %8s\n",
-		"SH", "CLASS", "ACT", "RATE", "TOTAL", "VT", "QLEN", "QBYTES", "DROPS")
+func render(w *os.File, snap *hfsc.TreeSnapshot, rows, prev map[classKey]classRow, dt time.Duration, audit *hfsc.AuditJSON) {
+	verdicts := map[int]hfsc.AuditClassJSON{}
+	link := ""
+	if audit != nil {
+		link = ", guarantees " + audit.Verdict
+		for _, c := range audit.Classes {
+			verdicts[c.ID] = c
+		}
+	}
+	fmt.Fprintf(w, "hfsc-top — link %s, %d shard(s)%s, captured %s\n\n",
+		rate(float64(snap.LinkRateBps)), len(snap.Shards), link, time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "%-3s %-16s %-5s %10s %12s %14s %8s %10s %8s %-10s\n",
+		"SH", "CLASS", "ACT", "RATE", "TOTAL", "VT", "QLEN", "QBYTES", "DROPS", "VERDICT")
 	keys := make([]classKey, 0, len(rows))
 	for k := range rows {
 		keys = append(keys, k)
@@ -122,10 +166,32 @@ func render(w *os.File, snap *hfsc.TreeSnapshot, rows, prev map[classKey]classRo
 		if !c.Leaf {
 			name += "/"
 		}
-		fmt.Fprintf(w, "%-3d %-16s %-5s %10s %12d %14d %8d %10d %8d\n",
+		fmt.Fprintf(w, "%-3d %-16s %-5s %10s %12d %14d %8d %10d %8d %-10s\n",
 			r.shard, name, act, rateStr, c.TotalBytes, c.VirtualTime,
-			c.QueuedPackets, c.QueuedBytes, c.Dropped)
+			c.QueuedPackets, c.QueuedBytes, c.Dropped, verdict(verdicts, c.ID))
 	}
+}
+
+// verdict renders one class's audit verdict, annotated with the dominant
+// violation cause when there is one ("violated!drop"). "-" when the class
+// is unaudited (no audit endpoint, or no events yet).
+func verdict(vs map[int]hfsc.AuditClassJSON, id int) string {
+	v, ok := vs[id]
+	if !ok {
+		return "-"
+	}
+	out := v.Verdict
+	var topCause string
+	var topN uint64
+	for cause, n := range v.ViolationsByCause {
+		if n > topN {
+			topCause, topN = cause, n
+		}
+	}
+	if topN > 0 && out != "ok" {
+		out += "!" + topCause
+	}
+	return out
 }
 
 // rate renders bytes/s in human units.

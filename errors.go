@@ -49,6 +49,18 @@ var (
 	// backend whose hierarchy is fixed after construction (BackendWF2Q,
 	// BackendSFQ).
 	ErrBackendStatic = errors.New("hfsc: backend hierarchy is static")
+	// ErrNonConcaveCurve is returned by DelayBound when the real-time curve
+	// is convex (M1 < M2 with a non-zero D): Theorem 1's delay bound — and
+	// SCED schedulability generally — assumes concave service curves.
+	ErrNonConcaveCurve = errors.New("hfsc: real-time curve is not concave")
+	// ErrUnitExceedsLMax is returned by DelayBound when the burst unit u is
+	// larger than the stated maximum packet length lmax — an inconsistent
+	// query, since lmax bounds every unit the class can submit.
+	ErrUnitExceedsLMax = errors.New("hfsc: work unit exceeds lmax")
+	// ErrCurveUnreachable is returned by DelayBound when the curve never
+	// delivers the requested u bytes (a zero curve, or one whose slopes
+	// decay to zero before u is supplied), so no finite bound exists.
+	ErrCurveUnreachable = errors.New("hfsc: curve never delivers the requested work")
 )
 
 // Structural errors surfaced from the core scheduler; RemoveClass and

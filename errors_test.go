@@ -3,6 +3,7 @@ package hfsc_test
 import (
 	"errors"
 	"testing"
+	"time"
 
 	hfsc "github.com/netsched/hfsc"
 )
@@ -108,6 +109,61 @@ func TestErrNoLinkRate(t *testing.T) {
 	}
 	if _, err := s.DelayBound(hfsc.Linear(hfsc.Mbps), 1500, 1500); !errors.Is(err, hfsc.ErrNoLinkRate) {
 		t.Fatalf("DelayBound: want ErrNoLinkRate, got %v", err)
+	}
+}
+
+// TestDelayBoundSentinels pins the typed errors on DelayBound's validation
+// paths: a convex (non-concave) real-time curve, a work unit above lmax,
+// and a curve that never delivers the requested burst — each must be
+// matchable with errors.Is, on both the Scheduler and MultiQueue surfaces.
+func TestDelayBoundSentinels(t *testing.T) {
+	s := hfsc.New(hfsc.Config{LinkRate: 10 * hfsc.Mbps})
+
+	// Convex: first segment slower than the second. The Theorem 1/2 bound
+	// assumes a concave curve, so this must be refused, not mis-computed.
+	convex := hfsc.SC{M1: hfsc.Mbps, D: int64(5 * time.Millisecond), M2: 2 * hfsc.Mbps}
+	if _, err := s.DelayBound(convex, 1500, 1500); !errors.Is(err, hfsc.ErrNonConcaveCurve) {
+		t.Errorf("convex curve: want ErrNonConcaveCurve, got %v", err)
+	}
+
+	// A burst larger than the largest packet is inconsistent input.
+	if _, err := s.DelayBound(hfsc.Linear(hfsc.Mbps), 3000, 1500); !errors.Is(err, hfsc.ErrUnitExceedsLMax) {
+		t.Errorf("u > lmax: want ErrUnitExceedsLMax, got %v", err)
+	}
+
+	// The zero curve never supplies the burst: unreachable, not a bound.
+	if _, err := s.DelayBound(hfsc.SC{}, 1500, 1500); !errors.Is(err, hfsc.ErrCurveUnreachable) {
+		t.Errorf("zero curve: want ErrCurveUnreachable, got %v", err)
+	}
+
+	// A valid concave curve still computes cleanly alongside the sentinels.
+	concave := hfsc.SC{M1: 2 * hfsc.Mbps, D: int64(10 * time.Millisecond), M2: hfsc.Mbps}
+	if d, err := s.DelayBound(concave, 1500, 1500); err != nil || d <= 0 {
+		t.Errorf("concave curve: got (%v, %v), want a positive bound", d, err)
+	}
+
+	// The same sentinels must surface through MultiQueue.DelayBound.
+	m, err := hfsc.NewMultiQueue(hfsc.MultiConfig{
+		Config: hfsc.Config{LinkRate: 10 * hfsc.Mbps},
+		Shards: 2,
+	}, func(p *hfsc.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	mc, err := m.AddClass(nil, "leaf", hfsc.ClassConfig{LinkShare: hfsc.Linear(hfsc.Mbps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DelayBound(nil, 1500, 1500); !errors.Is(err, hfsc.ErrNilClass) {
+		t.Errorf("nil class: want ErrNilClass, got %v", err)
+	}
+	// The leaf carries no real-time curve, so its RSC is the zero curve.
+	if _, err := m.DelayBound(mc, 1500, 1500); !errors.Is(err, hfsc.ErrCurveUnreachable) {
+		t.Errorf("multiqueue zero curve: want ErrCurveUnreachable, got %v", err)
+	}
+	if _, err := m.DelayBound(mc, 3000, 1500); !errors.Is(err, hfsc.ErrUnitExceedsLMax) {
+		t.Errorf("multiqueue u > lmax: want ErrUnitExceedsLMax, got %v", err)
 	}
 }
 

@@ -99,6 +99,41 @@ func ExampleScheduler_Snapshot() {
 	// sent=10 misses=0 rejects=1
 }
 
+// With Config.Audit the online guarantee auditor rides the same tracer
+// as the metrics aggregator, and the metrics snapshot carries its
+// verdicts as Snapshot.Audit: per-class conformance checks, attributed
+// violations, margin minima and burn rates.
+func ExampleScheduler_AuditSnapshot() {
+	s := hfsc.New(hfsc.Config{
+		LinkRate: 10 * hfsc.Mbps,
+		Metrics:  true,
+		Audit:    true,
+	})
+	voice, _ := s.AddClass(nil, "voice", hfsc.ClassConfig{
+		RealTime:  hfsc.Linear(hfsc.Mbps),
+		LinkShare: hfsc.Linear(hfsc.Mbps),
+	})
+
+	// A conforming run: one 1000 B packet per ms is exactly the curve's
+	// 1 MB/s promise, and each is served as it arrives.
+	now := int64(0)
+	for i := 0; i < 10; i++ {
+		s.Offer(&hfsc.Packet{Len: 1000, Class: voice.ID(), Arrival: now}, now)
+		s.Dequeue(now)
+		now += 1_000_000
+	}
+
+	snap := s.Snapshot() // the metrics snapshot carries the audit verdicts
+	for _, ca := range snap.Audit.Classes {
+		fmt.Printf("%s: verdict=%s checks=%d violations=%d burn30s=%.0f\n",
+			ca.Name, ca.Verdict, ca.Checks, ca.Violations, ca.BurnRate30s)
+	}
+	fmt.Println("link:", snap.Audit.Verdict())
+	// Output:
+	// voice: verdict=ok checks=10 violations=0 burn30s=0
+	// link: ok
+}
+
 // Now and At fix the scheduler's nanosecond clock convention in one place
 // for real-time drivers.
 func ExampleNow() {

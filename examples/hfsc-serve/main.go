@@ -75,6 +75,7 @@ func main() {
 			Flight:            true,
 			FlightRecords:     *records,
 			Spans:             *spans,
+			Audit:             true,
 		},
 		Shards: *shards,
 	}, func(p *hfsc.Packet) {
@@ -165,6 +166,19 @@ func main() {
 		}
 	})
 
+	// /debug/hfsc/audit: the online guarantee auditor's verdicts — per
+	// class conformance checks, attributed violations, margin minima and
+	// burn rates — merged across shards under global ids. This is what
+	// hfsc-top's verdict column reads.
+	mux.HandleFunc("/debug/hfsc/audit", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(hfsc.AuditSnapshotJSON(m.AuditSnapshot())); err != nil {
+			log.Printf("audit dump: %v", err)
+		}
+	})
+
 	// /debug/hfsc/events: the merged flight-recorder stream as a JSON
 	// array, newest last. ?n=K limits to the K newest events (default
 	// 256, capped at the rings' capacity).
@@ -208,7 +222,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	log.Printf("serving on %s: /metrics /debug/hfsc/tree /debug/hfsc/events (link %d Mb/s, %d shards, debug=%v)",
+	log.Printf("serving on %s: /metrics /debug/hfsc/tree /debug/hfsc/audit /debug/hfsc/events (link %d Mb/s, %d shards, debug=%v)",
 		*listen, *rate, m.NumShards(), *dbg)
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }

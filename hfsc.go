@@ -57,6 +57,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netsched/hfsc/internal/audit"
 	"github.com/netsched/hfsc/internal/backend"
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/curve"
@@ -169,6 +170,23 @@ type Config struct {
 	// FlightRecords sizes the recorder ring in records (rounded up to a
 	// power of two; 0 = 4096). Ignored unless Flight is set.
 	FlightRecords int
+	// Audit enables the online guarantee auditor: a per-class monitor that
+	// checks the service each class actually receives against its
+	// real-time curve (fluid-SCED deadlines anchored at each busy-period
+	// start), attributes every violation to a cause (non-conforming
+	// arrivals, upper-limit deferral, drops, cost corrections, or genuine
+	// scheduler lateness), and tracks SLO burn rates over 1s/30s/5m
+	// windows. Read it via AuditSnapshot, Snapshot().Audit, the
+	// hfsc_guarantee_* Prometheus families, or /debug/hfsc/audit in
+	// examples/hfsc-serve. Like the flight recorder it is O(1) per event
+	// and allocation-free in steady state — built to stay on in
+	// production.
+	Audit bool
+	// AuditTolerance is the lateness forgiven before an audit check counts
+	// as a violation (default 1ms — the fluid model is continuous, real
+	// links deliver whole packets on coarse clocks). Ignored unless Audit
+	// is set.
+	AuditTolerance time.Duration
 	// Spans samples 1-in-N submitted packets for a full lifecycle span:
 	// submit → intake drain → dequeue → transmit, decomposed into intake
 	// wait, queueing delay and pacing delay histograms on the metrics
@@ -260,6 +278,7 @@ type Scheduler struct {
 	core    *core.Scheduler
 	agg     *metrics.Aggregator // nil unless Config.Metrics
 	rec     *flight.Recorder    // nil unless Config.Flight
+	aud     *audit.Auditor      // nil unless Config.Audit
 	byName  map[string]*Class
 	wrapped map[*core.Class]*Class
 	// tpls are the registered class templates (longest prefix wins); lc
@@ -294,17 +313,25 @@ func New(cfg Config) *Scheduler {
 		VTPolicy:          cfg.VTPolicy,
 		DefaultQueueLimit: cfg.DefaultQueueLimit,
 	}
+	var trs []core.Tracer
 	if cfg.Metrics {
 		s.agg = metrics.NewAggregator(metrics.Options{Window: cfg.MetricsWindow})
-		opts.Tracer = s.agg
+		trs = append(trs, s.agg)
 	}
 	if cfg.Flight {
 		s.rec = flight.New(cfg.FlightRecords)
-		if s.agg != nil {
-			opts.Tracer = core.TeeTracer{s.agg, s.rec}
-		} else {
-			opts.Tracer = s.rec
-		}
+		trs = append(trs, s.rec)
+	}
+	if cfg.Audit {
+		s.aud = audit.New(audit.Options{LinkRate: cfg.LinkRate, Tolerance: cfg.AuditTolerance})
+		trs = append(trs, s.aud)
+	}
+	switch len(trs) {
+	case 0:
+	case 1:
+		opts.Tracer = trs[0]
+	default:
+		opts.Tracer = core.TeeTracer(trs)
 	}
 	s.tracer = opts.Tracer
 	s.core = core.New(opts)
@@ -598,10 +625,23 @@ func (s *Scheduler) DelayBound(rsc SC, u int, lmax int) (time.Duration, error) {
 	if s.cfg.LinkRate == 0 {
 		return 0, ErrNoLinkRate
 	}
+	return delayBound(rsc, u, lmax, s.cfg.LinkRate)
+}
+
+// delayBound is the validated Theorem 1/2 computation shared by
+// Scheduler.DelayBound and MultiQueue.DelayBound, after the caller has
+// resolved the link rate.
+func delayBound(rsc SC, u, lmax int, linkRate uint64) (time.Duration, error) {
+	if rsc.D > 0 && rsc.M1 < rsc.M2 {
+		return 0, fmt.Errorf("%w (m1=%d B/s < m2=%d B/s)", ErrNonConcaveCurve, rsc.M1, rsc.M2)
+	}
+	if u > lmax {
+		return 0, fmt.Errorf("%w (u=%d, lmax=%d)", ErrUnitExceedsLMax, u, lmax)
+	}
 	t := curve.FromSC(rsc).Inverse(int64(u))
 	if t == curve.Inf {
-		return 0, fmt.Errorf("hfsc: curve never delivers %d bytes", u)
+		return 0, fmt.Errorf("%w (%d bytes)", ErrCurveUnreachable, u)
 	}
-	slack := curve.FromSC(Linear(s.cfg.LinkRate)).Inverse(int64(lmax))
+	slack := curve.FromSC(Linear(linkRate)).Inverse(int64(lmax))
 	return time.Duration(t + slack), nil
 }

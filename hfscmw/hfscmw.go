@@ -155,6 +155,15 @@ type Config struct {
 	// Metrics enables the scheduler's metrics pipeline (Snapshot,
 	// WriteMetrics) on the underlying scheduler.
 	Metrics bool
+
+	// Audit enables the scheduler's online guarantee auditor: each
+	// tenant's admission service is continuously checked against its
+	// SLO's curve, violations are attributed (non-conforming arrivals,
+	// drops, cost mis-estimation, genuine scheduler lateness), and burn
+	// rates are tracked per tenant. Read the verdicts with Verdicts or
+	// AuditSnapshot; with Metrics they also appear as the
+	// hfsc_guarantee_* Prometheus families.
+	Audit bool
 }
 
 // tenant is the limiter-side state of one leaf class.
@@ -224,6 +233,7 @@ func New(cfg Config) (*Limiter, error) {
 	l.sched = hfsc.New(hfsc.Config{
 		LinkRate: capacity,
 		Metrics:  cfg.Metrics,
+		Audit:    cfg.Audit,
 	})
 	// Tenant classes are created — and, with EvictAfter > 0, collected
 	// again — through the scheduler's class-lifecycle template: creation
@@ -277,6 +287,30 @@ func (l *Limiter) WriteMetrics(w io.Writer) error { return l.q.WriteMetrics(w) }
 // Inspect runs fn with exclusive access to the underlying scheduler (on
 // the pacing goroutine); see PacedQueue.Inspect.
 func (l *Limiter) Inspect(fn func(*hfsc.Scheduler)) { l.q.Inspect(fn) }
+
+// AuditSnapshot returns the online guarantee auditor's verdicts over
+// every tenant class (nil without Config.Audit). Safe from any goroutine.
+func (l *Limiter) AuditSnapshot() *hfsc.AuditSnapshot { return l.q.AuditSnapshot() }
+
+// Verdicts returns every live tenant's guarantee verdict, keyed by tenant
+// name: the audited health of each SLO (ok / at risk / violated) with the
+// attributed violation counters behind it. Tenants that have not been
+// served yet are absent. Returns nil without Config.Audit.
+func (l *Limiter) Verdicts() map[string]hfsc.ClassAudit {
+	snap := l.q.AuditSnapshot()
+	if snap == nil {
+		return nil
+	}
+	out := map[string]hfsc.ClassAudit{}
+	l.tenants.Range(func(name, v any) bool {
+		t := v.(*tenant)
+		if ca, ok := snap.Class(t.class); ok {
+			out[name.(string)] = ca
+		}
+		return true
+	})
+	return out
+}
 
 // DelayBound returns the worst-case admission latency of a conforming
 // burst of u estimated service time against slo's curve (Theorems 1/2:
@@ -366,6 +400,15 @@ func (l *Limiter) getOrCreate(name string, slo SLO) (*tenant, error) {
 		return nil, err
 	}
 	t := &tenant{name: name, class: id, slo: slo, guaranteed: l.pendGuaranteed}
+	// Pin the auditor's arrival-conformance allowance to the SLO's own
+	// burst (the cost its curve absorbs before the knee), so conformance
+	// is judged against what the tenant was promised rather than against
+	// the largest request it happened to submit.
+	if !slo.IsZero() {
+		if burst := int64(seats(slo.Burst)) * slo.Latency.Nanoseconds() / int64(time.Second); burst > 0 {
+			l.sched.SetAuditBurst(id, burst)
+		}
+	}
 	l.tenants.Store(name, t)
 	l.byClass.Store(id, t)
 	return t, nil

@@ -1,0 +1,681 @@
+// Package audit is the online guarantee auditor: a core.Tracer that
+// continuously checks the service a class actually received against the
+// service curve it was promised, attributes every violation to a cause,
+// and tracks SLO burn rates over multi-resolution windows.
+//
+// The offline oracles (internal/conformance, internal/fluid) answer "did
+// the guarantees hold?" after the fact, from a full packet trace. The
+// auditor answers the same question live, from the event stream the
+// scheduler already emits, using the fluid-SCED interpretation of H-FSC:
+// when a leaf's busy period starts at time b, the real-time curve anchored
+// at b owes the w-th byte of arrived work no later than
+//
+//	deadline(w) = b + RSC⁻¹(w)
+//
+// so each enqueue pushes one fluid deadline and each dequeue pops and
+// checks it. Because the deadline follows the *actual* cumulative
+// arrivals, the check is arrival-aware: a sender that bursts beyond its
+// curve stretches its own deadlines instead of producing false scheduler
+// blame. This per-busy-period anchoring is conservative with respect to
+// the paper's exact deadline-curve update (which takes the min with the
+// previous period's curve and can only make deadlines earlier), so a
+// conforming run never produces false violations.
+//
+// Verdicts are attributed: a missed guarantee is tagged as non-conforming
+// arrivals (the sender exceeded its curve, so nothing was owed),
+// upper-limit deferral, an intake/queue-limit drop, cost mis-estimation
+// (completion corrections moved the accounts), or — when nothing else
+// explains it — genuine scheduler lateness.
+//
+// Like the flight recorder, the auditor is built to stay attached in
+// production: one mutex, O(1) amortized per event, and zero allocations
+// in steady state (per-class state, deadline rings and window slots are
+// allocated once and reused).
+package audit
+
+import (
+	"sync"
+	"time"
+
+	"github.com/netsched/hfsc/internal/core"
+	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/fixpt"
+	"github.com/netsched/hfsc/internal/pktq"
+)
+
+// Cause attributes one guarantee violation.
+type Cause uint8
+
+const (
+	// CauseSchedulerLate: the arrivals conformed, nothing deferred or
+	// corrected the class, and service still came later than the curve
+	// owed — the scheduler itself failed the guarantee (e.g. a mis-sliced
+	// MultiQueue rate or an inadmissible configuration).
+	CauseSchedulerLate Cause = iota
+	// CauseNonConformingArrival: the sender exceeded its service curve's
+	// arrival envelope during this busy period, so the advertised delay
+	// bound was not owed for the late work.
+	CauseNonConformingArrival
+	// CauseUlimitDefer: an upper-limit curve deferred service while the
+	// class fell behind; the lateness is the configured ceiling, not a
+	// scheduling fault.
+	CauseUlimitDefer
+	// CauseDrop: the packet never got service at all — refused at a full
+	// leaf queue (or counted by a driver at intake) — so the guarantee was
+	// broken by loss, not by late scheduling.
+	CauseDrop
+	// CauseCostCorrection: completion corrections re-charged the class
+	// during the busy period, so the work the deadlines were computed from
+	// was mis-estimated.
+	CauseCostCorrection
+
+	// CauseCount bounds the declared causes.
+	CauseCount
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseSchedulerLate:
+		return "scheduler-late"
+	case CauseNonConformingArrival:
+		return "nonconforming-arrival"
+	case CauseUlimitDefer:
+		return "ulimit-defer"
+	case CauseDrop:
+		return "drop"
+	case CauseCostCorrection:
+		return "cost-correction"
+	default:
+		return "unknown"
+	}
+}
+
+// Verdict is a class's (or a whole link's) current guarantee health.
+type Verdict uint8
+
+const (
+	// VerdictOK: no violations in the burn window and positive margin.
+	VerdictOK Verdict = iota
+	// VerdictAtRisk: violations within the 5-minute window, or the
+	// conformance margin has dipped below the tolerance — the guarantee
+	// held but with no headroom.
+	VerdictAtRisk
+	// VerdictViolated: violations within the last 30 seconds.
+	VerdictViolated
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictAtRisk:
+		return "at-risk"
+	case VerdictViolated:
+		return "violated"
+	default:
+		return "unknown"
+	}
+}
+
+// Defaults for Options.
+const (
+	// DefaultTolerance forgives packetization and clock-granularity
+	// lateness: the fluid model delivers continuously while the link
+	// delivers in whole packets at discrete pass clocks.
+	DefaultTolerance = time.Millisecond
+	// DefaultMarginWindow is the sliding window over which the minimum
+	// conformance margin is reported.
+	DefaultMarginWindow = 8 * time.Second
+)
+
+// burnSeconds is the burn-rate ring length: 5 minutes of one-second
+// buckets, so the 1 s / 30 s / 5 m windows all read from one ring.
+const burnSeconds = 300
+
+// marginSlots sizes the sliding-minimum ring for the conformance margin;
+// one-second sub-windows, pruned against Options.MarginWindow at read
+// time, so the window can be any duration up to marginSlots seconds.
+const marginSlots = 16
+
+// Options configures an Auditor.
+type Options struct {
+	// LinkRate (bytes/s) converts the largest observed work unit into the
+	// one-packet transmission slack every fluid deadline is granted (the
+	// Theorem 1 "+ lmax/R" term). Zero grants no slack beyond Tolerance.
+	LinkRate uint64
+	// Tolerance is the lateness (ns) forgiven before a deadline check
+	// counts as a violation (default DefaultTolerance). The fluid model
+	// is continuous; real links deliver whole packets on coarse clocks.
+	Tolerance time.Duration
+	// MarginWindow is the sliding window for the reported minimum
+	// conformance margin (default DefaultMarginWindow, max marginSlots
+	// seconds).
+	MarginWindow time.Duration
+}
+
+// burnSlot is one second of violation accounting. key is the epoch
+// second plus one, so the zero value means "never used" even for traces
+// running on a virtual clock near zero.
+type burnSlot struct {
+	key    int64
+	checks uint32
+	viols  uint32
+}
+
+// marginSlot is one second of conformance-margin minima (key as above).
+type marginSlot struct {
+	key int64
+	min int64
+}
+
+// ring is a grow-only FIFO of int64 (fluid deadlines). Steady state is
+// allocation-free once it has grown to the peak queue length; the buffer
+// is a power of two so wraparound is a mask.
+type ring struct {
+	buf   []int64
+	head  int
+	count int
+}
+
+func (r *ring) push(v int64) {
+	if r.count == len(r.buf) {
+		n := len(r.buf) * 2
+		if n == 0 {
+			n = 8
+		}
+		nb := make([]int64, n)
+		for i := 0; i < r.count; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.count)&(len(r.buf)-1)] = v
+	r.count++
+}
+
+func (r *ring) pop() (int64, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.count--
+	return v, true
+}
+
+func (r *ring) peek() (int64, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	return r.buf[r.head], true
+}
+
+func (r *ring) reset() { r.head, r.count = 0, 0 }
+
+// classAudit is the per-class auditor state.
+type classAudit struct {
+	id   int
+	name string
+
+	// Guaranteed curve, recompiled only when the class's RSC changes
+	// (live retuning); hasRT gates all deadline work. sustained is the
+	// curve's long-term slope (bytes/s): the token-bucket arrival rate the
+	// delay bound is owed for, even when the curve itself is convex and
+	// delivers less early in the busy period.
+	rscSC     curve.SC
+	rsc       curve.Curve
+	hasRT     bool
+	sustained int64
+
+	// Tail fast-path constants, derived from rsc by refreshCurve: the
+	// start of the curve's final linear segment, its slope, and the dt
+	// beyond which sustained*dt would overflow. They let the per-packet
+	// deadline and conformance checks run on one 64-bit multiply/divide
+	// instead of the segment walk with 128-bit division.
+	kneeX    int64
+	kneeY    int64
+	tailRate int64
+	infDt    int64
+
+	// Busy-period state, re-anchored at every empty→backlogged edge.
+	busy          bool
+	anchor        int64
+	arrived       int64 // cumulative work since anchor
+	served        int64 // cumulative work served since anchor
+	qpkts         int64
+	nonConforming bool   // arrivals exceeded the envelope this busy period
+	corrAtAnchor  uint64 // corrections total when the period started
+	defAtAnchor   uint64 // auditor-global ulimit defers when it started
+	stallCounted  bool   // the backlog head was already flagged by Tick
+
+	deadlines ring // fluid deadline of each queued packet, FIFO
+
+	// burstAllow is the instantaneous burst (bytes) arrivals may exceed
+	// the fluid envelope by before the period is marked non-conforming.
+	// Defaults to the largest single work unit observed; SetBurst pins it
+	// (e.g. to an SLO's advertised burst).
+	burstAllow    int64
+	explicitBurst bool
+	maxWork       int64 // largest single work unit seen (the class's lmax)
+
+	checks   uint64
+	viols    [CauseCount]uint64
+	corrs    uint64 // completion corrections observed
+	misses   uint64 // scheduler-reported EvDeadlineMiss corroborations
+	badStart uint64 // busy periods that went non-conforming
+
+	worstLateNs int64 // worst lateness past the allowance (genuine causes)
+	delayMaxNs  int64 // worst observed per-packet delay (arrival→dequeue)
+
+	burn      [burnSeconds]burnSlot
+	margins   [marginSlots]marginSlot
+	minMargin int64 // all-time minimum margin
+	hasMargin bool
+}
+
+// Auditor folds scheduler events into per-class guarantee verdicts. It
+// implements core.Tracer; attach it via core.Options.Tracer (or
+// hfsc.Config.Audit). All methods are safe for concurrent use; Trace is
+// allocation-free in steady state.
+type Auditor struct {
+	mu      sync.Mutex
+	opts    Options
+	tolNs   int64
+	winNs   int64
+	classes []*classAudit // indexed by class id; nil = never seen
+
+	lastEvent    int64
+	ulimitDefers uint64
+	lmax         int64 // largest work unit seen anywhere (Theorem 1 slack)
+	slackNs      int64 // lmax's transmission time at LinkRate
+
+	// burstByID holds SetBurst values for classes that have not produced
+	// events yet; drained into classAudit.burstAllow on first sight.
+	burstByID map[int]int64
+}
+
+// New creates an auditor.
+func New(opts Options) *Auditor {
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = DefaultTolerance
+	}
+	if opts.MarginWindow <= 0 {
+		opts.MarginWindow = DefaultMarginWindow
+	}
+	if opts.MarginWindow > marginSlots*time.Second {
+		opts.MarginWindow = marginSlots * time.Second
+	}
+	return &Auditor{
+		opts:  opts,
+		tolNs: opts.Tolerance.Nanoseconds(),
+		winNs: opts.MarginWindow.Nanoseconds(),
+	}
+}
+
+// SetBurst pins the arrival-conformance burst allowance for a class (in
+// work units), e.g. an SLO's advertised burst. Without it the allowance
+// tracks the largest single work unit the class has submitted.
+func (a *Auditor) SetBurst(classID int, burst int64) {
+	if classID < 0 || burst <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if classID < len(a.classes) && a.classes[classID] != nil {
+		st := a.classes[classID]
+		st.burstAllow = burst
+		st.explicitBurst = true
+	} else {
+		if a.burstByID == nil {
+			a.burstByID = map[int]int64{}
+		}
+		a.burstByID[classID] = burst
+	}
+	a.mu.Unlock()
+}
+
+// state returns (creating on first use) the per-class audit state.
+func (a *Auditor) state(cl *core.Class) *classAudit {
+	id := cl.ID()
+	for id >= len(a.classes) {
+		a.classes = append(a.classes, nil)
+	}
+	st := a.classes[id]
+	if st == nil {
+		st = &classAudit{id: id, name: cl.Name(), minMargin: curve.Inf}
+		if b, ok := a.burstByID[id]; ok {
+			st.burstAllow = b
+			st.explicitBurst = true
+			delete(a.burstByID, id)
+		}
+		a.classes[id] = st
+	}
+	return st
+}
+
+// refreshCurve recompiles the class's guaranteed curve if it changed
+// (first sight, or a live SetCurves retune). Compiling allocates, so it
+// only happens on change — never per event in steady state.
+func (st *classAudit) refreshCurve(cl *core.Class) {
+	sc := cl.RSC()
+	if sc == st.rscSC && (st.hasRT || sc.IsZero()) {
+		return
+	}
+	st.rscSC = sc
+	st.hasRT = !sc.IsZero()
+	if st.hasRT {
+		st.rsc = curve.FromSC(sc)
+		st.sustained = int64(sc.M2)
+		kx, ky, m := st.rsc.Tail()
+		st.kneeX, st.kneeY, st.tailRate = kx, ky, int64(m)
+	} else {
+		st.rsc = curve.Curve{}
+		st.sustained = 0
+		st.kneeX, st.kneeY, st.tailRate = 0, 0, 0
+	}
+	if st.sustained > 0 {
+		st.infDt = curve.Inf / st.sustained
+	} else {
+		st.infDt = curve.Inf
+	}
+}
+
+// maxTailDY bounds the fast-path offset past the knee: dy*NsPerSec must
+// fit in an int64, so offsets beyond ~9.2 GB fall back to the exact
+// 128-bit Inverse.
+const maxTailDY = curve.Inf / int64(time.Second)
+
+// deadlineRel is rsc.Inverse(y) with a fast path on the curve's final
+// linear segment — one 64-bit multiply and divide instead of the segment
+// walk and 128-bit division, bit-exact with Inverse in its range.
+func (st *classAudit) deadlineRel(y int64) int64 {
+	if dy := y - st.kneeY; dy > 0 && dy < maxTailDY && st.tailRate > 0 {
+		n := dy * int64(time.Second)
+		q := n / st.tailRate
+		if n%st.tailRate != 0 {
+			q++
+		}
+		return fixpt.SatAdd(st.kneeX, q)
+	}
+	return st.rsc.Inverse(y)
+}
+
+// overEnvelope reports whether cumulative arrivals exceed the arrival
+// entitlement dt ns into the busy period: the service curve itself, or
+// the token bucket at the curve's sustained rate, whichever admits more
+// (plus the burst allowance). A sender inside either is owed the
+// advertised bound — the curve for concave shapes, the token bucket for
+// convex ones (whose early segments deliberately deliver less than the
+// long-term rate, e.g. ForRealTime with u/dmax below the rate). The
+// token-bucket arm is checked first: it is one multiply and clears every
+// conforming steady-state sender, so the curve walk only runs for
+// arrivals already past the bucket.
+func (st *classAudit) overEnvelope(dt int64) bool {
+	over := st.arrived - st.burstAllow
+	if over <= 0 {
+		return false
+	}
+	if st.sustained > 0 && dt > 0 {
+		if dt >= st.infDt {
+			return false // bucket entitlement saturated at Inf
+		}
+		if over <= st.sustained*dt/int64(time.Second) {
+			return false
+		}
+	}
+	return over > st.rsc.Eval(dt)
+}
+
+// allow is the total lateness forgiven on a deadline: the fluid model's
+// one-packet transmission slack plus the configured tolerance.
+func (a *Auditor) allow() int64 { return a.slackNs + a.tolNs }
+
+// observeWork tracks the largest work unit (the empirical lmax) and the
+// transmission slack it implies at the configured link rate.
+func (a *Auditor) observeWork(st *classAudit, w int64) {
+	if w > st.maxWork {
+		st.maxWork = w
+		if !st.explicitBurst && w > st.burstAllow {
+			st.burstAllow = w
+		}
+	}
+	if w > a.lmax {
+		a.lmax = w
+		if a.opts.LinkRate > 0 {
+			a.slackNs = w * int64(time.Second) / int64(a.opts.LinkRate)
+		}
+	}
+}
+
+// Trace implements core.Tracer.
+func (a *Auditor) Trace(ev core.Event, cl *core.Class, p *pktq.Packet, now, aux int64) {
+	a.mu.Lock()
+	if now > a.lastEvent {
+		a.lastEvent = now
+	}
+	switch ev {
+	case core.EvEnqueue:
+		st := a.state(cl)
+		st.refreshCurve(cl)
+		a.enqueue(st, p, now)
+	case core.EvDrop:
+		st := a.state(cl)
+		st.checks++
+		st.viols[CauseDrop]++
+		st.record(now/int64(time.Second), true)
+	case core.EvDequeueRT, core.EvDequeueLS:
+		a.dequeue(a.state(cl), p, now)
+	case core.EvDeadlineMiss:
+		a.state(cl).misses++
+	case core.EvUlimitDefer:
+		a.ulimitDefers++
+	case core.EvCorrect:
+		st := a.state(cl)
+		st.corrs++
+		// The correction re-charges service the deadlines were not
+		// computed from; fold it into the busy period's served work so
+		// the cumulative accounting stays truthful.
+		if st.busy {
+			if st.served += aux; st.served < 0 {
+				st.served = 0
+			}
+		}
+	}
+	a.mu.Unlock()
+}
+
+// enqueue anchors busy periods, checks arrival conformance against the
+// curve's envelope, and pushes the packet's fluid deadline.
+func (a *Auditor) enqueue(st *classAudit, p *pktq.Packet, now int64) {
+	w := p.Work()
+	if !st.busy {
+		st.busy = true
+		st.anchor = now
+		st.arrived = 0
+		st.served = 0
+		st.nonConforming = false
+		st.stallCounted = false
+		st.corrAtAnchor = st.corrs
+		st.defAtAnchor = a.ulimitDefers
+		st.deadlines.reset()
+	}
+	st.qpkts++
+	st.arrived += w
+	a.observeWork(st, w)
+	if !st.hasRT {
+		return
+	}
+	if !st.nonConforming && st.overEnvelope(now-st.anchor) {
+		st.nonConforming = true
+		st.badStart++
+	}
+	st.deadlines.push(fixpt.SatAdd(st.anchor, st.deadlineRel(st.arrived)))
+}
+
+// dequeue pops the packet's fluid deadline, samples the conformance
+// margin, and counts + attributes a violation when the guarantee was
+// missed.
+func (a *Auditor) dequeue(st *classAudit, p *pktq.Packet, now int64) {
+	if st.qpkts > 0 {
+		st.qpkts--
+	}
+	// Work was already observed when this packet was enqueued, so the
+	// dequeue side only has to move the served account.
+	st.served += p.Work()
+	counted := st.stallCounted
+	st.stallCounted = false
+	emptied := st.qpkts == 0
+	if st.hasRT {
+		if dl, ok := st.deadlines.pop(); ok {
+			sec := now / int64(time.Second)
+			margin := dl + a.allow() - now
+			st.sampleMargin(sec, margin)
+			var delay int64
+			if p.Arrival > 0 && now > p.Arrival {
+				delay = now - p.Arrival
+				if delay > st.delayMaxNs {
+					st.delayMaxNs = delay
+				}
+			}
+			// A packet Tick already flagged as stalled was checked (and
+			// its violation counted) there; don't check it twice.
+			if !counted {
+				late := -margin
+				viol := late > 0
+				// Per-packet delay versus the fluid-SCED delay bound:
+				// only a sender inside its envelope is owed the bound, so
+				// an over-bound delay with conforming arrivals and a met
+				// deadline is impossible; with non-conforming arrivals it
+				// is burn the sender caused.
+				if !viol && st.nonConforming && delay > 0 {
+					if bound := st.delayBound(a); bound < curve.Inf-a.tolNs && delay > bound+a.tolNs {
+						viol = true
+					}
+				}
+				st.checks++
+				if viol {
+					cause := st.attribute(a)
+					st.viols[cause]++
+					if cause == CauseSchedulerLate || cause == CauseUlimitDefer {
+						if late > st.worstLateNs {
+							st.worstLateNs = late
+						}
+					}
+					st.record(sec, true)
+				} else {
+					st.record(sec, false)
+				}
+			}
+		}
+	}
+	if emptied {
+		st.busy = false
+		st.deadlines.reset()
+	}
+}
+
+// attribute picks the cause of a missed guarantee, most-excusing first:
+// a sender over its curve was owed nothing; corrections mean the
+// deadlines were computed from wrong costs; an upper-limit deferral this
+// busy period means the ceiling, not the scheduler, held service back.
+// Only when none of those apply is the scheduler itself blamed.
+func (st *classAudit) attribute(a *Auditor) Cause {
+	switch {
+	case st.nonConforming:
+		return CauseNonConformingArrival
+	case st.corrs > st.corrAtAnchor:
+		return CauseCostCorrection
+	case a.ulimitDefers > st.defAtAnchor:
+		return CauseUlimitDefer
+	default:
+		return CauseSchedulerLate
+	}
+}
+
+// delayBound is the class's advertised fluid-SCED delay bound: the time
+// the curve takes to absorb the burst allowance, plus one maximum
+// packet's transmission time at the link rate (Theorem 1).
+func (st *classAudit) delayBound(a *Auditor) int64 {
+	if !st.hasRT || st.burstAllow <= 0 {
+		return 0
+	}
+	t := st.rsc.Inverse(st.burstAllow)
+	if t == curve.Inf {
+		return curve.Inf
+	}
+	return t + a.slackNs
+}
+
+// record folds one check into the burn-rate ring; sec is the event's
+// epoch second (now / 1e9), computed once by the caller.
+func (st *classAudit) record(sec int64, violated bool) {
+	slot := &st.burn[int(sec%burnSeconds)]
+	if slot.key != sec+1 {
+		slot.key = sec + 1
+		slot.checks = 0
+		slot.viols = 0
+	}
+	slot.checks++
+	if violated {
+		slot.viols++
+	}
+}
+
+// sampleMargin folds one conformance-margin sample (ns of headroom;
+// negative = lateness) into the sliding-minimum window; sec is the
+// event's epoch second, computed once by the caller.
+func (st *classAudit) sampleMargin(sec, margin int64) {
+	if margin < st.minMargin {
+		st.minMargin = margin
+	}
+	st.hasMargin = true
+	slot := &st.margins[int(sec%marginSlots)]
+	if slot.key != sec+1 {
+		slot.key = sec + 1
+		slot.min = margin
+		return
+	}
+	if margin < slot.min {
+		slot.min = margin
+	}
+}
+
+// Tick samples every backlogged class's conformance margin at clock now
+// — the periodic cumulative-work probe that catches a stalled class
+// between dequeues (a class that never dequeues again would otherwise
+// never fail a check). Each stalled packet is counted at most once: the
+// dequeue that eventually pops it sees stallCounted and skips the
+// double-count. Drivers call this from their pacing loop; Snapshot calls
+// it too, so pull-based readers stay fresh.
+func (a *Auditor) Tick(now int64) {
+	a.mu.Lock()
+	if now > a.lastEvent {
+		a.lastEvent = now
+	}
+	allow := a.allow()
+	sec := now / int64(time.Second)
+	for _, st := range a.classes {
+		if st == nil || !st.busy || !st.hasRT {
+			continue
+		}
+		dl, ok := st.deadlines.peek()
+		if !ok {
+			continue
+		}
+		margin := dl + allow - now
+		st.sampleMargin(sec, margin)
+		if margin < 0 && !st.stallCounted {
+			st.stallCounted = true
+			st.checks++
+			cause := st.attribute(a)
+			st.viols[cause]++
+			if cause == CauseSchedulerLate || cause == CauseUlimitDefer {
+				if -margin > st.worstLateNs {
+					st.worstLateNs = -margin
+				}
+			}
+			st.record(sec, true)
+		}
+	}
+	a.mu.Unlock()
+}

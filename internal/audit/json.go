@@ -1,0 +1,98 @@
+package audit
+
+import "github.com/netsched/hfsc/internal/curve"
+
+// ClassJSON is the JSON wire form of a ClassAudit, as served by the
+// /debug/hfsc/audit endpoint in examples/hfsc-serve and consumed by
+// hfsc-top's verdict column.
+type ClassJSON struct {
+	ID         int    `json:"id"`
+	Name       string `json:"name"`
+	Guaranteed bool   `json:"guaranteed"`
+	Verdict    string `json:"verdict"`
+
+	Checks     uint64 `json:"checks"`
+	Violations uint64 `json:"violations"`
+	// ViolationsByCause holds only the non-zero causes, keyed by
+	// Cause.String() ("scheduler-late", "nonconforming-arrival", ...).
+	ViolationsByCause map[string]uint64 `json:"violations_by_cause,omitempty"`
+
+	// MinMarginNs / MinMarginEverNs are nil until the class has margin
+	// samples (negative = lateness past the allowance).
+	MinMarginNs     *int64 `json:"min_margin_ns,omitempty"`
+	MinMarginEverNs *int64 `json:"min_margin_ever_ns,omitempty"`
+	WorstLateNs     int64  `json:"worst_late_ns,omitempty"`
+	DelayMaxNs      int64  `json:"delay_max_ns,omitempty"`
+	DelayBoundNs    int64  `json:"delay_bound_ns,omitempty"`
+
+	NonConformingPeriods uint64 `json:"nonconforming_periods,omitempty"`
+	Corrections          uint64 `json:"corrections,omitempty"`
+	RTDeadlineMisses     uint64 `json:"rt_deadline_misses,omitempty"`
+
+	BurnRate1s  float64 `json:"burn_rate_1s"`
+	BurnRate30s float64 `json:"burn_rate_30s"`
+	BurnRate5m  float64 `json:"burn_rate_5m"`
+}
+
+// SnapshotJSON is the JSON wire form of a Snapshot.
+type SnapshotJSON struct {
+	Now          int64       `json:"now"`
+	Verdict      string      `json:"verdict"`
+	UlimitDefers uint64      `json:"ulimit_defers"`
+	Classes      []ClassJSON `json:"classes"`
+}
+
+// ToJSON converts a snapshot to its JSON wire form. Nil-safe: a nil
+// snapshot (auditing disabled) renders as an empty "ok" snapshot.
+func ToJSON(s *Snapshot) SnapshotJSON {
+	if s == nil {
+		return SnapshotJSON{Verdict: VerdictOK.String()}
+	}
+	out := SnapshotJSON{
+		Now:          s.Now,
+		Verdict:      s.Verdict().String(),
+		UlimitDefers: s.UlimitDefers,
+		Classes:      make([]ClassJSON, len(s.Classes)),
+	}
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		j := ClassJSON{
+			ID:                   c.ID,
+			Name:                 c.Name,
+			Guaranteed:           c.Guaranteed,
+			Verdict:              c.Verdict.String(),
+			Checks:               c.Checks,
+			Violations:           c.Violations,
+			WorstLateNs:          c.WorstLateNs,
+			DelayMaxNs:           c.DelayMaxNs,
+			NonConformingPeriods: c.NonConformingPeriods,
+			Corrections:          c.Corrections,
+			RTDeadlineMisses:     c.RTDeadlineMisses,
+			BurnRate1s:           c.BurnRate1s,
+			BurnRate30s:          c.BurnRate30s,
+			BurnRate5m:           c.BurnRate5m,
+		}
+		if c.DelayBoundNs > 0 && c.DelayBoundNs < curve.Inf {
+			j.DelayBoundNs = c.DelayBoundNs
+		}
+		if c.MinMarginNs != curve.Inf {
+			v := c.MinMarginNs
+			j.MinMarginNs = &v
+		}
+		if c.MinMarginEverNs != curve.Inf {
+			v := c.MinMarginEverNs
+			j.MinMarginEverNs = &v
+		}
+		for k, n := range c.ViolationsByCause {
+			if n == 0 {
+				continue
+			}
+			if j.ViolationsByCause == nil {
+				j.ViolationsByCause = make(map[string]uint64)
+			}
+			j.ViolationsByCause[Cause(k).String()] = n
+		}
+		out.Classes[i] = j
+	}
+	return out
+}

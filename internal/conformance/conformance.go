@@ -88,7 +88,14 @@ func Random(rng *rand.Rand, n, maxDepth int) *Hierarchy {
 // returns the scheduler plus the class id of each node (indexed like
 // Nodes). LinkRate is recorded for admission/bound computation.
 func (h *Hierarchy) Build(kind hfsc.BackendKind, linkRate uint64) (*hfsc.Scheduler, []int, error) {
-	s := hfsc.New(hfsc.Config{LinkRate: linkRate, Backend: kind})
+	return h.BuildConfig(hfsc.Config{LinkRate: linkRate, Backend: kind})
+}
+
+// BuildConfig replays the spec into a scheduler with an arbitrary
+// configuration — e.g. Config.Audit on, so the online guarantee auditor
+// can be cross-validated against the harness's packet-level oracles.
+func (h *Hierarchy) BuildConfig(cfg hfsc.Config) (*hfsc.Scheduler, []int, error) {
+	s := hfsc.New(cfg)
 	ids := make([]int, len(h.Nodes))
 	cls := make([]*hfsc.Class, len(h.Nodes))
 	for i, n := range h.Nodes {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	hfsc "github.com/netsched/hfsc"
+	"github.com/netsched/hfsc/internal/netcalc"
 	"github.com/netsched/hfsc/internal/sim"
 )
 
@@ -225,5 +226,137 @@ func TestConformanceDelayBounds(t *testing.T) {
 		if _, _, err := h.Build(kind, linkRate); err == nil {
 			t.Errorf("%v accepted a real-time hierarchy", kind)
 		}
+	}
+}
+
+// TestConformanceAuditOracle cross-validates the online guarantee auditor
+// (Config.Audit) against the harness's packet-level oracles: on a
+// conforming run the auditor must report zero violations for every
+// guaranteed class and its observed delay maximum must stay within the
+// network-calculus bound; on the same load served deliberately late it
+// must detect the lateness and attribute it to the scheduler.
+func TestConformanceAuditOracle(t *testing.T) {
+	const (
+		linkRate = 10_000_000
+		lmax     = 1500
+	)
+	rt := func(dmax time.Duration) hfsc.SC {
+		sc, err := hfsc.ForRealTime(lmax, dmax, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	h := &Hierarchy{Nodes: []Node{
+		{Parent: -1, Weight: 2_000_000, RealTime: rt(5 * time.Millisecond)},
+		{Parent: -1, Weight: 2_000_000, RealTime: rt(20 * time.Millisecond)},
+		{Parent: -1, Weight: 6_000_000}, // link-sharing bulk
+	}}
+
+	var trace []sim.Arrival
+	span := int64(200 * time.Millisecond)
+	for node := 0; node < 2; node++ {
+		for at := int64(0); at < span; at += 750_000 {
+			trace = append(trace, sim.Arrival{At: at, Len: lmax, Class: node})
+		}
+	}
+	for i := 0; i < 2500; i++ {
+		trace = append(trace, sim.Arrival{At: 0, Len: 1200, Class: 2})
+	}
+	sim.SortArrivals(trace)
+
+	s, ids, err := h.BuildConfig(hfsc.Config{LinkRate: linkRate, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := make([]sim.Arrival, len(trace))
+	for i, a := range trace {
+		mapped[i] = a
+		mapped[i].Class = ids[a.Class]
+	}
+	res := sim.RunTrace(s, linkRate, mapped, 0)
+	if err := CheckConservationFIFO(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDelayBounds(h, ids, mapped, res, linkRate, lmax); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.AuditSnapshot()
+	if snap == nil {
+		t.Fatal("Config.Audit produced no audit snapshot")
+	}
+	if got := snap.Verdict(); got != hfsc.VerdictOK {
+		t.Errorf("conforming run: link verdict %v, want ok", got)
+	}
+	byClass := map[int][]sim.Arrival{}
+	for _, a := range mapped {
+		byClass[a.Class] = append(byClass[a.Class], a)
+	}
+	intervals := []int64{100_000, 1_000_000, 5_000_000, 10_000_000, 50_000_000, 200_000_000}
+	for i, n := range h.Nodes {
+		if n.RealTime.IsZero() {
+			continue
+		}
+		ca, ok := snap.Class(ids[i])
+		if !ok {
+			t.Fatalf("node %d: no audit state", i)
+		}
+		if !ca.Guaranteed {
+			t.Errorf("node %d: auditor did not see the real-time curve", i)
+		}
+		if ca.Violations != 0 {
+			t.Errorf("node %d: conforming run produced %d violations (by cause %v)",
+				i, ca.Violations, ca.ViolationsByCause)
+		}
+		if ca.Checks == 0 {
+			t.Errorf("node %d: auditor ran no conformance checks", i)
+		}
+		// The packet-level oracle: the auditor's observed delay maximum
+		// (arrival → dequeue) must sit within the network-calculus bound
+		// computed from the class's empirical envelope.
+		env := netcalc.EnvelopeOf(byClass[ids[i]], intervals)
+		bound := env.DelayBound(n.RealTime, linkRate, lmax)
+		if ca.DelayMaxNs > bound {
+			t.Errorf("node %d: auditor delay max %d ns exceeds netcalc bound %d ns", i, ca.DelayMaxNs, bound)
+		}
+	}
+
+	// Injected lateness: the same conforming real-time arrivals are
+	// enqueued on time, but the link stalls and serves everything 100 ms
+	// after the last arrival. The auditor must catch it and blame the
+	// scheduler (the sender conformed; nothing was deferred or corrected).
+	s2, ids2, err := h.BuildConfig(hfsc.Config{LinkRate: linkRate, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := int64(0); at < span; at += 750_000 {
+		ok := s2.Enqueue(&hfsc.Packet{Len: lmax, Class: ids2[0], Arrival: at}, at)
+		if !ok {
+			t.Fatalf("enqueue at %d refused", at)
+		}
+	}
+	now := span + int64(100*time.Millisecond)
+	for s2.Backlog() > 0 {
+		if p := s2.Dequeue(now); p == nil {
+			t.Fatalf("stalled drain: no packet at %d with backlog %d", now, s2.Backlog())
+		}
+		now += int64(time.Millisecond)
+	}
+	late, ok := s2.AuditSnapshot().Class(ids2[0])
+	if !ok {
+		t.Fatal("stalled class: no audit state")
+	}
+	if late.Violations == 0 {
+		t.Fatal("injected lateness went undetected")
+	}
+	if late.Violations != late.ViolationsByCause[hfsc.CauseSchedulerLate] {
+		t.Errorf("injected lateness misattributed: %d violations, by cause %v",
+			late.Violations, late.ViolationsByCause)
+	}
+	if late.Verdict != hfsc.VerdictViolated {
+		t.Errorf("stalled class verdict %v, want violated", late.Verdict)
+	}
+	if late.WorstLateNs < int64(50*time.Millisecond) {
+		t.Errorf("worst lateness %d ns does not reflect the 100 ms stall", late.WorstLateNs)
 	}
 }

@@ -82,6 +82,18 @@ func (c Curve) Inverse(y int64) int64 {
 	return fixpt.SatAdd(x, dx)
 }
 
+// Tail returns the start of the curve's final (infinite) linear piece —
+// its x (ns) and y (bytes) coordinates — and the final slope (bytes/s).
+// Past the tail, Eval and Inverse reduce to a single linear piece; hot
+// paths exploit that to skip the segment walk and 128-bit division.
+func (c Curve) Tail() (x, y int64, m uint64) {
+	for _, s := range c.segs {
+		y = fixpt.SatAdd(y, segX2Y(s.dur, s.m))
+		x = fixpt.SatAdd(x, s.dur)
+	}
+	return x, y, c.finalM
+}
+
 // breakpoints returns the absolute x-coordinates of all segment boundaries.
 func (c Curve) breakpoints() []int64 {
 	bps := make([]int64, 0, len(c.segs))

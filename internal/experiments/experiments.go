@@ -101,6 +101,7 @@ var Registry = map[string]func() *Report{
 	"abl2":  AblationVTPolicy,
 	"abl3":  AblationUpperLimit,
 	"obs1":  Obs1,
+	"obs2":  Obs2,
 }
 
 // IDs returns the registered experiment ids in stable order.

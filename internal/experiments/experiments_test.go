@@ -38,7 +38,7 @@ func TestAllExperimentShapes(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig3", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "tbla1", "abl2", "abl3", "obs1"}
+	want := []string{"fig2", "fig3", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "tbla1", "abl2", "abl3", "obs1", "obs2"}
 	for _, id := range want {
 		if Registry[id] == nil {
 			t.Errorf("missing experiment %q", id)

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netsched/hfsc/internal/audit"
 	"github.com/netsched/hfsc/internal/core"
 	"github.com/netsched/hfsc/internal/pktq"
 	"github.com/netsched/hfsc/internal/stats"
@@ -569,6 +570,10 @@ type Snapshot struct {
 	// totals: records written, and records overwritten (ring wrap).
 	FlightRecorded uint64
 	FlightDropped  uint64
+	// Audit is the online guarantee auditor's verdicts (nil unless
+	// auditing is enabled — hfsc.Config.Audit). The scheduler attaches it
+	// when the snapshot is taken; the aggregator itself never writes it.
+	Audit *audit.Snapshot
 	// Classes holds one entry per class that has produced events, in class
 	// id (creation) order.
 	Classes []ClassSnapshot

@@ -5,6 +5,9 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"github.com/netsched/hfsc/internal/audit"
+	"github.com/netsched/hfsc/internal/curve"
 )
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition
@@ -150,8 +153,80 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		"Flight-recorder records overwritten by ring wrap before the window closed.")
 	counter(b, "hfsc_flight_dropped_total", "", float64(s.FlightDropped))
 
+	if s.Audit != nil {
+		writeGuarantees(b, s.Audit)
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeGuarantees renders the online guarantee auditor's verdicts as the
+// hfsc_guarantee_* families. Only present when auditing is enabled.
+func writeGuarantees(b *strings.Builder, a *audit.Snapshot) {
+	family(b, "hfsc_guarantee_checks_total", "counter",
+		"Guarantee checks performed by the online auditor (one per served packet of a guaranteed class, per drop, and per stalled-backlog probe).")
+	for i := range a.Classes {
+		c := &a.Classes[i]
+		counter(b, "hfsc_guarantee_checks_total", lbl("class", c.Name), float64(c.Checks))
+	}
+
+	family(b, "hfsc_guarantee_violations_total", "counter",
+		"Guarantee violations, attributed by cause: scheduler-late (genuine lateness), nonconforming-arrival (sender over its curve), ulimit-defer, drop, cost-correction.")
+	for i := range a.Classes {
+		c := &a.Classes[i]
+		for j := range c.ViolationsByCause {
+			counter(b, "hfsc_guarantee_violations_total",
+				lbl("class", c.Name)+","+lbl("cause", audit.Cause(j).String()),
+				float64(c.ViolationsByCause[j]))
+		}
+	}
+
+	family(b, "hfsc_guarantee_margin_min_seconds", "gauge",
+		"Minimum conformance margin over the sliding window: headroom between the fluid service-curve deadline (plus allowance) and actual departure; negative = lateness. Absent until a guaranteed class is served.")
+	for i := range a.Classes {
+		c := &a.Classes[i]
+		if !c.Guaranteed || c.MinMarginNs == curve.Inf {
+			continue
+		}
+		gauge(b, "hfsc_guarantee_margin_min_seconds", lbl("class", c.Name), float64(c.MinMarginNs)/1e9)
+	}
+
+	family(b, "hfsc_guarantee_delay_seconds", "gauge",
+		"Per-packet delay versus the advertised fluid-SCED bound: kind=\"max\" is the worst observed arrival-to-dequeue delay, kind=\"bound\" the bound it is audited against.")
+	for i := range a.Classes {
+		c := &a.Classes[i]
+		if !c.Guaranteed {
+			continue
+		}
+		gauge(b, "hfsc_guarantee_delay_seconds", lbl("class", c.Name)+","+lbl("kind", "max"), float64(c.DelayMaxNs)/1e9)
+		if c.DelayBoundNs > 0 && c.DelayBoundNs < curve.Inf {
+			gauge(b, "hfsc_guarantee_delay_seconds", lbl("class", c.Name)+","+lbl("kind", "bound"), float64(c.DelayBoundNs)/1e9)
+		}
+	}
+
+	family(b, "hfsc_guarantee_burn_rate", "gauge",
+		"Fraction of guarantee checks that were violations over the trailing window (SLO burn rate).")
+	for i := range a.Classes {
+		c := &a.Classes[i]
+		gauge(b, "hfsc_guarantee_burn_rate", lbl("class", c.Name)+","+lbl("window", "1s"), c.BurnRate1s)
+		gauge(b, "hfsc_guarantee_burn_rate", lbl("class", c.Name)+","+lbl("window", "30s"), c.BurnRate30s)
+		gauge(b, "hfsc_guarantee_burn_rate", lbl("class", c.Name)+","+lbl("window", "5m"), c.BurnRate5m)
+	}
+
+	family(b, "hfsc_guarantee_nonconforming_periods_total", "counter",
+		"Busy periods whose arrivals exceeded the class's service-curve envelope (no guarantee owed for the excess).")
+	for i := range a.Classes {
+		c := &a.Classes[i]
+		counter(b, "hfsc_guarantee_nonconforming_periods_total", lbl("class", c.Name), float64(c.NonConformingPeriods))
+	}
+
+	family(b, "hfsc_guarantee_verdict", "gauge",
+		"Guarantee health per class: 0 = ok, 1 = at risk, 2 = violated.")
+	for i := range a.Classes {
+		c := &a.Classes[i]
+		gauge(b, "hfsc_guarantee_verdict", lbl("class", c.Name), float64(c.Verdict))
+	}
 }
 
 func family(b *strings.Builder, name, typ, help string) {

@@ -9,19 +9,66 @@ func TestPoolReleaseZeroes(t *testing.T) {
 	}
 	p.Len = 1500
 	p.Class = 7
+	p.Flow = 3
 	p.Seq = 42
 	p.Arrival = 99
+	p.Depart = 101
+	p.Cost = 9000
 	p.Deadline = 100
 	p.Crit = ByRealTime
+	p.SubmitAt = 77
+	p.Handle = struct{}{}
 	p.Payload = append(p.Payload, make([]byte, 1024)...)
 	p.Release()
 
 	q := Get()
-	if q.Len != 0 || q.Class != 0 || q.Seq != 0 || q.Arrival != 0 ||
-		q.Deadline != 0 || q.Crit != ByNone || len(q.Payload) != 0 {
+	if q.Len != 0 || q.Class != 0 || q.Flow != 0 || q.Seq != 0 || q.Arrival != 0 ||
+		q.Depart != 0 || q.Cost != 0 || q.Deadline != 0 || q.Crit != ByNone ||
+		q.SubmitAt != 0 || q.Handle != nil || len(q.Payload) != 0 {
 		t.Fatalf("recycled packet not zeroed: %+v", q)
 	}
 	q.Release()
+}
+
+// TestReleaseClearsEveryField pins the full Release contract on the
+// struct itself (no pool indirection): Cost and SubmitAt in particular
+// must not leak into the next lap — a stale Cost would recharge the
+// wrong amount for a recycled packet, and a stale SubmitAt would fake a
+// lifecycle-span sample.
+func TestReleaseClearsEveryField(t *testing.T) {
+	p := &Packet{
+		Len:      64,
+		Class:    5,
+		Flow:     2,
+		Seq:      9,
+		Arrival:  10,
+		Depart:   20,
+		Cost:     4096,
+		Deadline: 30,
+		Crit:     ByLinkShare,
+		SubmitAt: 40,
+		Handle:   "gate",
+		Payload:  make([]byte, 16, 64),
+	}
+	p.Release()
+	if p.Cost != 0 {
+		t.Errorf("Release left Cost = %d", p.Cost)
+	}
+	if p.SubmitAt != 0 {
+		t.Errorf("Release left SubmitAt = %d", p.SubmitAt)
+	}
+	if p.Class != 0 || p.Flow != 0 || p.Seq != 0 {
+		t.Errorf("Release left routing state: class=%d flow=%d seq=%d", p.Class, p.Flow, p.Seq)
+	}
+	if p.Len != 0 || p.Arrival != 0 || p.Depart != 0 || p.Deadline != 0 || p.Crit != ByNone || p.Handle != nil {
+		t.Errorf("Release left timing/diagnostic state: %+v", p)
+	}
+	if len(p.Payload) != 0 || cap(p.Payload) != 64 {
+		t.Errorf("Release payload len=%d cap=%d, want 0/64", len(p.Payload), cap(p.Payload))
+	}
+	if p.Work() != 0 {
+		t.Errorf("recycled packet still has work %d", p.Work())
+	}
 }
 
 func TestPoolKeepsPayloadCapacity(t *testing.T) {

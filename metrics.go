@@ -92,7 +92,11 @@ func (s *Scheduler) Snapshot() *Snapshot {
 		return nil
 	}
 	s.syncFlight()
-	return s.agg.Snapshot()
+	snap := s.agg.Snapshot()
+	if s.aud != nil {
+		snap.Audit = s.aud.Snapshot()
+	}
+	return snap
 }
 
 // syncFlight publishes the flight recorder's cumulative totals into the
@@ -113,8 +117,7 @@ func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	if s.agg == nil {
 		return ErrMetricsDisabled
 	}
-	s.syncFlight()
-	return metrics.WritePrometheus(w, s.agg.Snapshot())
+	return metrics.WritePrometheus(w, s.Snapshot())
 }
 
 // Metrics returns this class's slice of the metrics snapshot. The zero

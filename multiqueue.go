@@ -9,7 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/netsched/hfsc/internal/curve"
+	"github.com/netsched/hfsc/internal/audit"
 	"github.com/netsched/hfsc/internal/metrics"
 	"github.com/netsched/hfsc/internal/multi"
 )
@@ -895,15 +895,53 @@ func (m *MultiQueue) Snapshot() *Snapshot {
 		maps[i] = append([]int(nil), sh.globalOf...)
 		sh.idMu.Unlock()
 	}
-	merged := metrics.MergeSnapshots(snaps, func(shard, id int) (int, bool) {
+	remap := func(shard, id int) (int, bool) {
+		g := maps[shard]
+		if id < 0 || id >= len(g) || g[id] < 0 {
+			return 0, false
+		}
+		return g[id], true
+	}
+	merged := metrics.MergeSnapshots(snaps, remap)
+	merged.DropsUnknownClass += m.dropUnknown.Load()
+	// The per-shard audit verdicts merge the same way: disjoint classes
+	// concatenated under global ids, link counters summed.
+	if m.cfg.Audit {
+		audits := make([]*audit.Snapshot, len(snaps))
+		for i, s := range snaps {
+			if s != nil {
+				audits[i] = s.Audit
+			}
+		}
+		merged.Audit = audit.Merge(audits, remap)
+	}
+	return merged
+}
+
+// AuditSnapshot merges every shard's guarantee-auditor verdicts into one
+// snapshot with class ids translated to the global id space; nil when the
+// MultiQueue was created without Config.Audit. Safe from any goroutine.
+func (m *MultiQueue) AuditSnapshot() *AuditSnapshot {
+	if !m.cfg.Audit {
+		return nil
+	}
+	snaps := make([]*audit.Snapshot, len(m.shards))
+	for i, sh := range m.shards {
+		snaps[i] = sh.q.AuditSnapshot()
+	}
+	maps := make([][]int, len(m.shards))
+	for i, sh := range m.shards {
+		sh.idMu.Lock()
+		maps[i] = append([]int(nil), sh.globalOf...)
+		sh.idMu.Unlock()
+	}
+	return audit.Merge(snaps, func(shard, id int) (int, bool) {
 		g := maps[shard]
 		if id < 0 || id >= len(g) || g[id] < 0 {
 			return 0, false
 		}
 		return g[id], true
 	})
-	merged.DropsUnknownClass += m.dropUnknown.Load()
-	return merged
 }
 
 // WriteMetrics renders the merged metrics in Prometheus text format
@@ -924,11 +962,6 @@ func (m *MultiQueue) DelayBound(c *MultiClass, u, lmax int) (time.Duration, erro
 	if c == nil {
 		return 0, ErrNilClass
 	}
-	rsc := c.cl.c.RSC()
-	t := curve.FromSC(rsc).Inverse(int64(u))
-	if t == curve.Inf {
-		return 0, fmt.Errorf("hfsc: curve never delivers %d bytes", u)
-	}
 	m.mu.Lock()
 	floor := m.place.Floor(c.shard)
 	m.mu.Unlock()
@@ -936,6 +969,8 @@ func (m *MultiQueue) DelayBound(c *MultiClass, u, lmax int) (time.Duration, erro
 	if rate == 0 {
 		rate = m.line / uint64(len(m.shards))
 	}
-	slack := curve.FromSC(Linear(rate)).Inverse(int64(lmax))
-	return time.Duration(t + slack), nil
+	if rate == 0 {
+		return 0, ErrNoLinkRate
+	}
+	return delayBound(c.cl.c.RSC(), u, lmax, rate)
 }

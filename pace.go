@@ -107,6 +107,9 @@ type PacedQueue struct {
 	// gcAt is the clock (ns) of the next idle-class collection scan.
 	// Owned by the pacing goroutine; see Scheduler.CollectIdle.
 	gcAt int64
+	// auditAt is the clock (ns) of the next stalled-backlog audit probe
+	// (Config.Audit). Owned by the pacing goroutine, like gcAt.
+	auditAt int64
 }
 
 const (
@@ -121,6 +124,11 @@ const (
 	// cost-denominated work items — whose cost dwarfs an MTU — do not
 	// turn microseconds of timer slack into a link-time-sized burst.
 	paceMTU = 1500
+	// paceAuditPeriod is how often the pacing loop runs the guarantee
+	// auditor's stalled-backlog probe (Config.Audit). Coarse on purpose:
+	// the probe exists to catch classes that stopped being served at all,
+	// not to tighten per-packet checks.
+	paceAuditPeriod = 100 * time.Millisecond
 	// paceSpinWait is the longest pacing gap burned with a yield instead
 	// of a timer park: Go timers cannot resolve waits this short, and at
 	// multi-gigabit slice rates the inter-packet gap is well under it, so
@@ -499,6 +507,11 @@ func (q *PacedQueue) syncMetrics() {
 // when Config.Flight is off. Reading it is safe while the queue runs.
 func (q *PacedQueue) FlightRecorder() *FlightRecorder { return q.s.rec }
 
+// AuditSnapshot copies the online guarantee auditor's verdicts (nil when
+// the scheduler was created without Config.Audit). Safe from any
+// goroutine while the queue runs: it reads only the auditor's own state.
+func (q *PacedQueue) AuditSnapshot() *AuditSnapshot { return q.s.AuditSnapshot() }
+
 // Snapshot copies the scheduler's metrics (nil when the scheduler was
 // created without Config.Metrics), after folding in the driver's intake
 // drop counters. Unlike the Scheduler itself, which the pacing goroutine
@@ -569,6 +582,12 @@ func (q *PacedQueue) loop() {
 			q.s.CollectIdle(nowNs)
 			q.gcAt = nowNs + q.s.lcPeriod()
 		}
+		// The auditor's stalled-backlog probe rides the loop the same way,
+		// so a class whose service stops entirely still fails checks.
+		if q.s.aud != nil && nowNs >= q.auditAt {
+			q.s.auditTick(nowNs)
+			q.auditAt = nowNs + int64(paceAuditPeriod)
+		}
 		var drained int
 		buf, drained = q.drainIntake(rings, buf, nowNs, drainCap)
 		if drained > 0 {
@@ -621,6 +640,17 @@ func (q *PacedQueue) loop() {
 			// collected on an otherwise silent link.
 			if q.s.lcArmed() {
 				if d := time.Duration(q.gcAt - nowNs); d < wait {
+					if d <= 0 {
+						d = time.Millisecond
+					}
+					wait = d
+				}
+			}
+			// A backlogged auditor bounds it too: a stalled class must keep
+			// failing probes even when the link itself has nothing to send
+			// (e.g. everything is deferred by an upper limit).
+			if q.s.aud != nil && q.s.Backlog() > 0 {
+				if d := time.Duration(q.auditAt - nowNs); d < wait {
 					if d <= 0 {
 						d = time.Millisecond
 					}
